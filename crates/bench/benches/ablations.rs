@@ -1,0 +1,156 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! delayed allocation on/off, early reservation on/off, CVT-cache size,
+//! MTL-TLB size, and flexible versus fixed-depth translation structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbi_core::addr::SizeClass;
+use vbi_core::config::VbiConfig;
+use vbi_core::mtl::{Mtl, MtlAccess};
+use vbi_core::vb::VbProperties;
+use vbi_sim::engine::{run, EngineConfig};
+use vbi_sim::systems::SystemKind;
+use vbi_workloads::spec::benchmark;
+
+fn quick() -> EngineConfig {
+    EngineConfig { accesses: 4_000, warmup: 400, seed: 2020, phys_frames: 1 << 19 }
+}
+
+/// Ablation 1: the three VBI variants isolate each optimization.
+fn ablate_optimizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate-optimizations");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("base_vbi1", SystemKind::Vbi1),
+        ("plus_delayed_alloc_vbi2", SystemKind::Vbi2),
+        ("plus_early_reservation_full", SystemKind::VbiFull),
+    ] {
+        group.bench_function(label, |b| {
+            let spec = benchmark("GemsFDTD").expect("known");
+            let cfg = quick();
+            b.iter(|| std::hint::black_box(run(kind, &spec, &cfg).cycles))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 2: MTL page-TLB size sweep (the §4.2.3 TLB).
+fn ablate_mtl_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate-mtl-tlb");
+    group.sample_size(10);
+    for entries in [64usize, 256, 1024] {
+        group.bench_function(format!("entries_{entries}"), |b| {
+            let config = VbiConfig {
+                phys_frames: 1 << 18,
+                mtl_tlb_entries: entries,
+                mtl_tlb_ways: 4,
+                early_reservation: false,
+                ..VbiConfig::vbi_2()
+            };
+            let mut mtl = Mtl::new(config);
+            let vb = mtl.find_free_vb(SizeClass::Mib128).expect("free");
+            mtl.enable_vb(vb, VbProperties::NONE).expect("enable");
+            for page in 0..4096u64 {
+                mtl.write_u64(vb.address(page * 4096).expect("ok"), page).expect("write");
+            }
+            let mut page = 0u64;
+            b.iter(|| {
+                page = (page + 193) % 4096;
+                let addr = vb.address(page * 4096).expect("ok");
+                std::hint::black_box(mtl.translate(addr, MtlAccess::Read).expect("ok"))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: flexible (size-matched) versus fixed 4-level translation.
+/// A 4 MiB VB walks one level under the static policy; forcing the deepest
+/// structure shows what the flexibility buys.
+fn ablate_structure_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate-structure-depth");
+    group.sample_size(10);
+
+    group.bench_function("flexible_single_level", |b| {
+        let config =
+            VbiConfig { phys_frames: 1 << 18, early_reservation: false, ..VbiConfig::vbi_1() };
+        let mut mtl = Mtl::new(config);
+        let vb = mtl.find_free_vb(SizeClass::Mib4).expect("free");
+        mtl.enable_vb(vb, VbProperties::NONE).expect("enable");
+        for page in 0..1024u64 {
+            mtl.write_u64(vb.address(page * 4096).expect("ok"), page).expect("write");
+        }
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 193) % 1024;
+            std::hint::black_box(
+                mtl.translate(vb.address(page * 4096).expect("ok"), MtlAccess::Read)
+                    .expect("ok"),
+            )
+        })
+    });
+
+    group.bench_function("fixed_deep_multi_level", |b| {
+        // The same 4 MiB of data placed at the bottom of a 128 GiB VB, which
+        // forces a 3-level walk — the cost a one-size-fits-all table pays.
+        let config =
+            VbiConfig { phys_frames: 1 << 18, early_reservation: false, ..VbiConfig::vbi_1() };
+        let mut mtl = Mtl::new(config);
+        let vb = mtl.find_free_vb(SizeClass::Gib128).expect("free");
+        mtl.enable_vb(vb, VbProperties::NONE).expect("enable");
+        for page in 0..1024u64 {
+            mtl.write_u64(vb.address(page * 4096).expect("ok"), page).expect("write");
+        }
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 193) % 1024;
+            std::hint::black_box(
+                mtl.translate(vb.address(page * 4096).expect("ok"), MtlAccess::Read)
+                    .expect("ok"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+/// Ablation 4: CVT-cache size sweep around the paper's 64-entry claim
+/// (§4.3: near-100% hit rate at 64 entries because programs use < 48 VBs).
+fn ablate_cvt_cache(c: &mut Criterion) {
+    use vbi_core::client::{ClientId, Cvt};
+    use vbi_core::cvt_cache::CvtCache;
+    use vbi_core::perm::Rwx;
+
+    let mut group = c.benchmark_group("ablate-cvt-cache");
+    for slots in [16usize, 64, 256] {
+        group.bench_function(format!("slots_{slots}_48vbs"), |b| {
+            let mut cvt = Cvt::new(ClientId(0), 256);
+            let mut cache = CvtCache::new(slots);
+            for i in 0..48u64 {
+                cvt.attach(vbi_core::addr::Vbuid::new(SizeClass::Kib128, i), Rwx::ALL)
+                    .expect("slot");
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7) % 48;
+                match cache.lookup(ClientId(0), i) {
+                    Some(e) => std::hint::black_box(e),
+                    None => {
+                        let e = *cvt.entry(i).expect("valid");
+                        cache.fill(ClientId(0), i, e);
+                        std::hint::black_box(e)
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_optimizations,
+    ablate_mtl_tlb,
+    ablate_structure_depth,
+    ablate_cvt_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the buddy allocator (the MTL's frame manager, §5.3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vbi_core::buddy::BuddyAllocator;
+
+fn bench_buddy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy");
+
+    group.bench_function("alloc_free_order0", |b| {
+        b.iter_batched_ref(
+            || BuddyAllocator::new(1 << 16),
+            |buddy| {
+                let f = buddy.allocate(0).expect("frame");
+                buddy.free(f, 0);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("alloc_free_order8", |b| {
+        b.iter_batched_ref(
+            || BuddyAllocator::new(1 << 16),
+            |buddy| {
+                let f = buddy.allocate(8).expect("block");
+                buddy.free(f, 8);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("fragmented_churn", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut buddy = BuddyAllocator::new(1 << 16);
+                // Pre-fragment: take every other small block.
+                let mut held = Vec::new();
+                for _ in 0..512 {
+                    held.push(buddy.allocate(0).expect("frame"));
+                    let tmp = buddy.allocate(0).expect("frame");
+                    buddy.free(tmp, 0);
+                }
+                (buddy, held)
+            },
+            |(buddy, _held)| {
+                for _ in 0..16 {
+                    let f = buddy.allocate(3).expect("block");
+                    buddy.free(f, 3);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("reservation_split_1024", |b| {
+        b.iter_batched_ref(
+            || BuddyAllocator::new(1 << 16),
+            |buddy| {
+                let base = buddy.allocate_split(10).expect("reservation");
+                for i in 0..(1 << 10) {
+                    buddy.free(base.offset(i), 0);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_buddy);
+criterion_main!(benches);

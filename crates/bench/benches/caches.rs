@@ -1,0 +1,58 @@
+//! Microbenchmarks of the cache hierarchy and DRAM models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbi_mem_sim::controller::MemoryController;
+use vbi_mem_sim::hierarchy::CacheHierarchy;
+
+fn bench_caches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem-sim");
+
+    group.bench_function("hierarchy_l1_hit", |b| {
+        let mut h = CacheHierarchy::per_core_default();
+        h.access(0x1000, false);
+        b.iter(|| std::hint::black_box(h.access(0x1000, false).latency))
+    });
+
+    group.bench_function("hierarchy_streaming", |b| {
+        let mut h = CacheHierarchy::per_core_default();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            std::hint::black_box(h.access(addr, false).latency)
+        })
+    });
+
+    group.bench_function("hierarchy_random_with_writebacks", |b| {
+        let mut h = CacheHierarchy::per_core_default();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            std::hint::black_box(h.access(x % (1 << 30), x.is_multiple_of(3)).latency)
+        })
+    });
+
+    group.bench_function("dram_row_hits", |b| {
+        let mut m = MemoryController::ddr3_1600();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 64) % 8192;
+            std::hint::black_box(m.service(addr))
+        })
+    });
+
+    group.bench_function("dram_row_conflicts", |b| {
+        let mut m = MemoryController::ddr3_1600();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(m.service(x % (1 << 30)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_caches);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion wrappers around the figure experiments: each benchmark times a
+//! miniature run of one paper experiment, so `cargo bench` exercises every
+//! table/figure path end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbi_hetero::memory::{HeteroKind, Policy};
+use vbi_sim::engine::{run, EngineConfig};
+use vbi_sim::hetero_run::run_hetero;
+use vbi_sim::multicore::{run_alone_native, run_bundle};
+use vbi_sim::systems::SystemKind;
+use vbi_workloads::bundles::bundle;
+use vbi_workloads::spec::benchmark;
+
+fn quick() -> EngineConfig {
+    EngineConfig { accesses: 4_000, warmup: 400, seed: 2020, phys_frames: 1 << 19 }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    // Figure 6 slice: one TLB-hostile benchmark across the 4 KiB systems.
+    for kind in [SystemKind::Native, SystemKind::Virtual, SystemKind::Vbi2, SystemKind::VbiFull]
+    {
+        group.bench_function(format!("fig6_mcf_{}", kind.label().replace(' ', "_")), |b| {
+            let spec = benchmark("mcf").expect("known");
+            let cfg = quick();
+            b.iter(|| std::hint::black_box(run(kind, &spec, &cfg).cycles))
+        });
+    }
+
+    // Figure 7 slice: large pages.
+    for kind in [SystemKind::Native2M, SystemKind::EnigmaHw2M, SystemKind::VbiFull] {
+        group.bench_function(format!("fig7_gems_{}", kind.label().replace(' ', "_")), |b| {
+            let spec = benchmark("GemsFDTD").expect("known");
+            let cfg = quick();
+            b.iter(|| std::hint::black_box(run(kind, &spec, &cfg).cycles))
+        });
+    }
+
+    // Figure 8 slice: one bundle, weighted speedup.
+    group.bench_function("fig8_wl6_vbifull", |b| {
+        let apps = bundle("wl6").expect("table 2");
+        let cfg = quick();
+        b.iter(|| {
+            let alone = run_alone_native(&apps, &cfg);
+            let shared = run_bundle("wl6", SystemKind::VbiFull, &apps, &cfg);
+            std::hint::black_box(shared.weighted_speedup(&alone))
+        })
+    });
+
+    // Figures 9-10 slice: placement policies on both architectures.
+    for (label, kind) in
+        [("fig9_pcm", HeteroKind::PcmDram), ("fig10_tldram", HeteroKind::TlDram)]
+    {
+        group.bench_function(format!("{label}_vbi_policy"), |b| {
+            let spec = benchmark("sphinx3").expect("known");
+            let cfg = quick();
+            b.iter(|| {
+                std::hint::black_box(run_hetero(kind, Policy::VbiHotness, &spec, &cfg).cycles)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

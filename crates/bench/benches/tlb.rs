@@ -1,0 +1,64 @@
+//! Microbenchmarks of the TLB and CVT-cache structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbi_core::addr::{SizeClass, Vbuid};
+use vbi_core::client::{ClientId, Cvt};
+use vbi_core::cvt_cache::CvtCache;
+use vbi_core::perm::Rwx;
+use vbi_core::tlb::Tlb;
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb");
+
+    group.bench_function("hit_512x4", |b| {
+        let mut tlb: Tlb<u64, u64> = Tlb::new(512, 4);
+        for k in 0..512 {
+            tlb.insert(k, k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 97) % 512;
+            std::hint::black_box(tlb.lookup(&k))
+        })
+    });
+
+    group.bench_function("miss_insert_evict", |b| {
+        let mut tlb: Tlb<u64, u64> = Tlb::new(512, 4);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            tlb.insert(k, k)
+        })
+    });
+
+    group.bench_function("fully_associative_64", |b| {
+        let mut tlb: Tlb<u64, u64> = Tlb::fully_associative(64);
+        for k in 0..64 {
+            tlb.insert(k, k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 13) % 64;
+            std::hint::black_box(tlb.lookup(&k))
+        })
+    });
+
+    group.bench_function("cvt_cache_hit", |b| {
+        let mut cvt = Cvt::new(ClientId(0), 64);
+        let mut cache = CvtCache::new(64);
+        for i in 0..48u64 {
+            let idx = cvt.attach(Vbuid::new(SizeClass::Kib128, i), Rwx::ALL).expect("slot");
+            cache.fill(ClientId(0), idx, *cvt.entry(idx).expect("entry"));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % 48;
+            std::hint::black_box(cache.lookup(ClientId(0), i))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tlb);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Microbenchmarks of the translation paths: MTL walks at every structure
+//! depth versus conventional 4-level walks and nested (2D) walks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbi_baselines::mmu::NativeMmu;
+use vbi_baselines::nested::NestedMmu;
+use vbi_baselines::page_table::PageSize;
+use vbi_core::addr::SizeClass;
+use vbi_core::config::VbiConfig;
+use vbi_core::mtl::{Mtl, MtlAccess};
+use vbi_core::vb::VbProperties;
+
+fn mtl_with_vb(size_class: SizeClass, config: VbiConfig) -> (Mtl, vbi_core::addr::Vbuid) {
+    let mut mtl = Mtl::new(VbiConfig { phys_frames: 1 << 18, ..config });
+    let vb = mtl.find_free_vb(size_class).expect("free VB");
+    mtl.enable_vb(vb, VbProperties::NONE).expect("enable");
+    // Touch a spread of pages so walks traverse real structures.
+    for page in (0..size_class.pages().min(4096)).step_by(17) {
+        mtl.write_u64(vb.address(page * 4096).expect("in range"), page).expect("write");
+    }
+    (mtl, vb)
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation");
+
+    for (label, sc) in [
+        ("mtl_single_level_4mb", SizeClass::Mib4),
+        ("mtl_multi_level_128mb", SizeClass::Mib128),
+        ("mtl_multi_level_4gb", SizeClass::Gib4),
+    ] {
+        group.bench_function(label, |b| {
+            let (mut mtl, vb) = mtl_with_vb(sc, VbiConfig::vbi_1());
+            let pages = sc.pages().min(4096);
+            let mut page = 0u64;
+            b.iter(|| {
+                page = (page + 17) % pages;
+                let addr = vb.address(page * 4096).expect("in range");
+                std::hint::black_box(mtl.translate(addr, MtlAccess::Read).expect("enabled"))
+            })
+        });
+    }
+
+    group.bench_function("mtl_direct_mapped_4mb", |b| {
+        let (mut mtl, vb) = mtl_with_vb(SizeClass::Mib4, VbiConfig::vbi_full());
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 17) % 1024;
+            let addr = vb.address(page * 4096).expect("in range");
+            std::hint::black_box(mtl.translate(addr, MtlAccess::Read).expect("enabled"))
+        })
+    });
+
+    // Walk a bounded, pre-mapped page set (TLBs flushed per iteration to
+    // force full walks) so demand paging cannot exhaust physical memory
+    // over millions of iterations.
+    const WALK_PAGES: u64 = 4096;
+
+    group.bench_function("native_4level_walk", |b| {
+        let mut mmu = NativeMmu::new(PageSize::Kb4, 1 << 18);
+        for page in 0..WALK_PAGES {
+            mmu.translate(page << 12);
+        }
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 257) % WALK_PAGES;
+            mmu.flush_tlbs();
+            std::hint::black_box(mmu.translate(page << 12))
+        })
+    });
+
+    group.bench_function("nested_2d_walk", |b| {
+        let mut mmu = NestedMmu::new(PageSize::Kb4, 1 << 18);
+        for page in 0..WALK_PAGES {
+            mmu.translate(page << 12);
+        }
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 257) % WALK_PAGES;
+            mmu.flush_tlbs();
+            std::hint::black_box(mmu.translate(page << 12))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates Figure 8 (and Table 2): quad-core multiprogrammed weighted
+//! speedup, normalized to Native.
+
+use vbi_bench::figure_config;
+use vbi_sim::engine::EngineConfig;
+use vbi_sim::multicore::{run_alone_native, run_bundle};
+use vbi_sim::report::mean;
+use vbi_sim::systems::SystemKind;
+use vbi_workloads::bundles::{bundle, bundle_names, BUNDLES};
+
+fn main() {
+    let base = figure_config();
+    // Quad-core runs split the trace budget per app.
+    let cfg = EngineConfig { accesses: base.accesses / 2, warmup: base.warmup / 2, ..base };
+
+    vbi_bench::header("Table 2: Multiprogrammed workload bundles");
+    for (name, apps) in BUNDLES {
+        println!("{name}  {}", apps.join(", "));
+    }
+
+    let systems = vec![
+        SystemKind::Native2M,
+        SystemKind::Virtual,
+        SystemKind::Virtual2M,
+        SystemKind::VbiFull,
+        SystemKind::PerfectTlb,
+    ];
+
+    let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
+    for name in bundle_names() {
+        eprintln!("[fig8] {name} ...");
+        let apps = bundle(name).expect("table 2 bundle");
+        let alone = run_alone_native(&apps, &cfg);
+        let native_shared = run_bundle(name, SystemKind::Native, &apps, &cfg);
+        let native_ws = native_shared.weighted_speedup(&alone);
+        let mut row = Vec::new();
+        for &system in &systems {
+            let ws = run_bundle(name, system, &apps, &cfg).weighted_speedup(&alone);
+            row.push(ws / native_ws);
+        }
+        rows.push((name, row));
+    }
+
+    vbi_bench::header(
+        "Figure 8: Multiprogrammed workload performance (weighted speedup normalized to Native)",
+    );
+    print!("{:<8}", "bundle");
+    for s in &systems {
+        print!("{:>14}", s.label());
+    }
+    println!();
+    println!("{}", "-".repeat(8 + 14 * systems.len()));
+    for (name, row) in &rows {
+        print!("{name:<8}");
+        for v in row {
+            print!("{v:>14.2}");
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(8 + 14 * systems.len()));
+    print!("{:<8}", "AVG");
+    for i in 0..systems.len() {
+        let avg = mean(&rows.iter().map(|(_, r)| r[i]).collect::<Vec<f64>>());
+        print!("{avg:>14.2}");
+    }
+    println!();
+}

@@ -1,0 +1,25 @@
+//! Runs every table/figure harness in sequence (the full evaluation).
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["table1", "fig6", "fig7", "fig8", "fig9", "fig10"];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        eprintln!("==> {bin}");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e} (build with --release first)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

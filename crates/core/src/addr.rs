@@ -1,0 +1,501 @@
+//! The VBI address space: size classes, virtual-block IDs, and VBI addresses.
+//!
+//! The VBI address space is a single, globally visible 64-bit address space
+//! consisting of a finite set of *virtual blocks* (VBs). Every VB belongs to
+//! one of eight *size classes* (4 KiB, 128 KiB, 4 MiB, ..., 128 TiB; each
+//! class is 32x the previous one). A VBI address is laid out as
+//!
+//! ```text
+//!  63      61 60                    offset_bits  offset_bits-1        0
+//! +----------+--------------------------------+------------------------+
+//! |  SizeID  |              VBID              |         offset         |
+//! +----------+--------------------------------+------------------------+
+//!  \________________ VBUID __________________/
+//! ```
+//!
+//! mirroring Figure 3 of the paper: the three high-order bits select the size
+//! class, the size class determines how many low-order bits form the offset,
+//! and the bits in between identify the VB within its class (VBID). The
+//! concatenation of SizeID and VBID is the system-wide unique VB ID (VBUID).
+
+use core::fmt;
+
+use crate::error::{Result, VbiError};
+
+/// Number of bits in a VBI address (the processor's address bus width).
+pub const ADDRESS_BITS: u32 = 64;
+
+/// Number of high-order bits used to encode the size class.
+pub const SIZE_ID_BITS: u32 = 3;
+
+/// Number of supported size classes.
+pub const SIZE_CLASS_COUNT: usize = 8;
+
+/// The eight VB size classes supported by the reference implementation.
+///
+/// Classes grow by a factor of 32 (5 address bits) per step, so the offset
+/// width is `12 + 5 * SizeID` bits.
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::addr::SizeClass;
+///
+/// assert_eq!(SizeClass::Kib4.bytes(), 4 << 10);
+/// assert_eq!(SizeClass::Tib128.bytes(), 128u64 << 40);
+/// assert_eq!(SizeClass::smallest_fitting(5 << 10), Some(SizeClass::Kib128));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SizeClass {
+    /// 4 KiB (2^12 bytes) — direct-mapped, needs no translation table.
+    Kib4 = 0,
+    /// 128 KiB (2^17 bytes).
+    Kib128 = 1,
+    /// 4 MiB (2^22 bytes).
+    Mib4 = 2,
+    /// 128 MiB (2^27 bytes).
+    Mib128 = 3,
+    /// 4 GiB (2^32 bytes).
+    Gib4 = 4,
+    /// 128 GiB (2^37 bytes).
+    Gib128 = 5,
+    /// 4 TiB (2^42 bytes).
+    Tib4 = 6,
+    /// 128 TiB (2^47 bytes).
+    Tib128 = 7,
+}
+
+impl SizeClass {
+    /// All size classes, smallest to largest.
+    pub const ALL: [SizeClass; SIZE_CLASS_COUNT] = [
+        SizeClass::Kib4,
+        SizeClass::Kib128,
+        SizeClass::Mib4,
+        SizeClass::Mib128,
+        SizeClass::Gib4,
+        SizeClass::Gib128,
+        SizeClass::Tib4,
+        SizeClass::Tib128,
+    ];
+
+    /// Numeric SizeID (0..8) encoded in the top three address bits.
+    #[inline]
+    pub const fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// Size class for a SizeID, or `None` when `id >= 8`.
+    #[inline]
+    pub const fn from_id(id: u8) -> Option<SizeClass> {
+        match id {
+            0 => Some(SizeClass::Kib4),
+            1 => Some(SizeClass::Kib128),
+            2 => Some(SizeClass::Mib4),
+            3 => Some(SizeClass::Mib128),
+            4 => Some(SizeClass::Gib4),
+            5 => Some(SizeClass::Gib128),
+            6 => Some(SizeClass::Tib4),
+            7 => Some(SizeClass::Tib128),
+            _ => None,
+        }
+    }
+
+    /// Number of low-order address bits forming the intra-VB offset.
+    #[inline]
+    pub const fn offset_bits(self) -> u32 {
+        12 + 5 * (self as u32)
+    }
+
+    /// Size of a VB of this class in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1u64 << self.offset_bits()
+    }
+
+    /// Number of bits available for the VBID within this class.
+    #[inline]
+    pub const fn vbid_bits(self) -> u32 {
+        ADDRESS_BITS - SIZE_ID_BITS - self.offset_bits()
+    }
+
+    /// Number of distinct VBs in this class (2^vbid_bits).
+    #[inline]
+    pub const fn vb_count(self) -> u64 {
+        1u64 << self.vbid_bits()
+    }
+
+    /// Number of 4 KiB pages spanned by a VB of this class.
+    #[inline]
+    pub const fn pages(self) -> u64 {
+        self.bytes() >> 12
+    }
+
+    /// The smallest class whose VBs hold at least `bytes` bytes.
+    ///
+    /// Returns `None` when `bytes` exceeds 128 TiB. Zero-byte requests get the
+    /// smallest class, matching the OS's "smallest free VB that can
+    /// accommodate the data structure" scan.
+    pub fn smallest_fitting(bytes: u64) -> Option<SizeClass> {
+        Self::ALL.into_iter().find(|sc| sc.bytes() >= bytes)
+    }
+
+    /// The next larger size class, used by `promote_vb`.
+    pub fn next_larger(self) -> Option<SizeClass> {
+        SizeClass::from_id(self.id() + 1)
+    }
+}
+
+impl fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SizeClass::Kib4 => "4KB",
+            SizeClass::Kib128 => "128KB",
+            SizeClass::Mib4 => "4MB",
+            SizeClass::Mib128 => "128MB",
+            SizeClass::Gib4 => "4GB",
+            SizeClass::Gib128 => "128GB",
+            SizeClass::Tib4 => "4TB",
+            SizeClass::Tib128 => "128TB",
+        };
+        f.write_str(name)
+    }
+}
+
+/// System-wide unique virtual-block ID: the concatenation of SizeID and VBID.
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::addr::{SizeClass, Vbuid};
+///
+/// let vb = Vbuid::new(SizeClass::Mib4, 42);
+/// assert_eq!(vb.size_class(), SizeClass::Mib4);
+/// assert_eq!(vb.vbid(), 42);
+/// let packed = vb.to_bits();
+/// assert_eq!(Vbuid::from_bits(packed), Some(vb));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vbuid {
+    size_class: SizeClass,
+    vbid: u64,
+}
+
+impl Vbuid {
+    /// Creates a VBUID from a size class and a VBID within the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vbid` does not fit in the class's VBID field; VBIDs are
+    /// architectural identifiers, so an oversized one is a programming error.
+    #[inline]
+    pub fn new(size_class: SizeClass, vbid: u64) -> Self {
+        assert!(
+            vbid < size_class.vb_count(),
+            "VBID {vbid} out of range for size class {size_class}"
+        );
+        Self { size_class, vbid }
+    }
+
+    /// The size class encoded in this VBUID.
+    #[inline]
+    pub const fn size_class(self) -> SizeClass {
+        self.size_class
+    }
+
+    /// The VBID within the size class.
+    #[inline]
+    pub const fn vbid(self) -> u64 {
+        self.vbid
+    }
+
+    /// Size of this VB in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.size_class.bytes()
+    }
+
+    /// Packs the VBUID into the upper bits of a `u64` exactly as it appears
+    /// at the top of a VBI address (offset bits are zero).
+    #[inline]
+    pub const fn to_bits(self) -> u64 {
+        ((self.size_class as u64) << (ADDRESS_BITS - SIZE_ID_BITS))
+            | (self.vbid << self.size_class.offset_bits())
+    }
+
+    /// Unpacks a VBUID from a `u64` produced by [`Vbuid::to_bits`] (or from a
+    /// VBI address; offset bits are ignored). Returns `None` if the size-ID
+    /// field is not a valid class — impossible for 3 bits and 8 classes, so
+    /// in this configuration every bit pattern decodes.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Option<Self> {
+        let size_class = SizeClass::from_id((bits >> (ADDRESS_BITS - SIZE_ID_BITS)) as u8)?;
+        let vbid = (bits << SIZE_ID_BITS) >> (SIZE_ID_BITS + size_class.offset_bits());
+        Some(Self { size_class, vbid })
+    }
+
+    /// The VBI address of the first byte of this VB.
+    #[inline]
+    pub fn base_address(self) -> VbiAddress {
+        VbiAddress(self.to_bits())
+    }
+
+    /// The VBI address `offset` bytes into this VB.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::OffsetOutOfRange`] when `offset >= self.bytes()`.
+    #[inline]
+    pub fn address(self, offset: u64) -> Result<VbiAddress> {
+        if offset >= self.bytes() {
+            return Err(VbiError::OffsetOutOfRange { vbuid: self, offset });
+        }
+        Ok(VbiAddress(self.to_bits() | offset))
+    }
+}
+
+impl fmt::Display for Vbuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VB[{}:{}]", self.size_class, self.vbid)
+    }
+}
+
+/// A 64-bit VBI address: `SizeID ‖ VBID ‖ offset`.
+///
+/// VBI addresses are system-wide unique (like physical addresses in a
+/// conventional machine) and are used directly — untranslated — to index and
+/// tag all on-chip caches.
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::addr::{SizeClass, VbiAddress, Vbuid};
+///
+/// let vb = Vbuid::new(SizeClass::Kib128, 7);
+/// let addr = vb.address(0x2040)?;
+/// assert_eq!(addr.vbuid(), vb);
+/// assert_eq!(addr.offset(), 0x2040);
+/// assert_eq!(addr.page_index(), 2); // 4 KiB pages within the VB
+/// # Ok::<(), vbi_core::VbiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VbiAddress(pub u64);
+
+impl VbiAddress {
+    /// The raw 64-bit value.
+    #[inline]
+    pub const fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Decodes the VBUID portion of the address.
+    #[inline]
+    pub fn vbuid(self) -> Vbuid {
+        // Three bits always decode to one of the eight classes.
+        Vbuid::from_bits(self.0).expect("3-bit size IDs always decode")
+    }
+
+    /// Decodes the size class directly from the top three bits.
+    #[inline]
+    pub fn size_class(self) -> SizeClass {
+        SizeClass::from_id((self.0 >> (ADDRESS_BITS - SIZE_ID_BITS)) as u8)
+            .expect("3-bit size IDs always decode")
+    }
+
+    /// Offset of the addressed byte within its VB.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 & (self.size_class().bytes() - 1)
+    }
+
+    /// Index of the 4 KiB page (the base allocation granularity) within the
+    /// VB that contains this address.
+    #[inline]
+    pub fn page_index(self) -> u64 {
+        self.offset() >> 12
+    }
+
+    /// The address rounded down to its 4 KiB page boundary.
+    #[inline]
+    pub fn page_base(self) -> VbiAddress {
+        VbiAddress(self.0 & !0xfff)
+    }
+
+    /// The address rounded down to its 64-byte cache-line boundary.
+    #[inline]
+    pub fn line_base(self) -> VbiAddress {
+        VbiAddress(self.0 & !0x3f)
+    }
+
+    /// Adds `delta` bytes, failing if the result leaves the VB.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::OffsetOutOfRange`] when the sum exceeds the VB.
+    pub fn offset_by(self, delta: u64) -> Result<VbiAddress> {
+        let vb = self.vbuid();
+        let new_offset = self
+            .offset()
+            .checked_add(delta)
+            .ok_or(VbiError::MalformedAddress(self.0))?;
+        vb.address(new_offset)
+    }
+}
+
+impl fmt::Display for VbiAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VbiAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for VbiAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Vbuid> for VbiAddress {
+    fn from(vbuid: Vbuid) -> Self {
+        vbuid.base_address()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_match_the_paper() {
+        // §4.1.1: 4 KB, 128 KB, 4 MB, 128 MB, 4 GB, 128 GB, 4 TB, 128 TB.
+        let expected = [
+            4u64 << 10,
+            128 << 10,
+            4 << 20,
+            128 << 20,
+            4 << 30,
+            128 << 30,
+            4u64 << 40,
+            128u64 << 40,
+        ];
+        for (sc, want) in SizeClass::ALL.into_iter().zip(expected) {
+            assert_eq!(sc.bytes(), want, "{sc}");
+        }
+    }
+
+    #[test]
+    fn vbid_widths_match_the_papers_examples() {
+        // §4.1.1: the 4 KB class has 49 VBID bits (2^49 VBs); the 128 TB
+        // class has 14 VBID bits (2^14 VBs).
+        assert_eq!(SizeClass::Kib4.vbid_bits(), 49);
+        assert_eq!(SizeClass::Kib4.offset_bits(), 12);
+        assert_eq!(SizeClass::Tib128.vbid_bits(), 14);
+        assert_eq!(SizeClass::Tib128.offset_bits(), 47);
+    }
+
+    #[test]
+    fn size_id_roundtrips() {
+        for sc in SizeClass::ALL {
+            assert_eq!(SizeClass::from_id(sc.id()), Some(sc));
+        }
+        assert_eq!(SizeClass::from_id(8), None);
+        assert_eq!(SizeClass::from_id(255), None);
+    }
+
+    #[test]
+    fn smallest_fitting_picks_the_tightest_class() {
+        assert_eq!(SizeClass::smallest_fitting(0), Some(SizeClass::Kib4));
+        assert_eq!(SizeClass::smallest_fitting(1), Some(SizeClass::Kib4));
+        assert_eq!(SizeClass::smallest_fitting(4 << 10), Some(SizeClass::Kib4));
+        assert_eq!(SizeClass::smallest_fitting((4 << 10) + 1), Some(SizeClass::Kib128));
+        assert_eq!(SizeClass::smallest_fitting(128u64 << 40), Some(SizeClass::Tib128));
+        assert_eq!(SizeClass::smallest_fitting((128u64 << 40) + 1), None);
+    }
+
+    #[test]
+    fn next_larger_walks_the_ladder() {
+        assert_eq!(SizeClass::Kib4.next_larger(), Some(SizeClass::Kib128));
+        assert_eq!(SizeClass::Tib4.next_larger(), Some(SizeClass::Tib128));
+        assert_eq!(SizeClass::Tib128.next_larger(), None);
+    }
+
+    #[test]
+    fn vbuid_packs_into_the_address_layout() {
+        let vb = Vbuid::new(SizeClass::Kib4, 3);
+        // SizeID 0 in the top bits, VBID 3 starting at bit 12.
+        assert_eq!(vb.to_bits(), 3 << 12);
+
+        let vb = Vbuid::new(SizeClass::Tib128, 5);
+        assert_eq!(vb.to_bits(), (7u64 << 61) | (5u64 << 47));
+    }
+
+    #[test]
+    fn vbuid_roundtrips_through_bits() {
+        for sc in SizeClass::ALL {
+            for vbid in [0, 1, sc.vb_count() / 2, sc.vb_count() - 1] {
+                let vb = Vbuid::new(sc, vbid);
+                assert_eq!(Vbuid::from_bits(vb.to_bits()), Some(vb));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_vbid_panics() {
+        let _ = Vbuid::new(SizeClass::Tib128, SizeClass::Tib128.vb_count());
+    }
+
+    #[test]
+    fn address_encodes_vbuid_and_offset() {
+        let vb = Vbuid::new(SizeClass::Mib4, 9);
+        let addr = vb.address(0x1234).unwrap();
+        assert_eq!(addr.vbuid(), vb);
+        assert_eq!(addr.offset(), 0x1234);
+        assert_eq!(addr.page_index(), 1);
+        assert_eq!(addr.page_base().offset(), 0x1000);
+        assert_eq!(addr.line_base().offset(), 0x1200);
+    }
+
+    #[test]
+    fn address_rejects_out_of_range_offsets() {
+        let vb = Vbuid::new(SizeClass::Kib4, 0);
+        assert!(vb.address(4095).is_ok());
+        assert_eq!(
+            vb.address(4096),
+            Err(VbiError::OffsetOutOfRange { vbuid: vb, offset: 4096 })
+        );
+    }
+
+    #[test]
+    fn offset_by_stays_within_the_vb() {
+        let vb = Vbuid::new(SizeClass::Kib128, 2);
+        let addr = vb.address(0).unwrap();
+        let moved = addr.offset_by(0x1_0000).unwrap();
+        assert_eq!(moved.offset(), 0x1_0000);
+        assert!(moved.offset_by(vb.bytes()).is_err());
+    }
+
+    #[test]
+    fn addresses_of_distinct_vbs_never_collide() {
+        // VBs do not overlap: VBI addresses are unique system-wide, which is
+        // what makes synonym/homonym-free VIVT caches possible (§3.5).
+        let a = Vbuid::new(SizeClass::Kib4, 1).address(0).unwrap();
+        let b = Vbuid::new(SizeClass::Kib128, 0).address(0x1000).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a.vbuid(), b.vbuid());
+    }
+
+    #[test]
+    fn display_formats() {
+        let vb = Vbuid::new(SizeClass::Gib4, 11);
+        assert_eq!(vb.to_string(), "VB[4GB:11]");
+        let addr = vb.address(0x40).unwrap();
+        assert!(addr.to_string().starts_with("0x"));
+        assert_eq!(SizeClass::Mib128.to_string(), "128MB");
+    }
+}

@@ -1,0 +1,215 @@
+//! The per-core direct-mapped CVT cache (§4.3).
+//!
+//! Every memory operation must consult the executing client's CVT entry for
+//! its permission check. The CVT cache exploits the locality of CVT accesses:
+//! programs use only a few tens of VBs (the paper observes at most 195, and
+//! fewer than 48 for all but one application), so a small direct-mapped cache
+//! keyed by CVT index achieves a near-100% hit rate — faster and cheaper than
+//! the large set-associative TLBs conventional processors need.
+
+use crate::client::{ClientId, CvtEntry};
+
+/// Statistics for a CVT cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CvtCacheStats {
+    /// Lookups that found the entry.
+    pub hits: u64,
+    /// Lookups that missed and required a CVT memory read.
+    pub misses: u64,
+}
+
+impl CvtCacheStats {
+    /// Hit rate in `[0, 1]`; 1.0 for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    client: ClientId,
+    index: usize,
+    entry: CvtEntry,
+}
+
+/// A per-core direct-mapped cache of recently used CVT entries.
+///
+/// Indexed by `CVT index % capacity` and tagged with `(client, index)`; the
+/// client tag makes context switches safe without flushing (entries of the
+/// previous client simply miss).
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::client::{ClientId, Cvt};
+/// use vbi_core::cvt_cache::CvtCache;
+/// use vbi_core::perm::Rwx;
+/// use vbi_core::addr::{SizeClass, Vbuid};
+///
+/// let mut cvt = Cvt::new(ClientId(0), 16);
+/// let idx = cvt.attach(Vbuid::new(SizeClass::Kib4, 1), Rwx::READ)?;
+/// let mut cache = CvtCache::new(64);
+///
+/// assert!(cache.lookup(ClientId(0), idx).is_none()); // cold miss
+/// cache.fill(ClientId(0), idx, *cvt.entry(idx)?);
+/// assert!(cache.lookup(ClientId(0), idx).is_some()); // hit
+/// # Ok::<(), vbi_core::VbiError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CvtCache {
+    slots: Vec<Option<Slot>>,
+    stats: CvtCacheStats,
+}
+
+impl CvtCache {
+    /// Creates a direct-mapped cache with `capacity` slots (64 in the
+    /// reference implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CVT cache needs at least one slot");
+        Self { slots: vec![None; capacity], stats: CvtCacheStats::default() }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Looks up the cached CVT entry for `(client, index)`, recording a hit
+    /// or miss.
+    pub fn lookup(&mut self, client: ClientId, index: usize) -> Option<CvtEntry> {
+        let slot = index % self.slots.len();
+        match &self.slots[slot] {
+            Some(s) if s.client == client && s.index == index => {
+                self.stats.hits += 1;
+                Some(s.entry)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fills the cache after a miss was serviced from the in-memory CVT.
+    pub fn fill(&mut self, client: ClientId, index: usize, entry: CvtEntry) {
+        let slot = index % self.slots.len();
+        self.slots[slot] = Some(Slot { client, index, entry });
+    }
+
+    /// Invalidates any cached copy of `(client, index)` — required when the
+    /// OS detaches a VB or rewrites an entry (e.g. `promote_vb` redirection).
+    pub fn invalidate(&mut self, client: ClientId, index: usize) {
+        let slot = index % self.slots.len();
+        if let Some(s) = &self.slots[slot] {
+            if s.client == client && s.index == index {
+                self.slots[slot] = None;
+            }
+        }
+    }
+
+    /// Invalidates every cached entry of `client` (process destruction).
+    pub fn invalidate_client(&mut self, client: ClientId) {
+        for slot in &mut self.slots {
+            if matches!(slot, Some(s) if s.client == client) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CvtCacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (e.g. after simulation warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CvtCacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{SizeClass, Vbuid};
+    use crate::client::Cvt;
+    use crate::perm::Rwx;
+
+    fn entry_for(vbid: u64) -> CvtEntry {
+        let mut cvt = Cvt::new(ClientId(0), 4);
+        let i = cvt.attach(Vbuid::new(SizeClass::Kib4, vbid), Rwx::READ).unwrap();
+        *cvt.entry(i).unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut cache = CvtCache::new(8);
+        assert!(cache.lookup(ClientId(0), 3).is_none());
+        cache.fill(ClientId(0), 3, entry_for(7));
+        let hit = cache.lookup(ClientId(0), 3).unwrap();
+        assert_eq!(hit.vbuid().vbid(), 7);
+        assert_eq!(cache.stats(), CvtCacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn direct_mapping_conflicts_evict() {
+        let mut cache = CvtCache::new(8);
+        cache.fill(ClientId(0), 1, entry_for(1));
+        cache.fill(ClientId(0), 9, entry_for(9)); // 9 % 8 == 1, conflicts
+        assert!(cache.lookup(ClientId(0), 1).is_none());
+        assert!(cache.lookup(ClientId(0), 9).is_some());
+    }
+
+    #[test]
+    fn client_tag_prevents_cross_client_hits() {
+        let mut cache = CvtCache::new(8);
+        cache.fill(ClientId(0), 2, entry_for(2));
+        assert!(cache.lookup(ClientId(1), 2).is_none());
+        assert!(cache.lookup(ClientId(0), 2).is_some());
+    }
+
+    #[test]
+    fn invalidation() {
+        let mut cache = CvtCache::new(8);
+        cache.fill(ClientId(0), 2, entry_for(2));
+        cache.invalidate(ClientId(0), 2);
+        assert!(cache.lookup(ClientId(0), 2).is_none());
+
+        cache.fill(ClientId(3), 1, entry_for(1));
+        cache.fill(ClientId(3), 2, entry_for(2));
+        cache.fill(ClientId(4), 3, entry_for(3));
+        cache.invalidate_client(ClientId(3));
+        assert!(cache.lookup(ClientId(3), 1).is_none());
+        assert!(cache.lookup(ClientId(3), 2).is_none());
+        assert!(cache.lookup(ClientId(4), 3).is_some());
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut cache = CvtCache::new(64);
+        // A program touching 48 VBs round-robin fits entirely (§4.3).
+        for round in 0..100 {
+            for idx in 0..48 {
+                if cache.lookup(ClientId(0), idx).is_none() {
+                    assert_eq!(round, 0, "only cold misses expected");
+                    cache.fill(ClientId(0), idx, entry_for(idx as u64));
+                }
+            }
+        }
+        assert!(cache.stats().hit_rate() > 0.98);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_panics() {
+        let _ = CvtCache::new(0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Error types for the VBI framework.
+
+use core::fmt;
+
+use crate::addr::{SizeClass, Vbuid};
+use crate::client::ClientId;
+use crate::perm::Rwx;
+
+/// Errors returned by VBI operations.
+///
+/// Every fallible public operation in this crate returns `Result<T, VbiError>`.
+/// The variants mirror the architectural failure modes of the paper's design:
+/// exhaustion of physical memory or of a VB size class, protection violations
+/// detected at the Client-VB Table (CVT), and misuse of the `enable_vb` /
+/// `attach` / `clone_vb` / `promote_vb` instruction set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VbiError {
+    /// The Memory Translation Layer could not allocate physical memory and
+    /// had nothing left to swap out.
+    OutOfPhysicalMemory,
+    /// All VBs of the requested size class are enabled.
+    OutOfVirtualBlocks(SizeClass),
+    /// The requested allocation is larger than the largest size class.
+    RequestTooLarge {
+        /// Bytes requested by the caller.
+        requested: u64,
+    },
+    /// The VB is not enabled (operation requires an enabled VB).
+    VbNotEnabled(Vbuid),
+    /// The VB is already enabled (`enable_vb` on an enabled VB).
+    VbAlreadyEnabled(Vbuid),
+    /// The VB still has attached clients (`disable_vb` with nonzero refcount).
+    VbInUse {
+        /// VB that was the target of the operation.
+        vbuid: Vbuid,
+        /// Number of clients still attached.
+        refcount: u32,
+    },
+    /// A protection check at the CVT failed.
+    PermissionDenied {
+        /// Client that issued the access.
+        client: ClientId,
+        /// VB the access targeted.
+        vbuid: Vbuid,
+        /// Permission the access required.
+        required: Rwx,
+        /// Permission the CVT entry grants.
+        granted: Rwx,
+    },
+    /// The offset falls outside the VB (`offset >= size`), detected by the
+    /// bounds portion of the CVT check.
+    OffsetOutOfRange {
+        /// VB the access targeted.
+        vbuid: Vbuid,
+        /// Offending offset.
+        offset: u64,
+    },
+    /// The CVT index used in a two-part virtual address does not name a valid
+    /// entry of the client's CVT.
+    InvalidCvtIndex {
+        /// Client whose CVT was indexed.
+        client: ClientId,
+        /// Offending index.
+        index: usize,
+    },
+    /// The client's CVT has no free entry left.
+    CvtFull(ClientId),
+    /// All client IDs are in use.
+    OutOfClients,
+    /// The client ID does not name a live client.
+    InvalidClient(ClientId),
+    /// `clone_vb` requires source and destination of the same size class.
+    CloneSizeMismatch {
+        /// Source VB.
+        source: Vbuid,
+        /// Destination VB.
+        destination: Vbuid,
+    },
+    /// `promote_vb` requires a strictly larger destination size class.
+    PromoteNotLarger {
+        /// Source (smaller) VB.
+        source: Vbuid,
+        /// Destination VB that was not larger.
+        destination: Vbuid,
+    },
+    /// The backing store rejected a swap operation.
+    SwapFailure {
+        /// Human-readable reason from the backing store.
+        reason: &'static str,
+    },
+    /// The VM ID is outside the configured partition.
+    InvalidVmId(u8),
+    /// Address arithmetic produced an address outside the VB or the VBI
+    /// address space.
+    MalformedAddress(u64),
+}
+
+impl fmt::Display for VbiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfPhysicalMemory => write!(f, "out of physical memory"),
+            Self::OutOfVirtualBlocks(sc) => {
+                write!(f, "no free virtual blocks in size class {sc}")
+            }
+            Self::RequestTooLarge { requested } => {
+                write!(f, "requested {requested} bytes exceeds the largest size class")
+            }
+            Self::VbNotEnabled(vbuid) => write!(f, "virtual block {vbuid} is not enabled"),
+            Self::VbAlreadyEnabled(vbuid) => {
+                write!(f, "virtual block {vbuid} is already enabled")
+            }
+            Self::VbInUse { vbuid, refcount } => {
+                write!(f, "virtual block {vbuid} still has {refcount} attached clients")
+            }
+            Self::PermissionDenied { client, vbuid, required, granted } => write!(
+                f,
+                "client {client} denied {required} access to {vbuid} (granted {granted})"
+            ),
+            Self::OffsetOutOfRange { vbuid, offset } => {
+                write!(f, "offset {offset:#x} is outside virtual block {vbuid}")
+            }
+            Self::InvalidCvtIndex { client, index } => {
+                write!(f, "CVT index {index} is invalid for client {client}")
+            }
+            Self::CvtFull(client) => write!(f, "client {client} has no free CVT entries"),
+            Self::OutOfClients => write!(f, "all memory client IDs are in use"),
+            Self::InvalidClient(client) => write!(f, "client {client} is not live"),
+            Self::CloneSizeMismatch { source, destination } => write!(
+                f,
+                "clone_vb requires equal size classes (source {source}, destination {destination})"
+            ),
+            Self::PromoteNotLarger { source, destination } => write!(
+                f,
+                "promote_vb requires a larger destination (source {source}, destination {destination})"
+            ),
+            Self::SwapFailure { reason } => write!(f, "backing store failure: {reason}"),
+            Self::InvalidVmId(id) => write!(f, "virtual machine id {id} is out of range"),
+            Self::MalformedAddress(bits) => write!(f, "malformed VBI address {bits:#018x}"),
+        }
+    }
+}
+
+impl std::error::Error for VbiError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, VbiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SizeClass;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors: Vec<VbiError> = vec![
+            VbiError::OutOfPhysicalMemory,
+            VbiError::OutOfVirtualBlocks(SizeClass::Kib4),
+            VbiError::RequestTooLarge { requested: 1 << 50 },
+            VbiError::OutOfClients,
+            VbiError::SwapFailure { reason: "disk full" },
+            VbiError::InvalidVmId(77),
+            VbiError::MalformedAddress(0xdead_beef),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric(), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VbiError>();
+    }
+}

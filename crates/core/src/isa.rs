@@ -1,0 +1,217 @@
+//! The six VBI instructions as typed operations (§4.1-§4.4).
+//!
+//! VBI extends the ISA with `enable_vb`, `disable_vb`, `attach`, `detach`,
+//! `clone_vb`, and `promote_vb`. [`Instruction`] captures each one with its
+//! architectural operands, and [`Instruction::execute`] applies it to a
+//! [`System`], returning the architecturally visible result (the CVT index
+//! for `attach`, nothing otherwise). The OS model issues these through the
+//! same interface a kernel would, which keeps the hardware/software contract
+//! explicit and testable.
+
+use core::fmt;
+
+use crate::addr::Vbuid;
+use crate::client::ClientId;
+use crate::error::Result;
+use crate::perm::Rwx;
+use crate::system::System;
+use crate::vb::VbProperties;
+
+/// A VBI ISA instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `enable_vb VBUID, props` — mark a VB enabled with a property
+    /// bitvector (§4.2).
+    EnableVb {
+        /// Target VB.
+        vbuid: Vbuid,
+        /// Property bitvector.
+        props: VbProperties,
+    },
+    /// `disable_vb VBUID` — destroy all state of an unreferenced VB
+    /// (§4.2.4).
+    DisableVb {
+        /// Target VB.
+        vbuid: Vbuid,
+    },
+    /// `attach CID, VBUID, RWX` — grant a client access to a VB; returns the
+    /// CVT index (§4.1.2).
+    Attach {
+        /// Client being granted access.
+        client: ClientId,
+        /// Target VB.
+        vbuid: Vbuid,
+        /// Granted permissions.
+        perms: Rwx,
+    },
+    /// `detach CID, VBUID` — revoke a client's access (§4.1.2).
+    Detach {
+        /// Client losing access.
+        client: ClientId,
+        /// Target VB.
+        vbuid: Vbuid,
+    },
+    /// `clone_vb SVBUID, DVBUID` — make `destination` a copy-on-write clone
+    /// of `source` (§4.4).
+    CloneVb {
+        /// Source VB.
+        source: Vbuid,
+        /// Destination VB (enabled, empty, same size class).
+        destination: Vbuid,
+    },
+    /// `promote_vb SVBUID, LVBUID` — move a VB's contents into a larger VB
+    /// (§4.4).
+    PromoteVb {
+        /// Source (smaller) VB.
+        source: Vbuid,
+        /// Destination (larger) VB.
+        destination: Vbuid,
+    },
+}
+
+/// The architecturally visible result of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// No register result.
+    None,
+    /// The CVT index returned by `attach`.
+    CvtIndex(usize),
+    /// The reference count returned by `detach` (zero means the OS may
+    /// `disable_vb`).
+    Refcount(u32),
+}
+
+impl Instruction {
+    /// Executes the instruction against a system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying operation's error (see [`System`] and
+    /// [`crate::mtl::Mtl`]).
+    pub fn execute(self, system: &mut System) -> Result<Outcome> {
+        match self {
+            Instruction::EnableVb { vbuid, props } => {
+                system.mtl_mut().enable_vb(vbuid, props)?;
+                Ok(Outcome::None)
+            }
+            Instruction::DisableVb { vbuid } => {
+                system.mtl_mut().disable_vb(vbuid)?;
+                Ok(Outcome::None)
+            }
+            Instruction::Attach { client, vbuid, perms } => {
+                let index = system.attach(client, vbuid, perms)?;
+                Ok(Outcome::CvtIndex(index))
+            }
+            Instruction::Detach { client, vbuid } => {
+                let refcount = system.detach(client, vbuid)?;
+                Ok(Outcome::Refcount(refcount))
+            }
+            Instruction::CloneVb { source, destination } => {
+                system.mtl_mut().clone_vb(source, destination)?;
+                Ok(Outcome::None)
+            }
+            Instruction::PromoteVb { source, destination } => {
+                system.mtl_mut().promote_vb(source, destination)?;
+                Ok(Outcome::None)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::EnableVb { vbuid, props } => {
+                write!(f, "enable_vb {vbuid}, {props}")
+            }
+            Instruction::DisableVb { vbuid } => write!(f, "disable_vb {vbuid}"),
+            Instruction::Attach { client, vbuid, perms } => {
+                write!(f, "attach {client}, {vbuid}, {perms}")
+            }
+            Instruction::Detach { client, vbuid } => write!(f, "detach {client}, {vbuid}"),
+            Instruction::CloneVb { source, destination } => {
+                write!(f, "clone_vb {source}, {destination}")
+            }
+            Instruction::PromoteVb { source, destination } => {
+                write!(f, "promote_vb {source}, {destination}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SizeClass;
+    use crate::client::VirtualAddress;
+    use crate::config::VbiConfig;
+
+    fn system() -> System {
+        System::new(VbiConfig { phys_frames: 4096, ..VbiConfig::vbi_full() })
+    }
+
+    #[test]
+    fn instruction_sequence_drives_a_full_lifecycle() {
+        let mut s = system();
+        let client = s.create_client().unwrap();
+        let vbuid = s.mtl().find_free_vb(SizeClass::Kib128).unwrap();
+
+        Instruction::EnableVb { vbuid, props: VbProperties::NONE }.execute(&mut s).unwrap();
+        let Outcome::CvtIndex(index) =
+            Instruction::Attach { client, vbuid, perms: Rwx::READ_WRITE }.execute(&mut s).unwrap()
+        else {
+            panic!("attach returns an index");
+        };
+        s.store_u64(client, VirtualAddress::new(index, 0), 11).unwrap();
+
+        let Outcome::Refcount(rc) =
+            Instruction::Detach { client, vbuid }.execute(&mut s).unwrap()
+        else {
+            panic!("detach returns a refcount");
+        };
+        assert_eq!(rc, 0);
+        Instruction::DisableVb { vbuid }.execute(&mut s).unwrap();
+    }
+
+    #[test]
+    fn clone_and_promote_instructions() {
+        let mut s = system();
+        let client = s.create_client().unwrap();
+        let src = s.mtl().find_free_vb(SizeClass::Kib128).unwrap();
+        Instruction::EnableVb { vbuid: src, props: VbProperties::NONE }.execute(&mut s).unwrap();
+        let Outcome::CvtIndex(i) =
+            Instruction::Attach { client, vbuid: src, perms: Rwx::READ_WRITE }
+                .execute(&mut s)
+                .unwrap()
+        else {
+            panic!()
+        };
+        s.store_u64(client, VirtualAddress::new(i, 0), 5).unwrap();
+
+        let dst = s.mtl().find_free_vb(SizeClass::Kib128).unwrap();
+        Instruction::EnableVb { vbuid: dst, props: VbProperties::NONE }.execute(&mut s).unwrap();
+        Instruction::CloneVb { source: src, destination: dst }.execute(&mut s).unwrap();
+
+        let large = s.mtl().find_free_vb(SizeClass::Mib4).unwrap();
+        Instruction::EnableVb { vbuid: large, props: VbProperties::NONE }.execute(&mut s).unwrap();
+        Instruction::PromoteVb { source: dst, destination: large }.execute(&mut s).unwrap();
+
+        let Outcome::CvtIndex(j) =
+            Instruction::Attach { client, vbuid: large, perms: Rwx::READ }.execute(&mut s).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.load_u64(client, VirtualAddress::new(j, 0)).unwrap(), 5);
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        let i = Instruction::EnableVb {
+            vbuid: Vbuid::new(SizeClass::Kib4, 3),
+            props: VbProperties::CODE,
+        };
+        assert_eq!(i.to_string(), "enable_vb VB[4KB:3], code");
+        let d = Instruction::Detach { client: ClientId(2), vbuid: Vbuid::new(SizeClass::Kib4, 3) };
+        assert_eq!(d.to_string(), "detach client#2, VB[4KB:3]");
+    }
+}

@@ -1,0 +1,89 @@
+//! # vbi-core — The Virtual Block Interface
+//!
+//! A from-scratch implementation of the Virtual Block Interface (VBI), the
+//! hardware-managed virtual memory framework proposed by Hajinazar et al. at
+//! ISCA 2020, *"The Virtual Block Interface: A Flexible Alternative to the
+//! Conventional Virtual Memory Framework."*
+//!
+//! VBI replaces per-process virtual address spaces with a single, globally
+//! visible address space made of variable-sized **virtual blocks** (VBs).
+//! The OS keeps control of *protection* — which process may access which VB,
+//! recorded in per-process [Client-VB Tables](client::Cvt) — while physical
+//! memory allocation and address translation are delegated entirely to a
+//! hardware [Memory Translation Layer](mtl::Mtl) in the memory controller.
+//! Because VBI addresses are system-wide unique, on-chip caches operate
+//! purely on virtual (VBI) addresses, and translation happens only on
+//! last-level-cache misses.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vbi_core::{System, VbiConfig};
+//! use vbi_core::vb::VbProperties;
+//! use vbi_core::perm::Rwx;
+//!
+//! # fn main() -> Result<(), vbi_core::VbiError> {
+//! // A machine with the paper's VBI-Full configuration.
+//! let mut system = System::new(VbiConfig::vbi_full());
+//!
+//! // Create a process (a "memory client") and give it a data VB.
+//! let client = system.create_client()?;
+//! let vb = system.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE)?;
+//!
+//! // Processes address memory as {CVT index, offset}.
+//! system.store_u64(client, vb.at(0x100), 42)?;
+//! assert_eq!(system.load_u64(client, vb.at(0x100))?, 42);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`addr`] | §4.1.1 | size classes, VBUIDs, VBI addresses |
+//! | [`vb`] | §4.1.1 | property bitvectors |
+//! | [`perm`] | §4.1.2 | RWX permissions, access kinds |
+//! | [`client`] | §4.1.2 | memory clients, Client-VB Tables |
+//! | [`cvt_cache`] | §4.3 | per-core direct-mapped CVT cache |
+//! | [`vit`] | §4.5.1 | VB Info Tables |
+//! | [`buddy`] | §5.3 | buddy allocator for physical frames |
+//! | [`translate`] | §4.5.2, §5.2 | direct / single-level / multi-level structures |
+//! | [`tlb`] | §4.2.3 | generic set-associative TLB |
+//! | [`swap`] | §3.4 | backing store |
+//! | [`mtl`] | §4.5, §5 | the Memory Translation Layer |
+//! | [`system`] | §4.2 | processor-side glue: CVT checks + MTL |
+//! | [`os`] | §3.4, §4.4 | OS model: processes, fork, shared libraries, mmap |
+//! | [`vm`] | §6.1 | virtual-machine partitioning of the VBI space |
+//! | [`multinode`] | §6.2 | per-node MTLs with home-MTL routing and migration |
+//! | [`isa`] | §4 | the six VBI instructions as typed operations |
+
+pub mod addr;
+pub mod buddy;
+pub mod client;
+pub mod config;
+pub mod cvt_cache;
+pub mod error;
+pub mod isa;
+pub mod mtl;
+pub mod multinode;
+pub mod os;
+pub mod perm;
+pub mod phys;
+pub mod stats;
+pub mod swap;
+pub mod system;
+pub mod tlb;
+pub mod translate;
+pub mod vb;
+pub mod vit;
+pub mod vm;
+
+pub use addr::{SizeClass, VbiAddress, Vbuid};
+pub use client::{ClientId, VirtualAddress};
+pub use config::VbiConfig;
+pub use error::{Result, VbiError};
+pub use mtl::Mtl;
+pub use perm::{AccessKind, Rwx};
+pub use system::System;
+pub use vb::VbProperties;

@@ -1,0 +1,1519 @@
+//! The Memory Translation Layer (MTL): hardware-managed physical memory
+//! allocation and VBI-to-physical address translation (§4.5, §5).
+//!
+//! The MTL lives in the memory controller. It owns the VB Info Tables, the
+//! physical-frame allocator, the per-VB translation structures, the MTL TLBs,
+//! and the backing store. The processor side (CVT checks) never consults it;
+//! the MTL is invoked only on last-level-cache misses and dirty writebacks,
+//! which is precisely what makes VBI's deferred translation possible.
+//!
+//! Three optimizations from §5 are implemented here and can be toggled via
+//! [`VbiConfig`]:
+//!
+//! 1. **Delayed physical allocation** (§5.1): reads of never-written regions
+//!    return a zero line without allocating or accessing DRAM; allocation
+//!    happens on the first dirty writeback.
+//! 2. **Flexible translation structures** (§5.2): direct, single-level, or
+//!    multi-level per VB (see [`crate::translate`]).
+//! 3. **Early reservation** (§5.3): on a VB's first allocation the MTL tries
+//!    to reserve the whole VB contiguously (direct mapping, one TLB entry);
+//!    under pressure, reserved-but-unused frames can be stolen by other VBs,
+//!    demoting the owner to a table-based structure if its contiguity breaks.
+
+use std::collections::HashMap;
+
+use crate::addr::{SizeClass, VbiAddress, Vbuid};
+use crate::buddy::{BuddyAllocator, Order};
+use crate::config::VbiConfig;
+use crate::error::{Result, VbiError};
+use crate::phys::{Frame, PhysAddr, PhysicalMemory, FRAME_BYTES};
+use crate::stats::MtlStats;
+use crate::swap::BackingStore;
+use crate::tlb::Tlb;
+use crate::translate::{PageEntry, SwapSlot, TranslationKind, TranslationStructure, WalkOutcome};
+use crate::vb::VbProperties;
+use crate::vit::VbInfoTables;
+
+/// The kind of request reaching the MTL. Under VBI the memory controller
+/// sees only LLC miss fills (`Read`) and dirty-line writebacks (`Writeback`);
+/// instruction fetches are `Read`s at this level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MtlAccess {
+    /// An LLC miss that must return data.
+    Read,
+    /// A dirty cache line being written back to memory.
+    Writeback,
+}
+
+/// Where the requested data is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateResult {
+    /// Translation produced a physical address; DRAM must be accessed.
+    Mapped(PhysAddr),
+    /// The region has no physical backing yet; the MTL returns a zero cache
+    /// line and no DRAM access happens (§5.1).
+    ZeroLine,
+}
+
+/// Timing-relevant events observed while serving one translation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TranslationEvents {
+    /// The MTL TLB (page-grain or whole-VB) supplied the mapping.
+    pub mtl_tlb_hit: bool,
+    /// The VIT cache supplied the translation-structure pointer.
+    pub vit_cache_hit: bool,
+    /// Memory accesses performed to tables (VIT entry + walk levels).
+    pub table_accesses: Vec<PhysAddr>,
+    /// A 4 KiB region was allocated while serving this request.
+    pub allocated: bool,
+    /// A page was brought in from the backing store.
+    pub swapped_in: bool,
+    /// A copy-on-write copy was resolved.
+    pub cow_copy: bool,
+}
+
+/// Result of [`Mtl::translate`]: the data location plus timing events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Translation {
+    /// Where the data is.
+    pub result: TranslateResult,
+    /// What it cost.
+    pub events: TranslationEvents,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Free, reserved for the owning VB.
+    Reserved,
+    /// Allocated to the owning VB.
+    Used,
+    /// Handed to another VB under memory pressure.
+    Stolen,
+}
+
+#[derive(Debug, Clone)]
+struct Extent {
+    page_start: u64,
+    base: Frame,
+    len: u64,
+    slots: Vec<SlotState>,
+}
+
+impl Extent {
+    fn covers(&self, page: u64) -> bool {
+        page >= self.page_start && page < self.page_start + self.len
+    }
+
+    fn frame_for(&self, page: u64) -> Frame {
+        self.base.offset(page - self.page_start)
+    }
+
+    fn slot_of_frame(&self, frame: Frame) -> Option<usize> {
+        if frame.0 >= self.base.0 && frame.0 < self.base.0 + self.len {
+            Some((frame.0 - self.base.0) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Reservation {
+    extents: Vec<Extent>,
+    /// Whether the first-allocation reservation attempt already ran.
+    attempted: bool,
+}
+
+/// The Memory Translation Layer.
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::addr::SizeClass;
+/// use vbi_core::config::VbiConfig;
+/// use vbi_core::mtl::Mtl;
+/// use vbi_core::vb::VbProperties;
+///
+/// let mut mtl = Mtl::new(VbiConfig::vbi_full());
+/// let vb = mtl.find_free_vb(SizeClass::Kib128)?;
+/// mtl.enable_vb(vb, VbProperties::NONE)?;
+/// mtl.write_u64(vb.address(0x40)?, 99)?;
+/// assert_eq!(mtl.read_u64(vb.address(0x40)?)?, 99);
+/// # Ok::<(), vbi_core::VbiError>(())
+/// ```
+#[derive(Debug)]
+pub struct Mtl {
+    config: VbiConfig,
+    buddy: BuddyAllocator,
+    mem: PhysicalMemory,
+    vits: VbInfoTables,
+    vit_cache: Tlb<Vbuid, TranslationKind>,
+    page_tlb: Tlb<(Vbuid, u64), (Frame, bool)>,
+    direct_tlb: Tlb<Vbuid, Frame>,
+    reservations: HashMap<Vbuid, Reservation>,
+    /// Share counts for live data frames (1 = sole owner; >1 = COW-shared).
+    frame_shares: HashMap<u64, u32>,
+    /// Reverse map from reserved-region frames to the reservation owner.
+    extent_owner: HashMap<u64, Vbuid>,
+    swap: BackingStore,
+    stats: MtlStats,
+}
+
+impl Mtl {
+    /// Creates an MTL managing `config.phys_frames` frames of memory.
+    pub fn new(config: VbiConfig) -> Self {
+        Self {
+            buddy: BuddyAllocator::new(config.phys_frames),
+            mem: PhysicalMemory::new(config.phys_frames),
+            vits: VbInfoTables::new(),
+            vit_cache: Tlb::fully_associative(config.vit_cache_entries),
+            page_tlb: Tlb::new(config.mtl_tlb_entries, config.mtl_tlb_ways),
+            direct_tlb: Tlb::fully_associative(config.mtl_direct_tlb_entries),
+            reservations: HashMap::new(),
+            frame_shares: HashMap::new(),
+            extent_owner: HashMap::new(),
+            swap: BackingStore::new(),
+            stats: MtlStats::default(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VbiConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MtlStats {
+        self.stats
+    }
+
+    /// Clears statistics (simulation warm-up boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = MtlStats::default();
+        self.vit_cache.reset_stats();
+        self.page_tlb.reset_stats();
+        self.direct_tlb.reset_stats();
+    }
+
+    /// Frames currently free in the allocator.
+    pub fn free_frames(&self) -> u64 {
+        self.buddy.free_frames()
+    }
+
+    /// Number of pages currently in the backing store.
+    pub fn swap_occupancy(&self) -> usize {
+        self.swap.occupied()
+    }
+
+    // --- VB lifecycle -------------------------------------------------------
+
+    /// Scans the VITs for a free VB of `size_class` (the OS side of
+    /// `request_vb`, §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::OutOfVirtualBlocks`] when the class is exhausted.
+    pub fn find_free_vb(&self, size_class: SizeClass) -> Result<Vbuid> {
+        self.vits.find_free(size_class)
+    }
+
+    /// Executes `enable_vb VBUID, props` (§4.2): marks the VB enabled in its
+    /// VIT with the given property bitvector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::VbAlreadyEnabled`] if the VB is enabled.
+    pub fn enable_vb(&mut self, vbuid: Vbuid, props: VbProperties) -> Result<()> {
+        self.vits.enable(vbuid, props)
+    }
+
+    /// Executes `disable_vb VBUID` (§4.2.4): destroys all state of the VB —
+    /// translation structure, physical frames (respecting copy-on-write
+    /// sharing), reservation, swap slots, and TLB/VIT-cache entries.
+    ///
+    /// The caller (OS) is responsible for having invalidated the VB's cache
+    /// lines; this function returns the VBUID whose lines must be (lazily)
+    /// cleaned, mirroring the paper's background cleanup.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::VbNotEnabled`] or [`VbiError::VbInUse`].
+    pub fn disable_vb(&mut self, vbuid: Vbuid) -> Result<Vbuid> {
+        let entry = self.vits.disable(vbuid)?;
+        if let Some(structure) = entry.translation {
+            for (_, frame, _) in structure.mapped_pages() {
+                self.release_data_frame(frame);
+            }
+            for (_, slot) in structure.swapped_pages() {
+                self.swap.discard(slot);
+            }
+            structure.release_tables(&mut self.buddy);
+        }
+        self.teardown_reservation(vbuid);
+        self.page_tlb.invalidate_matching(|(vb, _)| *vb == vbuid);
+        self.direct_tlb.invalidate(&vbuid);
+        self.vit_cache.invalidate(&vbuid);
+        Ok(vbuid)
+    }
+
+    /// Increments the VB's reference count (the MTL side of `attach`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::VbNotEnabled`] if the VB is not enabled.
+    pub fn add_ref(&mut self, vbuid: Vbuid) -> Result<u32> {
+        self.vits.add_ref(vbuid)
+    }
+
+    /// Decrements the VB's reference count (the MTL side of `detach`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::VbNotEnabled`] if the VB is not enabled.
+    pub fn remove_ref(&mut self, vbuid: Vbuid) -> Result<u32> {
+        self.vits.remove_ref(vbuid)
+    }
+
+    /// The VB's property bitvector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::VbNotEnabled`] if the VB is not enabled.
+    pub fn props(&self, vbuid: Vbuid) -> Result<VbProperties> {
+        Ok(self.vits.entry(vbuid)?.props)
+    }
+
+    /// The VB's current translation-structure kind (`None` before first
+    /// allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::VbNotEnabled`] if the VB is not enabled.
+    pub fn translation_kind(&self, vbuid: Vbuid) -> Result<Option<TranslationKind>> {
+        Ok(self.vits.entry(vbuid)?.translation_kind())
+    }
+
+    /// Executes `clone_vb SVBUID, DVBUID` (§4.4): makes `dst` a copy-on-write
+    /// clone of `src`. All mapped pages become shared and COW-marked in both
+    /// VBs; data is copied lazily on the first write to either side. Pages of
+    /// `src` that are swapped out are duplicated in the backing store.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::VbNotEnabled`] for either VB, or
+    /// [`VbiError::CloneSizeMismatch`] when size classes differ.
+    pub fn clone_vb(&mut self, src: Vbuid, dst: Vbuid) -> Result<()> {
+        if src.size_class() != dst.size_class() {
+            return Err(VbiError::CloneSizeMismatch { source: src, destination: dst });
+        }
+        self.vits.entry(dst)?; // dst must be enabled
+        // Take the source structure, mark it COW, rebuild a structure for dst.
+        let Some(mut src_structure) = self.vits.entry_mut(src)?.translation.take() else {
+            return Ok(()); // nothing allocated yet; nothing to share
+        };
+        src_structure.mark_all_cow();
+
+        // A clone shares the source's frames, which are not the clone's own
+        // contiguous region, so the clone's structure is table-based from
+        // the start.
+        let mut dst_structure = self.table_structure_for(dst.size_class())?;
+        for (page, frame, _) in src_structure.mapped_pages() {
+            *self.frame_shares.entry(frame.0).or_insert(1) += 1;
+            dst_structure.set_entry(page, PageEntry::Mapped { frame, cow: true }, &mut self.buddy)?;
+        }
+        for (page, slot) in src_structure.swapped_pages() {
+            let dup = self.swap.duplicate(slot);
+            dst_structure.set_entry(page, PageEntry::Swapped(dup), &mut self.buddy)?;
+        }
+        self.vits.entry_mut(src)?.translation = Some(src_structure);
+        self.vits.entry_mut(dst)?.translation = Some(dst_structure);
+        // COW marking invalidates cached translations of the source.
+        self.page_tlb.invalidate_matching(|(vb, _)| *vb == src);
+        self.direct_tlb.invalidate(&src);
+        Ok(())
+    }
+
+    /// Executes `promote_vb SVBUID, LVBUID` (§4.4): moves all translation
+    /// state of the smaller VB `src` into the larger, freshly enabled VB
+    /// `dst`, so the early portion of `dst` maps to the same physical memory
+    /// as `src`. `src` is left enabled but empty; the OS detaches and
+    /// disables it afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::VbNotEnabled`] for either VB, or
+    /// [`VbiError::PromoteNotLarger`] when `dst` is not a larger class.
+    pub fn promote_vb(&mut self, src: Vbuid, dst: Vbuid) -> Result<()> {
+        if dst.size_class() <= src.size_class() {
+            return Err(VbiError::PromoteNotLarger { source: src, destination: dst });
+        }
+        self.vits.entry(dst)?;
+        let Some(src_structure) = self.vits.entry_mut(src)?.translation.take() else {
+            self.stats.promotions += 1;
+            return Ok(()); // nothing to move
+        };
+        let mut dst_structure = match self.vits.entry_mut(dst)?.translation.take() {
+            Some(s) => s,
+            None => self.table_structure_for(dst.size_class())?,
+        };
+        for (page, frame, cow) in src_structure.mapped_pages() {
+            dst_structure.set_entry(page, PageEntry::Mapped { frame, cow }, &mut self.buddy)?;
+        }
+        for (page, slot) in src_structure.swapped_pages() {
+            dst_structure.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy)?;
+        }
+        src_structure.release_tables(&mut self.buddy);
+        // The source's reservation extents are orphaned: the frames now
+        // belong to the destination's pages and are freed through it.
+        self.orphan_reservation(src);
+        self.vits.entry_mut(dst)?.translation = Some(dst_structure);
+        self.page_tlb.invalidate_matching(|(vb, _)| *vb == src);
+        self.direct_tlb.invalidate(&src);
+        self.vit_cache.invalidate(&src);
+        self.stats.promotions += 1;
+        Ok(())
+    }
+
+    // --- translation --------------------------------------------------------
+
+    /// Translates a VBI address for an LLC miss or writeback — the MTL's
+    /// main entry point (§4.2.3 steps 7-9).
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::VbNotEnabled`] for addresses in disabled VBs, or
+    /// [`VbiError::OutOfPhysicalMemory`] when allocation is required and
+    /// neither free nor reclaimable memory exists.
+    pub fn translate(&mut self, addr: VbiAddress, access: MtlAccess) -> Result<Translation> {
+        self.stats.translation_requests += 1;
+        // Keep a small cushion of unreserved frames so internal allocations
+        // (table nodes, COW copies) never dead-end while reservations hold
+        // free memory hostage (priority 3 of §5.3 applied to the pool).
+        self.replenish_pool(16);
+        let vbuid = addr.vbuid();
+        let page = addr.page_index();
+        let line_offset = addr.offset() & (FRAME_BYTES - 1);
+        let mut events = TranslationEvents::default();
+
+        // 1. MTL TLB lookup (whole-VB entries first, then page-grain).
+        if let Some(base) = self.direct_tlb.lookup(&vbuid) {
+            // A direct hit still consults the VB's functional state: an
+            // unallocated region must yield a zero line (not a stale frame),
+            // and a writeback to a copy-on-write region must resolve first.
+            let entry = self.vits.entry(vbuid)?;
+            let outcome = entry.translation.as_ref().map(|s| s.walk(page).outcome);
+            if let Some(WalkOutcome::Mapped { cow, .. }) = outcome {
+                let needs_cow = cow && access == MtlAccess::Writeback;
+                if !needs_cow {
+                    self.stats.tlb_hits += 1;
+                    events.mtl_tlb_hit = true;
+                    return Ok(Translation {
+                        result: TranslateResult::Mapped(
+                            base.offset(page).base().offset(line_offset),
+                        ),
+                        events,
+                    });
+                }
+            }
+            // Fall through to the slow path to allocate, zero-fill, or copy.
+        } else if let Some((frame, cow)) = self.page_tlb.lookup(&(vbuid, page)) {
+            let needs_cow = cow && access == MtlAccess::Writeback;
+            if !needs_cow {
+                self.stats.tlb_hits += 1;
+                events.mtl_tlb_hit = true;
+                return Ok(Translation {
+                    result: TranslateResult::Mapped(frame.base().offset(line_offset)),
+                    events,
+                });
+            }
+            // Writeback to a COW page: resolve below via the walk path.
+        }
+
+        // 2. VIT cache: locate the translation structure. A miss costs one
+        //    memory access to the VB Info Table.
+        let entry = self.vits.entry(vbuid)?;
+        let kind = entry.translation_kind();
+        match (self.vit_cache.lookup(&vbuid), kind) {
+            (Some(_), _) => {
+                events.vit_cache_hit = true;
+                self.stats.vit_cache_hits += 1;
+            }
+            (None, k) => {
+                self.stats.vit_cache_misses += 1;
+                events.table_accesses.push(self.vits.entry_addr(vbuid));
+                if let Some(k) = k {
+                    self.vit_cache.insert(vbuid, k);
+                }
+            }
+        }
+
+        // 3. Walk (or create) the translation structure.
+        self.stats.walks += 1;
+        let (outcome, walk_accesses) = match &self.vits.entry(vbuid)?.translation {
+            Some(structure) => {
+                let walk = structure.walk(page);
+                (Some(walk.outcome), walk.table_accesses)
+            }
+            None => (None, Vec::new()),
+        };
+        self.stats.walk_table_accesses += walk_accesses.len() as u64;
+        events.table_accesses.extend(walk_accesses);
+
+        let result = match (outcome, access) {
+            // Mapped, read: done. Mapped COW, writeback: copy first.
+            (Some(WalkOutcome::Mapped { frame, cow }), access) => {
+                let frame = if cow && access == MtlAccess::Writeback {
+                    events.cow_copy = true;
+                    self.resolve_cow(vbuid, page, frame)?
+                } else {
+                    frame
+                };
+                self.fill_tlb(vbuid, page, frame);
+                TranslateResult::Mapped(frame.base().offset(line_offset))
+            }
+            // Swapped: bring the page back (the paper interrupts the OS to
+            // copy from storage; we model the copy directly).
+            (Some(WalkOutcome::Swapped(slot)), _) => {
+                let frame = self.swap_in(vbuid, page, slot)?;
+                events.swapped_in = true;
+                events.allocated = true;
+                self.fill_tlb(vbuid, page, frame);
+                TranslateResult::Mapped(frame.base().offset(line_offset))
+            }
+            // Unmapped read under delayed allocation: zero line, no DRAM
+            // access, no allocation (§5.1).
+            (None | Some(WalkOutcome::Unmapped), MtlAccess::Read)
+                if self.config.delayed_allocation =>
+            {
+                self.stats.zero_line_returns += 1;
+                TranslateResult::ZeroLine
+            }
+            // Otherwise allocate now (VBI-1 reads, or any writeback).
+            (None | Some(WalkOutcome::Unmapped), access) => {
+                let frame = self.allocate_and_map(vbuid, page)?;
+                events.allocated = true;
+                if access == MtlAccess::Writeback {
+                    self.stats.delayed_allocations += 1;
+                }
+                self.fill_tlb(vbuid, page, frame);
+                TranslateResult::Mapped(frame.base().offset(line_offset))
+            }
+        };
+        Ok(Translation { result, events })
+    }
+
+    fn fill_tlb(&mut self, vbuid: Vbuid, page: u64, frame: Frame) {
+        // Whole-VB entries for fully direct VBs; page-grain otherwise.
+        let entry = self.vits.entry(vbuid).expect("caller verified enabled");
+        match entry.translation.as_ref() {
+            Some(s) => {
+                if let Some(base) = s.direct_base() {
+                    self.direct_tlb.insert(vbuid, base);
+                } else {
+                    let cow = matches!(s.entry(page), PageEntry::Mapped { cow: true, .. });
+                    self.page_tlb.insert((vbuid, page), (frame, cow));
+                }
+            }
+            None => {
+                self.page_tlb.insert((vbuid, page), (frame, false));
+            }
+        }
+    }
+
+    // --- functional data access ----------------------------------------------
+
+    /// Functional read of a byte. Reads of unallocated regions return zero
+    /// (the zero-line path).
+    ///
+    /// # Errors
+    ///
+    /// Any translation error.
+    pub fn read_u8(&mut self, addr: VbiAddress) -> Result<u8> {
+        match self.translate(addr, MtlAccess::Read)?.result {
+            TranslateResult::Mapped(pa) => Ok(self.mem.read_u8(pa)),
+            TranslateResult::ZeroLine => Ok(0),
+        }
+    }
+
+    /// Functional write of a byte. Writes allocate (they model the eventual
+    /// dirty-line writeback reaching the MTL).
+    ///
+    /// # Errors
+    ///
+    /// Any translation error.
+    pub fn write_u8(&mut self, addr: VbiAddress, value: u8) -> Result<()> {
+        match self.translate(addr, MtlAccess::Writeback)?.result {
+            TranslateResult::Mapped(pa) => {
+                self.mem.write_u8(pa, value);
+                Ok(())
+            }
+            TranslateResult::ZeroLine => unreachable!("writebacks always allocate"),
+        }
+    }
+
+    /// Functional read of a little-endian `u64` (handles page straddling).
+    ///
+    /// # Errors
+    ///
+    /// Any translation error, including out-of-VB straddles.
+    pub fn read_u64(&mut self, addr: VbiAddress) -> Result<u64> {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.offset_by(i as u64)?)?;
+        }
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Functional write of a little-endian `u64` (handles page straddling).
+    ///
+    /// # Errors
+    ///
+    /// Any translation error, including out-of-VB straddles.
+    pub fn write_u64(&mut self, addr: VbiAddress, value: u64) -> Result<()> {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.offset_by(i as u64)?, b)?;
+        }
+        Ok(())
+    }
+
+    // --- capacity management --------------------------------------------------
+
+    /// Moves one mapped page of `vbuid` to the backing store, freeing its
+    /// frame (the MTL half of the paper's capacity-management system calls).
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::VbNotEnabled`], or [`VbiError::SwapFailure`] if the page
+    /// is not currently mapped or belongs to a direct-mapped VB (direct VBs
+    /// are demoted before swapping).
+    pub fn swap_out_page(&mut self, vbuid: Vbuid, page: u64) -> Result<()> {
+        // Direct structures swap per-page only after demotion to tables.
+        if let Some(TranslationKind::Direct) = self.vits.entry(vbuid)?.translation_kind() {
+            let structure = self.vits.entry_mut(vbuid)?.translation.take().expect("kind known");
+            let demoted = self.demote_with_fallback(vbuid, &structure)?;
+            self.vits.entry_mut(vbuid)?.translation = Some(demoted);
+            self.direct_tlb.invalidate(&vbuid);
+            self.vit_cache.invalidate(&vbuid);
+        }
+        let mut structure = self
+            .vits
+            .entry_mut(vbuid)?
+            .translation
+            .take()
+            .ok_or(VbiError::SwapFailure { reason: "page not mapped" })?;
+        let result = (|| {
+            let PageEntry::Mapped { frame, cow } = structure.entry(page) else {
+                return Err(VbiError::SwapFailure { reason: "page not mapped" });
+            };
+            if cow && self.frame_shares.get(&frame.0).copied().unwrap_or(1) > 1 {
+                return Err(VbiError::SwapFailure { reason: "page is copy-on-write shared" });
+            }
+            let slot = match self.mem.take_frame(frame) {
+                Some(data) => self.swap.store(data),
+                None => self.swap.store_zero(),
+            };
+            structure.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy)?;
+            self.release_data_frame(frame);
+            self.page_tlb.invalidate(&(vbuid, page));
+            self.stats.pages_swapped_out += 1;
+            Ok(())
+        })();
+        self.vits.entry_mut(vbuid)?.translation = Some(structure);
+        result
+    }
+
+    /// Reclaims up to `count` pages by swapping out mapped pages of enabled
+    /// VBs other than `exclude`, preferring non-pinned VBs. Returns how many
+    /// pages were reclaimed.
+    pub fn reclaim_pages(&mut self, count: usize, exclude: Vbuid) -> usize {
+        let mut reclaimed = 0;
+        // Two passes: first unpinned VBs, then (reluctantly) pinned ones.
+        for allow_pinned in [false, true] {
+            if reclaimed >= count {
+                break;
+            }
+            let candidates: Vec<Vbuid> = self
+                .vits
+                .enabled_vbs()
+                .filter(|vb| *vb != exclude)
+                .filter(|vb| {
+                    allow_pinned
+                        || !self
+                            .vits
+                            .entry(*vb)
+                            .map(|e| e.props.contains(VbProperties::PINNED))
+                            .unwrap_or(false)
+                })
+                .collect();
+            for vb in candidates {
+                if reclaimed >= count {
+                    break;
+                }
+                let pages: Vec<u64> = self
+                    .vits
+                    .entry(vb)
+                    .ok()
+                    .and_then(|e| e.translation.as_ref())
+                    .map(|s| s.mapped_pages().into_iter().map(|(p, _, _)| p).collect())
+                    .unwrap_or_default();
+                for page in pages {
+                    if reclaimed >= count {
+                        break;
+                    }
+                    if self.swap_out_page(vb, page).is_ok() {
+                        reclaimed += 1;
+                    }
+                }
+            }
+        }
+        reclaimed
+    }
+
+    /// Binds file contents to a VB (memory-mapped files, §3.4): each page of
+    /// `pages` is stored in the backing store and recorded as swapped-out, so
+    /// the first access faults it in like any swapped page.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::VbNotEnabled`], [`VbiError::OffsetOutOfRange`] for pages
+    /// beyond the VB, or allocation failures while building the structure.
+    pub fn bind_file(
+        &mut self,
+        vbuid: Vbuid,
+        pages: impl IntoIterator<Item = (u64, Box<[u8; FRAME_BYTES as usize]>)>,
+    ) -> Result<()> {
+        self.vits.entry(vbuid)?;
+        let mut structure = match self.vits.entry_mut(vbuid)?.translation.take() {
+            Some(s) => s,
+            None => self.table_structure_for(vbuid.size_class())?,
+        };
+        let result = (|| {
+            for (page, data) in pages {
+                if page >= structure.pages() {
+                    return Err(VbiError::OffsetOutOfRange {
+                        vbuid,
+                        offset: page * FRAME_BYTES,
+                    });
+                }
+                let slot = self.swap.store(data);
+                structure.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy)?;
+            }
+            Ok(())
+        })();
+        self.vits.entry_mut(vbuid)?.translation = Some(structure);
+        result
+    }
+
+    // --- internals -------------------------------------------------------------
+
+    /// The static-policy structure, but never direct (used when contiguity
+    /// is not guaranteed).
+    fn table_structure_for(&mut self, size_class: SizeClass) -> Result<TranslationStructure> {
+        match TranslationKind::static_policy(size_class) {
+            TranslationKind::Direct | TranslationKind::SingleLevel => {
+                TranslationStructure::single_level(size_class, &mut self.buddy)
+            }
+            TranslationKind::MultiLevel { .. } => {
+                TranslationStructure::multi_level(size_class, &mut self.buddy)
+            }
+        }
+    }
+
+    /// Builds a table-based replacement for a structure that must give up
+    /// direct mapping, preserving all entries. The caller drops the original
+    /// (direct structures own no table frames).
+    fn demote_structure(
+        &mut self,
+        size_class: SizeClass,
+        structure: &TranslationStructure,
+    ) -> Result<TranslationStructure> {
+        let mut table = self.table_structure_for(size_class)?;
+        for (page, frame, cow) in structure.mapped_pages() {
+            if let Err(e) = table.set_entry(page, PageEntry::Mapped { frame, cow }, &mut self.buddy)
+            {
+                table.release_tables(&mut self.buddy);
+                return Err(e);
+            }
+        }
+        for (page, slot) in structure.swapped_pages() {
+            if let Err(e) = table.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy) {
+                table.release_tables(&mut self.buddy);
+                return Err(e);
+            }
+        }
+        self.stats.demotions += 1;
+        Ok(table)
+    }
+
+    /// Ensures the VB has a translation structure, running the
+    /// early-reservation attempt on first allocation (§5.3).
+    fn ensure_structure(&mut self, vbuid: Vbuid) -> Result<()> {
+        if self.vits.entry(vbuid)?.translation.is_some() {
+            return Ok(());
+        }
+        let size_class = vbuid.size_class();
+        let pages = size_class.pages();
+        let structure = if self.config.early_reservation {
+            let order = pages.trailing_zeros() as Order;
+            let reservation = self.reservations.entry(vbuid).or_default();
+            reservation.attempted = true;
+            if pages <= self.buddy.total_frames() {
+                if let Some(base) = self.buddy.allocate_split(order) {
+                    // Full contiguous reservation: direct mapping.
+                    let extent = Extent {
+                        page_start: 0,
+                        base,
+                        len: pages,
+                        slots: vec![SlotState::Reserved; pages as usize],
+                    };
+                    for i in 0..pages {
+                        self.extent_owner.insert(base.0 + i, vbuid);
+                    }
+                    self.reservations.get_mut(&vbuid).expect("just inserted").extents.push(extent);
+                    let mut s = TranslationStructure::direct(size_class);
+                    s.set_direct_base(base);
+                    self.stats.reservations_full += 1;
+                    self.vits.entry_mut(vbuid)?.translation = Some(s);
+                    return Ok(());
+                }
+            }
+            self.stats.reservations_partial += 1;
+            self.table_structure_for(size_class)?
+        } else {
+            match TranslationKind::static_policy(size_class) {
+                TranslationKind::Direct => {
+                    // A 4 KiB VB is a single frame: direct by construction.
+                    // The frame is held as a one-slot reservation until
+                    // `allocate_page_frame` marks it used, keeping the
+                    // accounting uniform with early reservation.
+                    let frame = self.allocate_raw_frame(vbuid)?;
+                    let mut s = TranslationStructure::direct(size_class);
+                    s.set_direct_base(frame);
+                    let extent = Extent {
+                        page_start: 0,
+                        base: frame,
+                        len: 1,
+                        slots: vec![SlotState::Reserved],
+                    };
+                    self.extent_owner.insert(frame.0, vbuid);
+                    self.reservations.entry(vbuid).or_default().extents.push(extent);
+                    self.vits.entry_mut(vbuid)?.translation = Some(s);
+                    return Ok(());
+                }
+                _ => self.table_structure_for(size_class)?,
+            }
+        };
+        self.vits.entry_mut(vbuid)?.translation = Some(structure);
+        Ok(())
+    }
+
+    /// Allocates one frame honouring the three-level priority of §5.3:
+    /// (1) frames reserved for this VB, (2) unreserved free frames,
+    /// (3) frames reserved for other VBs (stealing).
+    fn allocate_page_frame(&mut self, vbuid: Vbuid, page: u64) -> Result<Frame> {
+        // Priority 1: the VB's own reservation.
+        if let Some(reservation) = self.reservations.get_mut(&vbuid) {
+            for extent in &mut reservation.extents {
+                if extent.covers(page) {
+                    let slot = (page - extent.page_start) as usize;
+                    if extent.slots[slot] == SlotState::Reserved {
+                        extent.slots[slot] = SlotState::Used;
+                        let frame = extent.frame_for(page);
+                        self.frame_shares.insert(frame.0, 1);
+                        self.stats.pages_allocated += 1;
+                        return Ok(frame);
+                    }
+                }
+            }
+        }
+        // Priorities 2 and 3.
+        let frame = self.allocate_raw_frame(vbuid)?;
+        self.frame_shares.insert(frame.0, 1);
+        self.stats.pages_allocated += 1;
+        Ok(frame)
+    }
+
+    /// Priorities 2 (unreserved free frame) and 3 (steal from another VB's
+    /// reservation), with a final attempt to reclaim by swapping.
+    fn allocate_raw_frame(&mut self, vbuid: Vbuid) -> Result<Frame> {
+        if let Some(frame) = self.buddy.allocate(0) {
+            return Ok(frame);
+        }
+        if let Some(frame) = self.steal_reserved_frame(vbuid) {
+            return Ok(frame);
+        }
+        // Last resort: swap something out and retry once.
+        if self.reclaim_pages(1, vbuid) > 0 {
+            if let Some(frame) = self.buddy.allocate(0) {
+                return Ok(frame);
+            }
+            if let Some(frame) = self.steal_reserved_frame(vbuid) {
+                return Ok(frame);
+            }
+        }
+        Err(VbiError::OutOfPhysicalMemory)
+    }
+
+    fn steal_reserved_frame(&mut self, thief: Vbuid) -> Option<Frame> {
+        let owners: Vec<Vbuid> =
+            self.reservations.keys().copied().filter(|vb| *vb != thief).collect();
+        for owner in owners {
+            let has_reserved = self
+                .reservations
+                .get(&owner)
+                .map(|r| {
+                    r.extents.iter().any(|e| e.slots.contains(&SlotState::Reserved))
+                })
+                .unwrap_or(false);
+            if !has_reserved {
+                continue;
+            }
+            // Stealing a reserved-but-unallocated frame does NOT break the
+            // owner's direct mapping: "a VB is considered directly mapped as
+            // long as all its allocated memory is mapped to a single
+            // contiguous region" (§5.3). The owner demotes lazily, only if
+            // it later needs the stolen slot (see `allocate_and_map`).
+            let reservation = self.reservations.get_mut(&owner).expect("listed");
+            for extent in &mut reservation.extents {
+                if let Some(slot) = extent.slots.iter().position(|s| *s == SlotState::Reserved) {
+                    extent.slots[slot] = SlotState::Stolen;
+                    let frame = extent.base.offset(slot as u64);
+                    self.extent_owner.remove(&frame.0);
+                    self.stats.frames_stolen += 1;
+                    return Some(frame);
+                }
+            }
+        }
+        None
+    }
+
+    /// Tops the unreserved free pool up to `target` frames by releasing
+    /// reserved-but-unused frames from any reservation. Owners stay
+    /// direct-mapped (their allocated memory is untouched); they demote
+    /// lazily if they ever need the released slots.
+    fn replenish_pool(&mut self, target: u64) {
+        while self.buddy.free_frames() < target {
+            if !self.release_one_reserved_frame() {
+                break;
+            }
+        }
+    }
+
+    /// Releases one reserved frame from any reservation into the buddy pool.
+    ///
+    /// Frames are taken from the *end* of the largest reservation so that
+    /// (1) consecutive releases hand out physically adjacent frames — which
+    /// keeps the thief's data row-buffer friendly and lets the buddy merge
+    /// them back — and (2) the owner's (front-allocated) pages stay clear of
+    /// the stolen zone for as long as possible.
+    fn release_one_reserved_frame(&mut self) -> bool {
+        let owner = self
+            .reservations
+            .iter()
+            .filter(|(_, r)| {
+                r.extents.iter().any(|e| e.slots.contains(&SlotState::Reserved))
+            })
+            .max_by_key(|(vb, r)| (r.extents.iter().map(|e| e.len).sum::<u64>(), *vb))
+            .map(|(vb, _)| *vb);
+        let Some(owner) = owner else { return false };
+        let reservation = self.reservations.get_mut(&owner).expect("selected above");
+        for extent in reservation.extents.iter_mut().rev() {
+            if let Some(i) = extent.slots.iter().rposition(|s| *s == SlotState::Reserved) {
+                extent.slots[i] = SlotState::Stolen;
+                let frame = extent.base.offset(i as u64);
+                self.extent_owner.remove(&frame.0);
+                self.buddy.free(frame, 0);
+                self.stats.frames_stolen += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns up to `count` of an owner's reserved frames to the general
+    /// pool (marking their slots stolen), e.g. to fund the owner's own
+    /// demotion tables under memory pressure.
+    fn release_reserved_to_pool(&mut self, owner: Vbuid, count: usize) -> usize {
+        let Some(reservation) = self.reservations.get_mut(&owner) else { return 0 };
+        let mut freed = Vec::new();
+        for extent in &mut reservation.extents {
+            for (i, slot) in extent.slots.iter_mut().enumerate() {
+                if freed.len() >= count {
+                    break;
+                }
+                if *slot == SlotState::Reserved {
+                    *slot = SlotState::Stolen;
+                    freed.push(extent.base.offset(i as u64));
+                }
+            }
+        }
+        for frame in &freed {
+            self.extent_owner.remove(&frame.0);
+            self.buddy.free(*frame, 0);
+        }
+        freed.len()
+    }
+
+    /// Demotes a direct structure to tables, funding the table frames from
+    /// the VB's own reserved frames when the general pool is empty.
+    fn demote_with_fallback(
+        &mut self,
+        vbuid: Vbuid,
+        structure: &TranslationStructure,
+    ) -> Result<TranslationStructure> {
+        // A demotion of a densely mapped VB may need many table frames (one
+        // leaf node per 512 mapped pages); keep funding the attempt from the
+        // owner's — or anyone's — reserved frames until it fits or memory is
+        // truly exhausted.
+        for _ in 0..4096 {
+            match self.demote_structure(vbuid.size_class(), structure) {
+                Ok(table) => return Ok(table),
+                Err(_) => {
+                    if self.release_reserved_to_pool(vbuid, 64) > 0 {
+                        continue;
+                    }
+                    let mut released = false;
+                    for _ in 0..64 {
+                        released |= self.release_one_reserved_frame();
+                    }
+                    if !released {
+                        return Err(VbiError::OutOfPhysicalMemory);
+                    }
+                }
+            }
+        }
+        Err(VbiError::OutOfPhysicalMemory)
+    }
+
+    /// Allocates physical memory for `page` of `vbuid` and maps it.
+    fn allocate_and_map(&mut self, vbuid: Vbuid, page: u64) -> Result<Frame> {
+        self.ensure_structure(vbuid)?;
+        let frame = self.allocate_page_frame(vbuid, page)?;
+        let mut structure =
+            self.vits.entry_mut(vbuid)?.translation.take().expect("ensured above");
+        // A direct structure can only map its own contiguous region; if the
+        // frame came from elsewhere (stolen slot or pressure), demote first.
+        let expects = structure.direct_base().map(|b| b.offset(page));
+        if matches!(structure.kind(), TranslationKind::Direct) && expects != Some(frame) {
+            structure = self.demote_with_fallback(vbuid, &structure)?;
+            self.direct_tlb.invalidate(&vbuid);
+            self.vit_cache.invalidate(&vbuid);
+        }
+        let result =
+            structure.set_entry(page, PageEntry::Mapped { frame, cow: false }, &mut self.buddy);
+        self.vits.entry_mut(vbuid)?.translation = Some(structure);
+        result?;
+        self.mem.zero_frame(frame);
+        Ok(frame)
+    }
+
+    fn swap_in(&mut self, vbuid: Vbuid, page: u64, slot: SwapSlot) -> Result<Frame> {
+        let frame = self.allocate_page_frame(vbuid, page)?;
+        if let Some(data) = self.swap.load(slot) {
+            self.mem.put_frame(frame, data);
+        } else {
+            self.mem.zero_frame(frame);
+        }
+        let mut structure = self
+            .vits
+            .entry_mut(vbuid)?
+            .translation
+            .take()
+            .expect("swapped page implies a structure");
+        if matches!(structure.kind(), TranslationKind::Direct) {
+            structure = self.demote_with_fallback(vbuid, &structure)?;
+            self.direct_tlb.invalidate(&vbuid);
+            self.vit_cache.invalidate(&vbuid);
+        }
+        let result =
+            structure.set_entry(page, PageEntry::Mapped { frame, cow: false }, &mut self.buddy);
+        self.vits.entry_mut(vbuid)?.translation = Some(structure);
+        result?;
+        self.stats.pages_swapped_in += 1;
+        Ok(frame)
+    }
+
+    fn resolve_cow(&mut self, vbuid: Vbuid, page: u64, frame: Frame) -> Result<Frame> {
+        let shares = self.frame_shares.get(&frame.0).copied().unwrap_or(1);
+        let mut structure =
+            self.vits.entry_mut(vbuid)?.translation.take().expect("mapped page has structure");
+        let result = if shares <= 1 {
+            // Sole owner again: just clear the COW mark.
+            structure
+                .set_entry(page, PageEntry::Mapped { frame, cow: false }, &mut self.buddy)
+                .map(|()| frame)
+        } else {
+            // Copying breaks a direct VB's contiguity; demote before
+            // touching any shared state so failures leave the VB intact.
+            let demoted = if matches!(structure.kind(), TranslationKind::Direct) {
+                match self.demote_structure(vbuid.size_class(), &structure) {
+                    Ok(table) => {
+                        structure = table;
+                        self.direct_tlb.invalidate(&vbuid);
+                        self.vit_cache.invalidate(&vbuid);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            } else {
+                Ok(())
+            };
+            demoted.and_then(|()| self.allocate_page_frame(vbuid, page)).and_then(|new_frame| {
+                self.mem.copy_frame(frame, new_frame);
+                *self.frame_shares.get_mut(&frame.0).expect("shared frame is tracked") -= 1;
+                self.stats.cow_copies += 1;
+                structure
+                    .set_entry(
+                        page,
+                        PageEntry::Mapped { frame: new_frame, cow: false },
+                        &mut self.buddy,
+                    )
+                    .map(|()| new_frame)
+            })
+        };
+        self.vits.entry_mut(vbuid)?.translation = Some(structure);
+        self.page_tlb.invalidate(&(vbuid, page));
+        result
+    }
+
+    /// Drops one reference to a data frame, freeing it when unshared. Frames
+    /// inside a live reservation return to `Reserved`; others go back to the
+    /// buddy allocator.
+    fn release_data_frame(&mut self, frame: Frame) {
+        let shares = self.frame_shares.get_mut(&frame.0).expect("live data frame is tracked");
+        *shares -= 1;
+        if *shares > 0 {
+            return;
+        }
+        self.frame_shares.remove(&frame.0);
+        self.mem.zero_frame(frame);
+        if let Some(owner) = self.extent_owner.get(&frame.0).copied() {
+            if let Some(reservation) = self.reservations.get_mut(&owner) {
+                for extent in &mut reservation.extents {
+                    if let Some(slot) = extent.slot_of_frame(frame) {
+                        extent.slots[slot] = SlotState::Reserved;
+                        return;
+                    }
+                }
+            }
+            self.extent_owner.remove(&frame.0);
+        }
+        self.buddy.free(frame, 0);
+    }
+
+    /// Frees all still-reserved frames of a VB's reservation and orphans the
+    /// rest (used frames are freed through their pages; stolen frames through
+    /// their thieves).
+    fn teardown_reservation(&mut self, vbuid: Vbuid) {
+        let Some(reservation) = self.reservations.remove(&vbuid) else { return };
+        for extent in reservation.extents {
+            for (i, slot) in extent.slots.iter().enumerate() {
+                let frame = extent.base.offset(i as u64);
+                match slot {
+                    SlotState::Reserved => {
+                        self.extent_owner.remove(&frame.0);
+                        self.buddy.free(frame, 0);
+                    }
+                    SlotState::Used | SlotState::Stolen => {
+                        // Orphan: freed via frame_shares when its VB lets go.
+                        self.extent_owner.remove(&frame.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Orphans a reservation without freeing anything (promotion transferred
+    /// the frames to another VB).
+    fn orphan_reservation(&mut self, vbuid: Vbuid) {
+        let Some(reservation) = self.reservations.remove(&vbuid) else { return };
+        for extent in reservation.extents {
+            for (i, slot) in extent.slots.iter().enumerate() {
+                let frame = extent.base.offset(i as u64);
+                match slot {
+                    SlotState::Reserved => {
+                        self.extent_owner.remove(&frame.0);
+                        self.buddy.free(frame, 0);
+                    }
+                    SlotState::Used | SlotState::Stolen => {
+                        self.extent_owner.remove(&frame.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(variant: fn() -> VbiConfig) -> VbiConfig {
+        VbiConfig { phys_frames: 4096, ..variant() } // 16 MiB
+    }
+
+    fn mtl(variant: fn() -> VbiConfig) -> Mtl {
+        Mtl::new(small_config(variant))
+    }
+
+    fn enabled_vb(mtl: &mut Mtl, sc: SizeClass) -> Vbuid {
+        let vb = mtl.find_free_vb(sc).unwrap();
+        mtl.enable_vb(vb, VbProperties::NONE).unwrap();
+        vb
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        for variant in [VbiConfig::vbi_1, VbiConfig::vbi_2, VbiConfig::vbi_full] {
+            let mut m = mtl(variant);
+            let vb = enabled_vb(&mut m, SizeClass::Kib128);
+            let addr = vb.address(0x4008).unwrap();
+            m.write_u64(addr, 0xfeed_f00d).unwrap();
+            assert_eq!(m.read_u64(addr).unwrap(), 0xfeed_f00d);
+        }
+    }
+
+    #[test]
+    fn reads_of_untouched_regions_are_zero() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let vb = enabled_vb(&mut m, SizeClass::Mib4);
+        assert_eq!(m.read_u64(vb.address(123_456).unwrap()).unwrap(), 0);
+    }
+
+    #[test]
+    fn delayed_allocation_defers_until_writeback() {
+        let mut m = mtl(VbiConfig::vbi_2);
+        let vb = enabled_vb(&mut m, SizeClass::Kib128);
+        let free_before = m.free_frames();
+        // Reads allocate nothing under VBI-2.
+        for page in 0..8 {
+            let t = m.translate(vb.address(page * 4096).unwrap(), MtlAccess::Read).unwrap();
+            assert_eq!(t.result, TranslateResult::ZeroLine);
+        }
+        assert_eq!(m.free_frames(), free_before);
+        assert_eq!(m.stats().zero_line_returns, 8);
+        // The first writeback allocates exactly the 4 KiB region (plus the
+        // VB's single-level table on first touch).
+        let t = m.translate(vb.address(0).unwrap(), MtlAccess::Writeback).unwrap();
+        assert!(matches!(t.result, TranslateResult::Mapped(_)));
+        assert!(t.events.allocated);
+        assert_eq!(m.stats().delayed_allocations, 1);
+        assert_eq!(free_before - m.free_frames(), 2, "one data frame + one table frame");
+    }
+
+    #[test]
+    fn vbi_1_allocates_on_read() {
+        let mut m = mtl(VbiConfig::vbi_1);
+        let vb = enabled_vb(&mut m, SizeClass::Kib128);
+        let t = m.translate(vb.address(0).unwrap(), MtlAccess::Read).unwrap();
+        assert!(matches!(t.result, TranslateResult::Mapped(_)));
+        assert!(t.events.allocated);
+        assert_eq!(m.stats().zero_line_returns, 0);
+    }
+
+    #[test]
+    fn early_reservation_direct_maps_whole_vbs() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let vb = enabled_vb(&mut m, SizeClass::Mib4); // 1024 pages, fits in 4096
+        m.write_u64(vb.address(0).unwrap(), 1).unwrap();
+        assert_eq!(m.translation_kind(vb).unwrap(), Some(TranslationKind::Direct));
+        assert_eq!(m.stats().reservations_full, 1);
+        // Pages of a direct VB are physically contiguous.
+        let t0 = m.translate(vb.address(0).unwrap(), MtlAccess::Read).unwrap();
+        m.write_u64(vb.address(5 * 4096).unwrap(), 2).unwrap();
+        let t5 = m.translate(vb.address(5 * 4096).unwrap(), MtlAccess::Read).unwrap();
+        let (TranslateResult::Mapped(p0), TranslateResult::Mapped(p5)) = (t0.result, t5.result)
+        else {
+            panic!("expected mapped");
+        };
+        assert_eq!(p5.to_bits() - p0.to_bits(), 5 * 4096);
+    }
+
+    #[test]
+    fn early_reservation_falls_back_when_too_big() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        // A 128 MiB VB (32768 pages) cannot fit in 4096 frames.
+        let vb = enabled_vb(&mut m, SizeClass::Mib128);
+        m.write_u64(vb.address(0).unwrap(), 1).unwrap();
+        assert!(matches!(
+            m.translation_kind(vb).unwrap(),
+            Some(TranslationKind::MultiLevel { depth: 2 })
+        ));
+        assert_eq!(m.stats().reservations_partial, 1);
+    }
+
+    #[test]
+    fn direct_vbs_hit_the_whole_vb_tlb() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let vb = enabled_vb(&mut m, SizeClass::Mib4);
+        m.write_u64(vb.address(0).unwrap(), 1).unwrap();
+        m.write_u64(vb.address(100 * 4096).unwrap(), 2).unwrap();
+        m.reset_stats();
+        // Different pages of the same VB hit the single whole-VB entry.
+        for page in [0u64, 7, 100, 1023] {
+            let t = m.translate(vb.address(page * 4096).unwrap(), MtlAccess::Read).unwrap();
+            if page == 0 || page == 100 {
+                assert!(t.events.mtl_tlb_hit, "page {page}");
+            }
+        }
+        assert!(m.stats().tlb_hits >= 2);
+    }
+
+    #[test]
+    fn walks_count_table_accesses() {
+        let mut m = mtl(VbiConfig::vbi_1);
+        let vb = enabled_vb(&mut m, SizeClass::Mib128); // depth-2 multi-level
+        let addr = vb.address(12345 * 4096).unwrap();
+        m.write_u64(addr, 3).unwrap();
+        m.reset_stats();
+        m.page_tlb.flush();
+        m.vit_cache.flush();
+        let t = m.translate(addr, MtlAccess::Read).unwrap();
+        assert!(!t.events.mtl_tlb_hit);
+        // 1 VIT access (cache miss) + 2 levels of walk.
+        assert_eq!(t.events.table_accesses.len(), 3);
+        // A second access hits the MTL TLB: zero table accesses.
+        let t2 = m.translate(addr, MtlAccess::Read).unwrap();
+        assert!(t2.events.mtl_tlb_hit);
+        assert!(t2.events.table_accesses.is_empty());
+    }
+
+    #[test]
+    fn disable_returns_all_memory() {
+        for variant in [VbiConfig::vbi_1, VbiConfig::vbi_2, VbiConfig::vbi_full] {
+            let mut m = mtl(variant);
+            let free0 = m.free_frames();
+            let vb = enabled_vb(&mut m, SizeClass::Mib4);
+            for page in (0..1024).step_by(37) {
+                m.write_u64(vb.address(page * 4096).unwrap(), page).unwrap();
+            }
+            assert!(m.free_frames() < free0);
+            m.disable_vb(vb).unwrap();
+            assert_eq!(m.free_frames(), free0, "variant leaked frames");
+        }
+    }
+
+    #[test]
+    fn disable_requires_detached() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let vb = enabled_vb(&mut m, SizeClass::Kib4);
+        m.add_ref(vb).unwrap();
+        assert!(matches!(m.disable_vb(vb), Err(VbiError::VbInUse { .. })));
+        m.remove_ref(vb).unwrap();
+        m.disable_vb(vb).unwrap();
+        assert!(matches!(m.translate(vb.address(0).unwrap(), MtlAccess::Read),
+            Err(VbiError::VbNotEnabled(_))));
+    }
+
+    #[test]
+    fn clone_shares_then_copies_on_write() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let src = enabled_vb(&mut m, SizeClass::Kib128);
+        let dst = enabled_vb(&mut m, SizeClass::Kib128);
+        m.write_u64(src.address(0).unwrap(), 111).unwrap();
+        m.write_u64(src.address(8 * 4096).unwrap(), 222).unwrap();
+        let free_before_clone = m.free_frames();
+        m.clone_vb(src, dst).unwrap();
+        // Cloning costs table frames only, no data copies.
+        assert!(free_before_clone - m.free_frames() <= 1);
+        assert_eq!(m.read_u64(dst.address(0).unwrap()).unwrap(), 111);
+        assert_eq!(m.read_u64(dst.address(8 * 4096).unwrap()).unwrap(), 222);
+        // Writing the clone leaves the source untouched.
+        m.write_u64(dst.address(0).unwrap(), 999).unwrap();
+        assert_eq!(m.stats().cow_copies, 1);
+        assert_eq!(m.read_u64(dst.address(0).unwrap()).unwrap(), 999);
+        assert_eq!(m.read_u64(src.address(0).unwrap()).unwrap(), 111);
+        // Writing the source also copies (it was marked COW too).
+        m.write_u64(src.address(8 * 4096).unwrap(), 333).unwrap();
+        assert_eq!(m.read_u64(dst.address(8 * 4096).unwrap()).unwrap(), 222);
+    }
+
+    #[test]
+    fn clone_size_mismatch_is_rejected() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let a = enabled_vb(&mut m, SizeClass::Kib4);
+        let b = enabled_vb(&mut m, SizeClass::Kib128);
+        assert!(matches!(m.clone_vb(a, b), Err(VbiError::CloneSizeMismatch { .. })));
+    }
+
+    #[test]
+    fn clone_then_disable_both_frees_everything() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let free0 = m.free_frames();
+        let src = enabled_vb(&mut m, SizeClass::Kib128);
+        let dst = enabled_vb(&mut m, SizeClass::Kib128);
+        m.write_u64(src.address(0).unwrap(), 1).unwrap();
+        m.clone_vb(src, dst).unwrap();
+        m.write_u64(dst.address(0).unwrap(), 2).unwrap(); // COW copy
+        m.disable_vb(src).unwrap();
+        m.disable_vb(dst).unwrap();
+        assert_eq!(m.free_frames(), free0);
+    }
+
+    #[test]
+    fn promote_preserves_data_and_grows_the_vb() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let small = enabled_vb(&mut m, SizeClass::Kib128);
+        m.write_u64(small.address(16).unwrap(), 77).unwrap();
+        let large = enabled_vb(&mut m, SizeClass::Mib4);
+        m.promote_vb(small, large).unwrap();
+        assert_eq!(m.read_u64(large.address(16).unwrap()).unwrap(), 77);
+        // The region beyond the old VB is usable.
+        m.write_u64(large.address(2 << 20).unwrap(), 88).unwrap();
+        assert_eq!(m.read_u64(large.address(2 << 20).unwrap()).unwrap(), 88);
+        assert_eq!(m.stats().promotions, 1);
+        // The small VB can now be disabled without disturbing the large one.
+        m.disable_vb(small).unwrap();
+        assert_eq!(m.read_u64(large.address(16).unwrap()).unwrap(), 77);
+    }
+
+    #[test]
+    fn promote_requires_larger_class() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let a = enabled_vb(&mut m, SizeClass::Mib4);
+        let b = enabled_vb(&mut m, SizeClass::Mib4);
+        assert!(matches!(m.promote_vb(a, b), Err(VbiError::PromoteNotLarger { .. })));
+    }
+
+    #[test]
+    fn swap_out_and_back_in_preserves_data() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let vb = enabled_vb(&mut m, SizeClass::Kib128);
+        let addr = vb.address(3 * 4096).unwrap();
+        m.write_u64(addr, 4242).unwrap();
+        m.swap_out_page(vb, 3).unwrap();
+        assert_eq!(m.swap_occupancy(), 1);
+        assert_eq!(m.read_u64(addr).unwrap(), 4242);
+        assert_eq!(m.swap_occupancy(), 0);
+        assert_eq!(m.stats().pages_swapped_out, 1);
+        assert_eq!(m.stats().pages_swapped_in, 1);
+    }
+
+    #[test]
+    fn memory_pressure_triggers_reclaim() {
+        // 48 frames of memory; two 32-page VBs want more than that together.
+        let config = VbiConfig { phys_frames: 48, ..VbiConfig::vbi_2() };
+        let mut m = Mtl::new(config);
+        let a = enabled_vb(&mut m, SizeClass::Kib128); // 32 pages
+        let b = enabled_vb(&mut m, SizeClass::Kib128);
+        for page in 0..32 {
+            m.write_u64(a.address(page * 4096).unwrap(), page).unwrap();
+        }
+        for page in 0..32 {
+            m.write_u64(b.address(page * 4096).unwrap(), 1000 + page).unwrap();
+        }
+        assert!(m.stats().pages_swapped_out > 0, "pressure must swap");
+        // All data survives the shuffle.
+        for page in 0..32 {
+            assert_eq!(m.read_u64(a.address(page * 4096).unwrap()).unwrap(), page);
+            assert_eq!(m.read_u64(b.address(page * 4096).unwrap()).unwrap(), 1000 + page);
+        }
+    }
+
+    #[test]
+    fn stealing_demotes_the_reservation_owner() {
+        // Memory fits one full 4 MiB reservation (1024 pages) plus a bit.
+        let config = VbiConfig { phys_frames: 1100, ..VbiConfig::vbi_full() };
+        let mut m = Mtl::new(config);
+        let owner = enabled_vb(&mut m, SizeClass::Mib4);
+        m.write_u64(owner.address(0).unwrap(), 1).unwrap();
+        assert_eq!(m.translation_kind(owner).unwrap(), Some(TranslationKind::Direct));
+        // A second VB needs more than the unreserved remainder.
+        let thief = enabled_vb(&mut m, SizeClass::Kib128);
+        for page in 0..32 {
+            m.write_u64(thief.address(page * 4096).unwrap(), page).unwrap();
+        }
+        // Fill more of the thief's demand to force stealing.
+        let thief2 = enabled_vb(&mut m, SizeClass::Mib4);
+        for page in 0..128 {
+            m.write_u64(thief2.address(page * 4096).unwrap(), page).unwrap();
+        }
+        assert!(m.stats().frames_stolen > 0, "reserved frames must be stolen");
+        // Stealing unallocated frames does not break the owner's direct
+        // mapping (§5.3): all its *allocated* memory is still contiguous.
+        assert_eq!(m.translation_kind(owner).unwrap(), Some(TranslationKind::Direct));
+        // But when the owner touches a page whose reserved slot was stolen,
+        // it must take a non-contiguous frame and demote to a table.
+        let mut page = 1u64;
+        while m.translation_kind(owner).unwrap() == Some(TranslationKind::Direct) && page < 1024 {
+            m.write_u64(owner.address(page * 4096).unwrap(), page).unwrap();
+            page += 1;
+        }
+        assert!(m.stats().demotions > 0, "owner demotes on first stolen-slot touch");
+        assert_ne!(m.translation_kind(owner).unwrap(), Some(TranslationKind::Direct));
+        // Owner's data is intact.
+        assert_eq!(m.read_u64(owner.address(0).unwrap()).unwrap(), 1);
+        for p in 1..page {
+            assert_eq!(m.read_u64(owner.address(p * 4096).unwrap()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn file_backed_vbs_fault_in_from_the_store() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let vb = enabled_vb(&mut m, SizeClass::Kib128);
+        let mut page0 = Box::new([0u8; FRAME_BYTES as usize]);
+        page0[0] = 0xaa;
+        let mut page5 = Box::new([0u8; FRAME_BYTES as usize]);
+        page5[8] = 0xbb;
+        m.bind_file(vb, vec![(0, page0), (5, page5)]).unwrap();
+        let t = m.translate(vb.address(0).unwrap(), MtlAccess::Read).unwrap();
+        assert!(t.events.swapped_in, "first touch faults the file page in");
+        assert_eq!(m.read_u8(vb.address(0).unwrap()).unwrap(), 0xaa);
+        assert_eq!(m.read_u8(vb.address(5 * 4096 + 8).unwrap()).unwrap(), 0xbb);
+        // Unbound pages read zero.
+        assert_eq!(m.read_u8(vb.address(4096).unwrap()).unwrap(), 0);
+    }
+
+    #[test]
+    fn vit_cache_filters_vit_accesses() {
+        let mut m = mtl(VbiConfig::vbi_1);
+        let vb = enabled_vb(&mut m, SizeClass::Kib128);
+        m.write_u64(vb.address(0).unwrap(), 1).unwrap();
+        m.reset_stats();
+        m.page_tlb.flush();
+        for _ in 0..10 {
+            m.page_tlb.flush(); // force walks, keep VIT cache warm
+            m.translate(vb.address(0).unwrap(), MtlAccess::Read).unwrap();
+        }
+        let s = m.stats();
+        assert!(s.vit_cache_hits >= 9);
+        assert!(s.vit_cache_misses <= 1);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported_when_swap_cannot_help() {
+        // One VB wants more than everything and there is nothing to reclaim
+        // (reclaim excludes the requester).
+        let config = VbiConfig { phys_frames: 16, ..VbiConfig::vbi_2() };
+        let mut m = Mtl::new(config);
+        let vb = enabled_vb(&mut m, SizeClass::Kib128); // 32 pages > 16 frames
+        let mut saw_oom = false;
+        for page in 0..32 {
+            match m.write_u64(vb.address(page * 4096).unwrap(), page) {
+                Ok(()) => {}
+                Err(VbiError::OutOfPhysicalMemory) => {
+                    saw_oom = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(saw_oom);
+    }
+
+    #[test]
+    fn translation_is_stable_across_tlb_flushes() {
+        let mut m = mtl(VbiConfig::vbi_full);
+        let vb = enabled_vb(&mut m, SizeClass::Mib4);
+        let addr = vb.address(77 * 4096 + 128).unwrap();
+        m.write_u64(addr, 5).unwrap();
+        let t1 = m.translate(addr, MtlAccess::Read).unwrap();
+        m.page_tlb.flush();
+        m.direct_tlb.flush();
+        m.vit_cache.flush();
+        let t2 = m.translate(addr, MtlAccess::Read).unwrap();
+        assert_eq!(t1.result, t2.result, "flushes never change the mapping");
+    }
+}

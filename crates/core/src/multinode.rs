@@ -1,0 +1,316 @@
+//! Multi-node support: one MTL per node, VBs partitioned by home MTL (§6.2).
+//!
+//! The paper's initial multi-node approach gives each node its own MTL and
+//! "equally partitions VBs of each size class among the MTLs, with the
+//! higher order bits of VBID indicating the VB's home MTL." The home MTL is
+//! the only MTL that manages a VB's physical allocation and translation.
+//! The OS tries to place a process's VBs on the MTL of the node executing
+//! it, and can migrate a VB's contents to a VB homed elsewhere during phase
+//! changes. The paper leaves the evaluation of this design to future work;
+//! this module implements the mechanics so they can be exercised and
+//! tested.
+
+use core::fmt;
+
+use crate::addr::{SizeClass, VbiAddress, Vbuid};
+use crate::config::VbiConfig;
+use crate::error::{Result, VbiError};
+use crate::mtl::{Mtl, MtlAccess, Translation};
+use crate::vb::VbProperties;
+
+/// A node ID in a multi-node system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u8);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A multi-node machine: per-node MTLs over per-node physical memories,
+/// with VBIDs partitioned by home node.
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::multinode::{MultiNodeSystem, NodeId};
+/// use vbi_core::{SizeClass, VbProperties, VbiConfig};
+///
+/// # fn main() -> Result<(), vbi_core::VbiError> {
+/// let mut machine = MultiNodeSystem::new(4, VbiConfig::vbi_full());
+/// let vb = machine.enable_vb_on(NodeId(2), SizeClass::Kib128, VbProperties::NONE)?;
+/// assert_eq!(machine.home_of(vb), NodeId(2));
+/// machine.write_u64(vb.address(0)?, 7)?;
+/// assert_eq!(machine.read_u64(vb.address(0)?)?, 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MultiNodeSystem {
+    mtls: Vec<Mtl>,
+    node_bits: u32,
+}
+
+impl MultiNodeSystem {
+    /// Creates a machine with `nodes` nodes (a power of two between 2 and
+    /// 256), each owning `config.phys_frames` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is not a power of two in `[2, 256]`.
+    pub fn new(nodes: usize, config: VbiConfig) -> Self {
+        assert!(
+            nodes.is_power_of_two() && (2..=256).contains(&nodes),
+            "node count must be a power of two in [2, 256]"
+        );
+        Self {
+            mtls: (0..nodes).map(|_| Mtl::new(config.clone())).collect(),
+            node_bits: nodes.trailing_zeros(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.mtls.len()
+    }
+
+    /// The home node encoded in a VB's high-order VBID bits.
+    pub fn home_of(&self, vbuid: Vbuid) -> NodeId {
+        let shift = vbuid.size_class().vbid_bits() - self.node_bits;
+        NodeId((vbuid.vbid() >> shift) as u8)
+    }
+
+    /// The VBs of `size_class` available to each node.
+    pub fn vbs_per_node(&self, size_class: SizeClass) -> u64 {
+        size_class.vb_count() >> self.node_bits
+    }
+
+    /// Builds the global VBUID for a node-local VBID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::OutOfVirtualBlocks`] when `local_vbid` exceeds
+    /// the node's slice.
+    pub fn vbuid_on(
+        &self,
+        node: NodeId,
+        size_class: SizeClass,
+        local_vbid: u64,
+    ) -> Result<Vbuid> {
+        if local_vbid >= self.vbs_per_node(size_class) {
+            return Err(VbiError::OutOfVirtualBlocks(size_class));
+        }
+        let shift = size_class.vbid_bits() - self.node_bits;
+        Ok(Vbuid::new(size_class, ((node.0 as u64) << shift) | local_vbid))
+    }
+
+    /// Access to a node's MTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range node IDs.
+    pub fn mtl(&self, node: NodeId) -> &Mtl {
+        &self.mtls[node.0 as usize]
+    }
+
+    /// Mutable access to a node's MTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range node IDs.
+    pub fn mtl_mut(&mut self, node: NodeId) -> &mut Mtl {
+        &mut self.mtls[node.0 as usize]
+    }
+
+    fn home_mtl_of(&mut self, vbuid: Vbuid) -> &mut Mtl {
+        let node = self.home_of(vbuid);
+        &mut self.mtls[node.0 as usize]
+    }
+
+    /// Finds and enables a free VB of `size_class` homed on `node` —
+    /// the OS's placement step ("the OS attempts to ensure that the VB's
+    /// home MTL is in the same node as the core executing the process").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::OutOfVirtualBlocks`] when the node's slice of the
+    /// class is exhausted.
+    pub fn enable_vb_on(
+        &mut self,
+        node: NodeId,
+        size_class: SizeClass,
+        props: VbProperties,
+    ) -> Result<Vbuid> {
+        for local in 0..self.vbs_per_node(size_class).min(1 << 20) {
+            let vbuid = self.vbuid_on(node, size_class, local)?;
+            let mtl = self.mtl_mut(node);
+            match mtl.enable_vb(vbuid, props) {
+                Ok(()) => return Ok(vbuid),
+                Err(VbiError::VbAlreadyEnabled(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(VbiError::OutOfVirtualBlocks(size_class))
+    }
+
+    /// Routes a translation to the VB's home MTL.
+    ///
+    /// # Errors
+    ///
+    /// Any error from the home MTL.
+    pub fn translate(&mut self, addr: VbiAddress, access: MtlAccess) -> Result<Translation> {
+        self.home_mtl_of(addr.vbuid()).translate(addr, access)
+    }
+
+    /// Functional read routed to the home MTL.
+    ///
+    /// # Errors
+    ///
+    /// Any error from the home MTL.
+    pub fn read_u64(&mut self, addr: VbiAddress) -> Result<u64> {
+        self.home_mtl_of(addr.vbuid()).read_u64(addr)
+    }
+
+    /// Functional write routed to the home MTL.
+    ///
+    /// # Errors
+    ///
+    /// Any error from the home MTL.
+    pub fn write_u64(&mut self, addr: VbiAddress, value: u64) -> Result<()> {
+        self.home_mtl_of(addr.vbuid()).write_u64(addr, value)
+    }
+
+    /// Migrates a VB's contents to a fresh VB of the same size class homed
+    /// on `to` ("the OS can seamlessly migrate data from a VB hosted by one
+    /// MTL to a VB hosted by another MTL"). Returns the new VBUID; the OS
+    /// then redirects CVT entries (see `crate::client::Cvt::redirect`) and
+    /// disables the old VB.
+    ///
+    /// # Errors
+    ///
+    /// Any enable/translation error on either node.
+    pub fn migrate_vb(&mut self, vbuid: Vbuid, to: NodeId) -> Result<Vbuid> {
+        let new = self.enable_vb_on(to, vbuid.size_class(), {
+            let from = self.home_of(vbuid);
+            self.mtl(from).props(vbuid)?
+        })?;
+        // Copy resident data page by page. Pages never written stay unmapped
+        // on the destination too (delayed allocation is preserved across the
+        // migration).
+        let from = self.home_of(vbuid);
+        let pages = vbuid.size_class().pages();
+        for page in 0..pages {
+            let src_addr = vbuid.address(page << 12)?;
+            let src_mtl = &mut self.mtls[from.0 as usize];
+            let backed = matches!(
+                src_mtl.translate(src_addr, MtlAccess::Read)?.result,
+                crate::mtl::TranslateResult::Mapped(_)
+            );
+            if !backed {
+                continue;
+            }
+            for line in 0..(4096 / 8) {
+                let offset = (page << 12) + line * 8;
+                let value = self.mtls[from.0 as usize].read_u64(vbuid.address(offset)?)?;
+                if value != 0 {
+                    self.mtls[to.0 as usize].write_u64(new.address(offset)?, value)?;
+                }
+            }
+        }
+        Ok(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MultiNodeSystem {
+        MultiNodeSystem::new(4, VbiConfig { phys_frames: 4096, ..VbiConfig::vbi_full() })
+    }
+
+    #[test]
+    fn vbids_partition_by_node() {
+        let m = machine();
+        for node in 0..4u8 {
+            let vb = m.vbuid_on(NodeId(node), SizeClass::Kib128, 5).unwrap();
+            assert_eq!(m.home_of(vb), NodeId(node));
+        }
+        assert_eq!(m.vbs_per_node(SizeClass::Kib128), SizeClass::Kib128.vb_count() / 4);
+    }
+
+    #[test]
+    fn local_slices_do_not_collide() {
+        let mut m = machine();
+        let a = m.enable_vb_on(NodeId(0), SizeClass::Kib128, VbProperties::NONE).unwrap();
+        let b = m.enable_vb_on(NodeId(1), SizeClass::Kib128, VbProperties::NONE).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(m.home_of(a), NodeId(0));
+        assert_eq!(m.home_of(b), NodeId(1));
+    }
+
+    #[test]
+    fn accesses_route_to_the_home_mtl() {
+        let mut m = machine();
+        let vb = m.enable_vb_on(NodeId(3), SizeClass::Kib128, VbProperties::NONE).unwrap();
+        m.write_u64(vb.address(64).unwrap(), 99).unwrap();
+        assert_eq!(m.read_u64(vb.address(64).unwrap()).unwrap(), 99);
+        // Only node 3's MTL allocated anything.
+        for node in 0..3u8 {
+            assert_eq!(
+                m.mtl(NodeId(node)).free_frames(),
+                m.mtl(NodeId(node)).config().phys_frames
+            );
+        }
+        assert!(m.mtl(NodeId(3)).free_frames() < m.mtl(NodeId(3)).config().phys_frames);
+    }
+
+    #[test]
+    fn nodes_have_independent_capacity() {
+        // Exhausting one node's memory does not affect another's.
+        let mut m = MultiNodeSystem::new(
+            2,
+            VbiConfig { phys_frames: 64, ..VbiConfig::vbi_2() },
+        );
+        let a = m.enable_vb_on(NodeId(0), SizeClass::Kib128, VbProperties::NONE).unwrap();
+        let mut wrote = 0;
+        for page in 0..32u64 {
+            if m.write_u64(a.address(page << 12).unwrap(), page).is_err() {
+                break;
+            }
+            wrote += 1;
+        }
+        assert!(wrote > 0);
+        let b = m.enable_vb_on(NodeId(1), SizeClass::Kib4, VbProperties::NONE).unwrap();
+        m.write_u64(b.address(0).unwrap(), 1).unwrap();
+    }
+
+    #[test]
+    fn migration_moves_data_and_home() {
+        let mut m = machine();
+        let vb = m.enable_vb_on(NodeId(0), SizeClass::Kib128, VbProperties::NONE).unwrap();
+        for page in (0..32u64).step_by(5) {
+            m.write_u64(vb.address(page << 12).unwrap(), 1000 + page).unwrap();
+        }
+        let moved = m.migrate_vb(vb, NodeId(2)).unwrap();
+        assert_eq!(m.home_of(moved), NodeId(2));
+        for page in (0..32u64).step_by(5) {
+            assert_eq!(m.read_u64(moved.address(page << 12).unwrap()).unwrap(), 1000 + page);
+        }
+        // Untouched pages are still unallocated on the destination.
+        assert_eq!(m.read_u64(moved.address(1 << 12).unwrap()).unwrap(), 0);
+        // The old VB can now be disabled, freeing node 0's memory.
+        m.mtl_mut(NodeId(0)).disable_vb(vb).unwrap();
+        assert_eq!(
+            m.mtl(NodeId(0)).free_frames(),
+            m.mtl(NodeId(0)).config().phys_frames
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_node_counts_panic() {
+        let _ = MultiNodeSystem::new(3, VbiConfig::vbi_full());
+    }
+}

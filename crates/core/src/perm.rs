@@ -1,0 +1,189 @@
+//! Read/write/execute permissions stored in Client-VB Table entries.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// A three-bit read-write-execute permission set (§4.1.2).
+///
+/// Each CVT entry carries one `Rwx` value describing how the owning client
+/// may access the referenced VB. Permissions are checked by the CPU on every
+/// memory access, *before* the cache hierarchy is consulted, which is what
+/// lets VBI defer address translation to the memory controller.
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::perm::Rwx;
+///
+/// let rw = Rwx::READ | Rwx::WRITE;
+/// assert!(rw.allows(Rwx::READ));
+/// assert!(rw.allows(Rwx::WRITE));
+/// assert!(!rw.allows(Rwx::EXECUTE));
+/// assert!(rw.allows(Rwx::READ | Rwx::WRITE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rwx(u8);
+
+impl Rwx {
+    /// No access.
+    pub const NONE: Rwx = Rwx(0);
+    /// Read permission.
+    pub const READ: Rwx = Rwx(0b100);
+    /// Write permission.
+    pub const WRITE: Rwx = Rwx(0b010);
+    /// Execute permission.
+    pub const EXECUTE: Rwx = Rwx(0b001);
+    /// Read and write.
+    pub const READ_WRITE: Rwx = Rwx(0b110);
+    /// Read and execute.
+    pub const READ_EXECUTE: Rwx = Rwx(0b101);
+    /// Full access.
+    pub const ALL: Rwx = Rwx(0b111);
+
+    /// Builds a permission set from its three-bit encoding.
+    ///
+    /// Only the low three bits are kept, matching the architectural field
+    /// width in the CVT entry.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Rwx {
+        Rwx(bits & 0b111)
+    }
+
+    /// The three-bit encoding.
+    #[inline]
+    pub const fn to_bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether every permission in `required` is granted by `self`.
+    #[inline]
+    pub const fn allows(self, required: Rwx) -> bool {
+        self.0 & required.0 == required.0
+    }
+
+    /// Whether no permission is granted.
+    #[inline]
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Rwx {
+    type Output = Rwx;
+    fn bitor(self, rhs: Rwx) -> Rwx {
+        Rwx(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Rwx {
+    fn bitor_assign(&mut self, rhs: Rwx) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Rwx {
+    type Output = Rwx;
+    fn bitand(self, rhs: Rwx) -> Rwx {
+        Rwx(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for Rwx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.allows(Rwx::READ) { 'r' } else { '-' },
+            if self.allows(Rwx::WRITE) { 'w' } else { '-' },
+            if self.allows(Rwx::EXECUTE) { 'x' } else { '-' },
+        )
+    }
+}
+
+/// The kind of memory access being performed, used for protection checks and
+/// for the Memory Translation Layer's allocation decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+    /// An instruction fetch.
+    Execute,
+}
+
+impl AccessKind {
+    /// The permission this access requires.
+    #[inline]
+    pub const fn required(self) -> Rwx {
+        match self {
+            AccessKind::Read => Rwx::READ,
+            AccessKind::Write => Rwx::WRITE,
+            AccessKind::Execute => Rwx::EXECUTE,
+        }
+    }
+
+    /// Whether the access can dirty a cache line.
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Execute => "execute",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_encoding_is_three_bits() {
+        assert_eq!(Rwx::from_bits(0xff), Rwx::ALL);
+        assert_eq!(Rwx::ALL.to_bits(), 0b111);
+        assert_eq!(Rwx::NONE.to_bits(), 0);
+    }
+
+    #[test]
+    fn allows_requires_every_bit() {
+        assert!(Rwx::ALL.allows(Rwx::READ_WRITE));
+        assert!(!Rwx::READ.allows(Rwx::READ_WRITE));
+        assert!(Rwx::READ_WRITE.allows(Rwx::NONE));
+        assert!(Rwx::NONE.allows(Rwx::NONE));
+        assert!(!Rwx::NONE.allows(Rwx::EXECUTE));
+    }
+
+    #[test]
+    fn operators_compose() {
+        let mut p = Rwx::READ;
+        p |= Rwx::EXECUTE;
+        assert_eq!(p, Rwx::READ_EXECUTE);
+        assert_eq!(p & Rwx::READ, Rwx::READ);
+        assert_eq!(Rwx::READ | Rwx::WRITE, Rwx::READ_WRITE);
+    }
+
+    #[test]
+    fn access_kinds_map_to_permissions() {
+        assert_eq!(AccessKind::Read.required(), Rwx::READ);
+        assert_eq!(AccessKind::Write.required(), Rwx::WRITE);
+        assert_eq!(AccessKind::Execute.required(), Rwx::EXECUTE);
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+
+    #[test]
+    fn display_matches_unix_style() {
+        assert_eq!(Rwx::ALL.to_string(), "rwx");
+        assert_eq!(Rwx::READ_WRITE.to_string(), "rw-");
+        assert_eq!(Rwx::NONE.to_string(), "---");
+        assert_eq!(AccessKind::Execute.to_string(), "execute");
+    }
+}

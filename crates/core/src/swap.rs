@@ -1,0 +1,129 @@
+//! Backing store for swapped-out VB data (§3.4, "Physical Memory Capacity
+//! Management").
+//!
+//! When the MTL runs out of physical memory it moves page-sized regions of
+//! VBs to the backing store and records the slot in the VB's translation
+//! structure. The same mechanism backs memory-mapped files: a file is a set
+//! of pre-populated slots associated with a VB.
+
+use std::collections::HashMap;
+
+use crate::phys::FRAME_BYTES;
+use crate::translate::SwapSlot;
+
+type PageData = Box<[u8; FRAME_BYTES as usize]>;
+
+/// An in-memory stand-in for the swap device / file system.
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::swap::BackingStore;
+///
+/// let mut store = BackingStore::new();
+/// let slot = store.store(Box::new([7u8; 4096]));
+/// let data = store.load(slot).expect("slot exists");
+/// assert_eq!(data[0], 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct BackingStore {
+    slots: HashMap<u64, PageData>,
+    next_slot: u64,
+}
+
+impl BackingStore {
+    /// Creates an empty backing store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a page, returning its slot.
+    pub fn store(&mut self, data: PageData) -> SwapSlot {
+        let slot = SwapSlot(self.next_slot);
+        self.next_slot += 1;
+        self.slots.insert(slot.0, data);
+        slot
+    }
+
+    /// Stores a logically zero page (no payload needed).
+    pub fn store_zero(&mut self) -> SwapSlot {
+        let slot = SwapSlot(self.next_slot);
+        self.next_slot += 1;
+        slot
+    }
+
+    /// Removes and returns a slot's data. `None` means the slot held a
+    /// logically zero page (or was never stored).
+    pub fn load(&mut self, slot: SwapSlot) -> Option<PageData> {
+        self.slots.remove(&slot.0)
+    }
+
+    /// Reads a slot without consuming it (used by copy-on-write cloning of
+    /// swapped pages and by file-backed VBs that keep the file authoritative).
+    pub fn peek(&self, slot: SwapSlot) -> Option<&PageData> {
+        self.slots.get(&slot.0)
+    }
+
+    /// Duplicates a slot's contents into a fresh slot (cloning a VB with
+    /// swapped-out pages).
+    pub fn duplicate(&mut self, slot: SwapSlot) -> SwapSlot {
+        match self.slots.get(&slot.0).cloned() {
+            Some(data) => self.store(data),
+            None => self.store_zero(),
+        }
+    }
+
+    /// Discards a slot (VB disabled while pages were swapped out).
+    pub fn discard(&mut self, slot: SwapSlot) {
+        self.slots.remove(&slot.0);
+    }
+
+    /// Number of slots currently holding data.
+    pub fn occupied(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut s = BackingStore::new();
+        let mut page = Box::new([0u8; 4096]);
+        page[100] = 42;
+        let slot = s.store(page);
+        let back = s.load(slot).unwrap();
+        assert_eq!(back[100], 42);
+        assert!(s.load(slot).is_none(), "load consumes the slot");
+    }
+
+    #[test]
+    fn zero_slots_have_no_payload() {
+        let mut s = BackingStore::new();
+        let slot = s.store_zero();
+        assert!(s.peek(slot).is_none());
+        assert!(s.load(slot).is_none());
+        assert_eq!(s.occupied(), 0);
+    }
+
+    #[test]
+    fn duplicate_copies_contents() {
+        let mut s = BackingStore::new();
+        let slot = s.store(Box::new([9u8; 4096]));
+        let dup = s.duplicate(slot);
+        assert_ne!(slot, dup);
+        assert_eq!(s.peek(slot).unwrap()[0], 9);
+        assert_eq!(s.peek(dup).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn slots_are_never_reused() {
+        let mut s = BackingStore::new();
+        let a = s.store_zero();
+        s.discard(a);
+        let b = s.store_zero();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,649 @@
+//! Processor-side glue: clients, CVT checks, and the MTL behind them.
+//!
+//! [`System`] models everything between a program's `{CVT index, offset}`
+//! virtual address and physical memory: the per-client Client-VB Tables, the
+//! per-core CVT caches, and the Memory Translation Layer. It exposes the
+//! operations of §4.2 — `request_vb`, `attach`/`detach`, loads and stores
+//! with protection checks, VB promotion — as a safe API that the OS model
+//! (`crate::os`) and the simulators build on.
+
+use std::collections::HashMap;
+
+use crate::addr::{SizeClass, VbiAddress, Vbuid};
+use crate::client::{ClientId, ClientIdAllocator, Cvt, VirtualAddress};
+use crate::config::VbiConfig;
+use crate::cvt_cache::{CvtCache, CvtCacheStats};
+use crate::error::{Result, VbiError};
+use crate::mtl::{Mtl, MtlAccess, TranslateResult};
+use crate::perm::{AccessKind, Rwx};
+use crate::vb::VbProperties;
+
+/// A program's handle on an attached VB: the CVT index returned by
+/// `request_vb` plus (for convenience and introspection) the VBUID behind it.
+///
+/// Programs only ever need `cvt_index`; keeping the VBUID on the handle makes
+/// tests and examples more legible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VbHandle {
+    /// Index of the CVT entry pointing at the VB — the program's pointer.
+    pub cvt_index: usize,
+    /// The VB behind the entry (may change under promotion/migration).
+    pub vbuid: Vbuid,
+}
+
+impl VbHandle {
+    /// The virtual address `offset` bytes into the VB.
+    pub const fn at(&self, offset: u64) -> VirtualAddress {
+        VirtualAddress::new(self.cvt_index, offset)
+    }
+}
+
+/// The outcome of a protection-checked access, with its timing-relevant
+/// events (consumed by the timing simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckedAccess {
+    /// The VBI address the access maps to (used to index all caches).
+    pub address: VbiAddress,
+    /// Whether the CVT cache supplied the entry (a miss costs one memory
+    /// read of the in-memory CVT).
+    pub cvt_cache_hit: bool,
+}
+
+/// A full VBI machine: MTL + clients + CVTs + CVT caches.
+///
+/// See the [crate-level documentation](crate) for a quick-start example.
+#[derive(Debug)]
+pub struct System {
+    mtl: Mtl,
+    cvts: HashMap<ClientId, Cvt>,
+    cvt_caches: HashMap<ClientId, CvtCache>,
+    client_ids: ClientIdAllocator,
+    config: VbiConfig,
+}
+
+impl System {
+    /// Creates a system with the given configuration.
+    pub fn new(config: VbiConfig) -> Self {
+        Self {
+            mtl: Mtl::new(config.clone()),
+            cvts: HashMap::new(),
+            cvt_caches: HashMap::new(),
+            client_ids: ClientIdAllocator::new(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VbiConfig {
+        &self.config
+    }
+
+    /// Read access to the MTL (stats, structure inspection).
+    pub fn mtl(&self) -> &Mtl {
+        &self.mtl
+    }
+
+    /// Mutable access to the MTL (used by simulators driving translation
+    /// directly and by the OS model for swapping/mmap).
+    pub fn mtl_mut(&mut self) -> &mut Mtl {
+        &mut self.mtl
+    }
+
+    // --- clients ------------------------------------------------------------
+
+    /// Registers a new memory client (process, OS, or VM guest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::OutOfClients`] when all 2^16 IDs are live.
+    pub fn create_client(&mut self) -> Result<ClientId> {
+        let id = self.client_ids.allocate()?;
+        self.cvts.insert(id, Cvt::new(id, self.config.cvt_capacity));
+        self.cvt_caches.insert(id, CvtCache::new(self.config.cvt_cache_slots));
+        Ok(id)
+    }
+
+    /// Registers a client with a caller-chosen ID (used by the VM layer,
+    /// which partitions the client-ID space among virtual machines, §6.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] if the ID is already live.
+    pub fn create_client_with_id(&mut self, id: ClientId) -> Result<ClientId> {
+        if self.cvts.contains_key(&id) {
+            return Err(VbiError::InvalidClient(id));
+        }
+        self.cvts.insert(id, Cvt::new(id, self.config.cvt_capacity));
+        self.cvt_caches.insert(id, CvtCache::new(self.config.cvt_cache_slots));
+        Ok(id)
+    }
+
+    /// Destroys a client: detaches every VB in its CVT, disables VBs whose
+    /// reference count drops to zero (§4.2.4), and recycles the client ID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] for unknown clients.
+    pub fn destroy_client(&mut self, client: ClientId) -> Result<()> {
+        let cvt = self.cvts.remove(&client).ok_or(VbiError::InvalidClient(client))?;
+        self.cvt_caches.remove(&client);
+        for (_, entry) in cvt.iter() {
+            let vbuid = entry.vbuid();
+            if self.mtl.remove_ref(vbuid)? == 0 {
+                self.mtl.disable_vb(vbuid)?;
+            }
+        }
+        self.client_ids.release(client);
+        Ok(())
+    }
+
+    /// Whether `client` is live.
+    pub fn client_exists(&self, client: ClientId) -> bool {
+        self.cvts.contains_key(&client)
+    }
+
+    /// The client's CVT (for inspection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] for unknown clients.
+    pub fn cvt(&self, client: ClientId) -> Result<&Cvt> {
+        self.cvts.get(&client).ok_or(VbiError::InvalidClient(client))
+    }
+
+    /// The client's CVT-cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] for unknown clients.
+    pub fn cvt_cache_stats(&self, client: ClientId) -> Result<CvtCacheStats> {
+        self.cvt_caches
+            .get(&client)
+            .map(CvtCache::stats)
+            .ok_or(VbiError::InvalidClient(client))
+    }
+
+    // --- VB management --------------------------------------------------------
+
+    /// The `request_vb` system call (§4.2): finds the smallest free VB that
+    /// fits `bytes`, enables it with `props`, attaches the caller with
+    /// `perms`, and returns the CVT index as the program's handle.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::RequestTooLarge`] for requests beyond 128 TiB,
+    /// [`VbiError::InvalidClient`], [`VbiError::CvtFull`], or VB exhaustion.
+    pub fn request_vb(
+        &mut self,
+        client: ClientId,
+        bytes: u64,
+        props: VbProperties,
+        perms: Rwx,
+    ) -> Result<VbHandle> {
+        let size_class =
+            SizeClass::smallest_fitting(bytes).ok_or(VbiError::RequestTooLarge { requested: bytes })?;
+        let vbuid = self.mtl.find_free_vb(size_class)?;
+        self.mtl.enable_vb(vbuid, props)?;
+        match self.attach(client, vbuid, perms) {
+            Ok(index) => Ok(VbHandle { cvt_index: index, vbuid }),
+            Err(e) => {
+                // Roll back the enable so the VB is not leaked.
+                let _ = self.mtl.disable_vb(vbuid);
+                Err(e)
+            }
+        }
+    }
+
+    /// The `attach` instruction: adds a CVT entry for `vbuid` with `perms`
+    /// and increments the VB's reference count. Returns the CVT index.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`], [`VbiError::VbNotEnabled`], or
+    /// [`VbiError::CvtFull`].
+    pub fn attach(&mut self, client: ClientId, vbuid: Vbuid, perms: Rwx) -> Result<usize> {
+        self.mtl.add_ref(vbuid)?;
+        let cvt = match self.cvts.get_mut(&client) {
+            Some(cvt) => cvt,
+            None => {
+                let _ = self.mtl.remove_ref(vbuid);
+                return Err(VbiError::InvalidClient(client));
+            }
+        };
+        match cvt.attach(vbuid, perms) {
+            Ok(index) => Ok(index),
+            Err(e) => {
+                let _ = self.mtl.remove_ref(vbuid);
+                Err(e)
+            }
+        }
+    }
+
+    /// `attach` at a specific CVT index (fork and shared-library layout).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`System::attach`].
+    pub fn attach_at(
+        &mut self,
+        client: ClientId,
+        index: usize,
+        vbuid: Vbuid,
+        perms: Rwx,
+    ) -> Result<()> {
+        self.mtl.add_ref(vbuid)?;
+        let cvt = match self.cvts.get_mut(&client) {
+            Some(cvt) => cvt,
+            None => {
+                let _ = self.mtl.remove_ref(vbuid);
+                return Err(VbiError::InvalidClient(client));
+            }
+        };
+        match cvt.attach_at(index, vbuid, perms) {
+            Ok(()) => {
+                self.cvt_caches.get_mut(&client).expect("cache exists with cvt").invalidate(client, index);
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.mtl.remove_ref(vbuid);
+                Err(e)
+            }
+        }
+    }
+
+    /// The `detach` instruction: invalidates the client's CVT entry for
+    /// `vbuid` and decrements the reference count. Returns the new count so
+    /// callers can `disable_vb` at zero.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`] or [`VbiError::VbNotEnabled`].
+    pub fn detach(&mut self, client: ClientId, vbuid: Vbuid) -> Result<u32> {
+        let cvt = self.cvts.get_mut(&client).ok_or(VbiError::InvalidClient(client))?;
+        let index = cvt.detach(vbuid)?;
+        self.cvt_caches.get_mut(&client).expect("cache exists with cvt").invalidate(client, index);
+        self.mtl.remove_ref(vbuid)
+    }
+
+    /// Detaches the VB behind a handle and disables it if this was the last
+    /// reference — the common "free this data structure" path.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`], or
+    /// [`VbiError::VbNotEnabled`].
+    pub fn release_vb(&mut self, client: ClientId, index: usize) -> Result<()> {
+        let cvt = self.cvts.get_mut(&client).ok_or(VbiError::InvalidClient(client))?;
+        let vbuid = cvt.detach_index(index)?;
+        self.cvt_caches.get_mut(&client).expect("cache exists with cvt").invalidate(client, index);
+        if self.mtl.remove_ref(vbuid)? == 0 {
+            self.mtl.disable_vb(vbuid)?;
+        }
+        Ok(())
+    }
+
+    /// Promotes the VB behind `index` to the next larger size class (§4.4):
+    /// enables a larger VB, executes `promote_vb`, redirects every CVT entry
+    /// in the system that referenced the old VB, and disables the old VB.
+    /// Returns the new handle.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::RequestTooLarge`] at the largest class, plus any
+    /// attach/enable error.
+    pub fn promote(&mut self, client: ClientId, index: usize) -> Result<VbHandle> {
+        let old = self.cvt(client)?.entry(index)?.vbuid();
+        let next = old
+            .size_class()
+            .next_larger()
+            .ok_or(VbiError::RequestTooLarge { requested: old.bytes() + 1 })?;
+        let props = self.mtl.props(old)?;
+        let new = self.mtl.find_free_vb(next)?;
+        self.mtl.enable_vb(new, props)?;
+        if let Err(e) = self.mtl.promote_vb(old, new) {
+            let _ = self.mtl.disable_vb(new);
+            return Err(e);
+        }
+        // Redirect every CVT entry in the system pointing at the old VB and
+        // move its reference counts to the new VB.
+        let mut moved = 0;
+        for (cid, cvt) in self.cvts.iter_mut() {
+            let indices: Vec<usize> =
+                cvt.iter().filter(|(_, e)| e.vbuid() == old).map(|(i, _)| i).collect();
+            for i in indices {
+                cvt.redirect(i, new)?;
+                self.cvt_caches.get_mut(cid).expect("cache exists with cvt").invalidate(*cid, i);
+                moved += 1;
+            }
+        }
+        for _ in 0..moved {
+            self.mtl.remove_ref(old)?;
+            self.mtl.add_ref(new)?;
+        }
+        self.mtl.disable_vb(old)?;
+        Ok(VbHandle { cvt_index: index, vbuid: new })
+    }
+
+    // --- protection-checked access ---------------------------------------------
+
+    /// Performs the CPU-side access check of §4.2.3 through the client's CVT
+    /// cache: index bounds, RWX permission, and offset bounds. On success
+    /// returns the VBI address plus cache-hit information.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`],
+    /// [`VbiError::PermissionDenied`], or [`VbiError::OffsetOutOfRange`].
+    pub fn access(
+        &mut self,
+        client: ClientId,
+        va: VirtualAddress,
+        kind: AccessKind,
+    ) -> Result<CheckedAccess> {
+        let cache = self.cvt_caches.get_mut(&client).ok_or(VbiError::InvalidClient(client))?;
+        let (entry, cvt_cache_hit) = match cache.lookup(client, va.cvt_index()) {
+            Some(entry) => (entry, true),
+            None => {
+                // Miss: read the in-memory CVT and fill the cache.
+                let cvt = self.cvts.get(&client).ok_or(VbiError::InvalidClient(client))?;
+                let entry = *cvt.entry(va.cvt_index())?;
+                self.cvt_caches
+                    .get_mut(&client)
+                    .expect("cache exists with cvt")
+                    .fill(client, va.cvt_index(), entry);
+                (entry, false)
+            }
+        };
+        let required = kind.required();
+        if !entry.permissions().allows(required) {
+            return Err(VbiError::PermissionDenied {
+                client,
+                vbuid: entry.vbuid(),
+                required,
+                granted: entry.permissions(),
+            });
+        }
+        let address = entry.vbuid().address(va.offset())?;
+        Ok(CheckedAccess { address, cvt_cache_hit })
+    }
+
+    // --- functional loads and stores ----------------------------------------------
+
+    /// Protection-checked functional load of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn load_u64(&mut self, client: ClientId, va: VirtualAddress) -> Result<u64> {
+        let checked = self.access(client, va, AccessKind::Read)?;
+        self.mtl.read_u64(checked.address)
+    }
+
+    /// Protection-checked functional store of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn store_u64(&mut self, client: ClientId, va: VirtualAddress, value: u64) -> Result<()> {
+        let checked = self.access(client, va, AccessKind::Write)?;
+        self.mtl.write_u64(checked.address, value)
+    }
+
+    /// Protection-checked functional load of one byte.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn load_u8(&mut self, client: ClientId, va: VirtualAddress) -> Result<u8> {
+        let checked = self.access(client, va, AccessKind::Read)?;
+        self.mtl.read_u8(checked.address)
+    }
+
+    /// Protection-checked functional store of one byte.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn store_u8(&mut self, client: ClientId, va: VirtualAddress, value: u8) -> Result<()> {
+        let checked = self.access(client, va, AccessKind::Write)?;
+        self.mtl.write_u8(checked.address, value)
+    }
+
+    /// Protection-checked instruction fetch (returns the byte; fetch width
+    /// is immaterial to the model).
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn fetch(&mut self, client: ClientId, va: VirtualAddress) -> Result<u8> {
+        let checked = self.access(client, va, AccessKind::Execute)?;
+        self.mtl.read_u8(checked.address)
+    }
+
+    /// Copies `data` into a VB through a checked store path (bulk helper for
+    /// loaders and tests).
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn store_bytes(
+        &mut self,
+        client: ClientId,
+        va: VirtualAddress,
+        data: &[u8],
+    ) -> Result<()> {
+        for (i, b) in data.iter().enumerate() {
+            self.store_u8(client, va.offset_by(i as u64), *b)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes from a VB through a checked load path.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn load_bytes(
+        &mut self,
+        client: ClientId,
+        va: VirtualAddress,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        (0..len).map(|i| self.load_u8(client, va.offset_by(i as u64))).collect()
+    }
+
+    /// Direct (unchecked) MTL translation — the path taken after the cache
+    /// hierarchy misses, used by the timing simulator.
+    ///
+    /// # Errors
+    ///
+    /// Any translation error.
+    pub fn mtl_translate(
+        &mut self,
+        address: VbiAddress,
+        access: MtlAccess,
+    ) -> Result<crate::mtl::Translation> {
+        self.mtl.translate(address, access)
+    }
+
+    /// Convenience: whether an address's data is currently backed by
+    /// physical memory (false = zero-line territory).
+    pub fn is_backed(&mut self, address: VbiAddress) -> bool {
+        matches!(
+            self.mtl.translate(address, MtlAccess::Read).map(|t| t.result),
+            Ok(TranslateResult::Mapped(_))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> System {
+        System::new(VbiConfig { phys_frames: 4096, ..VbiConfig::vbi_full() })
+    }
+
+    #[test]
+    fn request_vb_picks_the_smallest_fitting_class() {
+        let mut s = system();
+        let c = s.create_client().unwrap();
+        let small = s.request_vb(c, 100, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        assert_eq!(small.vbuid.size_class(), SizeClass::Kib4);
+        let big = s.request_vb(c, 200 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        assert_eq!(big.vbuid.size_class(), SizeClass::Mib4);
+    }
+
+    #[test]
+    fn store_and_load_roundtrip() {
+        let mut s = system();
+        let c = s.create_client().unwrap();
+        let vb = s.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        s.store_u64(c, vb.at(8), 0xabcd).unwrap();
+        assert_eq!(s.load_u64(c, vb.at(8)).unwrap(), 0xabcd);
+        assert_eq!(s.load_u64(c, vb.at(16)).unwrap(), 0, "untouched memory reads zero");
+    }
+
+    #[test]
+    fn permissions_are_enforced_per_client() {
+        let mut s = system();
+        let owner = s.create_client().unwrap();
+        let reader = s.create_client().unwrap();
+        let vb = s.request_vb(owner, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        s.store_u64(owner, vb.at(0), 7).unwrap();
+
+        // True sharing (§3.4): attach the second client read-only.
+        let idx = s.attach(reader, vb.vbuid, Rwx::READ).unwrap();
+        let ro = VirtualAddress::new(idx, 0);
+        assert_eq!(s.load_u64(reader, ro).unwrap(), 7);
+        assert!(matches!(
+            s.store_u64(reader, ro, 8),
+            Err(VbiError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn true_sharing_is_coherent() {
+        let mut s = system();
+        let a = s.create_client().unwrap();
+        let b = s.create_client().unwrap();
+        let vb = s.request_vb(a, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let idx_b = s.attach(b, vb.vbuid, Rwx::READ_WRITE).unwrap();
+        s.store_u64(a, vb.at(0), 1).unwrap();
+        assert_eq!(s.load_u64(b, VirtualAddress::new(idx_b, 0)).unwrap(), 1);
+        s.store_u64(b, VirtualAddress::new(idx_b, 0), 2).unwrap();
+        assert_eq!(s.load_u64(a, vb.at(0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn unattached_clients_cannot_touch_a_vb() {
+        let mut s = system();
+        let owner = s.create_client().unwrap();
+        let stranger = s.create_client().unwrap();
+        let vb = s.request_vb(owner, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        // The stranger's CVT has no entry: the index is invalid for them.
+        assert!(matches!(
+            s.load_u64(stranger, vb.at(0)),
+            Err(VbiError::InvalidCvtIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn release_vb_disables_at_zero_refs() {
+        let mut s = system();
+        let c = s.create_client().unwrap();
+        let free0 = s.mtl().free_frames();
+        let vb = s.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        s.store_u64(c, vb.at(0), 9).unwrap();
+        s.release_vb(c, vb.cvt_index).unwrap();
+        assert_eq!(s.mtl().free_frames(), free0);
+        assert!(matches!(s.load_u64(c, vb.at(0)), Err(VbiError::InvalidCvtIndex { .. })));
+    }
+
+    #[test]
+    fn shared_vb_survives_one_detach() {
+        let mut s = system();
+        let a = s.create_client().unwrap();
+        let b = s.create_client().unwrap();
+        let vb = s.request_vb(a, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let idx_b = s.attach(b, vb.vbuid, Rwx::READ).unwrap();
+        s.store_u64(a, vb.at(0), 3).unwrap();
+        s.release_vb(a, vb.cvt_index).unwrap();
+        // B still reads the data: the VB had refcount 2.
+        assert_eq!(s.load_u64(b, VirtualAddress::new(idx_b, 0)).unwrap(), 3);
+    }
+
+    #[test]
+    fn destroy_client_releases_everything() {
+        let mut s = system();
+        let free0 = s.mtl().free_frames();
+        let c = s.create_client().unwrap();
+        for i in 0..4 {
+            let vb = s.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+            s.store_u64(c, vb.at(0), i).unwrap();
+        }
+        s.destroy_client(c).unwrap();
+        assert_eq!(s.mtl().free_frames(), free0);
+        assert!(!s.client_exists(c));
+    }
+
+    #[test]
+    fn promotion_keeps_the_pointer_valid() {
+        let mut s = system();
+        let c = s.create_client().unwrap();
+        let vb = s.request_vb(c, 4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        s.store_u64(c, vb.at(64), 31337).unwrap();
+        let promoted = s.promote(c, vb.cvt_index).unwrap();
+        // Same CVT index — the program's pointers still work (§4.2.2) —
+        // but more space.
+        assert_eq!(promoted.cvt_index, vb.cvt_index);
+        assert_eq!(promoted.vbuid.size_class(), SizeClass::Kib128);
+        assert_eq!(s.load_u64(c, vb.at(64)).unwrap(), 31337);
+        s.store_u64(c, vb.at(100 << 10), 1).unwrap();
+        assert_eq!(s.load_u64(c, vb.at(100 << 10)).unwrap(), 1);
+    }
+
+    #[test]
+    fn promotion_redirects_all_sharers() {
+        let mut s = system();
+        let a = s.create_client().unwrap();
+        let b = s.create_client().unwrap();
+        let vb = s.request_vb(a, 4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let idx_b = s.attach(b, vb.vbuid, Rwx::READ_WRITE).unwrap();
+        s.store_u64(a, vb.at(0), 5).unwrap();
+        s.promote(a, vb.cvt_index).unwrap();
+        assert_eq!(s.load_u64(b, VirtualAddress::new(idx_b, 0)).unwrap(), 5);
+    }
+
+    #[test]
+    fn cvt_cache_gets_hot() {
+        let mut s = system();
+        let c = s.create_client().unwrap();
+        let vb = s.request_vb(c, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        for _ in 0..100 {
+            s.load_u64(c, vb.at(0)).unwrap();
+        }
+        let stats = s.cvt_cache_stats(c).unwrap();
+        assert!(stats.hit_rate() > 0.95, "hit rate {}", stats.hit_rate());
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected() {
+        let mut s = system();
+        let c = s.create_client().unwrap();
+        assert!(matches!(
+            s.request_vb(c, u64::MAX, VbProperties::NONE, Rwx::READ),
+            Err(VbiError::RequestTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut s = system();
+        let c = s.create_client().unwrap();
+        let vb = s.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let data: Vec<u8> = (0..=255).collect();
+        s.store_bytes(c, vb.at(4000), &data).unwrap(); // straddles a page
+        assert_eq!(s.load_bytes(c, vb.at(4000), 256).unwrap(), data);
+    }
+}

@@ -1,0 +1,223 @@
+//! Virtual-block property bitvectors and VB descriptors.
+//!
+//! Each VB carries a *property bitvector* (§4.1.1) combining flags that
+//! characterise its contents (`code`, `read-only`, `kernel`, ...) with
+//! software-provided hints about memory behaviour (latency sensitivity,
+//! bandwidth sensitivity, access pattern, ...). The bitvector is part of the
+//! ISA contract: software sets it at `enable_vb` time and the Memory
+//! Translation Layer reads it when making mapping and migration decisions.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign};
+
+use crate::addr::Vbuid;
+
+/// Property bitvector associated with every VB.
+///
+/// The low half holds content *flags*; the upper half holds behavioural
+/// *hints*. Both travel together through `enable_vb` as a single bitvector,
+/// as specified by the ISA (§4.1.1).
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::vb::VbProperties;
+///
+/// let props = VbProperties::CODE | VbProperties::KERNEL;
+/// assert!(props.contains(VbProperties::CODE));
+/// assert!(!props.contains(VbProperties::LATENCY_SENSITIVE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VbProperties(u32);
+
+impl VbProperties {
+    /// Empty property set.
+    pub const NONE: VbProperties = VbProperties(0);
+
+    // --- content flags -----------------------------------------------------
+    /// The VB holds executable code.
+    pub const CODE: VbProperties = VbProperties(1 << 0);
+    /// The VB is read-only after initialisation.
+    pub const READ_ONLY: VbProperties = VbProperties(1 << 1);
+    /// The VB belongs to the kernel.
+    pub const KERNEL: VbProperties = VbProperties(1 << 2);
+    /// The VB's contents compress well.
+    pub const COMPRESSIBLE: VbProperties = VbProperties(1 << 3);
+    /// The VB must survive power loss (backed by persistent memory).
+    pub const PERSISTENT: VbProperties = VbProperties(1 << 4);
+    /// The VB is backed by a memory-mapped file.
+    pub const FILE_BACKED: VbProperties = VbProperties(1 << 5);
+    /// The VB holds a shared library's static per-process data.
+    pub const LIBRARY_DATA: VbProperties = VbProperties(1 << 6);
+
+    // --- behavioural hints -------------------------------------------------
+    /// Latency-sensitive data: prefer low-latency memory regions.
+    pub const LATENCY_SENSITIVE: VbProperties = VbProperties(1 << 16);
+    /// Bandwidth-sensitive data: prefer high-bandwidth memory regions.
+    pub const BANDWIDTH_SENSITIVE: VbProperties = VbProperties(1 << 17);
+    /// Contents tolerate bit errors (e.g. approximate data).
+    pub const ERROR_TOLERANT: VbProperties = VbProperties(1 << 18);
+    /// Accesses are mostly sequential/streaming.
+    pub const STREAMING: VbProperties = VbProperties(1 << 19);
+    /// Accesses are pointer-chasing / dependent.
+    pub const POINTER_CHASING: VbProperties = VbProperties(1 << 20);
+    /// The program expects the VB to stay resident (avoid swapping).
+    pub const PINNED: VbProperties = VbProperties(1 << 21);
+
+    /// Builds a property set from its raw bitvector encoding.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> VbProperties {
+        VbProperties(bits)
+    }
+
+    /// The raw bitvector as carried by `enable_vb`.
+    #[inline]
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Whether every bit of `other` is set in `self`.
+    #[inline]
+    pub const fn contains(self, other: VbProperties) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any bit of `other` is set in `self`.
+    #[inline]
+    pub const fn intersects(self, other: VbProperties) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether no property is set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for VbProperties {
+    type Output = VbProperties;
+    fn bitor(self, rhs: VbProperties) -> VbProperties {
+        VbProperties(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for VbProperties {
+    fn bitor_assign(&mut self, rhs: VbProperties) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for VbProperties {
+    type Output = VbProperties;
+    fn bitand(self, rhs: VbProperties) -> VbProperties {
+        VbProperties(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for VbProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(u32, &str); 13] = [
+            (1 << 0, "code"),
+            (1 << 1, "read-only"),
+            (1 << 2, "kernel"),
+            (1 << 3, "compressible"),
+            (1 << 4, "persistent"),
+            (1 << 5, "file-backed"),
+            (1 << 6, "library-data"),
+            (1 << 16, "latency-sensitive"),
+            (1 << 17, "bandwidth-sensitive"),
+            (1 << 18, "error-tolerant"),
+            (1 << 19, "streaming"),
+            (1 << 20, "pointer-chasing"),
+            (1 << 21, "pinned"),
+        ];
+        if self.is_empty() {
+            return f.write_str("(none)");
+        }
+        let mut first = true;
+        for (bit, name) in NAMES {
+            if self.0 & bit != 0 {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A lightweight descriptor pairing a VBUID with its property bitvector.
+///
+/// This is the value the OS hands around when reasoning about a VB; the
+/// authoritative copy of the properties lives in the VB Info Table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VbDescriptor {
+    /// System-wide unique ID of the VB.
+    pub vbuid: Vbuid,
+    /// Property bitvector supplied at `enable_vb` time.
+    pub properties: VbProperties,
+}
+
+impl VbDescriptor {
+    /// Creates a descriptor.
+    pub fn new(vbuid: Vbuid, properties: VbProperties) -> Self {
+        Self { vbuid, properties }
+    }
+
+    /// Size of the described VB in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.vbuid.bytes()
+    }
+}
+
+impl fmt::Display for VbDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.vbuid, self.properties)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SizeClass;
+
+    #[test]
+    fn bits_roundtrip() {
+        let p = VbProperties::CODE | VbProperties::LATENCY_SENSITIVE;
+        assert_eq!(VbProperties::from_bits(p.to_bits()), p);
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let p = VbProperties::KERNEL | VbProperties::READ_ONLY;
+        assert!(p.contains(VbProperties::KERNEL));
+        assert!(!p.contains(VbProperties::KERNEL | VbProperties::CODE));
+        assert!(p.intersects(VbProperties::KERNEL | VbProperties::CODE));
+        assert!(!p.intersects(VbProperties::STREAMING));
+        assert!(VbProperties::NONE.is_empty());
+    }
+
+    #[test]
+    fn display_lists_set_bits() {
+        let p = VbProperties::CODE | VbProperties::KERNEL;
+        assert_eq!(p.to_string(), "code|kernel");
+        assert_eq!(VbProperties::NONE.to_string(), "(none)");
+        assert_eq!(
+            VbProperties::BANDWIDTH_SENSITIVE.to_string(),
+            "bandwidth-sensitive"
+        );
+    }
+
+    #[test]
+    fn descriptor_reports_size() {
+        let d = VbDescriptor::new(
+            Vbuid::new(SizeClass::Gib4, 6),
+            VbProperties::BANDWIDTH_SENSITIVE,
+        );
+        assert_eq!(d.bytes(), 4 << 30);
+        assert!(d.to_string().contains("bandwidth-sensitive"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Virtual-machine support: partitioning the VBI address space (§6.1).
+//!
+//! VBI isolates virtual machines by partitioning the global VBI address
+//! space: a few bits of the VBID (five in the paper's Figure 5, supporting
+//! 31 VMs plus the host as VM 0) name the owning VM. Client IDs are
+//! partitioned the same way. Once a guest process is attached to its VBs,
+//! its memory accesses are ordinary VBI accesses — no nested translation,
+//! no two-dimensional page walks.
+
+use core::fmt;
+
+use crate::addr::{SizeClass, Vbuid};
+use crate::client::ClientId;
+use crate::error::{Result, VbiError};
+use crate::system::System;
+
+/// A virtual-machine ID within the partitioned VBI space. ID 0 is the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(pub u8);
+
+impl VmId {
+    /// The host partition.
+    pub const HOST: VmId = VmId(0);
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            f.write_str("host")
+        } else {
+            write!(f, "vm#{}", self.0)
+        }
+    }
+}
+
+/// Partitions VBIDs and client IDs among virtual machines.
+///
+/// With `vm_id_bits = 5` (Figure 5), each size class's VBID space is split
+/// into 32 equal slices: the VM ID occupies the top five VBID bits, so for
+/// the 4 GiB class the address is `100 | VM ID (5b) | VBID (24b) | offset
+/// (32b)`.
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::addr::SizeClass;
+/// use vbi_core::vm::{VmId, VmPartition};
+///
+/// let part = VmPartition::new(5);
+/// let vb = part.vbuid(VmId(3), SizeClass::Gib4, 7)?;
+/// assert_eq!(part.vm_of(vb), VmId(3));
+/// assert_eq!(part.local_vbid(vb), 7);
+/// # Ok::<(), vbi_core::VbiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmPartition {
+    vm_id_bits: u32,
+}
+
+impl VmPartition {
+    /// Creates a partitioning scheme with `vm_id_bits` bits of VM ID
+    /// (supporting `2^vm_id_bits - 1` guests plus the host).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm_id_bits` exceeds the smallest class's VBID width budget
+    /// (8 bits keeps every class usable).
+    pub fn new(vm_id_bits: u32) -> Self {
+        assert!(vm_id_bits <= 8, "at most 8 VM-ID bits supported");
+        Self { vm_id_bits }
+    }
+
+    /// Number of VMs supported, including the host.
+    pub fn vm_count(&self) -> u32 {
+        1 << self.vm_id_bits
+    }
+
+    /// Number of VBs of `size_class` available to each VM.
+    pub fn vbs_per_vm(&self, size_class: SizeClass) -> u64 {
+        size_class.vb_count() >> self.vm_id_bits
+    }
+
+    /// Builds the global VBUID for a VM-local VBID.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidVmId`] if the VM ID does not fit the partition, or
+    /// [`VbiError::OutOfVirtualBlocks`] if `local_vbid` exceeds the VM's
+    /// slice.
+    pub fn vbuid(&self, vm: VmId, size_class: SizeClass, local_vbid: u64) -> Result<Vbuid> {
+        if u32::from(vm.0) >= self.vm_count() {
+            return Err(VbiError::InvalidVmId(vm.0));
+        }
+        let per_vm = self.vbs_per_vm(size_class);
+        if local_vbid >= per_vm {
+            return Err(VbiError::OutOfVirtualBlocks(size_class));
+        }
+        let shift = size_class.vbid_bits() - self.vm_id_bits;
+        Ok(Vbuid::new(size_class, ((vm.0 as u64) << shift) | local_vbid))
+    }
+
+    /// The VM that owns a VB.
+    pub fn vm_of(&self, vbuid: Vbuid) -> VmId {
+        let shift = vbuid.size_class().vbid_bits() - self.vm_id_bits;
+        VmId((vbuid.vbid() >> shift) as u8)
+    }
+
+    /// The VM-local VBID of a VB.
+    pub fn local_vbid(&self, vbuid: Vbuid) -> u64 {
+        let shift = vbuid.size_class().vbid_bits() - self.vm_id_bits;
+        vbuid.vbid() & ((1u64 << shift) - 1)
+    }
+
+    /// The client-ID range assigned to a VM (client IDs are partitioned the
+    /// same way as VBIDs, over the 16-bit client space).
+    pub fn client_range(&self, vm: VmId) -> (u16, u32) {
+        let per_vm = (1u32 << 16) >> self.vm_id_bits;
+        let start = per_vm * u32::from(vm.0);
+        (start as u16, start + per_vm)
+    }
+}
+
+/// A guest virtual machine: a slice of the VBI space plus its own client-ID
+/// range. The guest OS allocates VBs and clients inside its slice without
+/// coordinating with the host (§6.1).
+#[derive(Debug)]
+pub struct VirtualMachine {
+    vm: VmId,
+    partition: VmPartition,
+    next_client: u32,
+    client_end: u32,
+}
+
+impl VirtualMachine {
+    /// Creates the guest-side state for `vm` under `partition`.
+    pub fn new(vm: VmId, partition: VmPartition) -> Self {
+        let (start, end) = partition.client_range(vm);
+        Self { vm, partition, next_client: start as u32, client_end: end }
+    }
+
+    /// The VM's ID.
+    pub fn id(&self) -> VmId {
+        self.vm
+    }
+
+    /// Creates a guest process: a client inside the VM's client-ID slice.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::OutOfClients`] when the slice is exhausted.
+    pub fn create_guest_client(&mut self, system: &mut System) -> Result<ClientId> {
+        if self.next_client >= self.client_end {
+            return Err(VbiError::OutOfClients);
+        }
+        let id = ClientId(self.next_client as u16);
+        self.next_client += 1;
+        system.create_client_with_id(id)
+    }
+
+    /// Finds a free VB of `size_class` inside the VM's slice by scanning
+    /// VM-local VBIDs (the guest OS's `request_vb` scan).
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::OutOfVirtualBlocks`] when the slice is exhausted.
+    pub fn find_free_vb(&self, system: &System, size_class: SizeClass) -> Result<Vbuid> {
+        let per_vm = self.partition.vbs_per_vm(size_class);
+        for local in 0..per_vm {
+            let vbuid = self.partition.vbuid(self.vm, size_class, local)?;
+            if system.mtl().translation_kind(vbuid).is_err() {
+                // Not enabled: free.
+                return Ok(vbuid);
+            }
+        }
+        Err(VbiError::OutOfVirtualBlocks(size_class))
+    }
+
+    /// Whether `vbuid` belongs to this VM's slice.
+    pub fn owns(&self, vbuid: Vbuid) -> bool {
+        self.partition.vm_of(vbuid) == self.vm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VbiConfig;
+    use crate::perm::Rwx;
+    use crate::vb::VbProperties;
+
+    #[test]
+    fn figure5_layout() {
+        // Figure 5: 4 GiB class, 3-bit size ID, 5-bit VM ID, 24-bit VBID,
+        // 32-bit offset.
+        let part = VmPartition::new(5);
+        assert_eq!(SizeClass::Gib4.vbid_bits(), 29);
+        assert_eq!(part.vbs_per_vm(SizeClass::Gib4), 1 << 24);
+        let vb = part.vbuid(VmId(5), SizeClass::Gib4, 3).unwrap();
+        let bits = vb.to_bits();
+        assert_eq!(bits >> 61, 0b100, "size ID for 4 GiB");
+        assert_eq!((bits >> 56) & 0x1f, 5, "VM ID sits below the size ID");
+    }
+
+    #[test]
+    fn partition_roundtrips() {
+        let part = VmPartition::new(5);
+        for vm in [0u8, 1, 17, 31] {
+            for sc in [SizeClass::Kib4, SizeClass::Gib4, SizeClass::Tib128] {
+                let vb = part.vbuid(VmId(vm), sc, 42).unwrap();
+                assert_eq!(part.vm_of(vb), VmId(vm));
+                assert_eq!(part.local_vbid(vb), 42);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_vms_and_vbids_are_rejected() {
+        let part = VmPartition::new(5);
+        assert!(matches!(
+            part.vbuid(VmId(32), SizeClass::Kib4, 0),
+            Err(VbiError::InvalidVmId(32))
+        ));
+        assert!(part
+            .vbuid(VmId(0), SizeClass::Tib128, part.vbs_per_vm(SizeClass::Tib128))
+            .is_err());
+    }
+
+    #[test]
+    fn client_ranges_do_not_overlap() {
+        let part = VmPartition::new(5);
+        let (s0, e0) = part.client_range(VmId(0));
+        let (s1, e1) = part.client_range(VmId(1));
+        assert_eq!(e0, s1 as u32);
+        assert_eq!(e1 - s1 as u32, e0 - s0 as u32);
+        let (_, last_end) = part.client_range(VmId(31));
+        assert_eq!(last_end, 1 << 16);
+    }
+
+    #[test]
+    fn guests_allocate_in_their_own_slices() {
+        let mut system =
+            System::new(VbiConfig { phys_frames: 4096, vm_id_bits: 5, ..VbiConfig::vbi_full() });
+        let part = VmPartition::new(5);
+        let mut vm1 = VirtualMachine::new(VmId(1), part);
+        let mut vm2 = VirtualMachine::new(VmId(2), part);
+
+        let c1 = vm1.create_guest_client(&mut system).unwrap();
+        let c2 = vm2.create_guest_client(&mut system).unwrap();
+        assert_ne!(c1, c2);
+
+        let vb1 = vm1.find_free_vb(&system, SizeClass::Kib128).unwrap();
+        system.mtl_mut().enable_vb(vb1, VbProperties::NONE).unwrap();
+        let vb2 = vm2.find_free_vb(&system, SizeClass::Kib128).unwrap();
+        system.mtl_mut().enable_vb(vb2, VbProperties::NONE).unwrap();
+
+        assert!(vm1.owns(vb1) && !vm1.owns(vb2));
+        assert!(vm2.owns(vb2) && !vm2.owns(vb1));
+
+        // A guest process accesses its VB like any native process: same
+        // translation path, no nested walk.
+        let i1 = system.attach(c1, vb1, Rwx::READ_WRITE).unwrap();
+        system.store_u64(c1, crate::client::VirtualAddress::new(i1, 0), 77).unwrap();
+        assert_eq!(system.load_u64(c1, crate::client::VirtualAddress::new(i1, 0)).unwrap(), 77);
+    }
+
+    #[test]
+    fn guest_client_slice_exhaustion() {
+        let mut system =
+            System::new(VbiConfig { phys_frames: 256, vm_id_bits: 8, ..VbiConfig::vbi_full() });
+        let part = VmPartition::new(8);
+        let mut vm = VirtualMachine::new(VmId(255), part);
+        // 2^16 / 2^8 = 256 clients per VM.
+        for _ in 0..256 {
+            vm.create_guest_client(&mut system).unwrap();
+        }
+        assert!(matches!(vm.create_guest_client(&mut system), Err(VbiError::OutOfClients)));
+    }
+}

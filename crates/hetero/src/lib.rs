@@ -1,0 +1,27 @@
+//! # vbi-hetero — heterogeneous-memory management for the VBI reproduction
+//!
+//! Use case 2 of the paper (§7.3): extracting performance from
+//! heterogeneous main memories by mapping frequently accessed data to the
+//! fast region. Because the MTL owns physical placement and observes every
+//! main-memory access, VBI can track hotness at VB granularity and migrate
+//! VBs without OS involvement.
+//!
+//! * [`hotness`] — the MTL's per-VB and per-page access counters;
+//! * [`memory`] — PCM-DRAM hybrid and TL-DRAM memories with three placement
+//!   policies: hotness-unaware (baseline), VBI hotness-driven migration,
+//!   and an IDEAL page-placement oracle.
+//!
+//! ```
+//! use vbi_hetero::memory::{HeteroKind, HeteroMemory, Policy};
+//!
+//! let mut mem = HeteroMemory::new(HeteroKind::TlDram, 1 << 20, Policy::VbiHotness, 1000);
+//! mem.register_region(0, 64 << 10);
+//! let cycles = mem.access(0, 0, false);
+//! assert!(cycles > 0);
+//! ```
+
+pub mod hotness;
+pub mod memory;
+
+pub use hotness::HotnessTracker;
+pub use memory::{HeteroKind, HeteroMemory, HeteroStats, Policy, PAGE_BYTES};

@@ -1,0 +1,16 @@
+use vbi_sim::engine::{run, EngineConfig};
+use vbi_sim::systems::SystemKind;
+use vbi_workloads::spec::{benchmark, FIG6_BENCHMARKS};
+fn main() {
+    let cfg = EngineConfig { accesses: 60_000, warmup: 6_000, seed: 2020, phys_frames: 1 << 20 };
+    for name in FIG6_BENCHMARKS {
+        for sys in [SystemKind::Vbi1, SystemKind::Vbi2, SystemKind::VbiFull] {
+            let spec = benchmark(name).unwrap();
+            let res = std::panic::catch_unwind(|| run(sys, &spec, &cfg));
+            match res {
+                Ok(r) => eprintln!("{name:14} {:9} ok ipc={:.3}", sys.label(), r.ipc()),
+                Err(_) => { eprintln!("{name:14} {:9} PANIC", sys.label()); }
+            }
+        }
+    }
+}

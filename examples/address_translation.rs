@@ -1,0 +1,53 @@
+//! Use case 1 (§7.2): address-translation overhead across system designs.
+//!
+//! Runs one TLB-hostile workload (mcf) and one cache-friendly workload
+//! (namd) through all ten system configurations and prints speedups over
+//! Native — a miniature Figure 6/7.
+//!
+//! Run with: `cargo run --release --example address_translation`
+
+use vbi::sim::engine::{run, EngineConfig};
+use vbi::sim::systems::SystemKind;
+use vbi::workloads::spec::benchmark;
+
+fn main() {
+    let cfg = EngineConfig {
+        accesses: 40_000,
+        warmup: 4_000,
+        seed: 2020,
+        phys_frames: 1 << 20,
+    };
+
+    for name in ["mcf", "namd"] {
+        let spec = benchmark(name).expect("known benchmark");
+        println!(
+            "\n{name}: footprint {} MiB across {} VBs",
+            spec.footprint() >> 20,
+            spec.region_count()
+        );
+        let native = run(SystemKind::Native, &spec, &cfg);
+        println!(
+            "  {:14} {:>8}  {:>12} {:>12}",
+            "system", "speedup", "TLB misses", "walk refs"
+        );
+        for kind in SystemKind::ALL {
+            let result = if kind == SystemKind::Native {
+                native.clone()
+            } else {
+                run(kind, &spec, &cfg)
+            };
+            println!(
+                "  {:14} {:>7.2}x {:>12} {:>12}",
+                kind.label(),
+                result.speedup_over(&native),
+                result.counters.tlb_misses,
+                result.counters.translation_accesses,
+            );
+        }
+    }
+    println!(
+        "\nNote: mcf's sparse pointer-chased working set makes translation the\n\
+         bottleneck — exactly the behaviour Figure 6 highlights; namd fits its\n\
+         hot set in the caches and barely notices the virtual memory system."
+    );
+}

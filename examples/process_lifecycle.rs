@@ -1,0 +1,79 @@
+//! Process lifecycle on VBI (§4.4): loading a binary, linking a shared
+//! library with `+1` CVT-relative addressing, forking with copy-on-write
+//! clones, heap growth with automatic VB promotion, and memory-mapped
+//! files.
+//!
+//! Run with: `cargo run --example process_lifecycle`
+
+use vbi::core::os::{BinaryImage, LibraryImage, Os, Section, SectionKind};
+use vbi::{Rwx, VbProperties, VbiConfig};
+
+fn main() -> vbi::Result<()> {
+    let mut os = Os::new(VbiConfig::vbi_full());
+
+    // A shared library: code is loaded once, system-wide.
+    os.register_library(LibraryImage {
+        name: "libmath".into(),
+        code: vec![0xed; 4096],
+        static_data: vec![0; 256],
+    })?;
+
+    // A binary with a code and a data section; the OS loads each into its
+    // own VB with section-appropriate permissions.
+    let image = BinaryImage {
+        name: "demo".into(),
+        sections: vec![
+            Section { kind: SectionKind::Code, contents: vec![0xc3; 512] },
+            Section { kind: SectionKind::Data, contents: (0..=255).collect() },
+        ],
+    };
+    let parent = os.create_process(&image)?;
+    let lib = os.link_library(parent, "libmath")?;
+    println!(
+        "process {:?}: code+data sections loaded, libmath at CVT index {}",
+        parent, lib.cvt_index
+    );
+
+    // Library code reaches its per-process static data at `code index + 1`
+    // without load-time relocation (§4.4).
+    let client = os.process(parent)?.client();
+    let lib_data = lib.at(0).cvt_relative(1);
+    os.system_mut().store_u8(client, lib_data, 42)?;
+
+    // A heap; malloc/free manage offsets inside the VB.
+    let heap = os.create_heap(parent, 4 << 10, VbProperties::NONE)?;
+    let a = os.malloc(parent, heap.cvt_index, 1024)?;
+    os.system_mut().store_u64(client, a.address, 7777)?;
+
+    // Growing past the 4 KiB VB transparently promotes it to 128 KiB; the
+    // CVT index — and therefore every existing pointer — is unchanged.
+    let b = os.malloc(parent, heap.cvt_index, 8192)?;
+    println!(
+        "heap grew: promoted = {:?}, old data still readable = {}",
+        b.promoted.map(|h| h.vbuid.to_string()),
+        os.system_mut().load_u64(client, a.address)?
+    );
+
+    // Fork: the child sees identical pointers; writes are private (COW).
+    let child = os.fork(parent)?;
+    let child_client = os.process(child)?.client();
+    assert_eq!(os.system_mut().load_u64(child_client, a.address)?, 7777);
+    os.system_mut().store_u64(child_client, a.address, 1111)?;
+    assert_eq!(os.system_mut().load_u64(client, a.address)?, 7777);
+    println!(
+        "forked: child wrote privately; cow copies so far = {}",
+        os.system().mtl().stats().cow_copies
+    );
+
+    // Memory-mapped file: offsets map 1:1 to the file (§3.4).
+    let file: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    let mapped = os.mmap_file(parent, &file, Rwx::READ)?;
+    assert_eq!(os.system_mut().load_u8(client, mapped.at(9_999))?, file[9_999]);
+    println!("mmap: byte 9999 reads {}", file[9_999]);
+
+    // Destruction returns every frame.
+    os.destroy_process(child)?;
+    os.destroy_process(parent)?;
+    println!("processes destroyed; swap occupancy {}", os.system().mtl().swap_occupancy());
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # vbi — The Virtual Block Interface, reproduced in Rust
+//!
+//! A from-scratch reproduction of *"The Virtual Block Interface: A Flexible
+//! Alternative to the Conventional Virtual Memory Framework"* (Hajinazar et
+//! al., ISCA 2020), packaged as one workspace:
+//!
+//! * `core` ([`vbi_core`]) — the VBI framework itself: the global VBI address
+//!   space and its eight size classes, virtual blocks, Client-VB Tables and
+//!   CVT caches, VB Info Tables, and the hardware Memory Translation Layer
+//!   with delayed allocation, flexible per-VB translation structures, and
+//!   early reservation;
+//! * `mem_sim` ([`vbi_mem_sim`]) — caches, DRAM/PCM/TL-DRAM timing, memory
+//!   controllers (Table 1);
+//! * `baselines` ([`vbi_baselines`]) — conventional x86-64 MMUs, nested (2D)
+//!   page walks, and Enigma;
+//! * `workloads` ([`vbi_workloads`]) — seeded synthetic SPEC / TailBench /
+//!   Graph 500 stand-ins;
+//! * `hetero` ([`vbi_hetero`]) — PCM-DRAM and TL-DRAM placement policies;
+//! * `sim` ([`vbi_sim`]) — the end-to-end evaluation engine behind the
+//!   `vbi-bench` figure binaries.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vbi::{System, VbiConfig, VbProperties, Rwx};
+//!
+//! # fn main() -> Result<(), vbi::VbiError> {
+//! let mut system = System::new(VbiConfig::vbi_full());
+//! let client = system.create_client()?;
+//! let vb = system.request_vb(client, 1 << 20, VbProperties::NONE, Rwx::READ_WRITE)?;
+//! system.store_u64(client, vb.at(0), 2020)?;
+//! assert_eq!(system.load_u64(client, vb.at(0))?, 2020);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable walkthroughs of the paper's
+//! mechanisms and `cargo run -p vbi-bench --release --bin run_all` for the
+//! full evaluation.
+
+pub use vbi_baselines as baselines;
+pub use vbi_core as core;
+pub use vbi_hetero as hetero;
+pub use vbi_mem_sim as mem_sim;
+pub use vbi_sim as sim;
+pub use vbi_workloads as workloads;
+
+pub use vbi_core::{
+    AccessKind, ClientId, Mtl, Result, Rwx, SizeClass, System, VbProperties, VbiAddress,
+    VbiConfig, VbiError, Vbuid, VirtualAddress,
+};

@@ -1,0 +1,78 @@
+//! Integration tests for the system-architecture extensions: virtual
+//! machines (§6.1) and multi-node MTLs (§6.2), exercised together with the
+//! rest of the stack.
+
+use vbi::core::multinode::{MultiNodeSystem, NodeId};
+use vbi::core::vm::{VirtualMachine, VmId, VmPartition};
+use vbi::{Rwx, SizeClass, System, VbProperties, VbiConfig, VirtualAddress};
+
+#[test]
+fn thirty_one_guests_coexist() {
+    let mut system =
+        System::new(VbiConfig { phys_frames: 1 << 16, vm_id_bits: 5, ..VbiConfig::vbi_full() });
+    let partition = VmPartition::new(5);
+    let mut vms: Vec<VirtualMachine> =
+        (1..=31).map(|i| VirtualMachine::new(VmId(i), partition)).collect();
+
+    let mut handles = Vec::new();
+    for vm in &mut vms {
+        let client = vm.create_guest_client(&mut system).unwrap();
+        let vb = vm.find_free_vb(&system, SizeClass::Kib4).unwrap();
+        system.mtl_mut().enable_vb(vb, VbProperties::NONE).unwrap();
+        let idx = system.attach(client, vb, Rwx::READ_WRITE).unwrap();
+        system.store_u64(client, VirtualAddress::new(idx, 0), vm.id().0 as u64).unwrap();
+        handles.push((client, idx, vm.id().0 as u64));
+    }
+    // Every guest reads back its own value: full isolation.
+    for (client, idx, want) in handles {
+        assert_eq!(system.load_u64(client, VirtualAddress::new(idx, 0)).unwrap(), want);
+    }
+}
+
+#[test]
+fn guest_and_host_vbs_never_collide() {
+    let partition = VmPartition::new(5);
+    let mut seen = std::collections::HashSet::new();
+    for vm in 0..32u8 {
+        for local in 0..8u64 {
+            let vb = partition.vbuid(VmId(vm), SizeClass::Mib4, local).unwrap();
+            assert!(seen.insert(vb), "collision at vm {vm} local {local}");
+        }
+    }
+}
+
+#[test]
+fn multinode_machine_places_and_migrates() {
+    let mut machine =
+        MultiNodeSystem::new(4, VbiConfig { phys_frames: 4096, ..VbiConfig::vbi_full() });
+
+    // A "process" on node 1 gets a local VB and fills it.
+    let vb = machine.enable_vb_on(NodeId(1), SizeClass::Kib128, VbProperties::NONE).unwrap();
+    for page in 0..32u64 {
+        machine.write_u64(vb.address(page << 12).unwrap(), page * 3).unwrap();
+    }
+
+    // Phase change: the process moves to node 2; the OS migrates the VB.
+    let moved = machine.migrate_vb(vb, NodeId(2)).unwrap();
+    machine.mtl_mut(NodeId(1)).disable_vb(vb).unwrap();
+    for page in 0..32u64 {
+        assert_eq!(machine.read_u64(moved.address(page << 12).unwrap()).unwrap(), page * 3);
+    }
+
+    // Node 1's memory is fully reclaimed; node 2 now holds the data.
+    assert_eq!(machine.mtl(NodeId(1)).free_frames(), 4096);
+    assert!(machine.mtl(NodeId(2)).free_frames() < 4096);
+}
+
+#[test]
+fn multinode_vbs_are_globally_unique() {
+    let machine = MultiNodeSystem::new(8, VbiConfig::vbi_full());
+    let mut seen = std::collections::HashSet::new();
+    for node in 0..8u8 {
+        for local in 0..16u64 {
+            let vb = machine.vbuid_on(NodeId(node), SizeClass::Gib4, local).unwrap();
+            assert_eq!(machine.home_of(vb), NodeId(node));
+            assert!(seen.insert(vb));
+        }
+    }
+}

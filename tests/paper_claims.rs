@@ -1,0 +1,127 @@
+//! Small-scale checks of the paper's qualitative claims: who wins, and in
+//! which direction each mechanism moves performance. These mirror the
+//! figure harnesses at a size suitable for `cargo test`.
+
+use vbi::sim::engine::{run, EngineConfig, RunResult};
+use vbi::sim::systems::SystemKind;
+use vbi::workloads::spec::benchmark;
+
+fn cfg() -> EngineConfig {
+    EngineConfig { accesses: 25_000, warmup: 2_500, seed: 2020, phys_frames: 1 << 20 }
+}
+
+fn speedup(kind: SystemKind, name: &str, baseline: &RunResult) -> f64 {
+    run(kind, &benchmark(name).unwrap(), &cfg()).speedup_over(baseline)
+}
+
+#[test]
+fn virtualization_costs_performance_on_conventional_systems() {
+    // §7.2.1: Virtual significantly slows down applications vs Native.
+    for name in ["mcf", "omnetpp-17", "Graph 500"] {
+        let native = run(SystemKind::Native, &benchmark(name).unwrap(), &cfg());
+        let virt = speedup(SystemKind::Virtual, name, &native);
+        assert!(virt < 0.95, "{name}: Virtual at {virt}");
+    }
+}
+
+#[test]
+fn vbi_erases_the_virtualization_penalty() {
+    // §3.5: once attached, a VM program's translation is identical to
+    // native — so VBI beats Virtual by a wide margin.
+    for name in ["mcf", "GemsFDTD"] {
+        let spec = benchmark(name).unwrap();
+        let virt = run(SystemKind::Virtual, &spec, &cfg());
+        let vbi = run(SystemKind::Vbi2, &spec, &cfg());
+        let ratio = vbi.ipc() / virt.ipc();
+        assert!(ratio > 1.5, "{name}: VBI-2 over Virtual only {ratio}");
+    }
+}
+
+#[test]
+fn each_vbi_optimization_helps_on_tlb_hostile_workloads() {
+    // Figure 6's ordering for mcf: VBI-1 < VBI-2 < VBI-Full.
+    let spec = benchmark("mcf").unwrap();
+    let v1 = run(SystemKind::Vbi1, &spec, &cfg());
+    let v2 = run(SystemKind::Vbi2, &spec, &cfg());
+    let vf = run(SystemKind::VbiFull, &spec, &cfg());
+    assert!(v2.ipc() > v1.ipc(), "delayed allocation must help");
+    assert!(vf.ipc() > v2.ipc(), "early reservation must help");
+}
+
+#[test]
+fn vbi_full_can_beat_the_perfect_tlb() {
+    // §7.2.2: VBI-Full outperforms even Perfect TLB by reducing the number
+    // of DRAM accesses, not just translation costs.
+    let spec = benchmark("mcf").unwrap();
+    let perfect = run(SystemKind::PerfectTlb, &spec, &cfg());
+    let vf = run(SystemKind::VbiFull, &spec, &cfg());
+    assert!(
+        vf.ipc() > perfect.ipc(),
+        "VBI-Full {} vs Perfect TLB {}",
+        vf.ipc(),
+        perfect.ipc()
+    );
+    assert!(
+        vf.counters.dram_accesses < perfect.counters.dram_accesses,
+        "the win must come from fewer DRAM accesses"
+    );
+}
+
+#[test]
+fn delayed_allocation_eliminates_dram_traffic() {
+    // §5.1: zero-line returns avoid both translation and DRAM access.
+    let spec = benchmark("deepsjeng-17").unwrap(); // sparse transposition table
+    let v1 = run(SystemKind::Vbi1, &spec, &cfg());
+    let v2 = run(SystemKind::Vbi2, &spec, &cfg());
+    assert!(v2.counters.zero_lines > 0);
+    assert!(v2.counters.dram_accesses < v1.counters.dram_accesses);
+}
+
+#[test]
+fn early_reservation_eliminates_walks() {
+    // §5.3: direct-mapped VBs need one whole-VB TLB entry and no walks.
+    let spec = benchmark("milc").unwrap(); // 64 MiB chunks, all reservable
+    let v2 = run(SystemKind::Vbi2, &spec, &cfg());
+    let vf = run(SystemKind::VbiFull, &spec, &cfg());
+    assert!(
+        vf.counters.translation_accesses < v2.counters.translation_accesses / 4,
+        "direct mapping should slash translation accesses: {} vs {}",
+        vf.counters.translation_accesses,
+        v2.counters.translation_accesses
+    );
+}
+
+#[test]
+fn large_pages_narrow_but_do_not_close_the_gap() {
+    // Figure 7: Native-2M is much better than Native, yet VBI-Full still
+    // wins on TLB-hostile workloads.
+    let spec = benchmark("GemsFDTD").unwrap();
+    let native = run(SystemKind::Native, &spec, &cfg());
+    let native2m = run(SystemKind::Native2M, &spec, &cfg());
+    let vf = run(SystemKind::VbiFull, &spec, &cfg());
+    assert!(native2m.ipc() > native.ipc(), "large pages help conventional VM");
+    assert!(vf.ipc() > native2m.ipc(), "VBI-Full still wins");
+}
+
+#[test]
+fn cache_friendly_workloads_are_insensitive() {
+    // Figure 6: namd's bars hover near 1.0 for every system.
+    let spec = benchmark("namd").unwrap();
+    let native = run(SystemKind::Native, &spec, &cfg());
+    for kind in [SystemKind::Vivt, SystemKind::Vbi1, SystemKind::VbiFull, SystemKind::PerfectTlb]
+    {
+        let s = run(kind, &spec, &cfg()).speedup_over(&native);
+        assert!((0.85..1.35).contains(&s), "{} at {s}", kind.label());
+    }
+}
+
+#[test]
+fn enigma_helps_but_less_than_vbi() {
+    // Figure 7: Enigma-HW-2M sits between Native-2M and VBI-Full.
+    let spec = benchmark("mcf").unwrap();
+    let native2m = run(SystemKind::Native2M, &spec, &cfg());
+    let enigma = run(SystemKind::EnigmaHw2M, &spec, &cfg());
+    let vf = run(SystemKind::VbiFull, &spec, &cfg());
+    assert!(enigma.ipc() >= native2m.ipc() * 0.98);
+    assert!(vf.ipc() > enigma.ipc());
+}

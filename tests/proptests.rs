@@ -1,0 +1,186 @@
+//! Property-based tests on the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use vbi::core::buddy::BuddyAllocator;
+use vbi::core::phys::Frame;
+use vbi::core::translate::{PageEntry, TranslationStructure};
+use vbi::{Rwx, SizeClass, System, VbProperties, VbiConfig, Vbuid};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// VBI addresses round-trip: (class, vbid, offset) -> bits -> back.
+    #[test]
+    fn vbi_addresses_roundtrip(
+        class_id in 0u8..8,
+        vbid_seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+    ) {
+        let sc = SizeClass::from_id(class_id).unwrap();
+        let vbid = vbid_seed % sc.vb_count();
+        let offset = offset_seed % sc.bytes();
+        let vb = Vbuid::new(sc, vbid);
+        let addr = vb.address(offset).unwrap();
+        prop_assert_eq!(addr.vbuid(), vb);
+        prop_assert_eq!(addr.offset(), offset);
+        prop_assert_eq!(addr.size_class(), sc);
+        prop_assert_eq!(addr.page_index(), offset >> 12);
+    }
+
+    /// Distinct VBs never produce the same VBI address.
+    #[test]
+    fn distinct_vbs_never_alias(
+        a_class in 0u8..8, a_vbid in 0u64..64, a_off in any::<u64>(),
+        b_class in 0u8..8, b_vbid in 0u64..64, b_off in any::<u64>(),
+    ) {
+        let a = Vbuid::new(SizeClass::from_id(a_class).unwrap(), a_vbid);
+        let b = Vbuid::new(SizeClass::from_id(b_class).unwrap(), b_vbid);
+        prop_assume!(a != b);
+        let addr_a = a.address(a_off % a.bytes()).unwrap();
+        let addr_b = b.address(b_off % b.bytes()).unwrap();
+        prop_assert_ne!(addr_a, addr_b);
+    }
+
+    /// The buddy allocator never double-allocates, never loses frames, and
+    /// always merges back to full capacity.
+    #[test]
+    fn buddy_allocator_conserves_frames(
+        total_exp in 6u32..12,
+        ops in prop::collection::vec((0u32..4, any::<u8>()), 1..80),
+    ) {
+        let total = 1u64 << total_exp;
+        let mut buddy = BuddyAllocator::new(total);
+        let mut live: Vec<(Frame, u32)> = Vec::new();
+        let mut covered: std::collections::HashSet<u64> = std::collections::HashSet::new();
+
+        for (order, action) in ops {
+            if action % 2 == 0 || live.is_empty() {
+                if let Some(frame) = buddy.allocate(order) {
+                    // Natural alignment and no overlap with live blocks.
+                    prop_assert_eq!(frame.0 % (1 << order), 0);
+                    for i in 0..(1u64 << order) {
+                        prop_assert!(covered.insert(frame.0 + i), "double allocation");
+                    }
+                    live.push((frame, order));
+                }
+            } else {
+                let idx = (action as usize) % live.len();
+                let (frame, order) = live.swap_remove(idx);
+                for i in 0..(1u64 << order) {
+                    covered.remove(&(frame.0 + i));
+                }
+                buddy.free(frame, order);
+            }
+            prop_assert_eq!(buddy.free_frames(), total - covered.len() as u64);
+        }
+        for (frame, order) in live {
+            buddy.free(frame, order);
+        }
+        prop_assert_eq!(buddy.free_frames(), total);
+    }
+
+    /// Translation structures map and walk consistently for any page set.
+    #[test]
+    fn translation_structures_are_consistent(
+        pages in prop::collection::hash_set(0u64..32768, 1..40),
+    ) {
+        let mut buddy = BuddyAllocator::new(1 << 16);
+        let mut ts = TranslationStructure::multi_level(SizeClass::Mib128, &mut buddy).unwrap();
+        let mut expected = std::collections::HashMap::new();
+        for (i, &page) in pages.iter().enumerate() {
+            let frame = Frame(40_000 + i as u64);
+            ts.set_entry(page, PageEntry::Mapped { frame, cow: false }, &mut buddy).unwrap();
+            expected.insert(page, frame);
+        }
+        for page in 0..32768u64 {
+            match (ts.entry(page), expected.get(&page)) {
+                (PageEntry::Mapped { frame, .. }, Some(&want)) => prop_assert_eq!(frame, want),
+                (PageEntry::Unmapped, None) => {}
+                (got, want) => prop_assert!(false, "page {}: {:?} vs {:?}", page, got, want),
+            }
+        }
+        // Walk accesses never exceed the structure's depth.
+        for &page in &pages {
+            let walk = ts.walk(page);
+            prop_assert!(walk.table_accesses.len() as u32 <= ts.kind().walk_accesses());
+        }
+        ts.release_tables(&mut buddy);
+    }
+
+    /// Functional memory semantics: an arbitrary interleaving of writes and
+    /// reads over multiple VBs behaves like a plain map.
+    #[test]
+    fn system_behaves_like_memory(
+        ops in prop::collection::vec((0usize..3, 0u64..256, any::<u64>(), any::<bool>()), 1..60),
+    ) {
+        let mut system = System::new(VbiConfig { phys_frames: 1 << 14, ..VbiConfig::vbi_full() });
+        let client = system.create_client().unwrap();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                system
+                    .request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+                    .unwrap()
+            })
+            .collect();
+        let mut model: std::collections::HashMap<(usize, u64), u64> =
+            std::collections::HashMap::new();
+
+        for (vb, slot, value, is_write) in ops {
+            let addr = handles[vb].at(slot * 8);
+            if is_write {
+                system.store_u64(client, addr, value).unwrap();
+                model.insert((vb, slot), value);
+            } else {
+                let got = system.load_u64(client, addr).unwrap();
+                let want = model.get(&(vb, slot)).copied().unwrap_or(0);
+                prop_assert_eq!(got, want, "vb {} slot {}", vb, slot);
+            }
+        }
+    }
+
+    /// Clone + write interleavings keep source and destination independent.
+    #[test]
+    fn cow_clones_are_independent(
+        writes in prop::collection::vec((0u64..32, any::<u64>(), any::<bool>()), 1..40),
+    ) {
+        let mut system = System::new(VbiConfig { phys_frames: 1 << 14, ..VbiConfig::vbi_full() });
+        let client = system.create_client().unwrap();
+        let src = system
+            .request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+            .unwrap();
+        // Populate source.
+        for page in 0..32u64 {
+            system.store_u64(client, src.at(page * 4096), page).unwrap();
+        }
+        // Clone via the MTL and attach.
+        let dst_vbuid = system.mtl().find_free_vb(src.vbuid.size_class()).unwrap();
+        system.mtl_mut().enable_vb(dst_vbuid, VbProperties::NONE).unwrap();
+        system.mtl_mut().clone_vb(src.vbuid, dst_vbuid).unwrap();
+        let dst_index = system.attach(client, dst_vbuid, Rwx::READ_WRITE).unwrap();
+
+        let mut src_model: Vec<u64> = (0..32).collect();
+        let mut dst_model: Vec<u64> = (0..32).collect();
+        for (page, value, to_src) in writes {
+            if to_src {
+                system.store_u64(client, src.at(page * 4096), value).unwrap();
+                src_model[page as usize] = value;
+            } else {
+                let addr = vbi::VirtualAddress::new(dst_index, page * 4096);
+                system.store_u64(client, addr, value).unwrap();
+                dst_model[page as usize] = value;
+            }
+        }
+        for page in 0..32u64 {
+            prop_assert_eq!(
+                system.load_u64(client, src.at(page * 4096)).unwrap(),
+                src_model[page as usize]
+            );
+            let addr = vbi::VirtualAddress::new(dst_index, page * 4096);
+            prop_assert_eq!(
+                system.load_u64(client, addr).unwrap(),
+                dst_model[page as usize]
+            );
+        }
+    }
+}
