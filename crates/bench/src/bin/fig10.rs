@@ -7,7 +7,7 @@ use vbi_sim::hetero_run::run_hetero;
 use vbi_sim::report::mean;
 use vbi_workloads::spec::{benchmark, HETERO_BENCHMARKS};
 
-fn main() {
+pub fn main() {
     let kind = HeteroKind::TlDram;
     let cfg = figure_config();
     let mut vbi_speedups = Vec::new();

@@ -8,7 +8,7 @@ use vbi_sim::report::SpeedupTable;
 use vbi_sim::systems::SystemKind;
 use vbi_workloads::spec::{benchmark, FIG6_BENCHMARKS, FIG7_BENCHMARKS};
 
-fn main() {
+pub fn main() {
     let cfg = figure_config();
     let systems = vec![
         SystemKind::Virtual2M,

@@ -8,7 +8,7 @@ use vbi_sim::report::mean;
 use vbi_sim::systems::SystemKind;
 use vbi_workloads::bundles::{bundle, bundle_names, BUNDLES};
 
-fn main() {
+pub fn main() {
     let base = figure_config();
     // Quad-core runs split the trace budget per app.
     let cfg = EngineConfig { accesses: base.accesses / 2, warmup: base.warmup / 2, ..base };

@@ -1,25 +1,38 @@
 //! Runs every table/figure harness in sequence (the full evaluation).
+//!
+//! The harnesses are compiled in as modules and invoked in-process, so
+//! `cargo run --release -p vbi-bench --bin run_all` works on a fresh
+//! checkout without the sibling binaries having been built first.
 
-use std::process::Command;
+#[path = "table1.rs"]
+mod table1;
+
+#[path = "fig6.rs"]
+mod fig6;
+
+#[path = "fig7.rs"]
+mod fig7;
+
+#[path = "fig8.rs"]
+mod fig8;
+
+#[path = "fig9.rs"]
+mod fig9;
+
+#[path = "fig10.rs"]
+mod fig10;
 
 fn main() {
-    let bins = ["table1", "fig6", "fig7", "fig8", "fig9", "fig10"];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    for bin in bins {
-        let path = dir.join(bin);
-        eprintln!("==> {bin}");
-        let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{bin} exited with {s}");
-                std::process::exit(1);
-            }
-            Err(e) => {
-                eprintln!("failed to launch {bin}: {e} (build with --release first)");
-                std::process::exit(1);
-            }
-        }
+    let harnesses: [(&str, fn()); 6] = [
+        ("table1", table1::main),
+        ("fig6", fig6::main),
+        ("fig7", fig7::main),
+        ("fig8", fig8::main),
+        ("fig9", fig9::main),
+        ("fig10", fig10::main),
+    ];
+    for (name, run) in harnesses {
+        eprintln!("==> {name}");
+        run();
     }
 }

@@ -2,7 +2,7 @@
 
 use vbi_mem_sim::timing::{CacheTiming, DeviceTiming};
 
-fn main() {
+pub fn main() {
     vbi_bench::header("Table 1: Simulation configuration");
     let cache = CacheTiming::default();
     let dram = DeviceTiming::ddr3_1600();

@@ -1,0 +1,212 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API used by the
+//! `vbi-bench` benches: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched_ref`], [`BatchSize`], and
+//! [`black_box`]. Instead of criterion's statistical sampling it runs a
+//! short warm-up plus a fixed measurement loop and prints the mean
+//! ns/iter — enough to exercise every bench body and spot gross
+//! regressions, without any external dependencies.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup cost relates to the routine (accepted, ignored).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness state, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour the CLI filter cargo-bench passes through (`cargo bench foo`),
+        // and swallow harness flags like `--bench`.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 100,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.into(), sample_size, &mut f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, f: &mut F) {
+        if !self.matches(&id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            iters: sample_size as u64,
+            elapsed: Duration::ZERO,
+            performed: 0,
+        };
+        f(&mut bencher);
+        let ns = bencher.elapsed.as_nanos() as f64 / bencher.performed.max(1) as f64;
+        println!("bench: {:<40} {:>14.1} ns/iter ({} iters)", id, ns, bencher.performed);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing loop handed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    performed: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.performed += self.iters;
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        black_box(routine(&mut input));
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+            self.performed += 1;
+            drop(input);
+        }
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: builds a function that runs
+/// every listed target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_bodies() {
+        let mut c = Criterion {
+            sample_size: 4,
+            filter: None,
+        };
+        let mut hits = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2).bench_function("f", |b| {
+                b.iter(|| {
+                    hits += 1;
+                })
+            });
+            group.finish();
+        }
+        // 1 warm-up + 2 timed iterations.
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    fn iter_batched_ref_gets_fresh_input() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![0u8; 4],
+                |v| {
+                    assert_eq!(v[0], 0);
+                    v[0] = 1;
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,0 +1,409 @@
+//! Minimal, offline stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the subset of the proptest 1.x API used by
+//! `tests/proptests.rs`: the [`proptest!`] macro (with
+//! `#![proptest_config(..)]`), [`any::<T>()`](any), integer-range and
+//! tuple strategies, `prop::collection::{vec, hash_set}`, the
+//! `prop_assert*` / `prop_assume!` macros, and
+//! [`ProptestConfig::with_cases`]. Cases are sampled from a
+//! deterministic per-test RNG; there is **no shrinking** — a failing
+//! case panics with the formatted assertion message and the case index.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Everything a `use proptest::prelude::*;` caller expects in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Rejected (`prop_assume!`) samples tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the sample without counting it as a case.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic xorshift64* generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test's name so every test gets a stable, distinct stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut z: u64 = 0x9E37_79B9_7F4A_7C15;
+        for b in name.bytes() {
+            z = (z ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of values, mirroring `proptest::strategy::Strategy`
+/// (minus shrinking).
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+/// Types with a canonical whole-domain strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// Whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `HashSet` with a target element count drawn from `size`.
+    /// Duplicate samples are retried a bounded number of times, so the
+    /// resulting set can be smaller than the target if the element
+    /// domain is nearly exhausted.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.generate(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(16) + 64 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Mirrors `proptest::proptest!`: wraps each `fn name(pat in strategy, ..)`
+/// into a `#[test]` that samples `config.cases` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut rejects: u32 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => case += 1,
+                    Err($crate::TestCaseError::Reject) => {
+                        rejects += 1;
+                        if rejects > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejects ({})",
+                                stringify!($name), rejects
+                            );
+                        }
+                    }
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed at case {}: {}", stringify!($name), case, msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(@cfg($cfg) $($rest)*);
+    };
+}
+
+/// Mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: `{:?} == {:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: `{:?} == {:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: `{:?} != {:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: `{:?} != {:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Mirrors `proptest::prop_assume!`: skip samples that don't satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u8..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(any::<u8>(), 1..9),
+            s in prop::collection::hash_set(0u64..1000, 1..9),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(!s.is_empty() && s.len() < 9);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable() {
+        let mut a = TestRng::deterministic("seed");
+        let mut b = TestRng::deterministic("seed");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
