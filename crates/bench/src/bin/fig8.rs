@@ -1,12 +1,21 @@
 //! Regenerates Figure 8 (and Table 2): quad-core multiprogrammed weighted
 //! speedup, normalized to Native.
+//!
+//! Every (bundle, system) run is independent, so the sweep fans out over
+//! `std::thread::scope` workers: one stage computes each bundle's Native
+//! baselines in parallel, a second computes every (bundle, system)
+//! weighted speedup in parallel. Output order stays deterministic because
+//! workers are joined in spawn order.
+
+use std::thread;
 
 use vbi_bench::figure_config;
-use vbi_sim::engine::EngineConfig;
+use vbi_sim::engine::{EngineConfig, RunResult};
 use vbi_sim::multicore::{run_alone_native, run_bundle};
 use vbi_sim::report::mean;
 use vbi_sim::systems::SystemKind;
 use vbi_workloads::bundles::{bundle, bundle_names, BUNDLES};
+use vbi_workloads::trace::WorkloadSpec;
 
 pub fn main() {
     let base = figure_config();
@@ -26,20 +35,53 @@ pub fn main() {
         SystemKind::PerfectTlb,
     ];
 
-    let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
-    for name in bundle_names() {
-        eprintln!("[fig8] {name} ...");
-        let apps = bundle(name).expect("table 2 bundle");
-        let alone = run_alone_native(&apps, &cfg);
-        let native_shared = run_bundle(name, SystemKind::Native, &apps, &cfg);
-        let native_ws = native_shared.weighted_speedup(&alone);
-        let mut row = Vec::new();
-        for &system in &systems {
-            let ws = run_bundle(name, system, &apps, &cfg).weighted_speedup(&alone);
-            row.push(ws / native_ws);
-        }
-        rows.push((name, row));
-    }
+    // Stage 1: per-bundle Native baselines (alone + shared), in parallel.
+    let names = bundle_names();
+    let baselines: Vec<(Vec<WorkloadSpec>, Vec<RunResult>, f64)> = thread::scope(|s| {
+        let workers: Vec<_> = names
+            .iter()
+            .map(|&name| {
+                let cfg = &cfg;
+                s.spawn(move || {
+                    eprintln!("[fig8] {name} baselines ...");
+                    let apps = bundle(name).expect("table 2 bundle");
+                    let alone = run_alone_native(&apps, cfg);
+                    let native_ws =
+                        run_bundle(name, SystemKind::Native, &apps, cfg).weighted_speedup(&alone);
+                    (apps, alone, native_ws)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("baseline worker")).collect()
+    });
+
+    // Stage 2: every (bundle, system) weighted speedup, in parallel.
+    let rows: Vec<(&str, Vec<f64>)> = thread::scope(|s| {
+        let workers: Vec<Vec<_>> = names
+            .iter()
+            .zip(&baselines)
+            .map(|(&name, (apps, alone, native_ws))| {
+                systems
+                    .iter()
+                    .map(|&system| {
+                        let cfg = &cfg;
+                        s.spawn(move || {
+                            let ws =
+                                run_bundle(name, system, apps, cfg).weighted_speedup(alone);
+                            ws / native_ws
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        names
+            .iter()
+            .zip(workers)
+            .map(|(&name, row)| {
+                (name, row.into_iter().map(|w| w.join().expect("bundle worker")).collect())
+            })
+            .collect()
+    });
 
     vbi_bench::header(
         "Figure 8: Multiprogrammed workload performance (weighted speedup normalized to Native)",

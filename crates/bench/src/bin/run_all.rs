@@ -2,7 +2,12 @@
 //!
 //! The harnesses are compiled in as modules and invoked in-process, so
 //! `cargo run --release -p vbi-bench --bin run_all` works on a fresh
-//! checkout without the sibling binaries having been built first.
+//! checkout without the sibling binaries having been built first. The
+//! harnesses print in a fixed order; fig8 — the most expensive sweep,
+//! 6 bundles × 6 systems of quad-core runs — fans its independent
+//! (bundle, system) runs out across `std::thread::scope` workers
+//! internally, so the full evaluation's wall time is dominated by the
+//! single-threaded figures rather than the quad-core sweep.
 
 #[path = "table1.rs"]
 mod table1;

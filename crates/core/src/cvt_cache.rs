@@ -19,6 +19,14 @@ pub struct CvtCacheStats {
 }
 
 impl CvtCacheStats {
+    /// Accumulates another cache's counters into this one (per-client CVT
+    /// cache stats aggregate into one report in sharded deployments).
+    pub fn merge(&mut self, other: &CvtCacheStats) {
+        let CvtCacheStats { hits, misses } = other;
+        self.hits += hits;
+        self.misses += misses;
+    }
+
     /// Hit rate in `[0, 1]`; 1.0 for an untouched cache.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -147,6 +155,13 @@ mod tests {
         let mut cvt = Cvt::new(ClientId(0), 4);
         let i = cvt.attach(Vbuid::new(SizeClass::Kib4, vbid), Rwx::READ).unwrap();
         *cvt.entry(i).unwrap()
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let mut a = CvtCacheStats { hits: 4, misses: 1 };
+        a.merge(&CvtCacheStats { hits: 6, misses: 9 });
+        assert_eq!(a, CvtCacheStats { hits: 10, misses: 10 });
     }
 
     #[test]

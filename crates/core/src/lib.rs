@@ -53,10 +53,17 @@
 //! | [`swap`] | §3.4 | backing store |
 //! | [`mtl`] | §4.5, §5 | the Memory Translation Layer |
 //! | [`system`] | §4.2 | processor-side glue: CVT checks + MTL |
+//! | [`stats`] | §7.2 | MTL counters, mergeable across shards |
 //! | [`os`] | §3.4, §4.4 | OS model: processes, fork, shared libraries, mmap |
 //! | [`vm`] | §6.1 | virtual-machine partitioning of the VBI space |
 //! | [`multinode`] | §6.2 | per-node MTLs with home-MTL routing and migration |
 //! | [`isa`] | §4 | the six VBI instructions as typed operations |
+//!
+//! All of the above is single-owner state. The concurrent, sharded memory
+//! service built on top — per-shard MTLs ([`Mtl::for_shard`]) behind locks,
+//! shared CVTs, and a batched request path — lives in the `vbi-service`
+//! crate; every type here is `Send + Sync` so shards and clients can be
+//! shared across threads.
 
 pub mod addr;
 pub mod buddy;
@@ -85,5 +92,21 @@ pub use config::VbiConfig;
 pub use error::{Result, VbiError};
 pub use mtl::Mtl;
 pub use perm::{AccessKind, Rwx};
+pub use stats::MtlStats;
 pub use system::System;
 pub use vb::VbProperties;
+
+// The `vbi-service` crate shares MTL shards and CVTs across threads; these
+// compile-time assertions keep the core types `Send + Sync` (none of them
+// may grow `Rc`/`RefCell`/raw-pointer state without breaking the service).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Mtl>();
+    assert_send_sync::<System>();
+    assert_send_sync::<client::Cvt>();
+    assert_send_sync::<cvt_cache::CvtCache>();
+    assert_send_sync::<client::ClientIdAllocator>();
+    assert_send_sync::<multinode::MultiNodeSystem>();
+    assert_send_sync::<MtlStats>();
+    assert_send_sync::<VbiError>();
+};

@@ -157,11 +157,38 @@ pub struct Mtl {
     extent_owner: HashMap<u64, Vbuid>,
     swap: BackingStore,
     stats: MtlStats,
+    /// Which slice of every size class's VBID space this MTL serves: shard
+    /// `shard_index` of `2^shard_bits` (§6.2 partitions VBs among MTLs by
+    /// the high-order VBID bits). A standalone MTL is shard 0 of 1.
+    shard_index: u64,
+    shard_bits: u32,
 }
 
 impl Mtl {
     /// Creates an MTL managing `config.phys_frames` frames of memory.
     pub fn new(config: VbiConfig) -> Self {
+        Self::for_shard(config, 0, 1)
+    }
+
+    /// Creates an MTL owning shard `shard_index` of `shard_count` — the
+    /// home-MTL partitioning of §6.2, where the high-order bits of a VBID
+    /// name the MTL that manages the VB. [`Mtl::find_free_vb`] only returns
+    /// VBs homed on this shard, so a set of `for_shard` MTLs carves the VB
+    /// space into disjoint slices (each shard still brings its own
+    /// `config.phys_frames` of physical memory).
+    ///
+    /// `for_shard(config, 0, 1)` is exactly [`Mtl::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is not a power of two in `[1, 256]` or
+    /// `shard_index >= shard_count`.
+    pub fn for_shard(config: VbiConfig, shard_index: usize, shard_count: usize) -> Self {
+        assert!(
+            shard_count.is_power_of_two() && (1..=256).contains(&shard_count),
+            "shard count must be a power of two in [1, 256]"
+        );
+        assert!(shard_index < shard_count, "shard index {shard_index} of {shard_count}");
         Self {
             buddy: BuddyAllocator::new(config.phys_frames),
             mem: PhysicalMemory::new(config.phys_frames),
@@ -174,8 +201,39 @@ impl Mtl {
             extent_owner: HashMap::new(),
             swap: BackingStore::new(),
             stats: MtlStats::default(),
+            shard_index: shard_index as u64,
+            shard_bits: shard_count.trailing_zeros(),
             config,
         }
+    }
+
+    /// The shard a VBUID is homed on in a `shard_count`-way partition: the
+    /// high-order `log2(shard_count)` bits of its VBID. Deterministic — the
+    /// same VBUID always routes to the same shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is not a power of two in `[1, 256]`.
+    pub fn shard_of(vbuid: Vbuid, shard_count: usize) -> usize {
+        assert!(
+            shard_count.is_power_of_two() && (1..=256).contains(&shard_count),
+            "shard count must be a power of two in [1, 256]"
+        );
+        let bits = shard_count.trailing_zeros();
+        let shift = vbuid.size_class().vbid_bits() - bits;
+        (vbuid.vbid() >> shift) as usize
+    }
+
+    /// This MTL's `(shard_index, shard_count)`; `(0, 1)` for a standalone
+    /// MTL.
+    pub fn shard(&self) -> (usize, usize) {
+        (self.shard_index as usize, 1usize << self.shard_bits)
+    }
+
+    /// Whether `vbuid` is homed on this shard.
+    pub fn owns(&self, vbuid: Vbuid) -> bool {
+        let shift = vbuid.size_class().vbid_bits() - self.shard_bits;
+        (vbuid.vbid() >> shift) == self.shard_index
     }
 
     /// The active configuration.
@@ -209,13 +267,17 @@ impl Mtl {
     // --- VB lifecycle -------------------------------------------------------
 
     /// Scans the VITs for a free VB of `size_class` (the OS side of
-    /// `request_vb`, §4.2).
+    /// `request_vb`, §4.2). A sharded MTL ([`Mtl::for_shard`]) only returns
+    /// VBs homed on its own VBID slice.
     ///
     /// # Errors
     ///
-    /// Returns [`VbiError::OutOfVirtualBlocks`] when the class is exhausted.
+    /// Returns [`VbiError::OutOfVirtualBlocks`] when the class (or this
+    /// shard's slice of it) is exhausted.
     pub fn find_free_vb(&self, size_class: SizeClass) -> Result<Vbuid> {
-        self.vits.find_free(size_class)
+        let slice = size_class.vb_count() >> self.shard_bits;
+        let lo = self.shard_index * slice;
+        self.vits.find_free_in(size_class, lo, lo + slice)
     }
 
     /// Executes `enable_vb VBUID, props` (§4.2): marks the VB enabled in its
@@ -1515,5 +1577,50 @@ mod tests {
         m.vit_cache.flush();
         let t2 = m.translate(addr, MtlAccess::Read).unwrap();
         assert_eq!(t1.result, t2.result, "flushes never change the mapping");
+    }
+
+    #[test]
+    fn sharded_mtls_carve_disjoint_vbid_slices() {
+        let config = small_config(VbiConfig::vbi_full);
+        let shards = 4;
+        let mut mtls: Vec<Mtl> =
+            (0..shards).map(|i| Mtl::for_shard(config.clone(), i, shards)).collect();
+        for sc in [SizeClass::Kib4, SizeClass::Kib128, SizeClass::Tib128] {
+            let slice = sc.vb_count() / shards as u64;
+            let mut seen = Vec::new();
+            for (i, m) in mtls.iter_mut().enumerate() {
+                let vb = m.find_free_vb(sc).unwrap();
+                m.enable_vb(vb, VbProperties::NONE).unwrap();
+                assert_eq!(Mtl::shard_of(vb, shards), i, "{vb}");
+                assert!(m.owns(vb));
+                assert_eq!(vb.vbid() / slice, i as u64, "slice by high VBID bits");
+                seen.push(vb);
+            }
+            seen.dedup();
+            assert_eq!(seen.len(), shards, "no VBUID collisions across shards");
+        }
+    }
+
+    #[test]
+    fn shard_zero_of_one_behaves_like_a_standalone_mtl() {
+        let mut a = Mtl::new(small_config(VbiConfig::vbi_full));
+        let mut b = Mtl::for_shard(small_config(VbiConfig::vbi_full), 0, 1);
+        for _ in 0..3 {
+            let va = a.find_free_vb(SizeClass::Kib128).unwrap();
+            let vb = b.find_free_vb(SizeClass::Kib128).unwrap();
+            assert_eq!(va, vb);
+            a.enable_vb(va, VbProperties::NONE).unwrap();
+            b.enable_vb(vb, VbProperties::NONE).unwrap();
+            a.write_u64(va.address(8).unwrap(), 1).unwrap();
+            b.write_u64(vb.address(8).unwrap(), 1).unwrap();
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(b.shard(), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_shard_counts_panic() {
+        let _ = Mtl::for_shard(VbiConfig::vbi_full(), 0, 3);
     }
 }

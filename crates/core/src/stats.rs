@@ -47,6 +47,50 @@ pub struct MtlStats {
 }
 
 impl MtlStats {
+    /// Accumulates another stats block into this one, field by field.
+    ///
+    /// Sharded deployments (`vbi-service`) run one MTL per shard; merging
+    /// the per-shard counters yields the same totals a single MTL would
+    /// have reported for the combined traffic.
+    pub fn merge(&mut self, other: &MtlStats) {
+        let MtlStats {
+            translation_requests,
+            tlb_hits,
+            walks,
+            walk_table_accesses,
+            vit_cache_hits,
+            vit_cache_misses,
+            zero_line_returns,
+            pages_allocated,
+            delayed_allocations,
+            reservations_full,
+            reservations_partial,
+            frames_stolen,
+            cow_copies,
+            pages_swapped_out,
+            pages_swapped_in,
+            promotions,
+            demotions,
+        } = other;
+        self.translation_requests += translation_requests;
+        self.tlb_hits += tlb_hits;
+        self.walks += walks;
+        self.walk_table_accesses += walk_table_accesses;
+        self.vit_cache_hits += vit_cache_hits;
+        self.vit_cache_misses += vit_cache_misses;
+        self.zero_line_returns += zero_line_returns;
+        self.pages_allocated += pages_allocated;
+        self.delayed_allocations += delayed_allocations;
+        self.reservations_full += reservations_full;
+        self.reservations_partial += reservations_partial;
+        self.frames_stolen += frames_stolen;
+        self.cow_copies += cow_copies;
+        self.pages_swapped_out += pages_swapped_out;
+        self.pages_swapped_in += pages_swapped_in;
+        self.promotions += promotions;
+        self.demotions += demotions;
+    }
+
     /// Fraction of translation requests served without a walk.
     pub fn tlb_hit_rate(&self) -> f64 {
         if self.translation_requests == 0 {
@@ -86,5 +130,93 @@ mod tests {
         };
         assert!((s.tlb_hit_rate() - 0.9).abs() < 1e-12);
         assert!((s.accesses_per_walk() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = MtlStats {
+            translation_requests: 1,
+            tlb_hits: 2,
+            walks: 3,
+            walk_table_accesses: 4,
+            vit_cache_hits: 5,
+            vit_cache_misses: 6,
+            zero_line_returns: 7,
+            pages_allocated: 8,
+            delayed_allocations: 9,
+            reservations_full: 10,
+            reservations_partial: 11,
+            frames_stolen: 12,
+            cow_copies: 13,
+            pages_swapped_out: 14,
+            pages_swapped_in: 15,
+            promotions: 16,
+            demotions: 17,
+        };
+        let mut merged = a;
+        merged.merge(&a);
+        assert_eq!(merged.translation_requests, 2);
+        assert_eq!(merged.walk_table_accesses, 8);
+        assert_eq!(merged.demotions, 34);
+        // Merging the zero block is the identity.
+        let mut b = a;
+        b.merge(&MtlStats::default());
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn merge_equals_a_combined_runs_counters() {
+        use crate::addr::SizeClass;
+        use crate::config::VbiConfig;
+        use crate::mtl::Mtl;
+        use crate::vb::VbProperties;
+
+        let config = VbiConfig { phys_frames: 4096, ..VbiConfig::vbi_full() };
+        let setup = |m: &mut Mtl| {
+            let a = m.find_free_vb(SizeClass::Kib128).unwrap();
+            m.enable_vb(a, VbProperties::NONE).unwrap();
+            let b = m.find_free_vb(SizeClass::Mib4).unwrap();
+            m.enable_vb(b, VbProperties::NONE).unwrap();
+            (a, b)
+        };
+        let phase_a = |m: &mut Mtl, vb: crate::addr::Vbuid| {
+            for page in 0..8u64 {
+                m.write_u64(vb.address(page << 12).unwrap(), page).unwrap();
+            }
+            for page in 0..8u64 {
+                assert_eq!(m.read_u64(vb.address(page << 12).unwrap()).unwrap(), page);
+            }
+        };
+        let phase_b = |m: &mut Mtl, vb: crate::addr::Vbuid| {
+            // Reads of untouched pages take the zero-line path; sparse
+            // writes then allocate.
+            for page in (0..64u64).step_by(7) {
+                assert_eq!(m.read_u64(vb.address(page << 12).unwrap()).unwrap(), 0);
+            }
+            for page in (0..64u64).step_by(13) {
+                m.write_u64(vb.address(page << 12).unwrap(), page).unwrap();
+            }
+        };
+
+        // One MTL runs both phases back to back: the combined counters.
+        let mut combined = Mtl::new(config.clone());
+        let (a, b) = setup(&mut combined);
+        phase_a(&mut combined, a);
+        phase_b(&mut combined, b);
+        let total = combined.stats();
+
+        // An identical MTL snapshots per phase (reset_stats clears only the
+        // counters, not the functional state) and merges the snapshots.
+        let mut split = Mtl::new(config);
+        let (a, b) = setup(&mut split);
+        phase_a(&mut split, a);
+        let first = split.stats();
+        split.reset_stats();
+        phase_b(&mut split, b);
+        let mut merged = first;
+        merged.merge(&split.stats());
+
+        assert_eq!(merged, total);
+        assert!(total.translation_requests > 0 && total.zero_line_returns > 0);
     }
 }

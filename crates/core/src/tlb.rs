@@ -24,6 +24,15 @@ pub struct TlbStats {
 }
 
 impl TlbStats {
+    /// Accumulates another TLB's counters into this one (per-shard TLB
+    /// stats aggregate into one report in sharded deployments).
+    pub fn merge(&mut self, other: &TlbStats) {
+        let TlbStats { hits, misses, evictions } = other;
+        self.hits += hits;
+        self.misses += misses;
+        self.evictions += evictions;
+    }
+
     /// Miss rate in `[0, 1]`; 0.0 for an untouched TLB.
     pub fn miss_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -214,6 +223,13 @@ mod tests {
         tlb.insert(5, 500);
         assert_eq!(tlb.lookup(&5), Some(500));
         assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let mut a = TlbStats { hits: 1, misses: 2, evictions: 3 };
+        a.merge(&TlbStats { hits: 10, misses: 20, evictions: 30 });
+        assert_eq!(a, TlbStats { hits: 11, misses: 22, evictions: 33 });
     }
 
     #[test]

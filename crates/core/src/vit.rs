@@ -74,21 +74,33 @@ impl VbInfoTables {
     /// Returns [`VbiError::OutOfVirtualBlocks`] when the class is exhausted
     /// (practically unreachable given 2^14..2^49 VBs per class).
     pub fn find_free(&self, size_class: SizeClass) -> Result<Vbuid> {
+        self.find_free_in(size_class, 0, size_class.vb_count())
+    }
+
+    /// Scans for a free VB of `size_class` whose VBID falls in `[lo, hi)` —
+    /// the partitioned variant used by sharded MTLs (§6.2 homes VBs on an
+    /// MTL by the high-order bits of the VBID, so each shard's slice is a
+    /// contiguous VBID range).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::OutOfVirtualBlocks`] when the slice is exhausted.
+    pub fn find_free_in(&self, size_class: SizeClass, lo: u64, hi: u64) -> Result<Vbuid> {
         let table = &self.tables[size_class.id() as usize];
         // Prefer a previously used, now-disabled slot.
-        if let Some((&vbid, _)) = table.iter().find(|(_, e)| !e.enabled) {
+        if let Some((&vbid, _)) = table.range(lo..hi).find(|(_, e)| !e.enabled) {
             return Ok(Vbuid::new(size_class, vbid));
         }
-        // Otherwise the smallest never-used VBID.
-        let mut next = 0u64;
-        for &vbid in table.keys() {
+        // Otherwise the smallest never-used VBID of the slice.
+        let mut next = lo;
+        for &vbid in table.range(lo..hi).map(|(k, _)| k) {
             if vbid == next {
                 next += 1;
             } else if vbid > next {
                 break;
             }
         }
-        if next >= size_class.vb_count() {
+        if next >= hi.min(size_class.vb_count()) {
             return Err(VbiError::OutOfVirtualBlocks(size_class));
         }
         Ok(Vbuid::new(size_class, next))

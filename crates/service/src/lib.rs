@@ -1,0 +1,967 @@
+//! # vbi-service — a concurrent, sharded VBI memory service
+//!
+//! The paper's MTL is a hardware agent that serves translation and
+//! allocation requests from many concurrent clients, and §6.2 sketches how
+//! a machine scales it out: one MTL per node, with VBs of every size class
+//! partitioned among the MTLs by the high-order bits of the VBID. This
+//! crate turns the single-owner [`vbi_core::System`] into that shape in
+//! software: a [`VbiService`] handle that is `Send + Sync + Clone`, backed
+//! by
+//!
+//! * **N MTL shards** ([`Mtl::for_shard`]), each a `Mutex<Mtl>` owning a
+//!   disjoint slice of the VBID space and its own physical frames — a
+//!   VBI address names its home shard deterministically, so independent
+//!   VBs never contend on a lock;
+//! * **read-mostly client state**: the per-client CVTs and CVT caches sit
+//!   behind an `RwLock` map that is read-locked on the hot access path and
+//!   write-locked only by client creation/destruction;
+//! * a **batched request path** ([`VbiService::submit`]) that performs all
+//!   protection checks first, then visits each shard exactly once per
+//!   batch, amortizing lock traffic.
+//!
+//! The service exposes the same create-client / request-vb / load / store /
+//! attach / release surface as [`vbi_core::System`], and a one-shard
+//! service driven by one thread is *observably identical* to `System`:
+//! the same trace produces the same VBUIDs, bytes, and [`MtlStats`] (see
+//! `tests/service_equivalence.rs` at the workspace root).
+//!
+//! ## Locking protocol
+//!
+//! Lock order is client-state → shard; no path acquires a client lock
+//! while holding a shard lock, and no path holds two shard locks at once
+//! (the batch path visits shards sequentially). That makes deadlock
+//! impossible by construction. Shard locks count contention: every
+//! acquisition first tries `try_lock`, and blocked acquisitions increment
+//! a per-shard counter reported by [`VbiService::contention`].
+//!
+//! ## Example
+//!
+//! ```
+//! use vbi_service::{ServiceConfig, VbiService};
+//! use vbi_core::{VbiConfig, VbProperties, Rwx};
+//! use std::thread;
+//!
+//! # fn main() -> Result<(), vbi_core::VbiError> {
+//! let service = VbiService::new(ServiceConfig::new(4, VbiConfig::vbi_full()));
+//! thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let service = service.clone();
+//!         s.spawn(move || {
+//!             let client = service.create_client().unwrap();
+//!             let vb = service
+//!                 .request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+//!                 .unwrap();
+//!             service.store_u64(client, vb.at(8), t).unwrap();
+//!             assert_eq!(service.load_u64(client, vb.at(8)).unwrap(), t);
+//!         });
+//!     }
+//! });
+//! assert!(service.stats().pages_allocated >= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, LockResult, Mutex, MutexGuard, RwLock, TryLockError};
+
+use vbi_core::addr::{SizeClass, Vbuid};
+use vbi_core::client::{ClientId, ClientIdAllocator, Cvt, VirtualAddress};
+use vbi_core::config::VbiConfig;
+use vbi_core::cvt_cache::{CvtCache, CvtCacheStats};
+use vbi_core::error::{Result, VbiError};
+use vbi_core::mtl::{Mtl, MtlAccess};
+use vbi_core::perm::{AccessKind, Rwx};
+use vbi_core::stats::MtlStats;
+use vbi_core::system::{CheckedAccess, VbHandle};
+use vbi_core::vb::VbProperties;
+
+/// Configuration of a sharded service: the shard count plus the base
+/// machine configuration.
+///
+/// `base.phys_frames` is the *total* physical memory of the machine; it is
+/// split evenly across the shards (each shard's MTL owns its own frames,
+/// like the per-node memories of §6.2).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of MTL shards: a power of two in `[1, 256]`.
+    pub shards: usize,
+    /// Machine configuration; `phys_frames` is the machine total.
+    pub base: VbiConfig,
+}
+
+impl ServiceConfig {
+    /// A `shards`-way service over `base`.
+    pub fn new(shards: usize, base: VbiConfig) -> Self {
+        Self { shards, base }
+    }
+
+    /// The degenerate single-shard service — byte- and stats-identical to
+    /// a [`vbi_core::System`] under single-threaded driving.
+    pub fn single(base: VbiConfig) -> Self {
+        Self { shards: 1, base }
+    }
+}
+
+/// One request of a [`VbiService::submit`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Protection-checked load of a `u64`.
+    Load {
+        /// The requesting client.
+        client: ClientId,
+        /// `{CVT index, offset}` to read.
+        va: VirtualAddress,
+    },
+    /// Protection-checked store of a `u64`.
+    Store {
+        /// The requesting client.
+        client: ClientId,
+        /// `{CVT index, offset}` to write.
+        va: VirtualAddress,
+        /// The value to store.
+        value: u64,
+    },
+}
+
+/// The response to one [`Request`], in batch order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Outcome of a [`Request::Load`].
+    Load(Result<u64>),
+    /// Outcome of a [`Request::Store`].
+    Store(Result<()>),
+}
+
+impl Response {
+    /// The loaded value, if this is a successful load.
+    pub fn loaded(&self) -> Option<u64> {
+        match self {
+            Response::Load(Ok(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Load(Ok(_)) | Response::Store(Ok(())))
+    }
+}
+
+/// Lock traffic observed on one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard-lock acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to block.
+    pub contended: u64,
+}
+
+impl ShardLoad {
+    /// Fraction of acquisitions that blocked (0.0 for an idle shard).
+    pub fn contention_rate(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+}
+
+/// Per-client protection state: the CVT plus its (per-core, here
+/// per-client) CVT cache.
+#[derive(Debug)]
+struct ClientState {
+    cvt: Cvt,
+    cache: CvtCache,
+}
+
+/// One MTL shard plus its lock-traffic counters.
+#[derive(Debug)]
+struct Shard {
+    mtl: Mutex<Mtl>,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: ServiceConfig,
+    shards: Vec<Shard>,
+    clients: RwLock<HashMap<ClientId, Arc<Mutex<ClientState>>>>,
+    ids: Mutex<ClientIdAllocator>,
+    /// Round-robin cursor for placing newly requested VBs on shards.
+    placement: AtomicUsize,
+}
+
+/// A concurrent, sharded VBI memory service.
+///
+/// The handle is cheap to clone (`Arc` inside) and `Send + Sync`; clone it
+/// into every worker thread. See the [crate-level docs](crate) for the
+/// design and an example.
+#[derive(Debug, Clone)]
+pub struct VbiService {
+    inner: Arc<Inner>,
+}
+
+// The whole point of the crate; if an inner type loses Send/Sync this
+// fails to compile here rather than in downstream user code.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VbiService>();
+};
+
+fn unpoison<G>(result: LockResult<G>) -> G {
+    // A panicking holder leaves state functionally consistent here (all
+    // multi-step MTL updates roll back on error); keep serving.
+    match result {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl VbiService {
+    /// Builds the service: `config.shards` MTL shards, each owning
+    /// `config.base.phys_frames / config.shards` frames and the matching
+    /// slice of every size class's VBID space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count is not a power of two in `[1, 256]`.
+    pub fn new(config: ServiceConfig) -> Self {
+        let per_shard = VbiConfig {
+            phys_frames: config.base.phys_frames / config.shards as u64,
+            ..config.base.clone()
+        };
+        let shards = (0..config.shards)
+            .map(|i| Shard {
+                mtl: Mutex::new(Mtl::for_shard(per_shard.clone(), i, config.shards)),
+                acquisitions: AtomicU64::new(0),
+                contended: AtomicU64::new(0),
+            })
+            .collect();
+        Self {
+            inner: Arc::new(Inner {
+                config,
+                shards,
+                clients: RwLock::new(HashMap::new()),
+                ids: Mutex::new(ClientIdAllocator::new()),
+                placement: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Number of MTL shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard a VB is homed on — deterministic: the high-order bits of
+    /// its VBID (§6.2).
+    pub fn shard_of(&self, vbuid: Vbuid) -> usize {
+        Mtl::shard_of(vbuid, self.inner.shards.len())
+    }
+
+    /// Locks a shard, counting contention.
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, Mtl> {
+        let slot = &self.inner.shards[shard];
+        slot.acquisitions.fetch_add(1, Ordering::Relaxed);
+        match slot.mtl.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                slot.contended.fetch_add(1, Ordering::Relaxed);
+                unpoison(slot.mtl.lock())
+            }
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        }
+    }
+
+    /// Locks the home shard of `vbuid`.
+    fn lock_home(&self, vbuid: Vbuid) -> MutexGuard<'_, Mtl> {
+        self.lock_shard(self.shard_of(vbuid))
+    }
+
+    fn client_state(&self, client: ClientId) -> Result<Arc<Mutex<ClientState>>> {
+        unpoison(self.inner.clients.read())
+            .get(&client)
+            .cloned()
+            .ok_or(VbiError::InvalidClient(client))
+    }
+
+    // --- clients ------------------------------------------------------------
+
+    /// Registers a new memory client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::OutOfClients`] when all 2^16 IDs are live.
+    pub fn create_client(&self) -> Result<ClientId> {
+        // Lock order here is ids → clients; no other path holds both.
+        let mut ids = unpoison(self.inner.ids.lock());
+        let mut clients = unpoison(self.inner.clients.write());
+        loop {
+            // The allocator does not know about IDs claimed through
+            // `create_client_with_id` (§6.1 VM partitioning), so skip any
+            // ID that is already live instead of clobbering its state.
+            let id = ids.allocate()?;
+            if let std::collections::hash_map::Entry::Vacant(slot) = clients.entry(id) {
+                slot.insert(Arc::new(Mutex::new(ClientState {
+                    cvt: Cvt::new(id, self.inner.config.base.cvt_capacity),
+                    cache: CvtCache::new(self.inner.config.base.cvt_cache_slots),
+                })));
+                return Ok(id);
+            }
+        }
+    }
+
+    /// Registers a client with a caller-chosen ID (VM partitioning, §6.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] if the ID is already live.
+    pub fn create_client_with_id(&self, id: ClientId) -> Result<ClientId> {
+        let mut clients = unpoison(self.inner.clients.write());
+        if clients.contains_key(&id) {
+            return Err(VbiError::InvalidClient(id));
+        }
+        clients.insert(
+            id,
+            Arc::new(Mutex::new(ClientState {
+                cvt: Cvt::new(id, self.inner.config.base.cvt_capacity),
+                cache: CvtCache::new(self.inner.config.base.cvt_cache_slots),
+            })),
+        );
+        Ok(id)
+    }
+
+    /// Destroys a client: detaches every VB in its CVT, disables VBs whose
+    /// reference count drops to zero, and recycles the client ID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] for unknown clients.
+    pub fn destroy_client(&self, client: ClientId) -> Result<()> {
+        let state = unpoison(self.inner.clients.write())
+            .remove(&client)
+            .ok_or(VbiError::InvalidClient(client))?;
+        // Collect the attached VBs under the client lock, then release the
+        // references shard by shard without holding it (client → shard is
+        // the only permitted lock pair; not holding both here keeps the
+        // critical sections short).
+        let vbuids: Vec<Vbuid> = {
+            let st = unpoison(state.lock());
+            st.cvt.iter().map(|(_, e)| e.vbuid()).collect()
+        };
+        for vbuid in vbuids {
+            let mut mtl = self.lock_home(vbuid);
+            if mtl.remove_ref(vbuid)? == 0 {
+                mtl.disable_vb(vbuid)?;
+            }
+        }
+        unpoison(self.inner.ids.lock()).release(client);
+        Ok(())
+    }
+
+    /// Whether `client` is live.
+    pub fn client_exists(&self, client: ClientId) -> bool {
+        unpoison(self.inner.clients.read()).contains_key(&client)
+    }
+
+    /// The client's CVT-cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] for unknown clients.
+    pub fn cvt_cache_stats(&self, client: ClientId) -> Result<CvtCacheStats> {
+        let state = self.client_state(client)?;
+        let stats = unpoison(state.lock()).cache.stats();
+        Ok(stats)
+    }
+
+    // --- VB management --------------------------------------------------------
+
+    /// The `request_vb` system call: finds the smallest free VB that fits
+    /// `bytes` on a shard (round-robin placement, falling over to the next
+    /// shard when one slice or memory pool is exhausted), enables it,
+    /// attaches the caller, and returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::RequestTooLarge`] beyond 128 TiB,
+    /// [`VbiError::InvalidClient`], [`VbiError::CvtFull`], or exhaustion of
+    /// every shard.
+    pub fn request_vb(
+        &self,
+        client: ClientId,
+        bytes: u64,
+        props: VbProperties,
+        perms: Rwx,
+    ) -> Result<VbHandle> {
+        let size_class = SizeClass::smallest_fitting(bytes)
+            .ok_or(VbiError::RequestTooLarge { requested: bytes })?;
+        let count = self.inner.shards.len();
+        let start = self.inner.placement.fetch_add(1, Ordering::Relaxed) % count;
+        let mut last_err = VbiError::OutOfVirtualBlocks(size_class);
+        for probe in 0..count {
+            let shard = (start + probe) % count;
+            let vbuid = {
+                let mut mtl = self.lock_shard(shard);
+                match mtl.find_free_vb(size_class).and_then(|vb| {
+                    mtl.enable_vb(vb, props)?;
+                    Ok(vb)
+                }) {
+                    Ok(vb) => vb,
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+            };
+            return match self.attach(client, vbuid, perms) {
+                Ok(index) => Ok(VbHandle { cvt_index: index, vbuid }),
+                Err(e) => {
+                    // Roll back the enable so the VB is not leaked.
+                    let _ = self.lock_shard(shard).disable_vb(vbuid);
+                    Err(e)
+                }
+            };
+        }
+        Err(last_err)
+    }
+
+    /// The `attach` instruction: adds a CVT entry for `vbuid` with `perms`
+    /// and increments the VB's reference count. Returns the CVT index.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`], [`VbiError::VbNotEnabled`], or
+    /// [`VbiError::CvtFull`].
+    pub fn attach(&self, client: ClientId, vbuid: Vbuid, perms: Rwx) -> Result<usize> {
+        self.lock_home(vbuid).add_ref(vbuid)?;
+        let rollback = || {
+            let _ = self.lock_home(vbuid).remove_ref(vbuid);
+        };
+        let state = match self.client_state(client) {
+            Ok(state) => state,
+            Err(e) => {
+                rollback();
+                return Err(e);
+            }
+        };
+        let attached = unpoison(state.lock()).cvt.attach(vbuid, perms);
+        match attached {
+            Ok(index) => Ok(index),
+            Err(e) => {
+                rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// The `detach` instruction: invalidates the client's CVT entry for
+    /// `vbuid` and decrements the reference count. Returns the new count.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`] or [`VbiError::VbNotEnabled`].
+    pub fn detach(&self, client: ClientId, vbuid: Vbuid) -> Result<u32> {
+        let state = self.client_state(client)?;
+        {
+            let mut st = unpoison(state.lock());
+            let index = st.cvt.detach(vbuid)?;
+            st.cache.invalidate(client, index);
+        }
+        self.lock_home(vbuid).remove_ref(vbuid)
+    }
+
+    /// Detaches the VB behind a handle and disables it at zero references —
+    /// the common "free this data structure" path.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`], or
+    /// [`VbiError::VbNotEnabled`].
+    pub fn release_vb(&self, client: ClientId, index: usize) -> Result<()> {
+        let state = self.client_state(client)?;
+        let vbuid = {
+            let mut st = unpoison(state.lock());
+            let vbuid = st.cvt.detach_index(index)?;
+            st.cache.invalidate(client, index);
+            vbuid
+        };
+        let mut mtl = self.lock_home(vbuid);
+        if mtl.remove_ref(vbuid)? == 0 {
+            mtl.disable_vb(vbuid)?;
+        }
+        Ok(())
+    }
+
+    // --- protection-checked access ---------------------------------------------
+
+    /// The CPU-side access check of §4.2.3, identical to
+    /// [`vbi_core::System::access`] but against the service's shared client
+    /// state. The caller holds the client lock.
+    fn check(
+        &self,
+        client: ClientId,
+        state: &mut ClientState,
+        va: VirtualAddress,
+        kind: AccessKind,
+    ) -> Result<CheckedAccess> {
+        let (entry, cvt_cache_hit) = match state.cache.lookup(client, va.cvt_index()) {
+            Some(entry) => (entry, true),
+            None => {
+                let entry = *state.cvt.entry(va.cvt_index())?;
+                state.cache.fill(client, va.cvt_index(), entry);
+                (entry, false)
+            }
+        };
+        let required = kind.required();
+        if !entry.permissions().allows(required) {
+            return Err(VbiError::PermissionDenied {
+                client,
+                vbuid: entry.vbuid(),
+                required,
+                granted: entry.permissions(),
+            });
+        }
+        let address = entry.vbuid().address(va.offset())?;
+        Ok(CheckedAccess { address, cvt_cache_hit })
+    }
+
+    /// Protection check without touching memory (exposed for tests and
+    /// routing diagnostics): returns the VBI address an access would use.
+    ///
+    /// # Errors
+    ///
+    /// Any protection error.
+    pub fn access(
+        &self,
+        client: ClientId,
+        va: VirtualAddress,
+        kind: AccessKind,
+    ) -> Result<CheckedAccess> {
+        let state = self.client_state(client)?;
+        let mut st = unpoison(state.lock());
+        self.check(client, &mut st, va, kind)
+    }
+
+    // --- functional loads and stores ----------------------------------------------
+
+    /// Protection-checked functional load of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn load_u64(&self, client: ClientId, va: VirtualAddress) -> Result<u64> {
+        let checked = self.access(client, va, AccessKind::Read)?;
+        self.lock_home(checked.address.vbuid()).read_u64(checked.address)
+    }
+
+    /// Protection-checked functional store of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn store_u64(&self, client: ClientId, va: VirtualAddress, value: u64) -> Result<()> {
+        let checked = self.access(client, va, AccessKind::Write)?;
+        self.lock_home(checked.address.vbuid()).write_u64(checked.address, value)
+    }
+
+    /// Protection-checked functional load of one byte.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn load_u8(&self, client: ClientId, va: VirtualAddress) -> Result<u8> {
+        let checked = self.access(client, va, AccessKind::Read)?;
+        self.lock_home(checked.address.vbuid()).read_u8(checked.address)
+    }
+
+    /// Protection-checked functional store of one byte.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn store_u8(&self, client: ClientId, va: VirtualAddress, value: u8) -> Result<()> {
+        let checked = self.access(client, va, AccessKind::Write)?;
+        self.lock_home(checked.address.vbuid()).write_u8(checked.address, value)
+    }
+
+    /// Copies `data` into a VB through the checked store path. The span
+    /// lives in one VB, so the protection check runs once and the home
+    /// shard is locked once for the whole copy (unlike the per-byte
+    /// `System::store_bytes`, whose per-byte CVT lookups only differ in
+    /// CVT-cache counters — the MTL sees the identical access sequence).
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error, including running off the end
+    /// of the VB mid-copy (bytes before the fault are written, as with the
+    /// per-byte path).
+    pub fn store_bytes(&self, client: ClientId, va: VirtualAddress, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let checked = self.access(client, va, AccessKind::Write)?;
+        let mut mtl = self.lock_home(checked.address.vbuid());
+        for (i, b) in data.iter().enumerate() {
+            mtl.write_u8(checked.address.offset_by(i as u64)?, *b)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes from a VB through the checked load path — one
+    /// protection check and one shard lock for the whole span.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn load_bytes(&self, client: ClientId, va: VirtualAddress, len: usize) -> Result<Vec<u8>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let checked = self.access(client, va, AccessKind::Read)?;
+        let mut mtl = self.lock_home(checked.address.vbuid());
+        (0..len).map(|i| mtl.read_u8(checked.address.offset_by(i as u64)?)).collect()
+    }
+
+    // --- batched path ----------------------------------------------------------
+
+    /// Executes a batch of loads and stores, visiting each shard at most
+    /// once: all protection checks run first (client locks only), requests
+    /// are then grouped by home shard, and each shard lock is taken a
+    /// single time for its whole group. Responses come back in request
+    /// order.
+    ///
+    /// Requests of one client targeting one shard execute in batch order;
+    /// there is no ordering guarantee *across* shards within a batch (as
+    /// in hardware, independent MTLs serve independent traffic).
+    pub fn submit(&self, requests: &[Request]) -> Vec<Response> {
+        enum Plan {
+            Load(vbi_core::VbiAddress),
+            Store(vbi_core::VbiAddress, u64),
+        }
+        let shard_count = self.inner.shards.len();
+        let mut responses: Vec<Option<Response>> = Vec::with_capacity(requests.len());
+        let mut plans: Vec<Option<Plan>> = Vec::with_capacity(requests.len());
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+
+        // Phase 1: protection checks under client locks.
+        for (i, request) in requests.iter().enumerate() {
+            let (client, va, kind) = match request {
+                Request::Load { client, va } => (*client, *va, AccessKind::Read),
+                Request::Store { client, va, .. } => (*client, *va, AccessKind::Write),
+            };
+            match self.access(client, va, kind) {
+                Ok(checked) => {
+                    by_shard[Mtl::shard_of(checked.address.vbuid(), shard_count)].push(i);
+                    plans.push(Some(match request {
+                        Request::Load { .. } => Plan::Load(checked.address),
+                        Request::Store { value, .. } => Plan::Store(checked.address, *value),
+                    }));
+                    responses.push(None);
+                }
+                Err(e) => {
+                    plans.push(None);
+                    responses.push(Some(match request {
+                        Request::Load { .. } => Response::Load(Err(e)),
+                        Request::Store { .. } => Response::Store(Err(e)),
+                    }));
+                }
+            }
+        }
+
+        // Phase 2: one shard lock per populated shard.
+        for (shard, indices) in by_shard.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut mtl = self.lock_shard(shard);
+            for i in indices {
+                let response = match plans[i].as_ref().expect("planned above") {
+                    Plan::Load(addr) => Response::Load(mtl.read_u64(*addr)),
+                    Plan::Store(addr, value) => Response::Store(mtl.write_u64(*addr, *value)),
+                };
+                responses[i] = Some(response);
+            }
+        }
+        responses.into_iter().map(|r| r.expect("every request answered")).collect()
+    }
+
+    // --- statistics -------------------------------------------------------------
+
+    /// Merged [`MtlStats`] across all shards — the report a single MTL
+    /// would have produced for the combined traffic.
+    pub fn stats(&self) -> MtlStats {
+        let mut merged = MtlStats::default();
+        for shard in 0..self.inner.shards.len() {
+            merged.merge(&self.lock_shard(shard).stats());
+        }
+        merged
+    }
+
+    /// Per-shard [`MtlStats`], in shard order.
+    pub fn shard_stats(&self) -> Vec<MtlStats> {
+        (0..self.inner.shards.len()).map(|s| self.lock_shard(s).stats()).collect()
+    }
+
+    /// Per-shard lock traffic (acquisitions and blocked acquisitions).
+    /// These counters include the acquisitions made by the stats readers
+    /// themselves.
+    pub fn contention(&self) -> Vec<ShardLoad> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| ShardLoad {
+                acquisitions: s.acquisitions.load(Ordering::Relaxed),
+                contended: s.contended.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Frames currently free, summed across shards.
+    pub fn free_frames(&self) -> u64 {
+        (0..self.inner.shards.len()).map(|s| self.lock_shard(s).free_frames()).sum()
+    }
+
+    /// Clears every shard's statistics (warm-up boundary).
+    pub fn reset_stats(&self) {
+        for shard in 0..self.inner.shards.len() {
+            self.lock_shard(shard).reset_stats();
+        }
+        for slot in &self.inner.shards {
+            slot.acquisitions.store(0, Ordering::Relaxed);
+            slot.contended.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs `f` with the translation of `addr` on its home shard — an
+    /// escape hatch for diagnostics (mirrors `System::mtl_translate`).
+    ///
+    /// # Errors
+    ///
+    /// Any translation error.
+    pub fn translate(
+        &self,
+        addr: vbi_core::VbiAddress,
+        access: MtlAccess,
+    ) -> Result<vbi_core::mtl::Translation> {
+        self.lock_home(addr.vbuid()).translate(addr, access)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn service(shards: usize) -> VbiService {
+        VbiService::new(ServiceConfig::new(
+            shards,
+            VbiConfig { phys_frames: 8192, ..VbiConfig::vbi_full() },
+        ))
+    }
+
+    #[test]
+    fn roundtrip_through_one_shard() {
+        let svc = service(1);
+        let c = svc.create_client().unwrap();
+        let vb = svc.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        svc.store_u64(c, vb.at(8), 0xfeed).unwrap();
+        assert_eq!(svc.load_u64(c, vb.at(8)).unwrap(), 0xfeed);
+        assert_eq!(svc.load_u64(c, vb.at(16)).unwrap(), 0, "untouched memory reads zero");
+    }
+
+    #[test]
+    fn vbs_spread_across_shards_and_route_deterministically() {
+        let svc = service(4);
+        let c = svc.create_client().unwrap();
+        let handles: Vec<VbHandle> = (0..8)
+            .map(|_| svc.request_vb(c, 4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
+            .collect();
+        let shards: Vec<usize> = handles.iter().map(|h| svc.shard_of(h.vbuid)).collect();
+        // Round-robin placement touches every shard.
+        for s in 0..4 {
+            assert!(shards.contains(&s), "shard {s} unused: {shards:?}");
+        }
+        // Routing is a pure function of the VBUID.
+        for h in &handles {
+            assert_eq!(svc.shard_of(h.vbuid), Mtl::shard_of(h.vbuid, 4));
+            assert_eq!(svc.shard_of(h.vbuid), svc.shard_of(h.vbuid));
+        }
+        // Traffic lands only on the home shard.
+        svc.reset_stats();
+        svc.store_u64(c, handles[0].at(0), 7).unwrap();
+        let per_shard = svc.shard_stats();
+        for (s, stats) in per_shard.iter().enumerate() {
+            if s == svc.shard_of(handles[0].vbuid) {
+                assert!(stats.translation_requests > 0);
+            } else {
+                assert_eq!(stats.translation_requests, 0, "shard {s} saw foreign traffic");
+            }
+        }
+    }
+
+    #[test]
+    fn permissions_are_enforced() {
+        let svc = service(2);
+        let owner = svc.create_client().unwrap();
+        let reader = svc.create_client().unwrap();
+        let vb = svc.request_vb(owner, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        svc.store_u64(owner, vb.at(0), 9).unwrap();
+        let idx = svc.attach(reader, vb.vbuid, Rwx::READ).unwrap();
+        let ro = VirtualAddress::new(idx, 0);
+        assert_eq!(svc.load_u64(reader, ro).unwrap(), 9);
+        assert!(matches!(
+            svc.store_u64(reader, ro, 1),
+            Err(VbiError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn batched_submit_matches_sequential_execution() {
+        let svc = service(4);
+        let c = svc.create_client().unwrap();
+        let vbs: Vec<VbHandle> = (0..4)
+            .map(|_| svc.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
+            .collect();
+        let mut batch = Vec::new();
+        for (i, vb) in vbs.iter().enumerate() {
+            batch.push(Request::Store { client: c, va: vb.at(64), value: 100 + i as u64 });
+        }
+        for vb in &vbs {
+            batch.push(Request::Load { client: c, va: vb.at(64) });
+        }
+        // An invalid CVT index fails inside the batch without poisoning it.
+        batch.push(Request::Load { client: c, va: VirtualAddress::new(99, 0) });
+        let responses = svc.submit(&batch);
+        assert_eq!(responses.len(), batch.len());
+        for r in &responses[0..4] {
+            assert_eq!(*r, Response::Store(Ok(())));
+        }
+        for (i, r) in responses[4..8].iter().enumerate() {
+            assert_eq!(r.loaded(), Some(100 + i as u64));
+        }
+        assert!(matches!(
+            responses[8],
+            Response::Load(Err(VbiError::InvalidCvtIndex { .. }))
+        ));
+    }
+
+    #[test]
+    fn release_vb_returns_frames_and_detach_keeps_sharers_alive() {
+        let svc = service(2);
+        let a = svc.create_client().unwrap();
+        let b = svc.create_client().unwrap();
+        let free0 = svc.free_frames();
+        let vb = svc.request_vb(a, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let idx_b = svc.attach(b, vb.vbuid, Rwx::READ).unwrap();
+        svc.store_u64(a, vb.at(0), 3).unwrap();
+        svc.release_vb(a, vb.cvt_index).unwrap();
+        // B still reads: refcount was 2.
+        assert_eq!(svc.load_u64(b, VirtualAddress::new(idx_b, 0)).unwrap(), 3);
+        svc.release_vb(b, idx_b).unwrap();
+        assert_eq!(svc.free_frames(), free0);
+    }
+
+    #[test]
+    fn destroy_client_releases_everything() {
+        let svc = service(4);
+        let free0 = svc.free_frames();
+        let c = svc.create_client().unwrap();
+        for i in 0..6 {
+            let vb = svc.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+            svc.store_u64(c, vb.at(0), i).unwrap();
+        }
+        svc.destroy_client(c).unwrap();
+        assert_eq!(svc.free_frames(), free0);
+        assert!(!svc.client_exists(c));
+        assert!(matches!(
+            svc.load_u64(c, VirtualAddress::new(0, 0)),
+            Err(VbiError::InvalidClient(_))
+        ));
+    }
+
+    #[test]
+    fn handles_are_shared_across_threads() {
+        let svc = service(4);
+        let results: Vec<u64> = thread::scope(|s| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|t| {
+                    let svc = svc.clone();
+                    s.spawn(move || {
+                        let c = svc.create_client().unwrap();
+                        let vb = svc
+                            .request_vb(c, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+                            .unwrap();
+                        svc.store_u64(c, vb.at(t * 8), t * 11).unwrap();
+                        svc.load_u64(c, vb.at(t * 8)).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (t, v) in results.into_iter().enumerate() {
+            assert_eq!(v, t as u64 * 11);
+        }
+        let loads = svc.contention();
+        assert_eq!(loads.len(), 4);
+        assert!(loads.iter().map(|l| l.acquisitions).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn create_client_skips_ids_claimed_with_id() {
+        let svc = service(1);
+        // Claim the IDs the allocator would hand out first (§6.1 VM path).
+        svc.create_client_with_id(ClientId(0)).unwrap();
+        svc.create_client_with_id(ClientId(1)).unwrap();
+        let vb = svc.request_vb(ClientId(0), 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        svc.store_u64(ClientId(0), vb.at(0), 7).unwrap();
+        // A sequential create must not clobber the live clients.
+        let fresh = svc.create_client().unwrap();
+        assert!(fresh != ClientId(0) && fresh != ClientId(1), "clobbered {fresh:?}");
+        assert_eq!(svc.load_u64(ClientId(0), vb.at(0)).unwrap(), 7, "state survived");
+        // And a destroyed with_id ID is reusable without double-allocation.
+        svc.destroy_client(ClientId(1)).unwrap();
+        let reused = svc.create_client().unwrap();
+        let again = svc.create_client().unwrap();
+        assert_ne!(reused, again);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip_with_one_check() {
+        let svc = service(2);
+        let c = svc.create_client().unwrap();
+        let vb = svc.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let data: Vec<u8> = (0..=255).collect();
+        svc.store_bytes(c, vb.at(4000), &data).unwrap(); // straddles a page
+        assert_eq!(svc.load_bytes(c, vb.at(4000), 256).unwrap(), data);
+        assert!(svc.store_bytes(c, vb.at(vb.vbuid.bytes() - 4), &data).is_err(), "runs off the VB");
+        assert_eq!(svc.load_bytes(c, vb.at(0), 0).unwrap(), Vec::<u8>::new());
+        // A read-only sharer cannot bulk-write.
+        let reader = svc.create_client().unwrap();
+        let idx = svc.attach(reader, vb.vbuid, Rwx::READ).unwrap();
+        assert!(matches!(
+            svc.store_bytes(reader, VirtualAddress::new(idx, 0), &data),
+            Err(VbiError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_request_vb_rolls_back_the_enable() {
+        let svc = service(1);
+        let ghost = ClientId(999);
+        let err = svc.request_vb(ghost, 4096, VbProperties::NONE, Rwx::READ).unwrap_err();
+        assert!(matches!(err, VbiError::InvalidClient(_)));
+        // The rolled-back VB is immediately reusable by a real client.
+        let c = svc.create_client().unwrap();
+        let vb = svc.request_vb(c, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        svc.store_u64(c, vb.at(0), 1).unwrap();
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`multicore`] — quad-core bundles and weighted speedup (Figure 8);
 //! * [`hetero_run`] — PCM-DRAM and TL-DRAM placement experiments
 //!   (Figures 9-10);
+//! * [`service_run`] — the multi-threaded traffic harness for the
+//!   concurrent `vbi-service` (host ops/sec, shard contention, and the
+//!   deterministic replay used by the equivalence suite);
 //! * [`report`] — speedup tables with `AVG` / `AVG-no-mcf` rows.
 //!
 //! ```no_run
@@ -28,10 +31,12 @@ pub mod engine;
 pub mod hetero_run;
 pub mod multicore;
 pub mod report;
+pub mod service_run;
 pub mod systems;
 
 pub use engine::{run, EngineConfig, RunResult};
 pub use hetero_run::{run_hetero, HeteroRunResult};
 pub use multicore::{run_alone_native, run_bundle, BundleResult};
 pub use report::{geomean, mean, SpeedupTable};
+pub use service_run::{service_run, ServiceRunConfig, ServiceRunReport};
 pub use systems::{build_system, AccessCost, MemorySystem, SystemKind};

@@ -1,0 +1,336 @@
+//! Multi-threaded traffic harness for the sharded memory service.
+//!
+//! Where [`crate::engine`] measures *simulated cycles* of one core, this
+//! module measures *host throughput* of the concurrent service: M OS
+//! threads replay workload traces against a [`VbiService`] and the report
+//! carries real ops/sec plus the per-shard lock-contention counters. It is
+//! the driver behind the `service` bench in `vbi-bench` and the
+//! equivalence/stress suites at the workspace root.
+//!
+//! The same replay is exposed in deterministic single-threaded form
+//! ([`replay_on_system`] / [`replay_on_service`]) so a fixed trace can be
+//! pushed through the single-owner [`System`] and through a 1-shard,
+//! 1-thread service and compared load-for-load and counter-for-counter.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use vbi_core::config::VbiConfig;
+use vbi_core::perm::Rwx;
+use vbi_core::stats::MtlStats;
+use vbi_core::system::{System, VbHandle};
+use vbi_core::vb::VbProperties;
+use vbi_service::{Request, ServiceConfig, ShardLoad, VbiService};
+use vbi_workloads::spec::benchmark;
+use vbi_workloads::trace::WorkloadSpec;
+
+/// Cap on the per-region VB size used by the harness: keeps the footprint
+/// of a many-threaded run bounded while still exercising multi-page VBs.
+pub const REGION_CAP: u64 = 4 << 20;
+
+/// One replayable operation, fully resolved from a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Index into the workload's region list (one VB per region).
+    pub region: usize,
+    /// 8-byte-aligned offset within the (capped) region.
+    pub offset: u64,
+    /// Store (`true`) or load (`false`).
+    pub is_write: bool,
+}
+
+/// Materializes `count` operations of `spec`'s trace with `seed` — the
+/// fixed workload both sides of an equivalence comparison replay.
+pub fn trace_ops(spec: &WorkloadSpec, seed: u64, count: usize) -> Vec<Op> {
+    spec.trace(seed)
+        .take(count)
+        .map(|a| {
+            let cap = spec.regions[a.region].bytes.min(REGION_CAP);
+            Op { region: a.region, offset: (a.offset % (cap - 8)) & !7, is_write: a.is_write }
+        })
+        .collect()
+}
+
+/// Replays `ops` through a single-owner [`System`]; returns every loaded
+/// value (in op order) and the MTL counters.
+pub fn replay_on_system(config: VbiConfig, spec: &WorkloadSpec, ops: &[Op]) -> (Vec<u64>, MtlStats) {
+    let mut system = System::new(config);
+    let client = system.create_client().expect("fresh system");
+    let handles: Vec<VbHandle> = spec
+        .regions
+        .iter()
+        .map(|r| {
+            system
+                .request_vb(client, r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
+                .expect("harness footprint fits the machine")
+        })
+        .collect();
+    let mut loads = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let va = handles[op.region].at(op.offset);
+        if op.is_write {
+            system.store_u64(client, va, i as u64).expect("in-bounds store");
+        } else {
+            loads.push(system.load_u64(client, va).expect("in-bounds load"));
+        }
+    }
+    (loads, system.mtl().stats())
+}
+
+/// Replays `ops` through a [`VbiService`] from one thread; returns every
+/// loaded value (in op order) and the merged MTL counters.
+pub fn replay_on_service(
+    service: &VbiService,
+    spec: &WorkloadSpec,
+    ops: &[Op],
+) -> (Vec<u64>, MtlStats) {
+    let client = service.create_client().expect("service has client IDs");
+    let handles: Vec<VbHandle> = spec
+        .regions
+        .iter()
+        .map(|r| {
+            service
+                .request_vb(client, r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
+                .expect("harness footprint fits the machine")
+        })
+        .collect();
+    let mut loads = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let va = handles[op.region].at(op.offset);
+        if op.is_write {
+            service.store_u64(client, va, i as u64).expect("in-bounds store");
+        } else {
+            loads.push(service.load_u64(client, va).expect("in-bounds load"));
+        }
+    }
+    (loads, service.stats())
+}
+
+/// Configuration of one multi-threaded service run.
+#[derive(Debug, Clone)]
+pub struct ServiceRunConfig {
+    /// Worker (OS) threads replaying traffic.
+    pub threads: usize,
+    /// MTL shards (power of two).
+    pub shards: usize,
+    /// Operations each thread replays.
+    pub ops_per_thread: usize,
+    /// Batch size for [`VbiService::submit`]; `1` uses the unbatched path.
+    pub batch: usize,
+    /// Trace seed (thread `t` replays stream `seed ^ t`).
+    pub seed: u64,
+    /// Total physical frames of the machine (split across shards).
+    pub phys_frames: u64,
+    /// Benchmark whose trace is replayed (a `vbi-workloads` name).
+    pub benchmark: &'static str,
+}
+
+impl Default for ServiceRunConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            shards: 4,
+            ops_per_thread: 50_000,
+            batch: 64,
+            seed: 2020,
+            phys_frames: 1 << 18, // 1 GiB
+            benchmark: "mcf",
+        }
+    }
+}
+
+/// Report of one multi-threaded service run.
+#[derive(Debug, Clone)]
+pub struct ServiceRunReport {
+    /// The run's configuration (threads, shards, batch, ...).
+    pub threads: usize,
+    /// Shard count of the run.
+    pub shards: usize,
+    /// Operations completed across all threads.
+    pub total_ops: u64,
+    /// Wall-clock seconds spent replaying (excludes setup).
+    pub elapsed_secs: f64,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Merged MTL counters across shards.
+    pub mtl: MtlStats,
+    /// Per-shard lock traffic.
+    pub shard_loads: Vec<ShardLoad>,
+}
+
+impl ServiceRunReport {
+    /// Total blocked lock acquisitions across shards.
+    pub fn total_contended(&self) -> u64 {
+        self.shard_loads.iter().map(|l| l.contended).sum()
+    }
+
+    /// One-line JSON rendering (no external serializer in this workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"threads\":{},\"shards\":{},\"total_ops\":{},",
+                "\"elapsed_secs\":{:.6},\"ops_per_sec\":{:.0},",
+                "\"translation_requests\":{},\"tlb_hits\":{},",
+                "\"contended_lock_acquisitions\":{}}}"
+            ),
+            self.threads,
+            self.shards,
+            self.total_ops,
+            self.elapsed_secs,
+            self.ops_per_sec,
+            self.mtl.translation_requests,
+            self.mtl.tlb_hits,
+            self.total_contended(),
+        )
+    }
+}
+
+/// Runs `config.threads` workers against a fresh `config.shards`-way
+/// service, each replaying `config.ops_per_thread` trace operations against
+/// its own client and VBs, and reports throughput plus contention.
+///
+/// Each thread owns an independent, deterministic trace stream
+/// (`seed ^ thread`) and an unshared RNG ([`SmallRng::stream`]) for store
+/// values, so workload generation takes no locks.
+///
+/// # Panics
+///
+/// Panics if `config.benchmark` is unknown or the footprint exceeds the
+/// machine (the harness caps regions at [`REGION_CAP`] to prevent this).
+pub fn service_run(config: &ServiceRunConfig) -> ServiceRunReport {
+    let spec = benchmark(config.benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark {:?}", config.benchmark));
+    let service = VbiService::new(ServiceConfig::new(
+        config.shards,
+        VbiConfig { phys_frames: config.phys_frames, ..VbiConfig::vbi_full() },
+    ));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..config.threads {
+            let service = service.clone();
+            let spec = &spec;
+            scope.spawn(move || {
+                replay_worker(&service, spec, config, thread as u64);
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let total_ops = (config.threads * config.ops_per_thread) as u64;
+    ServiceRunReport {
+        threads: config.threads,
+        shards: config.shards,
+        total_ops,
+        elapsed_secs: elapsed,
+        ops_per_sec: if elapsed > 0.0 { total_ops as f64 / elapsed } else { 0.0 },
+        mtl: service.stats(),
+        shard_loads: service.contention(),
+    }
+}
+
+fn replay_worker(
+    service: &VbiService,
+    spec: &WorkloadSpec,
+    config: &ServiceRunConfig,
+    thread: u64,
+) {
+    let client = service.create_client().expect("service has client IDs");
+    let handles: Vec<VbHandle> = spec
+        .regions
+        .iter()
+        .map(|r| {
+            service
+                .request_vb(client, r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
+                .expect("harness footprint fits the machine")
+        })
+        .collect();
+    // Per-thread RNG: no shared lock anywhere in trace generation.
+    let mut values = SmallRng::stream(config.seed, thread);
+    let ops = trace_ops(spec, config.seed ^ thread, config.ops_per_thread);
+    if config.batch <= 1 {
+        for op in &ops {
+            let va = handles[op.region].at(op.offset);
+            if op.is_write {
+                service.store_u64(client, va, values.gen()).expect("in-bounds store");
+            } else {
+                service.load_u64(client, va).expect("in-bounds load");
+            }
+        }
+    } else {
+        let mut batch: Vec<Request> = Vec::with_capacity(config.batch);
+        for op in &ops {
+            let va = handles[op.region].at(op.offset);
+            batch.push(if op.is_write {
+                Request::Store { client, va, value: values.gen() }
+            } else {
+                Request::Load { client, va }
+            });
+            if batch.len() == config.batch {
+                flush(service, &mut batch);
+            }
+        }
+        flush(service, &mut batch);
+    }
+}
+
+fn flush(service: &VbiService, batch: &mut Vec<Request>) {
+    if batch.is_empty() {
+        return;
+    }
+    for response in service.submit(batch) {
+        assert!(response.is_ok(), "harness requests are always in bounds");
+    }
+    batch.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ops_are_deterministic_and_aligned() {
+        let spec = benchmark("mcf").unwrap();
+        let a = trace_ops(&spec, 7, 500);
+        let b = trace_ops(&spec, 7, 500);
+        assert_eq!(a, b);
+        for op in &a {
+            assert_eq!(op.offset % 8, 0);
+            assert!(op.offset + 8 <= spec.regions[op.region].bytes.min(REGION_CAP));
+        }
+    }
+
+    #[test]
+    fn single_thread_run_completes_and_reports() {
+        let config = ServiceRunConfig {
+            threads: 1,
+            shards: 1,
+            ops_per_thread: 2_000,
+            batch: 1,
+            ..Default::default()
+        };
+        let report = service_run(&config);
+        assert_eq!(report.total_ops, 2_000);
+        assert!(report.ops_per_sec > 0.0);
+        assert!(report.mtl.translation_requests > 0);
+        assert_eq!(report.shard_loads.len(), 1);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"ops_per_sec\""));
+    }
+
+    #[test]
+    fn multi_thread_run_with_batching_completes() {
+        let config = ServiceRunConfig {
+            threads: 4,
+            shards: 2,
+            ops_per_thread: 2_000,
+            batch: 32,
+            ..Default::default()
+        };
+        let report = service_run(&config);
+        assert_eq!(report.total_ops, 8_000);
+        assert!(report.mtl.pages_allocated > 0);
+        assert_eq!(report.shard_loads.len(), 2);
+    }
+}

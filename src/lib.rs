@@ -16,8 +16,12 @@
 //! * `workloads` ([`vbi_workloads`]) — seeded synthetic SPEC / TailBench /
 //!   Graph 500 stand-ins;
 //! * `hetero` ([`vbi_hetero`]) — PCM-DRAM and TL-DRAM placement policies;
+//! * `service` ([`vbi_service`]) — the concurrent, sharded MTL memory
+//!   service: a `Send + Sync + Clone` handle over per-shard MTLs (§6.2's
+//!   home-MTL partitioning) with a batched request path;
 //! * `sim` ([`vbi_sim`]) — the end-to-end evaluation engine behind the
-//!   `vbi-bench` figure binaries.
+//!   `vbi-bench` figure binaries, plus the multi-threaded service traffic
+//!   harness ([`vbi_sim::service_run`]).
 //!
 //! ## Quick start
 //!
@@ -42,6 +46,7 @@ pub use vbi_baselines as baselines;
 pub use vbi_core as core;
 pub use vbi_hetero as hetero;
 pub use vbi_mem_sim as mem_sim;
+pub use vbi_service as service;
 pub use vbi_sim as sim;
 pub use vbi_workloads as workloads;
 

@@ -1,0 +1,60 @@
+//! Equivalence proof for the concurrent service (ISSUE 2 acceptance):
+//! one fixed workload trace replayed through the single-owner
+//! [`vbi_core::System`] and through a 1-shard [`vbi_service::VbiService`]
+//! driven by one thread yields byte-identical loads and identical
+//! [`vbi_core::MtlStats`] — the concurrency layer adds no observable
+//! behavior of its own.
+
+use vbi_core::VbiConfig;
+use vbi_service::{ServiceConfig, VbiService};
+use vbi_sim::service_run::{replay_on_service, replay_on_system, trace_ops};
+use vbi_workloads::spec::benchmark;
+
+fn config() -> VbiConfig {
+    VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() }
+}
+
+#[test]
+fn system_and_single_shard_service_are_observably_identical() {
+    for name in ["mcf", "sjeng", "GemsFDTD"] {
+        let spec = benchmark(name).expect("known benchmark");
+        let ops = trace_ops(&spec, 2020, 20_000);
+        let (system_loads, system_stats) = replay_on_system(config(), &spec, &ops);
+        let service = VbiService::new(ServiceConfig::single(config()));
+        let (service_loads, service_stats) = replay_on_service(&service, &spec, &ops);
+        assert_eq!(system_loads, service_loads, "{name}: loads must be byte-identical");
+        assert_eq!(system_stats, service_stats, "{name}: MTL counters must be identical");
+        assert!(system_stats.translation_requests > 0, "{name}: trace exercised the MTL");
+    }
+}
+
+#[test]
+fn equivalence_holds_across_config_variants() {
+    // Delayed allocation off (VBI-1) and on (VBI-2/Full) take different
+    // allocation paths; the service must shadow System on both.
+    for variant in [VbiConfig::vbi_1, VbiConfig::vbi_2] {
+        let spec = benchmark("mcf").expect("known benchmark");
+        let ops = trace_ops(&spec, 77, 8_000);
+        let cfg = VbiConfig { phys_frames: 1 << 16, ..variant() };
+        let (system_loads, system_stats) = replay_on_system(cfg.clone(), &spec, &ops);
+        let service = VbiService::new(ServiceConfig::single(cfg));
+        let (service_loads, service_stats) = replay_on_service(&service, &spec, &ops);
+        assert_eq!(system_loads, service_loads);
+        assert_eq!(system_stats, service_stats);
+    }
+}
+
+#[test]
+fn sharding_changes_counters_but_never_bytes() {
+    // A 4-shard service partitions VBs differently (per-shard VBID slices,
+    // per-shard TLBs), so counters may legitimately differ from System —
+    // but every loaded value must still be identical: sharding is invisible
+    // to data.
+    let spec = benchmark("mcf").expect("known benchmark");
+    let ops = trace_ops(&spec, 2020, 20_000);
+    let (system_loads, _) = replay_on_system(config(), &spec, &ops);
+    let service = VbiService::new(ServiceConfig::new(4, config()));
+    let (service_loads, stats) = replay_on_service(&service, &spec, &ops);
+    assert_eq!(system_loads, service_loads, "sharding must not change data");
+    assert!(stats.translation_requests > 0);
+}

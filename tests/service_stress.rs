@@ -1,0 +1,266 @@
+//! Concurrency stress suite for the sharded memory service: many threads
+//! hammering disjoint and shared VBs through one `VbiService` handle.
+//!
+//! Run under `--release` in CI so real interleavings are exercised; the
+//! assertions are strict (no lost writes, permissions enforced from every
+//! thread, shard routing a pure function of the VBUID) rather than timing
+//! based, so the suite is deterministic in what it checks.
+
+use std::sync::Barrier;
+use std::thread;
+
+use vbi::{Rwx, VbProperties, VbiConfig, VbiError, VirtualAddress};
+use vbi_service::{Request, Response, ServiceConfig, VbiService};
+
+const THREADS: usize = 8;
+
+fn service(shards: usize) -> VbiService {
+    VbiService::new(ServiceConfig::new(
+        shards,
+        VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() },
+    ))
+}
+
+/// Every thread owns a private client + VB and hammers it; no write may be
+/// lost, and the data must still be there when the main thread attaches to
+/// each VB afterwards.
+#[test]
+fn disjoint_vbs_lose_no_writes() {
+    let svc = service(4);
+    const WRITES: u64 = 400;
+    let vbs: Vec<_> = thread::scope(|s| {
+        let workers: Vec<_> = (0..THREADS as u64)
+            .map(|t| {
+                let svc = svc.clone();
+                s.spawn(move || {
+                    let client = svc.create_client().unwrap();
+                    let vb = svc
+                        .request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+                        .unwrap();
+                    for i in 0..WRITES {
+                        svc.store_u64(client, vb.at(i * 8), t * 1_000_000 + i).unwrap();
+                    }
+                    for i in 0..WRITES {
+                        assert_eq!(
+                            svc.load_u64(client, vb.at(i * 8)).unwrap(),
+                            t * 1_000_000 + i,
+                            "thread {t} lost write {i}"
+                        );
+                    }
+                    vb.vbuid
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    // Cross-thread visibility: a fresh client attaches to every VB and
+    // re-verifies the data written by the worker threads.
+    let auditor = svc.create_client().unwrap();
+    for (t, vbuid) in vbs.iter().enumerate() {
+        let index = svc.attach(auditor, *vbuid, Rwx::READ).unwrap();
+        for i in [0, WRITES / 2, WRITES - 1] {
+            assert_eq!(
+                svc.load_u64(auditor, VirtualAddress::new(index, i * 8)).unwrap(),
+                t as u64 * 1_000_000 + i,
+                "auditor saw stale data of thread {t}"
+            );
+        }
+    }
+}
+
+/// All threads share ONE VB (true sharing, §3.4) and write disjoint
+/// 8-byte slots of it; after a barrier every thread verifies every other
+/// thread's slots.
+#[test]
+fn shared_vb_disjoint_slots_lose_no_writes() {
+    let svc = service(4);
+    const SLOTS: u64 = 256;
+    let owner = svc.create_client().unwrap();
+    let vb = svc
+        .request_vb(owner, (THREADS as u64) * SLOTS * 8, VbProperties::NONE, Rwx::READ_WRITE)
+        .unwrap();
+    let barrier = Barrier::new(THREADS);
+    thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let svc = svc.clone();
+            let barrier = &barrier;
+            s.spawn(move || {
+                let client = svc.create_client().unwrap();
+                let index = svc.attach(client, vb.vbuid, Rwx::READ_WRITE).unwrap();
+                let base = t * SLOTS * 8;
+                for i in 0..SLOTS {
+                    svc.store_u64(client, VirtualAddress::new(index, base + i * 8), t * 7_000 + i)
+                        .unwrap();
+                }
+                barrier.wait();
+                // Verify the whole VB, including every other thread's slots.
+                for other in 0..THREADS as u64 {
+                    for i in 0..SLOTS {
+                        let va = VirtualAddress::new(index, other * SLOTS * 8 + i * 8);
+                        assert_eq!(
+                            svc.load_u64(client, va).unwrap(),
+                            other * 7_000 + i,
+                            "thread {t} read a lost write of thread {other}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Permission checks hold from every thread: read-only sharers can read
+/// but never write, while the owner keeps writing concurrently.
+#[test]
+fn permissions_are_enforced_cross_thread() {
+    let svc = service(2);
+    let owner = svc.create_client().unwrap();
+    let vb = svc.request_vb(owner, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    svc.store_u64(owner, vb.at(0), 42).unwrap();
+    thread::scope(|s| {
+        // Readers: loads succeed, stores are denied — every time.
+        for _ in 0..THREADS {
+            let svc = svc.clone();
+            s.spawn(move || {
+                let reader = svc.create_client().unwrap();
+                let index = svc.attach(reader, vb.vbuid, Rwx::READ).unwrap();
+                let va = VirtualAddress::new(index, 0);
+                for _ in 0..200 {
+                    assert!(svc.load_u64(reader, va).unwrap() >= 42);
+                    match svc.store_u64(reader, va, 0) {
+                        Err(VbiError::PermissionDenied { .. }) => {}
+                        other => panic!("read-only store must be denied, got {other:?}"),
+                    }
+                }
+            });
+        }
+        // The owner keeps the cell monotonically increasing meanwhile.
+        let svc_owner = svc.clone();
+        s.spawn(move || {
+            for i in 0..200u64 {
+                svc_owner.store_u64(owner, vb.at(0), 42 + i).unwrap();
+            }
+        });
+    });
+    // No denied store ever landed.
+    assert!(svc.load_u64(owner, vb.at(0)).unwrap() >= 42);
+}
+
+/// Shard routing is a pure function of the VBUID: every thread computes
+/// the same home shard for the same VB, and traffic to a VB only ever
+/// touches that shard's MTL.
+#[test]
+fn shard_routing_is_deterministic() {
+    let svc = service(8);
+    let client = svc.create_client().unwrap();
+    let handles: Vec<_> = (0..16)
+        .map(|_| svc.request_vb(client, 4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
+        .collect();
+    let reference: Vec<usize> = handles.iter().map(|h| svc.shard_of(h.vbuid)).collect();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let svc = svc.clone();
+            let handles = &handles;
+            let reference = &reference;
+            s.spawn(move || {
+                for (h, want) in handles.iter().zip(reference) {
+                    for _ in 0..100 {
+                        assert_eq!(svc.shard_of(h.vbuid), *want, "routing of {} flapped", h.vbuid);
+                    }
+                }
+            });
+        }
+    });
+    // Traffic isolation: touching one VB moves only its home shard's counters.
+    svc.reset_stats();
+    svc.store_u64(client, handles[0].at(0), 1).unwrap();
+    for (shard, stats) in svc.shard_stats().iter().enumerate() {
+        if shard == reference[0] {
+            assert!(stats.translation_requests > 0, "home shard idle");
+        } else {
+            assert_eq!(stats.translation_requests, 0, "shard {shard} saw foreign traffic");
+        }
+    }
+}
+
+/// The batched submit path under concurrency: threads fire batches at a
+/// shared VB's disjoint slots and at private VBs simultaneously; responses
+/// arrive in order and no write is lost.
+#[test]
+fn concurrent_batches_lose_no_writes() {
+    let svc = service(4);
+    const SLOTS: u64 = 128;
+    let owner = svc.create_client().unwrap();
+    let shared = svc
+        .request_vb(owner, (THREADS as u64) * SLOTS * 8, VbProperties::NONE, Rwx::READ_WRITE)
+        .unwrap();
+    thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let svc = svc.clone();
+            s.spawn(move || {
+                let client = svc.create_client().unwrap();
+                let shared_index = svc.attach(client, shared.vbuid, Rwx::READ_WRITE).unwrap();
+                let private = svc
+                    .request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+                    .unwrap();
+                let base = t * SLOTS * 8;
+                let mut batch = Vec::new();
+                for i in 0..SLOTS {
+                    batch.push(Request::Store {
+                        client,
+                        va: VirtualAddress::new(shared_index, base + i * 8),
+                        value: t << 32 | i,
+                    });
+                    batch.push(Request::Store { client, va: private.at(i * 8), value: !i });
+                }
+                for r in svc.submit(&batch) {
+                    assert_eq!(r, Response::Store(Ok(())));
+                }
+                let reads: Vec<Request> = (0..SLOTS)
+                    .flat_map(|i| {
+                        [
+                            Request::Load {
+                                client,
+                                va: VirtualAddress::new(shared_index, base + i * 8),
+                            },
+                            Request::Load { client, va: private.at(i * 8) },
+                        ]
+                    })
+                    .collect();
+                let responses = svc.submit(&reads);
+                for (i, pair) in responses.chunks(2).enumerate() {
+                    let i = i as u64;
+                    assert_eq!(pair[0].loaded(), Some(t << 32 | i), "thread {t} slot {i}");
+                    assert_eq!(pair[1].loaded(), Some(!i), "thread {t} private slot {i}");
+                }
+            });
+        }
+    });
+}
+
+/// Client and VB churn from many threads never leaks frames: after every
+/// worker releases everything, the free-frame count returns to baseline.
+#[test]
+fn concurrent_churn_leaks_nothing() {
+    let svc = service(4);
+    let baseline = svc.free_frames();
+    thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let svc = svc.clone();
+            s.spawn(move || {
+                for round in 0..20 {
+                    let client = svc.create_client().unwrap();
+                    let vb = svc
+                        .request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+                        .unwrap();
+                    for i in 0..16 {
+                        svc.store_u64(client, vb.at(i * 512), t * 100 + round + i).unwrap();
+                    }
+                    svc.destroy_client(client).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(svc.free_frames(), baseline, "churn leaked physical frames");
+    assert!(svc.stats().pages_allocated > 0);
+}
