@@ -323,8 +323,8 @@ mod tests {
     fn pwc_shortens_neighbouring_walks() {
         let mut mmu = NativeMmu::new(PageSize::Kb4, 1 << 20);
         mmu.translate(0x0000); // full walk, fills the PWC
-        // Evict page 1's translation from the TLBs? It was never inserted;
-        // page 1 is a fresh page in the same leaf table.
+                               // Evict page 1's translation from the TLBs? It was never inserted;
+                               // page 1 is a fresh page in the same leaf table.
         let t = mmu.translate(0x1000);
         assert_eq!(t.events.walk_accesses.len(), 1, "PWC skips the three interior levels");
     }

@@ -183,8 +183,7 @@ impl PageTable {
             }
             if node.children[index].is_none() {
                 let addr = frames.frame() << 12;
-                node.children[index] =
-                    Some(Box::new(PtNode::new(addr, level + 2 == levels)));
+                node.children[index] = Some(Box::new(PtNode::new(addr, level + 2 == levels)));
             }
             node = node.children[index].as_mut().expect("just ensured");
         }

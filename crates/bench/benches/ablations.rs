@@ -83,8 +83,7 @@ fn ablate_structure_depth(c: &mut Criterion) {
         b.iter(|| {
             page = (page + 193) % 1024;
             std::hint::black_box(
-                mtl.translate(vb.address(page * 4096).expect("ok"), MtlAccess::Read)
-                    .expect("ok"),
+                mtl.translate(vb.address(page * 4096).expect("ok"), MtlAccess::Read).expect("ok"),
             )
         })
     });
@@ -104,8 +103,7 @@ fn ablate_structure_depth(c: &mut Criterion) {
         b.iter(|| {
             page = (page + 193) % 1024;
             std::hint::black_box(
-                mtl.translate(vb.address(page * 4096).expect("ok"), MtlAccess::Read)
-                    .expect("ok"),
+                mtl.translate(vb.address(page * 4096).expect("ok"), MtlAccess::Read).expect("ok"),
             )
         })
     });

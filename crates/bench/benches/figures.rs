@@ -20,8 +20,7 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
 
     // Figure 6 slice: one TLB-hostile benchmark across the 4 KiB systems.
-    for kind in [SystemKind::Native, SystemKind::Virtual, SystemKind::Vbi2, SystemKind::VbiFull]
-    {
+    for kind in [SystemKind::Native, SystemKind::Virtual, SystemKind::Vbi2, SystemKind::VbiFull] {
         group.bench_function(format!("fig6_mcf_{}", kind.label().replace(' ', "_")), |b| {
             let spec = benchmark("mcf").expect("known");
             let cfg = quick();
@@ -50,9 +49,7 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     // Figures 9-10 slice: placement policies on both architectures.
-    for (label, kind) in
-        [("fig9_pcm", HeteroKind::PcmDram), ("fig10_tldram", HeteroKind::TlDram)]
-    {
+    for (label, kind) in [("fig9_pcm", HeteroKind::PcmDram), ("fig10_tldram", HeteroKind::TlDram)] {
         group.bench_function(format!("{label}_vbi_policy"), |b| {
             let spec = benchmark("sphinx3").expect("known");
             let cfg = quick();

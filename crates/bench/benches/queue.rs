@@ -1,0 +1,70 @@
+//! `queue` bench: host-throughput sweep of the io_uring-style
+//! submission/completion front end (`vbi_service::VbiQueue`) over
+//! submitter threads × shards × pipeline window.
+//!
+//! Complements the `service` bench (synchronous + batched paths) with the
+//! asynchronous path: submitters pipeline tagged ops into per-shard rings
+//! while shard workers execute through the shared op engine and post
+//! completions. The final line is a machine-readable JSON summary (tag
+//! `BENCH_queue`) so future PRs can track the trajectory.
+//!
+//! Run with `cargo bench -p vbi-bench --bench queue`; set `VBI_QUEUE_OPS`
+//! to change the per-thread op count (default 20 000). On a single-CPU
+//! host the wall-clock diagonal is flat (submitters and workers share one
+//! core); the queue-depth column still shows the pipeline working.
+
+use vbi_sim::service_run::{queue_run, ServiceRunConfig};
+
+fn main() {
+    let ops_per_thread =
+        std::env::var("VBI_QUEUE_OPS").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(20_000);
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // (threads, shards, window) sweep. The 1×1×1 point is the fully
+    // serialized baseline; the diagonal scales submitters with shards; the
+    // final pair isolates the effect of a deeper pipeline window.
+    let sweep: [(usize, usize, usize); 6] =
+        [(1, 1, 1), (1, 1, 16), (2, 2, 16), (4, 4, 16), (4, 4, 64), (4, 1, 16)];
+
+    println!(
+        "{:>7} {:>7} {:>7} {:>12} {:>10} {:>10}",
+        "threads", "shards", "window", "ops/sec", "max-depth", "tlb-hit%"
+    );
+    let mut results = Vec::new();
+    for (threads, shards, window) in sweep {
+        let config = ServiceRunConfig {
+            threads,
+            shards,
+            ops_per_thread,
+            batch: window,
+            ..ServiceRunConfig::default()
+        };
+        let report = queue_run(&config);
+        println!(
+            "{:>7} {:>7} {:>7} {:>12.0} {:>10} {:>9.1}%",
+            threads,
+            shards,
+            window,
+            report.ops_per_sec,
+            report.max_queue_depth,
+            report.mtl.tlb_hit_rate() * 100.0,
+        );
+        results.push(report);
+    }
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"threads\":{},\"shards\":{},\"window\":{},\"ops_per_sec\":{:.0},\"max_queue_depth\":{}}}",
+                r.threads, r.shards, r.window, r.ops_per_sec, r.max_queue_depth
+            )
+        })
+        .collect();
+    println!(
+        "BENCH_queue {{\"bench\":\"queue\",\"benchmark\":\"mcf\",\"host_cpus\":{},\"ops_per_thread\":{},\"results\":[{}]}}",
+        host_cpus,
+        ops_per_thread,
+        entries.join(",")
+    );
+}

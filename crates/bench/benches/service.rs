@@ -22,15 +22,8 @@ fn main() {
     // (threads, shards, batch) sweep. The 1×1 unbatched point is the
     // System-equivalent baseline; the diagonal shows thread/shard scaling;
     // the final pair isolates the effect of batched submission.
-    let sweep: [(usize, usize, usize); 7] = [
-        (1, 1, 1),
-        (2, 2, 1),
-        (4, 4, 1),
-        (8, 8, 1),
-        (4, 1, 1),
-        (4, 4, 64),
-        (1, 1, 64),
-    ];
+    let sweep: [(usize, usize, usize); 7] =
+        [(1, 1, 1), (2, 2, 1), (4, 4, 1), (8, 8, 1), (4, 1, 1), (4, 4, 64), (1, 1, 64)];
 
     println!(
         "{:>7} {:>7} {:>6} {:>12} {:>12} {:>10}",

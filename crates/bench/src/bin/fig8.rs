@@ -66,8 +66,7 @@ pub fn main() {
                     .map(|&system| {
                         let cfg = &cfg;
                         s.spawn(move || {
-                            let ws =
-                                run_bundle(name, system, apps, cfg).weighted_speedup(alone);
+                            let ws = run_bundle(name, system, apps, cfg).weighted_speedup(alone);
                             ws / native_ws
                         })
                     })

@@ -36,8 +36,30 @@ fn main() {
         ("fig9", fig9::main),
         ("fig10", fig10::main),
     ];
+    let started = std::time::Instant::now();
+    let mut timings = Vec::new();
     for (name, run) in harnesses {
         eprintln!("==> {name}");
+        let t0 = std::time::Instant::now();
         run();
+        timings.push((name, t0.elapsed().as_secs_f64()));
     }
+    // Machine-readable trajectory line: per-figure wall-clock plus the key
+    // knobs of the run (trace length, warm-up, host parallelism), so the
+    // full evaluation's cost is trackable across PRs.
+    let config = vbi_bench::figure_config();
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let figures: Vec<String> = timings
+        .iter()
+        .map(|(name, secs)| format!("{{\"name\":\"{name}\",\"secs\":{secs:.3}}}"))
+        .collect();
+    println!(
+        "BENCH_run_all {{\"bench\":\"run_all\",\"host_cpus\":{},\"accesses\":{},\"warmup\":{},\"phys_frames\":{},\"total_secs\":{:.3},\"figures\":[{}]}}",
+        host_cpus,
+        config.accesses,
+        config.warmup,
+        config.phys_frames,
+        started.elapsed().as_secs_f64(),
+        figures.join(",")
+    );
 }

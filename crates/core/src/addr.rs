@@ -334,10 +334,8 @@ impl VbiAddress {
     /// Returns [`VbiError::OffsetOutOfRange`] when the sum exceeds the VB.
     pub fn offset_by(self, delta: u64) -> Result<VbiAddress> {
         let vb = self.vbuid();
-        let new_offset = self
-            .offset()
-            .checked_add(delta)
-            .ok_or(VbiError::MalformedAddress(self.0))?;
+        let new_offset =
+            self.offset().checked_add(delta).ok_or(VbiError::MalformedAddress(self.0))?;
         vb.address(new_offset)
     }
 }
@@ -465,10 +463,7 @@ mod tests {
     fn address_rejects_out_of_range_offsets() {
         let vb = Vbuid::new(SizeClass::Kib4, 0);
         assert!(vb.address(4095).is_ok());
-        assert_eq!(
-            vb.address(4096),
-            Err(VbiError::OffsetOutOfRange { vbuid: vb, offset: 4096 })
-        );
+        assert_eq!(vb.address(4096), Err(VbiError::OffsetOutOfRange { vbuid: vb, offset: 4096 }));
     }
 
     #[test]

@@ -87,17 +87,12 @@ impl BuddyAllocator {
 
     /// The largest order with a free block available, or `None` when empty.
     pub fn largest_free_order(&self) -> Option<Order> {
-        (0..self.free_lists.len() as Order)
-            .rev()
-            .find(|&o| !self.free_lists[o as usize].is_empty())
+        (0..self.free_lists.len() as Order).rev().find(|&o| !self.free_lists[o as usize].is_empty())
     }
 
     /// Whether a contiguous block of `order` can be allocated right now.
     pub fn can_allocate(&self, order: Order) -> bool {
-        self.free_lists
-            .iter()
-            .enumerate()
-            .any(|(o, l)| o as Order >= order && !l.is_empty())
+        self.free_lists.iter().enumerate().any(|(o, l)| o as Order >= order && !l.is_empty())
     }
 
     /// Allocates a naturally aligned block of `2^order` frames.
@@ -143,10 +138,7 @@ impl BuddyAllocator {
     }
 
     fn can_split_down_to(&self, order: Order) -> bool {
-        self.free_lists
-            .iter()
-            .enumerate()
-            .any(|(o, l)| o as Order >= order && !l.is_empty())
+        self.free_lists.iter().enumerate().any(|(o, l)| o as Order >= order && !l.is_empty())
     }
 
     /// Allocates a contiguous block of `2^order` frames but registers every

@@ -93,6 +93,10 @@ pub enum VbiError {
     /// Address arithmetic produced an address outside the VB or the VBI
     /// address space.
     MalformedAddress(u64),
+    /// An internal engine invariant panicked while serving the op. Caught
+    /// at the asynchronous service boundary so queued clients receive a
+    /// completion instead of a hang; the payload is the panic message.
+    EngineFault(String),
 }
 
 impl fmt::Display for VbiError {
@@ -136,6 +140,7 @@ impl fmt::Display for VbiError {
             Self::SwapFailure { reason } => write!(f, "backing store failure: {reason}"),
             Self::InvalidVmId(id) => write!(f, "virtual machine id {id} is out of range"),
             Self::MalformedAddress(bits) => write!(f, "malformed VBI address {bits:#018x}"),
+            Self::EngineFault(message) => write!(f, "engine fault while serving the op: {message}"),
         }
     }
 }

@@ -164,8 +164,7 @@ mod tests {
         };
         s.store_u64(client, VirtualAddress::new(index, 0), 11).unwrap();
 
-        let Outcome::Refcount(rc) =
-            Instruction::Detach { client, vbuid }.execute(&mut s).unwrap()
+        let Outcome::Refcount(rc) = Instruction::Detach { client, vbuid }.execute(&mut s).unwrap()
         else {
             panic!("detach returns a refcount");
         };

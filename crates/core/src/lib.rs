@@ -52,7 +52,8 @@
 //! | [`tlb`] | §4.2.3 | generic set-associative TLB |
 //! | [`swap`] | §3.4 | backing store |
 //! | [`mtl`] | §4.5, §5 | the Memory Translation Layer |
-//! | [`system`] | §4.2 | processor-side glue: CVT checks + MTL |
+//! | [`ops`] | §4.2 | the op-execution engine: every request-path op, executed once |
+//! | [`system`] | §4.2 | the synchronous adapter over the engine |
 //! | [`stats`] | §7.2 | MTL counters, mergeable across shards |
 //! | [`os`] | §3.4, §4.4 | OS model: processes, fork, shared libraries, mmap |
 //! | [`vm`] | §6.1 | virtual-machine partitioning of the VBI space |
@@ -74,6 +75,7 @@ pub mod error;
 pub mod isa;
 pub mod mtl;
 pub mod multinode;
+pub mod ops;
 pub mod os;
 pub mod perm;
 pub mod phys;
@@ -91,6 +93,7 @@ pub use client::{ClientId, VirtualAddress};
 pub use config::VbiConfig;
 pub use error::{Result, VbiError};
 pub use mtl::Mtl;
+pub use ops::{Op, OpOutput, OpResult};
 pub use perm::{AccessKind, Rwx};
 pub use stats::MtlStats;
 pub use system::System;

@@ -370,6 +370,7 @@ impl Mtl {
             return Err(VbiError::CloneSizeMismatch { source: src, destination: dst });
         }
         self.vits.entry(dst)?; // dst must be enabled
+
         // Take the source structure, mark it COW, rebuild a structure for dst.
         let Some(mut src_structure) = self.vits.entry_mut(src)?.translation.take() else {
             return Ok(()); // nothing allocated yet; nothing to share
@@ -382,7 +383,11 @@ impl Mtl {
         let mut dst_structure = self.table_structure_for(dst.size_class())?;
         for (page, frame, _) in src_structure.mapped_pages() {
             *self.frame_shares.entry(frame.0).or_insert(1) += 1;
-            dst_structure.set_entry(page, PageEntry::Mapped { frame, cow: true }, &mut self.buddy)?;
+            dst_structure.set_entry(
+                page,
+                PageEntry::Mapped { frame, cow: true },
+                &mut self.buddy,
+            )?;
         }
         for (page, slot) in src_structure.swapped_pages() {
             let dup = self.swap.duplicate(slot);
@@ -753,10 +758,7 @@ impl Mtl {
         let result = (|| {
             for (page, data) in pages {
                 if page >= structure.pages() {
-                    return Err(VbiError::OffsetOutOfRange {
-                        vbuid,
-                        offset: page * FRAME_BYTES,
-                    });
+                    return Err(VbiError::OffsetOutOfRange { vbuid, offset: page * FRAME_BYTES });
                 }
                 let slot = self.swap.store(data);
                 structure.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy)?;
@@ -924,9 +926,7 @@ impl Mtl {
             let has_reserved = self
                 .reservations
                 .get(&owner)
-                .map(|r| {
-                    r.extents.iter().any(|e| e.slots.contains(&SlotState::Reserved))
-                })
+                .map(|r| r.extents.iter().any(|e| e.slots.contains(&SlotState::Reserved)))
                 .unwrap_or(false);
             if !has_reserved {
                 continue;
@@ -973,9 +973,7 @@ impl Mtl {
         let owner = self
             .reservations
             .iter()
-            .filter(|(_, r)| {
-                r.extents.iter().any(|e| e.slots.contains(&SlotState::Reserved))
-            })
+            .filter(|(_, r)| r.extents.iter().any(|e| e.slots.contains(&SlotState::Reserved)))
             .max_by_key(|(vb, r)| (r.extents.iter().map(|e| e.len).sum::<u64>(), *vb))
             .map(|(vb, _)| *vb);
         let Some(owner) = owner else { return false };
@@ -1052,8 +1050,7 @@ impl Mtl {
     fn allocate_and_map(&mut self, vbuid: Vbuid, page: u64) -> Result<Frame> {
         self.ensure_structure(vbuid)?;
         let frame = self.allocate_page_frame(vbuid, page)?;
-        let mut structure =
-            self.vits.entry_mut(vbuid)?.translation.take().expect("ensured above");
+        let mut structure = self.vits.entry_mut(vbuid)?.translation.take().expect("ensured above");
         // A direct structure can only map its own contiguous region; if the
         // frame came from elsewhere (stolen slot or pressure), demote first.
         let expects = structure.direct_base().map(|b| b.offset(page));
@@ -1364,8 +1361,10 @@ mod tests {
         assert!(matches!(m.disable_vb(vb), Err(VbiError::VbInUse { .. })));
         m.remove_ref(vb).unwrap();
         m.disable_vb(vb).unwrap();
-        assert!(matches!(m.translate(vb.address(0).unwrap(), MtlAccess::Read),
-            Err(VbiError::VbNotEnabled(_))));
+        assert!(matches!(
+            m.translate(vb.address(0).unwrap(), MtlAccess::Read),
+            Err(VbiError::VbNotEnabled(_))
+        ));
     }
 
     #[test]

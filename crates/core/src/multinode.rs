@@ -92,12 +92,7 @@ impl MultiNodeSystem {
     ///
     /// Returns [`VbiError::OutOfVirtualBlocks`] when `local_vbid` exceeds
     /// the node's slice.
-    pub fn vbuid_on(
-        &self,
-        node: NodeId,
-        size_class: SizeClass,
-        local_vbid: u64,
-    ) -> Result<Vbuid> {
+    pub fn vbuid_on(&self, node: NodeId, size_class: SizeClass, local_vbid: u64) -> Result<Vbuid> {
         if local_vbid >= self.vbs_per_node(size_class) {
             return Err(VbiError::OutOfVirtualBlocks(size_class));
         }
@@ -258,10 +253,7 @@ mod tests {
         assert_eq!(m.read_u64(vb.address(64).unwrap()).unwrap(), 99);
         // Only node 3's MTL allocated anything.
         for node in 0..3u8 {
-            assert_eq!(
-                m.mtl(NodeId(node)).free_frames(),
-                m.mtl(NodeId(node)).config().phys_frames
-            );
+            assert_eq!(m.mtl(NodeId(node)).free_frames(), m.mtl(NodeId(node)).config().phys_frames);
         }
         assert!(m.mtl(NodeId(3)).free_frames() < m.mtl(NodeId(3)).config().phys_frames);
     }
@@ -269,10 +261,7 @@ mod tests {
     #[test]
     fn nodes_have_independent_capacity() {
         // Exhausting one node's memory does not affect another's.
-        let mut m = MultiNodeSystem::new(
-            2,
-            VbiConfig { phys_frames: 64, ..VbiConfig::vbi_2() },
-        );
+        let mut m = MultiNodeSystem::new(2, VbiConfig { phys_frames: 64, ..VbiConfig::vbi_2() });
         let a = m.enable_vb_on(NodeId(0), SizeClass::Kib128, VbProperties::NONE).unwrap();
         let mut wrote = 0;
         for page in 0..32u64 {
@@ -302,10 +291,7 @@ mod tests {
         assert_eq!(m.read_u64(moved.address(1 << 12).unwrap()).unwrap(), 0);
         // The old VB can now be disabled, freeing node 0's memory.
         m.mtl_mut(NodeId(0)).disable_vb(vb).unwrap();
-        assert_eq!(
-            m.mtl(NodeId(0)).free_frames(),
-            m.mtl(NodeId(0)).config().phys_frames
-        );
+        assert_eq!(m.mtl(NodeId(0)).free_frames(), m.mtl(NodeId(0)).config().phys_frames);
     }
 
     #[test]

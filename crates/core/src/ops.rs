@@ -1,0 +1,772 @@
+//! The single op-execution engine behind every request path.
+//!
+//! The paper's MTL (§4) is one agent serving the same operations to every
+//! client, however those requests arrive — synchronously from a core, or
+//! queued through a submission ring. This module is that agent in code:
+//! [`Op`] names every operation of the VBI request surface (control plane
+//! *and* data plane), and the engine functions — one per op, dispatched by
+//! [`execute`] — own all permission checks, CVT-cache lookups, rollback
+//! protocol, and stat accounting exactly once.
+//!
+//! Front ends differ only in *where the state lives*, which the [`OpEnv`]
+//! trait abstracts:
+//!
+//! * [`crate::System`] implements it with plain single-owner fields (one
+//!   MTL, `HashMap`s of CVTs) — the synchronous adapter;
+//! * `vbi_service::VbiService` implements it with `Mutex<Mtl>` shards and
+//!   lock-protected client state — the concurrent sharding adapter, which
+//!   also batches ([`VbiService::submit`]) and queues (`VbiQueue`) the same
+//!   [`Op`]s.
+//!
+//! Because both adapters route every op through this engine, a 1-shard
+//! service driven sequentially is *observably identical* to a `System` by
+//! construction: same responses, same [`crate::MtlStats`] (proven
+//! property-based in `tests/service_equivalence.rs`).
+//!
+//! ## Locking contract
+//!
+//! The engine never asks the environment for two resources at once: every
+//! [`OpEnv`] callback (`with_client`, `with_home_mtl`, `place_vb`) is
+//! entered and exited before the next one starts. Lock-based environments
+//! therefore never hold a client lock and a shard lock simultaneously on
+//! the engine's behalf, making deadlock impossible by construction.
+
+use crate::addr::{SizeClass, VbiAddress, Vbuid};
+use crate::client::{ClientId, Cvt, CvtEntry, VirtualAddress};
+use crate::config::VbiConfig;
+use crate::cvt_cache::CvtCache;
+use crate::error::{Result, VbiError};
+use crate::mtl::Mtl;
+use crate::perm::{AccessKind, Rwx};
+use crate::vb::VbProperties;
+
+/// A program's handle on an attached VB: the CVT index returned by
+/// `request_vb` plus (for convenience and introspection) the VBUID behind it.
+///
+/// Programs only ever need `cvt_index`; keeping the VBUID on the handle makes
+/// tests and examples more legible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VbHandle {
+    /// Index of the CVT entry pointing at the VB — the program's pointer.
+    pub cvt_index: usize,
+    /// The VB behind the entry (may change under promotion/migration).
+    pub vbuid: Vbuid,
+}
+
+impl VbHandle {
+    /// The virtual address `offset` bytes into the VB.
+    pub const fn at(&self, offset: u64) -> VirtualAddress {
+        VirtualAddress::new(self.cvt_index, offset)
+    }
+}
+
+/// The outcome of a protection-checked access, with its timing-relevant
+/// events (consumed by the timing simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckedAccess {
+    /// The VBI address the access maps to (used to index all caches).
+    pub address: VbiAddress,
+    /// Whether the CVT cache supplied the entry (a miss costs one memory
+    /// read of the in-memory CVT).
+    pub cvt_cache_hit: bool,
+}
+
+/// One operation of the VBI request surface.
+///
+/// Control-plane ops manage clients and VB attachments; data-plane ops are
+/// protection-checked memory accesses. Every front end — [`crate::System`],
+/// `VbiService::submit`, `VbiQueue` — speaks this enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Register a new memory client (process, OS, or VM guest).
+    CreateClient,
+    /// Register a client with a caller-chosen ID (§6.1 VM partitioning).
+    CreateClientWithId {
+        /// The ID to claim.
+        id: ClientId,
+    },
+    /// Destroy a client, detaching every VB in its CVT.
+    DestroyClient {
+        /// Client to destroy.
+        client: ClientId,
+    },
+    /// The `request_vb` system call (§4.2): allocate and attach the
+    /// smallest free VB that fits `bytes`.
+    RequestVb {
+        /// Requesting client.
+        client: ClientId,
+        /// Requested capacity in bytes.
+        bytes: u64,
+        /// Property bitvector for the new VB.
+        props: VbProperties,
+        /// Permissions granted to the requester.
+        perms: Rwx,
+    },
+    /// The `attach` instruction: grant `client` access to `vbuid`.
+    Attach {
+        /// Client being granted access.
+        client: ClientId,
+        /// Target VB.
+        vbuid: Vbuid,
+        /// Granted permissions.
+        perms: Rwx,
+    },
+    /// `attach` at a specific CVT index (fork and shared-library layout).
+    AttachAt {
+        /// Client being granted access.
+        client: ClientId,
+        /// CVT index to claim.
+        index: usize,
+        /// Target VB.
+        vbuid: Vbuid,
+        /// Granted permissions.
+        perms: Rwx,
+    },
+    /// The `detach` instruction: revoke `client`'s access to `vbuid`.
+    Detach {
+        /// Client losing access.
+        client: ClientId,
+        /// Target VB.
+        vbuid: Vbuid,
+    },
+    /// Detach the VB behind a CVT index and disable it at zero references —
+    /// the common "free this data structure" path.
+    ReleaseVb {
+        /// Releasing client.
+        client: ClientId,
+        /// CVT index of the attachment.
+        index: usize,
+    },
+    /// The CPU-side protection check of §4.2.3, without touching memory.
+    Access {
+        /// Accessing client.
+        client: ClientId,
+        /// `{CVT index, offset}` to check.
+        va: VirtualAddress,
+        /// Kind of access to check for.
+        kind: AccessKind,
+    },
+    /// Protection-checked instruction fetch (returns the byte; fetch width
+    /// is immaterial to the model).
+    Fetch {
+        /// Fetching client.
+        client: ClientId,
+        /// `{CVT index, offset}` to fetch.
+        va: VirtualAddress,
+    },
+    /// Protection-checked functional load of a `u64`.
+    LoadU64 {
+        /// Requesting client.
+        client: ClientId,
+        /// `{CVT index, offset}` to read.
+        va: VirtualAddress,
+    },
+    /// Protection-checked functional store of a `u64`.
+    StoreU64 {
+        /// Requesting client.
+        client: ClientId,
+        /// `{CVT index, offset}` to write.
+        va: VirtualAddress,
+        /// Value to store.
+        value: u64,
+    },
+    /// Protection-checked functional load of one byte.
+    LoadU8 {
+        /// Requesting client.
+        client: ClientId,
+        /// `{CVT index, offset}` to read.
+        va: VirtualAddress,
+    },
+    /// Protection-checked functional store of one byte.
+    StoreU8 {
+        /// Requesting client.
+        client: ClientId,
+        /// `{CVT index, offset}` to write.
+        va: VirtualAddress,
+        /// Value to store.
+        value: u8,
+    },
+    /// Protection-checked load of `len` bytes (one check for the span).
+    LoadBytes {
+        /// Requesting client.
+        client: ClientId,
+        /// `{CVT index, offset}` of the span's base.
+        va: VirtualAddress,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Protection-checked store of a byte span (one check for the span).
+    StoreBytes {
+        /// Requesting client.
+        client: ClientId,
+        /// `{CVT index, offset}` of the span's base.
+        va: VirtualAddress,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+}
+
+impl Op {
+    /// For data-plane ops that touch memory: the `(client, va, kind)`
+    /// triple of the CPU-side protection check that precedes the MTL
+    /// access. `None` for control-plane ops, for [`Op::Access`] (which
+    /// performs no MTL access), and for empty byte spans (which complete
+    /// without any check, like the typed bulk helpers).
+    ///
+    /// Batching front ends use this to split an op into its check phase
+    /// (client locks only) and its MTL phase (home-shard lock only).
+    pub fn checked_access(&self) -> Option<(ClientId, VirtualAddress, AccessKind)> {
+        match *self {
+            Op::Fetch { client, va } => Some((client, va, AccessKind::Execute)),
+            Op::LoadU64 { client, va } | Op::LoadU8 { client, va } => {
+                Some((client, va, AccessKind::Read))
+            }
+            Op::LoadBytes { client, va, len } if len > 0 => Some((client, va, AccessKind::Read)),
+            Op::StoreU64 { client, va, .. } | Op::StoreU8 { client, va, .. } => {
+                Some((client, va, AccessKind::Write))
+            }
+            Op::StoreBytes { client, va, ref data } if !data.is_empty() => {
+                Some((client, va, AccessKind::Write))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The successful outcome of an [`Op`], typed per operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutput {
+    /// A created client ([`Op::CreateClient`] / [`Op::CreateClientWithId`]).
+    Client(ClientId),
+    /// The handle of a freshly requested VB ([`Op::RequestVb`]).
+    Handle(VbHandle),
+    /// The CVT index returned by [`Op::Attach`].
+    CvtIndex(usize),
+    /// The post-detach reference count returned by [`Op::Detach`].
+    RefCount(u32),
+    /// The outcome of a pure protection check ([`Op::Access`]).
+    Checked(CheckedAccess),
+    /// A loaded `u64` ([`Op::LoadU64`]).
+    U64(u64),
+    /// A loaded byte ([`Op::LoadU8`] / [`Op::Fetch`]).
+    U8(u8),
+    /// A loaded span ([`Op::LoadBytes`]).
+    Bytes(Vec<u8>),
+    /// No architecturally visible result (stores, detach-like ops).
+    Unit,
+}
+
+impl OpOutput {
+    /// The loaded `u64`, if this is a [`OpOutput::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            OpOutput::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The loaded byte, if this is a [`OpOutput::U8`].
+    pub fn as_u8(&self) -> Option<u8> {
+        match self {
+            OpOutput::U8(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The VB handle, if this is a [`OpOutput::Handle`].
+    pub fn as_handle(&self) -> Option<VbHandle> {
+        match self {
+            OpOutput::Handle(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// The created client, if this is a [`OpOutput::Client`].
+    pub fn as_client(&self) -> Option<ClientId> {
+        match self {
+            OpOutput::Client(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The CVT index, if this is a [`OpOutput::CvtIndex`].
+    pub fn as_cvt_index(&self) -> Option<usize> {
+        match self {
+            OpOutput::CvtIndex(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The loaded bytes, if this is a [`OpOutput::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            OpOutput::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of one [`Op`]: its typed output, or the VBI error the
+/// engine's checks produced.
+pub type OpResult = Result<OpOutput>;
+
+/// State access an op-execution environment must provide.
+///
+/// Implementations differ only in ownership: `System` hands out its plain
+/// fields, the sharded service locks the matching shard or client. Each
+/// method is a single self-contained acquisition — see the [module
+/// docs](self) for the locking contract.
+pub trait OpEnv {
+    /// The machine configuration (CVT capacity, cache slots, ...).
+    fn config(&self) -> &VbiConfig;
+
+    /// Allocates a fresh client ID.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::OutOfClients`] when all 2^16 IDs are live.
+    fn alloc_client_id(&mut self) -> Result<ClientId>;
+
+    /// Returns a destroyed client's ID to the allocator.
+    fn release_client_id(&mut self, id: ClientId);
+
+    /// Inserts fresh client state for `id` unless `id` is already live.
+    /// Returns whether the insert happened. Must be atomic with respect to
+    /// concurrent inserts of the same ID.
+    fn try_insert_client(&mut self, id: ClientId, cvt: Cvt, cache: CvtCache) -> bool;
+
+    /// Removes the client's state, returning the VBUIDs its CVT held (so
+    /// the engine can release the references).
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`] for unknown clients.
+    fn take_client_vbuids(&mut self, id: ClientId) -> Result<Vec<Vbuid>>;
+
+    /// Runs `f` with exclusive access to the client's CVT and CVT cache.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`] for unknown clients.
+    fn with_client<R>(
+        &mut self,
+        id: ClientId,
+        f: impl FnOnce(&mut Cvt, &mut CvtCache) -> R,
+    ) -> Result<R>;
+
+    /// Runs `f` with exclusive access to the MTL that homes `vbuid`.
+    fn with_home_mtl<R>(&mut self, vbuid: Vbuid, f: impl FnOnce(&mut Mtl) -> R) -> R;
+
+    /// Finds a free VB of `size_class` and enables it with `props` — the
+    /// placement policy (which MTL shard a new VB lands on) lives here.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::OutOfVirtualBlocks`] when every eligible MTL slice of
+    /// the class is exhausted.
+    fn place_vb(&mut self, size_class: SizeClass, props: VbProperties) -> Result<Vbuid>;
+}
+
+// --- control plane ----------------------------------------------------------
+
+/// Registers a new memory client.
+///
+/// # Errors
+///
+/// Returns [`VbiError::OutOfClients`] when all 2^16 IDs are live.
+pub fn create_client<E: OpEnv>(env: &mut E) -> Result<ClientId> {
+    loop {
+        let id = env.alloc_client_id()?;
+        let cvt = Cvt::new(id, env.config().cvt_capacity);
+        let cache = CvtCache::new(env.config().cvt_cache_slots);
+        // The allocator does not know about IDs claimed through
+        // `create_client_with_id` (§6.1 VM partitioning), so skip any ID
+        // that is already live instead of clobbering its state.
+        if env.try_insert_client(id, cvt, cache) {
+            return Ok(id);
+        }
+    }
+}
+
+/// Registers a client with a caller-chosen ID (§6.1 VM partitioning).
+///
+/// # Errors
+///
+/// Returns [`VbiError::InvalidClient`] if the ID is already live.
+pub fn create_client_with_id<E: OpEnv>(env: &mut E, id: ClientId) -> Result<ClientId> {
+    let cvt = Cvt::new(id, env.config().cvt_capacity);
+    let cache = CvtCache::new(env.config().cvt_cache_slots);
+    if env.try_insert_client(id, cvt, cache) {
+        Ok(id)
+    } else {
+        Err(VbiError::InvalidClient(id))
+    }
+}
+
+/// Destroys a client: detaches every VB in its CVT, disables VBs whose
+/// reference count drops to zero (§4.2.4), and recycles the client ID.
+///
+/// # Errors
+///
+/// Returns [`VbiError::InvalidClient`] for unknown clients.
+pub fn destroy_client<E: OpEnv>(env: &mut E, client: ClientId) -> Result<()> {
+    let vbuids = env.take_client_vbuids(client)?;
+    for vbuid in vbuids {
+        env.with_home_mtl(vbuid, |mtl| -> Result<()> {
+            if mtl.remove_ref(vbuid)? == 0 {
+                mtl.disable_vb(vbuid)?;
+            }
+            Ok(())
+        })?;
+    }
+    env.release_client_id(client);
+    Ok(())
+}
+
+/// The `request_vb` system call (§4.2): places the smallest free VB that
+/// fits `bytes`, enables it with `props`, attaches the caller with `perms`,
+/// and returns the CVT index as the program's handle.
+///
+/// # Errors
+///
+/// [`VbiError::RequestTooLarge`] for requests beyond 128 TiB,
+/// [`VbiError::InvalidClient`], [`VbiError::CvtFull`], or VB exhaustion.
+pub fn request_vb<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    bytes: u64,
+    props: VbProperties,
+    perms: Rwx,
+) -> Result<VbHandle> {
+    let size_class =
+        SizeClass::smallest_fitting(bytes).ok_or(VbiError::RequestTooLarge { requested: bytes })?;
+    let vbuid = env.place_vb(size_class, props)?;
+    match attach(env, client, vbuid, perms) {
+        Ok(index) => Ok(VbHandle { cvt_index: index, vbuid }),
+        Err(e) => {
+            // Roll back the enable so the VB is not leaked.
+            env.with_home_mtl(vbuid, |mtl| {
+                let _ = mtl.disable_vb(vbuid);
+            });
+            Err(e)
+        }
+    }
+}
+
+/// The `attach` instruction: adds a CVT entry for `vbuid` with `perms` and
+/// increments the VB's reference count. Returns the CVT index.
+///
+/// # Errors
+///
+/// [`VbiError::InvalidClient`], [`VbiError::VbNotEnabled`], or
+/// [`VbiError::CvtFull`].
+pub fn attach<E: OpEnv>(env: &mut E, client: ClientId, vbuid: Vbuid, perms: Rwx) -> Result<usize> {
+    env.with_home_mtl(vbuid, |mtl| mtl.add_ref(vbuid))?;
+    let attached = env.with_client(client, |cvt, _| cvt.attach(vbuid, perms));
+    match attached {
+        Ok(Ok(index)) => Ok(index),
+        Ok(Err(e)) | Err(e) => {
+            env.with_home_mtl(vbuid, |mtl| {
+                let _ = mtl.remove_ref(vbuid);
+            });
+            Err(e)
+        }
+    }
+}
+
+/// `attach` at a specific CVT index (fork and shared-library layout).
+///
+/// # Errors
+///
+/// Same as [`attach`], plus [`VbiError::InvalidCvtIndex`] for an occupied
+/// or out-of-range index.
+pub fn attach_at<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    index: usize,
+    vbuid: Vbuid,
+    perms: Rwx,
+) -> Result<()> {
+    env.with_home_mtl(vbuid, |mtl| mtl.add_ref(vbuid))?;
+    let attached = env.with_client(client, |cvt, cache| {
+        cvt.attach_at(index, vbuid, perms).map(|()| cache.invalidate(client, index))
+    });
+    match attached {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) | Err(e) => {
+            env.with_home_mtl(vbuid, |mtl| {
+                let _ = mtl.remove_ref(vbuid);
+            });
+            Err(e)
+        }
+    }
+}
+
+/// The `detach` instruction: invalidates the client's CVT entry for
+/// `vbuid` and decrements the reference count. Returns the new count so
+/// callers can `disable_vb` at zero.
+///
+/// # Errors
+///
+/// [`VbiError::InvalidClient`] or [`VbiError::VbNotEnabled`].
+pub fn detach<E: OpEnv>(env: &mut E, client: ClientId, vbuid: Vbuid) -> Result<u32> {
+    env.with_client(client, |cvt, cache| {
+        cvt.detach(vbuid).map(|index| cache.invalidate(client, index))
+    })??;
+    env.with_home_mtl(vbuid, |mtl| mtl.remove_ref(vbuid))
+}
+
+/// Detaches the VB behind a CVT index and disables it if this was the last
+/// reference — the common "free this data structure" path.
+///
+/// # Errors
+///
+/// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`], or
+/// [`VbiError::VbNotEnabled`].
+pub fn release_vb<E: OpEnv>(env: &mut E, client: ClientId, index: usize) -> Result<()> {
+    let vbuid = env.with_client(client, |cvt, cache| {
+        cvt.detach_index(index).inspect(|_| cache.invalidate(client, index))
+    })??;
+    env.with_home_mtl(vbuid, |mtl| -> Result<()> {
+        if mtl.remove_ref(vbuid)? == 0 {
+            mtl.disable_vb(vbuid)?;
+        }
+        Ok(())
+    })
+}
+
+// --- data plane -------------------------------------------------------------
+
+/// Performs the CPU-side access check of §4.2.3 through the client's CVT
+/// cache: index bounds, RWX permission, and offset bounds. On success
+/// returns the VBI address plus cache-hit information.
+///
+/// # Errors
+///
+/// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`],
+/// [`VbiError::PermissionDenied`], or [`VbiError::OffsetOutOfRange`].
+pub fn access<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    va: VirtualAddress,
+    kind: AccessKind,
+) -> Result<CheckedAccess> {
+    let (entry, cvt_cache_hit) =
+        env.with_client(client, |cvt, cache| -> Result<(CvtEntry, bool)> {
+            match cache.lookup(client, va.cvt_index()) {
+                Some(entry) => Ok((entry, true)),
+                None => {
+                    // Miss: read the in-memory CVT and fill the cache.
+                    let entry = *cvt.entry(va.cvt_index())?;
+                    cache.fill(client, va.cvt_index(), entry);
+                    Ok((entry, false))
+                }
+            }
+        })??;
+    let required = kind.required();
+    if !entry.permissions().allows(required) {
+        return Err(VbiError::PermissionDenied {
+            client,
+            vbuid: entry.vbuid(),
+            required,
+            granted: entry.permissions(),
+        });
+    }
+    let address = entry.vbuid().address(va.offset())?;
+    Ok(CheckedAccess { address, cvt_cache_hit })
+}
+
+/// Writes a byte span at `address` — the one place span-store semantics
+/// live (bytes before a mid-span fault stay written).
+fn write_span(mtl: &mut Mtl, address: VbiAddress, data: &[u8]) -> Result<()> {
+    for (i, b) in data.iter().enumerate() {
+        address.offset_by(i as u64).and_then(|a| mtl.write_u8(a, *b))?;
+    }
+    Ok(())
+}
+
+/// Reads a `len`-byte span at `address` — the one place span-load
+/// semantics live.
+fn read_span(mtl: &mut Mtl, address: VbiAddress, len: usize) -> Result<Vec<u8>> {
+    (0..len).map(|i| address.offset_by(i as u64).and_then(|a| mtl.read_u8(a))).collect()
+}
+
+/// Runs the MTL half of a checked data-plane op at `address` (the caller
+/// has already performed the protection check that produced the address
+/// and holds the home MTL). This is the single definition of what each
+/// data-plane op does to memory; batching front ends that group checked
+/// ops by home shard call it directly under one shard lock.
+///
+/// # Errors
+///
+/// Any translation error.
+///
+/// # Panics
+///
+/// Panics if `op` is not a data-plane op (nothing outside
+/// [`Op::checked_access`]'s domain has an MTL half).
+pub fn run_checked(mtl: &mut Mtl, op: &Op, address: VbiAddress) -> OpResult {
+    match op {
+        Op::LoadU64 { .. } => mtl.read_u64(address).map(OpOutput::U64),
+        Op::StoreU64 { value, .. } => mtl.write_u64(address, *value).map(|()| OpOutput::Unit),
+        Op::LoadU8 { .. } | Op::Fetch { .. } => mtl.read_u8(address).map(OpOutput::U8),
+        Op::StoreU8 { value, .. } => mtl.write_u8(address, *value).map(|()| OpOutput::Unit),
+        Op::LoadBytes { len, .. } => read_span(mtl, address, *len).map(OpOutput::Bytes),
+        Op::StoreBytes { data, .. } => write_span(mtl, address, data).map(|()| OpOutput::Unit),
+        _ => unreachable!("{op:?} has no MTL half"),
+    }
+}
+
+/// Executes a data-plane op end to end: protection check, then the MTL
+/// half ([`run_checked`]) under the home MTL. Empty byte spans complete
+/// without any check, like the typed bulk helpers.
+fn data_plane<E: OpEnv>(env: &mut E, op: &Op) -> OpResult {
+    match op.checked_access() {
+        Some((client, va, kind)) => {
+            let checked = access(env, client, va, kind)?;
+            env.with_home_mtl(checked.address.vbuid(), |mtl| run_checked(mtl, op, checked.address))
+        }
+        None => match op {
+            Op::LoadBytes { .. } => Ok(OpOutput::Bytes(Vec::new())),
+            Op::StoreBytes { .. } => Ok(OpOutput::Unit),
+            _ => unreachable!("{op:?} is not a data-plane op"),
+        },
+    }
+}
+
+/// Protection-checked functional load of a `u64`.
+///
+/// # Errors
+///
+/// Any protection or translation error.
+pub fn load_u64<E: OpEnv>(env: &mut E, client: ClientId, va: VirtualAddress) -> Result<u64> {
+    match data_plane(env, &Op::LoadU64 { client, va })? {
+        OpOutput::U64(v) => Ok(v),
+        _ => unreachable!("load returns a u64"),
+    }
+}
+
+/// Protection-checked functional store of a `u64`.
+///
+/// # Errors
+///
+/// Any protection or translation error.
+pub fn store_u64<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    va: VirtualAddress,
+    value: u64,
+) -> Result<()> {
+    data_plane(env, &Op::StoreU64 { client, va, value }).map(|_| ())
+}
+
+/// Protection-checked functional load of one byte.
+///
+/// # Errors
+///
+/// Any protection or translation error.
+pub fn load_u8<E: OpEnv>(env: &mut E, client: ClientId, va: VirtualAddress) -> Result<u8> {
+    match data_plane(env, &Op::LoadU8 { client, va })? {
+        OpOutput::U8(v) => Ok(v),
+        _ => unreachable!("load returns a byte"),
+    }
+}
+
+/// Protection-checked functional store of one byte.
+///
+/// # Errors
+///
+/// Any protection or translation error.
+pub fn store_u8<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    va: VirtualAddress,
+    value: u8,
+) -> Result<()> {
+    data_plane(env, &Op::StoreU8 { client, va, value }).map(|_| ())
+}
+
+/// Protection-checked instruction fetch (returns the byte; fetch width is
+/// immaterial to the model).
+///
+/// # Errors
+///
+/// Any protection or translation error.
+pub fn fetch<E: OpEnv>(env: &mut E, client: ClientId, va: VirtualAddress) -> Result<u8> {
+    match data_plane(env, &Op::Fetch { client, va })? {
+        OpOutput::U8(v) => Ok(v),
+        _ => unreachable!("fetch returns a byte"),
+    }
+}
+
+/// Copies `data` into a VB through the checked store path. The span lives
+/// in one VB, so the protection check runs once and the home MTL is
+/// visited once for the whole copy.
+///
+/// # Errors
+///
+/// Any protection or translation error, including running off the end of
+/// the VB mid-copy (bytes before the fault are written).
+pub fn store_bytes<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    va: VirtualAddress,
+    data: &[u8],
+) -> Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    // Not routed through an `Op` to spare the caller's slice a clone; the
+    // span semantics still live once, in `write_span`.
+    let checked = access(env, client, va, AccessKind::Write)?;
+    env.with_home_mtl(checked.address.vbuid(), |mtl| write_span(mtl, checked.address, data))
+}
+
+/// Reads `len` bytes from a VB through the checked load path — one
+/// protection check and one home-MTL visit for the whole span.
+///
+/// # Errors
+///
+/// Any protection or translation error.
+pub fn load_bytes<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    va: VirtualAddress,
+    len: usize,
+) -> Result<Vec<u8>> {
+    match data_plane(env, &Op::LoadBytes { client, va, len })? {
+        OpOutput::Bytes(bytes) => Ok(bytes),
+        _ => unreachable!("load returns bytes"),
+    }
+}
+
+// --- dispatcher -------------------------------------------------------------
+
+/// Executes one [`Op`] against an environment — the single entry point
+/// every front end (synchronous, batched, queued) funnels through.
+pub fn execute<E: OpEnv>(env: &mut E, op: Op) -> OpResult {
+    match op {
+        Op::CreateClient => create_client(env).map(OpOutput::Client),
+        Op::CreateClientWithId { id } => create_client_with_id(env, id).map(OpOutput::Client),
+        Op::DestroyClient { client } => destroy_client(env, client).map(|()| OpOutput::Unit),
+        Op::RequestVb { client, bytes, props, perms } => {
+            request_vb(env, client, bytes, props, perms).map(OpOutput::Handle)
+        }
+        Op::Attach { client, vbuid, perms } => {
+            attach(env, client, vbuid, perms).map(OpOutput::CvtIndex)
+        }
+        Op::AttachAt { client, index, vbuid, perms } => {
+            attach_at(env, client, index, vbuid, perms).map(|()| OpOutput::Unit)
+        }
+        Op::Detach { client, vbuid } => detach(env, client, vbuid).map(OpOutput::RefCount),
+        Op::ReleaseVb { client, index } => release_vb(env, client, index).map(|()| OpOutput::Unit),
+        Op::Access { client, va, kind } => access(env, client, va, kind).map(OpOutput::Checked),
+        Op::Fetch { .. }
+        | Op::LoadU64 { .. }
+        | Op::StoreU64 { .. }
+        | Op::LoadU8 { .. }
+        | Op::StoreU8 { .. }
+        | Op::LoadBytes { .. }
+        | Op::StoreBytes { .. } => data_plane(env, &op),
+    }
+}

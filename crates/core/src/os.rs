@@ -729,10 +729,7 @@ mod tests {
         let idx2 = os.share_vb(p1, heap, p2, Rwx::READ).unwrap();
         let c2 = os.process(p2).unwrap().client();
         os.system_mut().store_u64(c1, heap.at(8), 2020).unwrap();
-        assert_eq!(
-            os.system_mut().load_u64(c2, VirtualAddress::new(idx2, 8)).unwrap(),
-            2020
-        );
+        assert_eq!(os.system_mut().load_u64(c2, VirtualAddress::new(idx2, 8)).unwrap(), 2020);
     }
 
     #[test]

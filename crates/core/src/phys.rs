@@ -160,10 +160,8 @@ impl PhysicalMemory {
     pub fn write_u8(&mut self, addr: PhysAddr, value: u8) {
         self.check(addr);
         let frame = Frame::containing(addr).0;
-        let data = self
-            .frames
-            .entry(frame)
-            .or_insert_with(|| Box::new([0u8; FRAME_BYTES as usize]));
+        let data =
+            self.frames.entry(frame).or_insert_with(|| Box::new([0u8; FRAME_BYTES as usize]));
         data[addr.frame_offset() as usize] = value;
     }
 

@@ -1,4 +1,4 @@
-//! Processor-side glue: clients, CVT checks, and the MTL behind them.
+//! Processor-side glue: the synchronous adapter over the op engine.
 //!
 //! [`System`] models everything between a program's `{CVT index, offset}`
 //! virtual address and physical memory: the per-client Client-VB Tables, the
@@ -6,6 +6,13 @@
 //! operations of §4.2 — `request_vb`, `attach`/`detach`, loads and stores
 //! with protection checks, VB promotion — as a safe API that the OS model
 //! (`crate::os`) and the simulators build on.
+//!
+//! All request logic — permission checks, CVT-cache fills, rollback,
+//! stat accounting — lives in [`crate::ops`]; `System` merely implements
+//! [`OpEnv`] with plain single-owner fields and delegates. The concurrent
+//! front ends (`vbi_service::VbiService`, `vbi_service::VbiQueue`) route
+//! through the *same* engine, which is what makes them observably
+//! identical to a `System` under sequential driving.
 
 use std::collections::HashMap;
 
@@ -15,39 +22,11 @@ use crate::config::VbiConfig;
 use crate::cvt_cache::{CvtCache, CvtCacheStats};
 use crate::error::{Result, VbiError};
 use crate::mtl::{Mtl, MtlAccess, TranslateResult};
+use crate::ops::{self, Op, OpEnv, OpResult};
 use crate::perm::{AccessKind, Rwx};
 use crate::vb::VbProperties;
 
-/// A program's handle on an attached VB: the CVT index returned by
-/// `request_vb` plus (for convenience and introspection) the VBUID behind it.
-///
-/// Programs only ever need `cvt_index`; keeping the VBUID on the handle makes
-/// tests and examples more legible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct VbHandle {
-    /// Index of the CVT entry pointing at the VB — the program's pointer.
-    pub cvt_index: usize,
-    /// The VB behind the entry (may change under promotion/migration).
-    pub vbuid: Vbuid,
-}
-
-impl VbHandle {
-    /// The virtual address `offset` bytes into the VB.
-    pub const fn at(&self, offset: u64) -> VirtualAddress {
-        VirtualAddress::new(self.cvt_index, offset)
-    }
-}
-
-/// The outcome of a protection-checked access, with its timing-relevant
-/// events (consumed by the timing simulator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CheckedAccess {
-    /// The VBI address the access maps to (used to index all caches).
-    pub address: VbiAddress,
-    /// Whether the CVT cache supplied the entry (a miss costs one memory
-    /// read of the in-memory CVT).
-    pub cvt_cache_hit: bool,
-}
+pub use crate::ops::{CheckedAccess, VbHandle};
 
 /// A full VBI machine: MTL + clients + CVTs + CVT caches.
 ///
@@ -59,6 +38,56 @@ pub struct System {
     cvt_caches: HashMap<ClientId, CvtCache>,
     client_ids: ClientIdAllocator,
     config: VbiConfig,
+}
+
+impl OpEnv for System {
+    fn config(&self) -> &VbiConfig {
+        &self.config
+    }
+
+    fn alloc_client_id(&mut self) -> Result<ClientId> {
+        self.client_ids.allocate()
+    }
+
+    fn release_client_id(&mut self, id: ClientId) {
+        self.client_ids.release(id);
+    }
+
+    fn try_insert_client(&mut self, id: ClientId, cvt: Cvt, cache: CvtCache) -> bool {
+        if self.cvts.contains_key(&id) {
+            return false;
+        }
+        self.cvts.insert(id, cvt);
+        self.cvt_caches.insert(id, cache);
+        true
+    }
+
+    fn take_client_vbuids(&mut self, id: ClientId) -> Result<Vec<Vbuid>> {
+        let cvt = self.cvts.remove(&id).ok_or(VbiError::InvalidClient(id))?;
+        self.cvt_caches.remove(&id);
+        Ok(cvt.iter().map(|(_, entry)| entry.vbuid()).collect())
+    }
+
+    fn with_client<R>(
+        &mut self,
+        id: ClientId,
+        f: impl FnOnce(&mut Cvt, &mut CvtCache) -> R,
+    ) -> Result<R> {
+        let cvt = self.cvts.get_mut(&id).ok_or(VbiError::InvalidClient(id))?;
+        let cache = self.cvt_caches.get_mut(&id).expect("cache exists with cvt");
+        Ok(f(cvt, cache))
+    }
+
+    fn with_home_mtl<R>(&mut self, _vbuid: Vbuid, f: impl FnOnce(&mut Mtl) -> R) -> R {
+        // A System is a one-MTL machine: every VB is homed on it.
+        f(&mut self.mtl)
+    }
+
+    fn place_vb(&mut self, size_class: SizeClass, props: VbProperties) -> Result<Vbuid> {
+        let vbuid = self.mtl.find_free_vb(size_class)?;
+        self.mtl.enable_vb(vbuid, props)?;
+        Ok(vbuid)
+    }
 }
 
 impl System {
@@ -89,6 +118,12 @@ impl System {
         &mut self.mtl
     }
 
+    /// Executes one [`Op`] through the shared engine — the same dispatch
+    /// the batched and queued front ends use.
+    pub fn execute(&mut self, op: Op) -> OpResult {
+        ops::execute(self, op)
+    }
+
     // --- clients ------------------------------------------------------------
 
     /// Registers a new memory client (process, OS, or VM guest).
@@ -97,10 +132,7 @@ impl System {
     ///
     /// Returns [`VbiError::OutOfClients`] when all 2^16 IDs are live.
     pub fn create_client(&mut self) -> Result<ClientId> {
-        let id = self.client_ids.allocate()?;
-        self.cvts.insert(id, Cvt::new(id, self.config.cvt_capacity));
-        self.cvt_caches.insert(id, CvtCache::new(self.config.cvt_cache_slots));
-        Ok(id)
+        ops::create_client(self)
     }
 
     /// Registers a client with a caller-chosen ID (used by the VM layer,
@@ -110,12 +142,7 @@ impl System {
     ///
     /// Returns [`VbiError::InvalidClient`] if the ID is already live.
     pub fn create_client_with_id(&mut self, id: ClientId) -> Result<ClientId> {
-        if self.cvts.contains_key(&id) {
-            return Err(VbiError::InvalidClient(id));
-        }
-        self.cvts.insert(id, Cvt::new(id, self.config.cvt_capacity));
-        self.cvt_caches.insert(id, CvtCache::new(self.config.cvt_cache_slots));
-        Ok(id)
+        ops::create_client_with_id(self, id)
     }
 
     /// Destroys a client: detaches every VB in its CVT, disables VBs whose
@@ -125,16 +152,7 @@ impl System {
     ///
     /// Returns [`VbiError::InvalidClient`] for unknown clients.
     pub fn destroy_client(&mut self, client: ClientId) -> Result<()> {
-        let cvt = self.cvts.remove(&client).ok_or(VbiError::InvalidClient(client))?;
-        self.cvt_caches.remove(&client);
-        for (_, entry) in cvt.iter() {
-            let vbuid = entry.vbuid();
-            if self.mtl.remove_ref(vbuid)? == 0 {
-                self.mtl.disable_vb(vbuid)?;
-            }
-        }
-        self.client_ids.release(client);
-        Ok(())
+        ops::destroy_client(self, client)
     }
 
     /// Whether `client` is live.
@@ -157,10 +175,7 @@ impl System {
     ///
     /// Returns [`VbiError::InvalidClient`] for unknown clients.
     pub fn cvt_cache_stats(&self, client: ClientId) -> Result<CvtCacheStats> {
-        self.cvt_caches
-            .get(&client)
-            .map(CvtCache::stats)
-            .ok_or(VbiError::InvalidClient(client))
+        self.cvt_caches.get(&client).map(CvtCache::stats).ok_or(VbiError::InvalidClient(client))
     }
 
     // --- VB management --------------------------------------------------------
@@ -180,18 +195,7 @@ impl System {
         props: VbProperties,
         perms: Rwx,
     ) -> Result<VbHandle> {
-        let size_class =
-            SizeClass::smallest_fitting(bytes).ok_or(VbiError::RequestTooLarge { requested: bytes })?;
-        let vbuid = self.mtl.find_free_vb(size_class)?;
-        self.mtl.enable_vb(vbuid, props)?;
-        match self.attach(client, vbuid, perms) {
-            Ok(index) => Ok(VbHandle { cvt_index: index, vbuid }),
-            Err(e) => {
-                // Roll back the enable so the VB is not leaked.
-                let _ = self.mtl.disable_vb(vbuid);
-                Err(e)
-            }
-        }
+        ops::request_vb(self, client, bytes, props, perms)
     }
 
     /// The `attach` instruction: adds a CVT entry for `vbuid` with `perms`
@@ -202,21 +206,7 @@ impl System {
     /// [`VbiError::InvalidClient`], [`VbiError::VbNotEnabled`], or
     /// [`VbiError::CvtFull`].
     pub fn attach(&mut self, client: ClientId, vbuid: Vbuid, perms: Rwx) -> Result<usize> {
-        self.mtl.add_ref(vbuid)?;
-        let cvt = match self.cvts.get_mut(&client) {
-            Some(cvt) => cvt,
-            None => {
-                let _ = self.mtl.remove_ref(vbuid);
-                return Err(VbiError::InvalidClient(client));
-            }
-        };
-        match cvt.attach(vbuid, perms) {
-            Ok(index) => Ok(index),
-            Err(e) => {
-                let _ = self.mtl.remove_ref(vbuid);
-                Err(e)
-            }
-        }
+        ops::attach(self, client, vbuid, perms)
     }
 
     /// `attach` at a specific CVT index (fork and shared-library layout).
@@ -231,24 +221,7 @@ impl System {
         vbuid: Vbuid,
         perms: Rwx,
     ) -> Result<()> {
-        self.mtl.add_ref(vbuid)?;
-        let cvt = match self.cvts.get_mut(&client) {
-            Some(cvt) => cvt,
-            None => {
-                let _ = self.mtl.remove_ref(vbuid);
-                return Err(VbiError::InvalidClient(client));
-            }
-        };
-        match cvt.attach_at(index, vbuid, perms) {
-            Ok(()) => {
-                self.cvt_caches.get_mut(&client).expect("cache exists with cvt").invalidate(client, index);
-                Ok(())
-            }
-            Err(e) => {
-                let _ = self.mtl.remove_ref(vbuid);
-                Err(e)
-            }
-        }
+        ops::attach_at(self, client, index, vbuid, perms)
     }
 
     /// The `detach` instruction: invalidates the client's CVT entry for
@@ -259,10 +232,7 @@ impl System {
     ///
     /// [`VbiError::InvalidClient`] or [`VbiError::VbNotEnabled`].
     pub fn detach(&mut self, client: ClientId, vbuid: Vbuid) -> Result<u32> {
-        let cvt = self.cvts.get_mut(&client).ok_or(VbiError::InvalidClient(client))?;
-        let index = cvt.detach(vbuid)?;
-        self.cvt_caches.get_mut(&client).expect("cache exists with cvt").invalidate(client, index);
-        self.mtl.remove_ref(vbuid)
+        ops::detach(self, client, vbuid)
     }
 
     /// Detaches the VB behind a handle and disables it if this was the last
@@ -273,19 +243,17 @@ impl System {
     /// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`], or
     /// [`VbiError::VbNotEnabled`].
     pub fn release_vb(&mut self, client: ClientId, index: usize) -> Result<()> {
-        let cvt = self.cvts.get_mut(&client).ok_or(VbiError::InvalidClient(client))?;
-        let vbuid = cvt.detach_index(index)?;
-        self.cvt_caches.get_mut(&client).expect("cache exists with cvt").invalidate(client, index);
-        if self.mtl.remove_ref(vbuid)? == 0 {
-            self.mtl.disable_vb(vbuid)?;
-        }
-        Ok(())
+        ops::release_vb(self, client, index)
     }
 
     /// Promotes the VB behind `index` to the next larger size class (§4.4):
     /// enables a larger VB, executes `promote_vb`, redirects every CVT entry
     /// in the system that referenced the old VB, and disables the old VB.
     /// Returns the new handle.
+    ///
+    /// Promotion is the one operation that touches *every* client's CVT at
+    /// once, so it stays on the single-owner adapter rather than in the
+    /// engine (the sharded service will grow it as cross-shard migration).
     ///
     /// # Errors
     ///
@@ -340,31 +308,7 @@ impl System {
         va: VirtualAddress,
         kind: AccessKind,
     ) -> Result<CheckedAccess> {
-        let cache = self.cvt_caches.get_mut(&client).ok_or(VbiError::InvalidClient(client))?;
-        let (entry, cvt_cache_hit) = match cache.lookup(client, va.cvt_index()) {
-            Some(entry) => (entry, true),
-            None => {
-                // Miss: read the in-memory CVT and fill the cache.
-                let cvt = self.cvts.get(&client).ok_or(VbiError::InvalidClient(client))?;
-                let entry = *cvt.entry(va.cvt_index())?;
-                self.cvt_caches
-                    .get_mut(&client)
-                    .expect("cache exists with cvt")
-                    .fill(client, va.cvt_index(), entry);
-                (entry, false)
-            }
-        };
-        let required = kind.required();
-        if !entry.permissions().allows(required) {
-            return Err(VbiError::PermissionDenied {
-                client,
-                vbuid: entry.vbuid(),
-                required,
-                granted: entry.permissions(),
-            });
-        }
-        let address = entry.vbuid().address(va.offset())?;
-        Ok(CheckedAccess { address, cvt_cache_hit })
+        ops::access(self, client, va, kind)
     }
 
     // --- functional loads and stores ----------------------------------------------
@@ -375,8 +319,7 @@ impl System {
     ///
     /// Any protection or translation error.
     pub fn load_u64(&mut self, client: ClientId, va: VirtualAddress) -> Result<u64> {
-        let checked = self.access(client, va, AccessKind::Read)?;
-        self.mtl.read_u64(checked.address)
+        ops::load_u64(self, client, va)
     }
 
     /// Protection-checked functional store of a `u64`.
@@ -385,8 +328,7 @@ impl System {
     ///
     /// Any protection or translation error.
     pub fn store_u64(&mut self, client: ClientId, va: VirtualAddress, value: u64) -> Result<()> {
-        let checked = self.access(client, va, AccessKind::Write)?;
-        self.mtl.write_u64(checked.address, value)
+        ops::store_u64(self, client, va, value)
     }
 
     /// Protection-checked functional load of one byte.
@@ -395,8 +337,7 @@ impl System {
     ///
     /// Any protection or translation error.
     pub fn load_u8(&mut self, client: ClientId, va: VirtualAddress) -> Result<u8> {
-        let checked = self.access(client, va, AccessKind::Read)?;
-        self.mtl.read_u8(checked.address)
+        ops::load_u8(self, client, va)
     }
 
     /// Protection-checked functional store of one byte.
@@ -405,8 +346,7 @@ impl System {
     ///
     /// Any protection or translation error.
     pub fn store_u8(&mut self, client: ClientId, va: VirtualAddress, value: u8) -> Result<()> {
-        let checked = self.access(client, va, AccessKind::Write)?;
-        self.mtl.write_u8(checked.address, value)
+        ops::store_u8(self, client, va, value)
     }
 
     /// Protection-checked instruction fetch (returns the byte; fetch width
@@ -416,26 +356,18 @@ impl System {
     ///
     /// Any protection or translation error.
     pub fn fetch(&mut self, client: ClientId, va: VirtualAddress) -> Result<u8> {
-        let checked = self.access(client, va, AccessKind::Execute)?;
-        self.mtl.read_u8(checked.address)
+        ops::fetch(self, client, va)
     }
 
     /// Copies `data` into a VB through a checked store path (bulk helper for
-    /// loaders and tests).
+    /// loaders and tests): one protection check and one MTL visit for the
+    /// whole span.
     ///
     /// # Errors
     ///
     /// Any protection or translation error.
-    pub fn store_bytes(
-        &mut self,
-        client: ClientId,
-        va: VirtualAddress,
-        data: &[u8],
-    ) -> Result<()> {
-        for (i, b) in data.iter().enumerate() {
-            self.store_u8(client, va.offset_by(i as u64), *b)?;
-        }
-        Ok(())
+    pub fn store_bytes(&mut self, client: ClientId, va: VirtualAddress, data: &[u8]) -> Result<()> {
+        ops::store_bytes(self, client, va, data)
     }
 
     /// Reads `len` bytes from a VB through a checked load path.
@@ -449,7 +381,7 @@ impl System {
         va: VirtualAddress,
         len: usize,
     ) -> Result<Vec<u8>> {
-        (0..len).map(|i| self.load_u8(client, va.offset_by(i as u64))).collect()
+        ops::load_bytes(self, client, va, len)
     }
 
     /// Direct (unchecked) MTL translation — the path taken after the cache
@@ -475,7 +407,6 @@ impl System {
         )
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,10 +447,7 @@ mod tests {
         let idx = s.attach(reader, vb.vbuid, Rwx::READ).unwrap();
         let ro = VirtualAddress::new(idx, 0);
         assert_eq!(s.load_u64(reader, ro).unwrap(), 7);
-        assert!(matches!(
-            s.store_u64(reader, ro, 8),
-            Err(VbiError::PermissionDenied { .. })
-        ));
+        assert!(matches!(s.store_u64(reader, ro, 8), Err(VbiError::PermissionDenied { .. })));
     }
 
     #[test]
@@ -542,10 +470,7 @@ mod tests {
         let stranger = s.create_client().unwrap();
         let vb = s.request_vb(owner, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         // The stranger's CVT has no entry: the index is invalid for them.
-        assert!(matches!(
-            s.load_u64(stranger, vb.at(0)),
-            Err(VbiError::InvalidCvtIndex { .. })
-        ));
+        assert!(matches!(s.load_u64(stranger, vb.at(0)), Err(VbiError::InvalidCvtIndex { .. })));
     }
 
     #[test]

@@ -192,7 +192,11 @@ impl TranslationStructure {
     /// physical memory is consumed until the region is materialised.
     pub fn direct(size_class: SizeClass) -> Self {
         let pages = size_class.pages() as usize;
-        TranslationStructure::Direct { base: None, present: vec![false; pages], cow: vec![false; pages] }
+        TranslationStructure::Direct {
+            base: None,
+            present: vec![false; pages],
+            cow: vec![false; pages],
+        }
     }
 
     /// Creates a single-level structure, allocating its table frames.
@@ -312,10 +316,9 @@ impl TranslationStructure {
         match self {
             TranslationStructure::Direct { base, present, cow } => {
                 let outcome = match base {
-                    Some(b) if present[page as usize] => WalkOutcome::Mapped {
-                        frame: b.offset(page),
-                        cow: cow[page as usize],
-                    },
+                    Some(b) if present[page as usize] => {
+                        WalkOutcome::Mapped { frame: b.offset(page), cow: cow[page as usize] }
+                    }
                     _ => WalkOutcome::Unmapped,
                 };
                 WalkResult { outcome, table_accesses: Vec::new() }
@@ -391,11 +394,7 @@ impl TranslationStructure {
             TranslationStructure::Direct { base, present, cow } => match entry {
                 PageEntry::Mapped { frame, cow: entry_cow } => {
                     let b = base.expect("direct structure must be based before mapping");
-                    assert_eq!(
-                        frame,
-                        b.offset(page),
-                        "direct structures only map contiguously"
-                    );
+                    assert_eq!(frame, b.offset(page), "direct structures only map contiguously");
                     present[page as usize] = true;
                     cow[page as usize] = entry_cow;
                     Ok(())
@@ -424,14 +423,10 @@ impl TranslationStructure {
                         return Ok(());
                     }
                     if node.children[index].is_none() {
-                        let frame =
-                            buddy.allocate(0).ok_or(VbiError::OutOfPhysicalMemory)?;
+                        let frame = buddy.allocate(0).ok_or(VbiError::OutOfPhysicalMemory)?;
                         let child_is_leaf = level + 2 == depth;
-                        node.children[index] = Some(Box::new(Node::new(
-                            frame,
-                            1 << LEVEL_BITS,
-                            child_is_leaf,
-                        )));
+                        node.children[index] =
+                            Some(Box::new(Node::new(frame, 1 << LEVEL_BITS, child_is_leaf)));
                     }
                     node = node.children[index].as_mut().expect("just ensured");
                 }
@@ -598,7 +593,13 @@ fn collect_swapped_rec(
     } else {
         for (i, child) in node.children.iter().enumerate() {
             if let Some(child) = child {
-                collect_swapped_rec(child, level + 1, depth, base_page + ((i as u64) << shift), out);
+                collect_swapped_rec(
+                    child,
+                    level + 1,
+                    depth,
+                    base_page + ((i as u64) << shift),
+                    out,
+                );
             }
         }
     }
@@ -629,10 +630,7 @@ mod tests {
     #[test]
     fn static_policy_matches_the_paper() {
         assert_eq!(TranslationKind::static_policy(SizeClass::Kib4), TranslationKind::Direct);
-        assert_eq!(
-            TranslationKind::static_policy(SizeClass::Kib128),
-            TranslationKind::SingleLevel
-        );
+        assert_eq!(TranslationKind::static_policy(SizeClass::Kib128), TranslationKind::SingleLevel);
         assert_eq!(TranslationKind::static_policy(SizeClass::Mib4), TranslationKind::SingleLevel);
         assert_eq!(
             TranslationKind::static_policy(SizeClass::Mib128),
@@ -705,8 +703,7 @@ mod tests {
         // 4 GiB VB: 2^20 pages, depth 3.
         let mut ts = TranslationStructure::multi_level(SizeClass::Gib4, &mut b).unwrap();
         assert_eq!(ts.kind(), TranslationKind::MultiLevel { depth: 3 });
-        ts.set_entry(0xabcde, PageEntry::Mapped { frame: Frame(42), cow: false }, &mut b)
-            .unwrap();
+        ts.set_entry(0xabcde, PageEntry::Mapped { frame: Frame(42), cow: false }, &mut b).unwrap();
         let walk = ts.walk(0xabcde);
         assert_eq!(walk.table_accesses.len(), 3);
         assert_eq!(walk.outcome, WalkOutcome::Mapped { frame: Frame(42), cow: false });
@@ -788,11 +785,7 @@ mod tests {
         for sc in [SizeClass::Mib128, SizeClass::Gib4, SizeClass::Tib4] {
             let mut ts = TranslationStructure::multi_level(sc, &mut b).unwrap();
             ts.set_entry(0, PageEntry::Mapped { frame: Frame(1), cow: false }, &mut b).unwrap();
-            assert_eq!(
-                ts.walk(0).table_accesses.len() as u32,
-                ts.kind().walk_accesses(),
-                "{sc}"
-            );
+            assert_eq!(ts.walk(0).table_accesses.len() as u32, ts.kind().walk_accesses(), "{sc}");
         }
     }
 }

@@ -205,18 +205,13 @@ mod tests {
         let p = VbProperties::CODE | VbProperties::KERNEL;
         assert_eq!(p.to_string(), "code|kernel");
         assert_eq!(VbProperties::NONE.to_string(), "(none)");
-        assert_eq!(
-            VbProperties::BANDWIDTH_SENSITIVE.to_string(),
-            "bandwidth-sensitive"
-        );
+        assert_eq!(VbProperties::BANDWIDTH_SENSITIVE.to_string(), "bandwidth-sensitive");
     }
 
     #[test]
     fn descriptor_reports_size() {
-        let d = VbDescriptor::new(
-            Vbuid::new(SizeClass::Gib4, 6),
-            VbProperties::BANDWIDTH_SENSITIVE,
-        );
+        let d =
+            VbDescriptor::new(Vbuid::new(SizeClass::Gib4, 6), VbProperties::BANDWIDTH_SENSITIVE);
         assert_eq!(d.bytes(), 4 << 30);
         assert!(d.to_string().contains("bandwidth-sensitive"));
     }

@@ -216,10 +216,7 @@ mod tests {
     #[test]
     fn out_of_range_vms_and_vbids_are_rejected() {
         let part = VmPartition::new(5);
-        assert!(matches!(
-            part.vbuid(VmId(32), SizeClass::Kib4, 0),
-            Err(VbiError::InvalidVmId(32))
-        ));
+        assert!(matches!(part.vbuid(VmId(32), SizeClass::Kib4, 0), Err(VbiError::InvalidVmId(32))));
         assert!(part
             .vbuid(VmId(0), SizeClass::Tib128, part.vbs_per_vm(SizeClass::Tib128))
             .is_err());

@@ -135,7 +135,8 @@ impl Cache {
             .min_by_key(|(_, l)| l.lru)
             .map(|(i, _)| i)
             .expect("full set has a victim");
-        let victim = core::mem::replace(&mut set[victim_idx], Line { tag, dirty: write, lru: tick });
+        let victim =
+            core::mem::replace(&mut set[victim_idx], Line { tag, dirty: write, lru: tick });
         let writeback = if victim.dirty {
             self.stats.dirty_evictions += 1;
             Some(self.line_addr(set_idx, victim.tag))

@@ -103,7 +103,12 @@ pub struct Device {
 impl Device {
     /// Creates a device with every bank idle.
     pub fn new(timing: DeviceTiming, mapping: AddressMapping) -> Self {
-        Self { timing, mapping, open_rows: vec![None; mapping.banks], stats: DeviceStats::default() }
+        Self {
+            timing,
+            mapping,
+            open_rows: vec![None; mapping.banks],
+            stats: DeviceStats::default(),
+        }
     }
 
     /// The device's command timings.

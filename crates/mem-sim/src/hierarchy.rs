@@ -114,11 +114,7 @@ impl CacheHierarchy {
                 llc_writebacks,
             };
         }
-        HierarchyAccess {
-            level: HitLevel::Memory,
-            latency: t.l1 + t.l2 + t.llc,
-            llc_writebacks,
-        }
+        HierarchyAccess { level: HitLevel::Memory, latency: t.l1 + t.l2 + t.llc, llc_writebacks }
     }
 
     /// Invalidates every line matching `predicate` at all levels, returning

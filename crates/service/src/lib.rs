@@ -15,24 +15,31 @@
 //! * **read-mostly client state**: the per-client CVTs and CVT caches sit
 //!   behind an `RwLock` map that is read-locked on the hot access path and
 //!   write-locked only by client creation/destruction;
-//! * a **batched request path** ([`VbiService::submit`]) that performs all
-//!   protection checks first, then visits each shard exactly once per
-//!   batch, amortizing lock traffic.
+//! * a **batched request path** ([`VbiService::submit`]) over the full
+//!   [`Op`] surface that performs protection checks first and visits each
+//!   shard once per run of data-plane ops, amortizing lock traffic;
+//! * an **asynchronous front end** ([`VbiQueue`], in [`queue`]): per-shard
+//!   worker threads drain submission rings and post tagged completions, so
+//!   clients pipeline requests without blocking on shard locks.
 //!
-//! The service exposes the same create-client / request-vb / load / store /
-//! attach / release surface as [`vbi_core::System`], and a one-shard
-//! service driven by one thread is *observably identical* to `System`:
-//! the same trace produces the same VBUIDs, bytes, and [`MtlStats`] (see
+//! Every request executes through the one op engine in [`vbi_core::ops`] —
+//! the service holds **no** permission, CVT-cache, or stat logic of its
+//! own. It only decides *where state lives* (which shard, which lock) by
+//! implementing [`vbi_core::ops::OpEnv`]. A one-shard service driven by
+//! one thread is therefore *observably identical* to `System` by
+//! construction: the same ops produce the same responses and
+//! [`MtlStats`] (proven property-based over random mixed op sequences in
 //! `tests/service_equivalence.rs` at the workspace root).
 //!
 //! ## Locking protocol
 //!
 //! Lock order is client-state → shard; no path acquires a client lock
-//! while holding a shard lock, and no path holds two shard locks at once
-//! (the batch path visits shards sequentially). That makes deadlock
-//! impossible by construction. Shard locks count contention: every
-//! acquisition first tries `try_lock`, and blocked acquisitions increment
-//! a per-shard counter reported by [`VbiService::contention`].
+//! while holding a shard lock (the engine's [`OpEnv`] contract — each
+//! state callback is entered and exited before the next), and no path
+//! holds two shard locks at once. That makes deadlock impossible by
+//! construction. Shard locks count contention: every acquisition first
+//! tries `try_lock`, and blocked acquisitions increment a per-shard
+//! counter reported by [`VbiService::contention`].
 //!
 //! ## Example
 //!
@@ -65,16 +72,20 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, LockResult, Mutex, MutexGuard, RwLock, TryLockError};
 
-use vbi_core::addr::{SizeClass, Vbuid};
+use vbi_core::addr::{SizeClass, VbiAddress, Vbuid};
 use vbi_core::client::{ClientId, ClientIdAllocator, Cvt, VirtualAddress};
 use vbi_core::config::VbiConfig;
 use vbi_core::cvt_cache::{CvtCache, CvtCacheStats};
 use vbi_core::error::{Result, VbiError};
 use vbi_core::mtl::{Mtl, MtlAccess};
+use vbi_core::ops::{self, CheckedAccess, Op, OpEnv, OpResult, VbHandle};
 use vbi_core::perm::{AccessKind, Rwx};
 use vbi_core::stats::MtlStats;
-use vbi_core::system::{CheckedAccess, VbHandle};
 use vbi_core::vb::VbProperties;
+
+pub mod queue;
+
+pub use queue::{Cqe, QueueDepth, Sqe, VbiQueue};
 
 /// Configuration of a sharded service: the shard count plus the base
 /// machine configuration.
@@ -100,51 +111,6 @@ impl ServiceConfig {
     /// a [`vbi_core::System`] under single-threaded driving.
     pub fn single(base: VbiConfig) -> Self {
         Self { shards: 1, base }
-    }
-}
-
-/// One request of a [`VbiService::submit`] batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Request {
-    /// Protection-checked load of a `u64`.
-    Load {
-        /// The requesting client.
-        client: ClientId,
-        /// `{CVT index, offset}` to read.
-        va: VirtualAddress,
-    },
-    /// Protection-checked store of a `u64`.
-    Store {
-        /// The requesting client.
-        client: ClientId,
-        /// `{CVT index, offset}` to write.
-        va: VirtualAddress,
-        /// The value to store.
-        value: u64,
-    },
-}
-
-/// The response to one [`Request`], in batch order.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Response {
-    /// Outcome of a [`Request::Load`].
-    Load(Result<u64>),
-    /// Outcome of a [`Request::Store`].
-    Store(Result<()>),
-}
-
-impl Response {
-    /// The loaded value, if this is a successful load.
-    pub fn loaded(&self) -> Option<u64> {
-        match self {
-            Response::Load(Ok(v)) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// Whether the request succeeded.
-    pub fn is_ok(&self) -> bool {
-        matches!(self, Response::Load(Ok(_)) | Response::Store(Ok(())))
     }
 }
 
@@ -211,12 +177,87 @@ const _: () = {
     assert_send_sync::<VbiService>();
 };
 
-fn unpoison<G>(result: LockResult<G>) -> G {
+pub(crate) fn unpoison<G>(result: LockResult<G>) -> G {
     // A panicking holder leaves state functionally consistent here (all
     // multi-step MTL updates roll back on error); keep serving.
     match result {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The service's [`OpEnv`]: the engine runs against lock-protected state.
+///
+/// A zero-cost view over a `&VbiService`; the `&mut self` receivers the
+/// trait requires are satisfied by the wrapper while all mutation goes
+/// through the service's locks.
+struct ServiceEnv<'a>(&'a VbiService);
+
+impl OpEnv for ServiceEnv<'_> {
+    fn config(&self) -> &VbiConfig {
+        &self.0.inner.config.base
+    }
+
+    fn alloc_client_id(&mut self) -> Result<ClientId> {
+        unpoison(self.0.inner.ids.lock()).allocate()
+    }
+
+    fn release_client_id(&mut self, id: ClientId) {
+        unpoison(self.0.inner.ids.lock()).release(id);
+    }
+
+    fn try_insert_client(&mut self, id: ClientId, cvt: Cvt, cache: CvtCache) -> bool {
+        let mut clients = unpoison(self.0.inner.clients.write());
+        match clients.entry(id) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::new(Mutex::new(ClientState { cvt, cache })));
+                true
+            }
+        }
+    }
+
+    fn take_client_vbuids(&mut self, id: ClientId) -> Result<Vec<Vbuid>> {
+        let state = unpoison(self.0.inner.clients.write())
+            .remove(&id)
+            .ok_or(VbiError::InvalidClient(id))?;
+        let st = unpoison(state.lock());
+        Ok(st.cvt.iter().map(|(_, entry)| entry.vbuid()).collect())
+    }
+
+    fn with_client<R>(
+        &mut self,
+        id: ClientId,
+        f: impl FnOnce(&mut Cvt, &mut CvtCache) -> R,
+    ) -> Result<R> {
+        let state = self.0.client_state(id)?;
+        let mut st = unpoison(state.lock());
+        let ClientState { cvt, cache } = &mut *st;
+        Ok(f(cvt, cache))
+    }
+
+    fn with_home_mtl<R>(&mut self, vbuid: Vbuid, f: impl FnOnce(&mut Mtl) -> R) -> R {
+        f(&mut self.0.lock_home(vbuid))
+    }
+
+    fn place_vb(&mut self, size_class: SizeClass, props: VbProperties) -> Result<Vbuid> {
+        // Round-robin placement, falling over to the next shard when one
+        // VBID slice or memory pool is exhausted.
+        let count = self.0.inner.shards.len();
+        let start = self.0.inner.placement.fetch_add(1, Ordering::Relaxed) % count;
+        let mut last_err = VbiError::OutOfVirtualBlocks(size_class);
+        for probe in 0..count {
+            let shard = (start + probe) % count;
+            let mut mtl = self.0.lock_shard(shard);
+            match mtl.find_free_vb(size_class).and_then(|vb| {
+                mtl.enable_vb(vb, props)?;
+                Ok(vb)
+            }) {
+                Ok(vb) => return Ok(vb),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
     }
 }
 
@@ -293,6 +334,22 @@ impl VbiService {
             .ok_or(VbiError::InvalidClient(client))
     }
 
+    /// Reads the VB a client's CVT index points at, without touching the
+    /// CVT cache or any stats — the routing peek used by [`VbiQueue`] to
+    /// pick a submission ring.
+    pub(crate) fn peek_vbuid(&self, client: ClientId, cvt_index: usize) -> Option<Vbuid> {
+        let state = self.client_state(client).ok()?;
+        let st = unpoison(state.lock());
+        st.cvt.entry(cvt_index).ok().map(|entry| entry.vbuid())
+    }
+
+    /// Executes one [`Op`] through the shared engine against this
+    /// service's sharded state — the single entry point the typed methods,
+    /// [`VbiService::submit`], and [`VbiQueue`] workers all funnel through.
+    pub fn execute(&self, op: Op) -> OpResult {
+        ops::execute(&mut ServiceEnv(self), op)
+    }
+
     // --- clients ------------------------------------------------------------
 
     /// Registers a new memory client.
@@ -301,22 +358,7 @@ impl VbiService {
     ///
     /// Returns [`VbiError::OutOfClients`] when all 2^16 IDs are live.
     pub fn create_client(&self) -> Result<ClientId> {
-        // Lock order here is ids → clients; no other path holds both.
-        let mut ids = unpoison(self.inner.ids.lock());
-        let mut clients = unpoison(self.inner.clients.write());
-        loop {
-            // The allocator does not know about IDs claimed through
-            // `create_client_with_id` (§6.1 VM partitioning), so skip any
-            // ID that is already live instead of clobbering its state.
-            let id = ids.allocate()?;
-            if let std::collections::hash_map::Entry::Vacant(slot) = clients.entry(id) {
-                slot.insert(Arc::new(Mutex::new(ClientState {
-                    cvt: Cvt::new(id, self.inner.config.base.cvt_capacity),
-                    cache: CvtCache::new(self.inner.config.base.cvt_cache_slots),
-                })));
-                return Ok(id);
-            }
-        }
+        ops::create_client(&mut ServiceEnv(self))
     }
 
     /// Registers a client with a caller-chosen ID (VM partitioning, §6.1).
@@ -325,18 +367,7 @@ impl VbiService {
     ///
     /// Returns [`VbiError::InvalidClient`] if the ID is already live.
     pub fn create_client_with_id(&self, id: ClientId) -> Result<ClientId> {
-        let mut clients = unpoison(self.inner.clients.write());
-        if clients.contains_key(&id) {
-            return Err(VbiError::InvalidClient(id));
-        }
-        clients.insert(
-            id,
-            Arc::new(Mutex::new(ClientState {
-                cvt: Cvt::new(id, self.inner.config.base.cvt_capacity),
-                cache: CvtCache::new(self.inner.config.base.cvt_cache_slots),
-            })),
-        );
-        Ok(id)
+        ops::create_client_with_id(&mut ServiceEnv(self), id)
     }
 
     /// Destroys a client: detaches every VB in its CVT, disables VBs whose
@@ -346,25 +377,7 @@ impl VbiService {
     ///
     /// Returns [`VbiError::InvalidClient`] for unknown clients.
     pub fn destroy_client(&self, client: ClientId) -> Result<()> {
-        let state = unpoison(self.inner.clients.write())
-            .remove(&client)
-            .ok_or(VbiError::InvalidClient(client))?;
-        // Collect the attached VBs under the client lock, then release the
-        // references shard by shard without holding it (client → shard is
-        // the only permitted lock pair; not holding both here keeps the
-        // critical sections short).
-        let vbuids: Vec<Vbuid> = {
-            let st = unpoison(state.lock());
-            st.cvt.iter().map(|(_, e)| e.vbuid()).collect()
-        };
-        for vbuid in vbuids {
-            let mut mtl = self.lock_home(vbuid);
-            if mtl.remove_ref(vbuid)? == 0 {
-                mtl.disable_vb(vbuid)?;
-            }
-        }
-        unpoison(self.inner.ids.lock()).release(client);
-        Ok(())
+        ops::destroy_client(&mut ServiceEnv(self), client)
     }
 
     /// Whether `client` is live.
@@ -402,36 +415,7 @@ impl VbiService {
         props: VbProperties,
         perms: Rwx,
     ) -> Result<VbHandle> {
-        let size_class = SizeClass::smallest_fitting(bytes)
-            .ok_or(VbiError::RequestTooLarge { requested: bytes })?;
-        let count = self.inner.shards.len();
-        let start = self.inner.placement.fetch_add(1, Ordering::Relaxed) % count;
-        let mut last_err = VbiError::OutOfVirtualBlocks(size_class);
-        for probe in 0..count {
-            let shard = (start + probe) % count;
-            let vbuid = {
-                let mut mtl = self.lock_shard(shard);
-                match mtl.find_free_vb(size_class).and_then(|vb| {
-                    mtl.enable_vb(vb, props)?;
-                    Ok(vb)
-                }) {
-                    Ok(vb) => vb,
-                    Err(e) => {
-                        last_err = e;
-                        continue;
-                    }
-                }
-            };
-            return match self.attach(client, vbuid, perms) {
-                Ok(index) => Ok(VbHandle { cvt_index: index, vbuid }),
-                Err(e) => {
-                    // Roll back the enable so the VB is not leaked.
-                    let _ = self.lock_shard(shard).disable_vb(vbuid);
-                    Err(e)
-                }
-            };
-        }
-        Err(last_err)
+        ops::request_vb(&mut ServiceEnv(self), client, bytes, props, perms)
     }
 
     /// The `attach` instruction: adds a CVT entry for `vbuid` with `perms`
@@ -442,25 +426,22 @@ impl VbiService {
     /// [`VbiError::InvalidClient`], [`VbiError::VbNotEnabled`], or
     /// [`VbiError::CvtFull`].
     pub fn attach(&self, client: ClientId, vbuid: Vbuid, perms: Rwx) -> Result<usize> {
-        self.lock_home(vbuid).add_ref(vbuid)?;
-        let rollback = || {
-            let _ = self.lock_home(vbuid).remove_ref(vbuid);
-        };
-        let state = match self.client_state(client) {
-            Ok(state) => state,
-            Err(e) => {
-                rollback();
-                return Err(e);
-            }
-        };
-        let attached = unpoison(state.lock()).cvt.attach(vbuid, perms);
-        match attached {
-            Ok(index) => Ok(index),
-            Err(e) => {
-                rollback();
-                Err(e)
-            }
-        }
+        ops::attach(&mut ServiceEnv(self), client, vbuid, perms)
+    }
+
+    /// `attach` at a specific CVT index (fork and shared-library layout).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VbiService::attach`].
+    pub fn attach_at(
+        &self,
+        client: ClientId,
+        index: usize,
+        vbuid: Vbuid,
+        perms: Rwx,
+    ) -> Result<()> {
+        ops::attach_at(&mut ServiceEnv(self), client, index, vbuid, perms)
     }
 
     /// The `detach` instruction: invalidates the client's CVT entry for
@@ -470,13 +451,7 @@ impl VbiService {
     ///
     /// [`VbiError::InvalidClient`] or [`VbiError::VbNotEnabled`].
     pub fn detach(&self, client: ClientId, vbuid: Vbuid) -> Result<u32> {
-        let state = self.client_state(client)?;
-        {
-            let mut st = unpoison(state.lock());
-            let index = st.cvt.detach(vbuid)?;
-            st.cache.invalidate(client, index);
-        }
-        self.lock_home(vbuid).remove_ref(vbuid)
+        ops::detach(&mut ServiceEnv(self), client, vbuid)
     }
 
     /// Detaches the VB behind a handle and disables it at zero references —
@@ -487,52 +462,10 @@ impl VbiService {
     /// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`], or
     /// [`VbiError::VbNotEnabled`].
     pub fn release_vb(&self, client: ClientId, index: usize) -> Result<()> {
-        let state = self.client_state(client)?;
-        let vbuid = {
-            let mut st = unpoison(state.lock());
-            let vbuid = st.cvt.detach_index(index)?;
-            st.cache.invalidate(client, index);
-            vbuid
-        };
-        let mut mtl = self.lock_home(vbuid);
-        if mtl.remove_ref(vbuid)? == 0 {
-            mtl.disable_vb(vbuid)?;
-        }
-        Ok(())
+        ops::release_vb(&mut ServiceEnv(self), client, index)
     }
 
     // --- protection-checked access ---------------------------------------------
-
-    /// The CPU-side access check of §4.2.3, identical to
-    /// [`vbi_core::System::access`] but against the service's shared client
-    /// state. The caller holds the client lock.
-    fn check(
-        &self,
-        client: ClientId,
-        state: &mut ClientState,
-        va: VirtualAddress,
-        kind: AccessKind,
-    ) -> Result<CheckedAccess> {
-        let (entry, cvt_cache_hit) = match state.cache.lookup(client, va.cvt_index()) {
-            Some(entry) => (entry, true),
-            None => {
-                let entry = *state.cvt.entry(va.cvt_index())?;
-                state.cache.fill(client, va.cvt_index(), entry);
-                (entry, false)
-            }
-        };
-        let required = kind.required();
-        if !entry.permissions().allows(required) {
-            return Err(VbiError::PermissionDenied {
-                client,
-                vbuid: entry.vbuid(),
-                required,
-                granted: entry.permissions(),
-            });
-        }
-        let address = entry.vbuid().address(va.offset())?;
-        Ok(CheckedAccess { address, cvt_cache_hit })
-    }
 
     /// Protection check without touching memory (exposed for tests and
     /// routing diagnostics): returns the VBI address an access would use.
@@ -546,9 +479,7 @@ impl VbiService {
         va: VirtualAddress,
         kind: AccessKind,
     ) -> Result<CheckedAccess> {
-        let state = self.client_state(client)?;
-        let mut st = unpoison(state.lock());
-        self.check(client, &mut st, va, kind)
+        ops::access(&mut ServiceEnv(self), client, va, kind)
     }
 
     // --- functional loads and stores ----------------------------------------------
@@ -559,8 +490,7 @@ impl VbiService {
     ///
     /// Any protection or translation error.
     pub fn load_u64(&self, client: ClientId, va: VirtualAddress) -> Result<u64> {
-        let checked = self.access(client, va, AccessKind::Read)?;
-        self.lock_home(checked.address.vbuid()).read_u64(checked.address)
+        ops::load_u64(&mut ServiceEnv(self), client, va)
     }
 
     /// Protection-checked functional store of a `u64`.
@@ -569,8 +499,7 @@ impl VbiService {
     ///
     /// Any protection or translation error.
     pub fn store_u64(&self, client: ClientId, va: VirtualAddress, value: u64) -> Result<()> {
-        let checked = self.access(client, va, AccessKind::Write)?;
-        self.lock_home(checked.address.vbuid()).write_u64(checked.address, value)
+        ops::store_u64(&mut ServiceEnv(self), client, va, value)
     }
 
     /// Protection-checked functional load of one byte.
@@ -579,8 +508,7 @@ impl VbiService {
     ///
     /// Any protection or translation error.
     pub fn load_u8(&self, client: ClientId, va: VirtualAddress) -> Result<u8> {
-        let checked = self.access(client, va, AccessKind::Read)?;
-        self.lock_home(checked.address.vbuid()).read_u8(checked.address)
+        ops::load_u8(&mut ServiceEnv(self), client, va)
     }
 
     /// Protection-checked functional store of one byte.
@@ -589,31 +517,18 @@ impl VbiService {
     ///
     /// Any protection or translation error.
     pub fn store_u8(&self, client: ClientId, va: VirtualAddress, value: u8) -> Result<()> {
-        let checked = self.access(client, va, AccessKind::Write)?;
-        self.lock_home(checked.address.vbuid()).write_u8(checked.address, value)
+        ops::store_u8(&mut ServiceEnv(self), client, va, value)
     }
 
-    /// Copies `data` into a VB through the checked store path. The span
-    /// lives in one VB, so the protection check runs once and the home
-    /// shard is locked once for the whole copy (unlike the per-byte
-    /// `System::store_bytes`, whose per-byte CVT lookups only differ in
-    /// CVT-cache counters — the MTL sees the identical access sequence).
+    /// Copies `data` into a VB through the checked store path: one
+    /// protection check and one home-shard lock for the whole span.
     ///
     /// # Errors
     ///
     /// Any protection or translation error, including running off the end
-    /// of the VB mid-copy (bytes before the fault are written, as with the
-    /// per-byte path).
+    /// of the VB mid-copy (bytes before the fault are written).
     pub fn store_bytes(&self, client: ClientId, va: VirtualAddress, data: &[u8]) -> Result<()> {
-        if data.is_empty() {
-            return Ok(());
-        }
-        let checked = self.access(client, va, AccessKind::Write)?;
-        let mut mtl = self.lock_home(checked.address.vbuid());
-        for (i, b) in data.iter().enumerate() {
-            mtl.write_u8(checked.address.offset_by(i as u64)?, *b)?;
-        }
-        Ok(())
+        ops::store_bytes(&mut ServiceEnv(self), client, va, data)
     }
 
     /// Reads `len` bytes from a VB through the checked load path — one
@@ -623,75 +538,79 @@ impl VbiService {
     ///
     /// Any protection or translation error.
     pub fn load_bytes(&self, client: ClientId, va: VirtualAddress, len: usize) -> Result<Vec<u8>> {
-        if len == 0 {
-            return Ok(Vec::new());
-        }
-        let checked = self.access(client, va, AccessKind::Read)?;
-        let mut mtl = self.lock_home(checked.address.vbuid());
-        (0..len).map(|i| mtl.read_u8(checked.address.offset_by(i as u64)?)).collect()
+        ops::load_bytes(&mut ServiceEnv(self), client, va, len)
     }
 
     // --- batched path ----------------------------------------------------------
 
-    /// Executes a batch of loads and stores, visiting each shard at most
-    /// once: all protection checks run first (client locks only), requests
-    /// are then grouped by home shard, and each shard lock is taken a
-    /// single time for its whole group. Responses come back in request
-    /// order.
+    /// Executes a batch over the **full op surface**, visiting each shard
+    /// at most once per run of data-plane ops: protection checks run first
+    /// (client locks only), checked accesses are grouped by home shard,
+    /// and each shard lock is taken a single time for its whole group,
+    /// running the deferred MTL halves through [`vbi_core::ops::run_checked`]
+    /// — the engine's single definition of each op's memory effect.
+    /// MTL-free ops (`Access`, empty byte spans) answer inline at their
+    /// batch position. Control-plane ops (client/VB management) act as
+    /// sequencing barriers: pending data ops drain before they execute, so
+    /// a batch behaves like its sequential execution. Responses come back
+    /// in request order.
     ///
-    /// Requests of one client targeting one shard execute in batch order;
-    /// there is no ordering guarantee *across* shards within a batch (as
-    /// in hardware, independent MTLs serve independent traffic).
-    pub fn submit(&self, requests: &[Request]) -> Vec<Response> {
-        enum Plan {
-            Load(vbi_core::VbiAddress),
-            Store(vbi_core::VbiAddress, u64),
-        }
+    /// Within a run of data-plane ops, requests targeting one shard
+    /// execute in batch order; there is no ordering guarantee *across*
+    /// shards (as in hardware, independent MTLs serve independent
+    /// traffic).
+    pub fn submit(&self, batch: &[Op]) -> Vec<OpResult> {
         let shard_count = self.inner.shards.len();
-        let mut responses: Vec<Option<Response>> = Vec::with_capacity(requests.len());
-        let mut plans: Vec<Option<Plan>> = Vec::with_capacity(requests.len());
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        let mut responses: Vec<Option<OpResult>> = batch.iter().map(|_| None).collect();
+        // Per shard: (batch index, checked address) of deferred data ops.
+        let mut pending: Vec<Vec<(usize, VbiAddress)>> = Vec::new();
+        pending.resize_with(shard_count, Vec::new);
 
-        // Phase 1: protection checks under client locks.
-        for (i, request) in requests.iter().enumerate() {
-            let (client, va, kind) = match request {
-                Request::Load { client, va } => (*client, *va, AccessKind::Read),
-                Request::Store { client, va, .. } => (*client, *va, AccessKind::Write),
-            };
-            match self.access(client, va, kind) {
-                Ok(checked) => {
-                    by_shard[Mtl::shard_of(checked.address.vbuid(), shard_count)].push(i);
-                    plans.push(Some(match request {
-                        Request::Load { .. } => Plan::Load(checked.address),
-                        Request::Store { value, .. } => Plan::Store(checked.address, *value),
-                    }));
-                    responses.push(None);
+        for (i, op) in batch.iter().enumerate() {
+            if let Some((client, va, kind)) = op.checked_access() {
+                // Data-plane: check now (client locks only), defer the MTL
+                // half to the per-shard drain.
+                match ops::access(&mut ServiceEnv(self), client, va, kind) {
+                    Ok(checked) => {
+                        let shard = Mtl::shard_of(checked.address.vbuid(), shard_count);
+                        pending[shard].push((i, checked.address));
+                    }
+                    Err(e) => responses[i] = Some(Err(e)),
                 }
-                Err(e) => {
-                    plans.push(None);
-                    responses.push(Some(match request {
-                        Request::Load { .. } => Response::Load(Err(e)),
-                        Request::Store { .. } => Response::Store(Err(e)),
-                    }));
+            } else {
+                // MTL-free ops (Access, empty byte spans) touch only
+                // client-lock state or nothing at all: run them through the
+                // engine at their batch position, no barrier needed.
+                // Control-plane ops drain pending data ops first so the
+                // batch keeps sequential semantics.
+                let takes_no_shard_lock =
+                    matches!(op, Op::Access { .. } | Op::LoadBytes { .. } | Op::StoreBytes { .. });
+                if !takes_no_shard_lock {
+                    self.drain_pending(batch, &mut pending, &mut responses);
                 }
+                responses[i] = Some(self.execute(op.clone()));
             }
         }
+        self.drain_pending(batch, &mut pending, &mut responses);
+        responses.into_iter().map(|r| r.expect("every op answered")).collect()
+    }
 
-        // Phase 2: one shard lock per populated shard.
-        for (shard, indices) in by_shard.into_iter().enumerate() {
-            if indices.is_empty() {
+    /// Runs every deferred MTL half, one shard lock per populated shard.
+    fn drain_pending(
+        &self,
+        batch: &[Op],
+        pending: &mut [Vec<(usize, VbiAddress)>],
+        responses: &mut [Option<OpResult>],
+    ) {
+        for (shard, items) in pending.iter_mut().enumerate() {
+            if items.is_empty() {
                 continue;
             }
             let mut mtl = self.lock_shard(shard);
-            for i in indices {
-                let response = match plans[i].as_ref().expect("planned above") {
-                    Plan::Load(addr) => Response::Load(mtl.read_u64(*addr)),
-                    Plan::Store(addr, value) => Response::Store(mtl.write_u64(*addr, *value)),
-                };
-                responses[i] = Some(response);
+            for (i, address) in items.drain(..) {
+                responses[i] = Some(ops::run_checked(&mut mtl, &batch[i], address));
             }
         }
-        responses.into_iter().map(|r| r.expect("every request answered")).collect()
     }
 
     // --- statistics -------------------------------------------------------------
@@ -760,6 +679,7 @@ impl VbiService {
 mod tests {
     use super::*;
     use std::thread;
+    use vbi_core::ops::OpOutput;
 
     fn service(shards: usize) -> VbiService {
         VbiService::new(ServiceConfig::new(
@@ -818,10 +738,7 @@ mod tests {
         let idx = svc.attach(reader, vb.vbuid, Rwx::READ).unwrap();
         let ro = VirtualAddress::new(idx, 0);
         assert_eq!(svc.load_u64(reader, ro).unwrap(), 9);
-        assert!(matches!(
-            svc.store_u64(reader, ro, 1),
-            Err(VbiError::PermissionDenied { .. })
-        ));
+        assert!(matches!(svc.store_u64(reader, ro, 1), Err(VbiError::PermissionDenied { .. })));
     }
 
     #[test]
@@ -833,25 +750,58 @@ mod tests {
             .collect();
         let mut batch = Vec::new();
         for (i, vb) in vbs.iter().enumerate() {
-            batch.push(Request::Store { client: c, va: vb.at(64), value: 100 + i as u64 });
+            batch.push(Op::StoreU64 { client: c, va: vb.at(64), value: 100 + i as u64 });
         }
         for vb in &vbs {
-            batch.push(Request::Load { client: c, va: vb.at(64) });
+            batch.push(Op::LoadU64 { client: c, va: vb.at(64) });
         }
         // An invalid CVT index fails inside the batch without poisoning it.
-        batch.push(Request::Load { client: c, va: VirtualAddress::new(99, 0) });
+        batch.push(Op::LoadU64 { client: c, va: VirtualAddress::new(99, 0) });
         let responses = svc.submit(&batch);
         assert_eq!(responses.len(), batch.len());
         for r in &responses[0..4] {
-            assert_eq!(*r, Response::Store(Ok(())));
+            assert_eq!(*r, Ok(OpOutput::Unit));
         }
         for (i, r) in responses[4..8].iter().enumerate() {
-            assert_eq!(r.loaded(), Some(100 + i as u64));
+            assert_eq!(*r, Ok(OpOutput::U64(100 + i as u64)));
         }
-        assert!(matches!(
-            responses[8],
-            Response::Load(Err(VbiError::InvalidCvtIndex { .. }))
-        ));
+        assert!(matches!(responses[8], Err(VbiError::InvalidCvtIndex { .. })));
+    }
+
+    #[test]
+    fn submit_covers_the_control_plane() {
+        // A whole client lifecycle in one batch: create, request, store,
+        // load, attach a second client, release, destroy — all through
+        // `submit`, exercising the barrier semantics.
+        let svc = service(2);
+        let reader = svc.create_client().unwrap();
+        let owner = svc.create_client().unwrap();
+        let vb = svc.request_vb(owner, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let batch = vec![
+            Op::StoreU64 { client: owner, va: vb.at(0), value: 31337 },
+            Op::Attach { client: reader, vbuid: vb.vbuid, perms: Rwx::READ },
+            Op::LoadU64 { client: owner, va: vb.at(0) },
+            Op::StoreBytes { client: owner, va: vb.at(64), data: vec![1, 2, 3] },
+            Op::LoadBytes { client: owner, va: vb.at(64), len: 3 },
+            Op::StoreBytes { client: owner, va: vb.at(999), data: Vec::new() },
+            Op::StoreU8 { client: owner, va: vb.at(200), value: 0xab },
+            Op::LoadU8 { client: owner, va: vb.at(200) },
+            Op::DestroyClient { client: reader },
+        ];
+        let responses = svc.submit(&batch);
+        assert_eq!(responses[0], Ok(OpOutput::Unit));
+        let reader_idx = responses[1].as_ref().unwrap().as_cvt_index().unwrap();
+        // The attach barrier drained the store first, so a read through the
+        // new entry (sequentially, after the batch) sees the value.
+        assert_eq!(responses[2], Ok(OpOutput::U64(31337)));
+        assert_eq!(responses[4].as_ref().unwrap().as_bytes(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(responses[5], Ok(OpOutput::Unit), "empty span needs no check");
+        assert_eq!(responses[7].as_ref().unwrap().as_u8(), Some(0xab));
+        assert_eq!(responses[8], Ok(OpOutput::Unit));
+        assert!(!svc.client_exists(reader));
+        let _ = reader_idx;
+        // The owner's data survived the reader's destruction.
+        assert_eq!(svc.load_u64(owner, vb.at(0)).unwrap(), 31337);
     }
 
     #[test]
@@ -963,5 +913,17 @@ mod tests {
         let c = svc.create_client().unwrap();
         let vb = svc.request_vb(c, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         svc.store_u64(c, vb.at(0), 1).unwrap();
+    }
+
+    #[test]
+    fn attach_at_places_the_entry_where_asked() {
+        let svc = service(2);
+        let a = svc.create_client().unwrap();
+        let b = svc.create_client().unwrap();
+        let vb = svc.request_vb(a, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        svc.store_u64(a, vb.at(0), 5).unwrap();
+        // Mirror the owner's layout in the other client (fork-style).
+        svc.attach_at(b, vb.cvt_index, vb.vbuid, Rwx::READ).unwrap();
+        assert_eq!(svc.load_u64(b, vb.at(0)).unwrap(), 5);
     }
 }

@@ -1,0 +1,502 @@
+//! `VbiQueue` — an io_uring-style submission/completion front end.
+//!
+//! The paper's MTL is an *asynchronous* hardware agent (§4): a core hands
+//! translation-and-access work to the memory controller and continues
+//! executing, with the result delivered off the critical path. [`VbiQueue`]
+//! gives the sharded [`VbiService`](crate::VbiService) that shape in
+//! software:
+//!
+//! * clients **submit** tagged operations ([`Sqe`]) without blocking on
+//!   shard locks — submission routes the op to its home shard's MPSC ring
+//!   (a cheap CVT peek resolves the VBUID; no stats are touched) and
+//!   returns immediately;
+//! * one **worker thread per shard** drains its ring in FIFO order and
+//!   executes each op through the shared engine
+//!   ([`vbi_core::ops::execute`]) — the same code path the synchronous and
+//!   batched front ends use, so queued execution has identical semantics;
+//! * finished ops are posted to a shared **completion queue** as tagged
+//!   [`Cqe`]s, which any thread may **reap**, in completion order — out of
+//!   order with respect to submission across shards, exactly like
+//!   independent MTLs serving independent traffic.
+//!
+//! ## Ordering
+//!
+//! Ops that target the same VB land on the same ring (routing is a pure
+//! function of the VBUID) and therefore execute in submission order.
+//! Across VBs on different shards there is no ordering guarantee, and an
+//! op that *depends* on another's completion (e.g. a store through a CVT
+//! index returned by a queued `RequestVb`) must wait for its completion to
+//! be reaped first — the io_uring contract.
+//!
+//! Every completion is delivered exactly once: nothing is dropped on the
+//! floor even when submitters race workers (see `queue_loses_no_completions`
+//! in the workspace stress suite). Dropping the queue closes the rings, lets the
+//! workers drain what was already submitted, and joins them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use vbi_core::error::VbiError;
+use vbi_core::ops::{Op, OpResult};
+
+use crate::{unpoison, ServiceConfig, VbiService};
+
+/// A submission-queue entry: one operation plus the caller's tag, echoed
+/// verbatim on the completion so pipelined requests can be told apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sqe {
+    /// Caller-chosen correlation tag.
+    pub tag: u64,
+    /// The operation to execute.
+    pub op: Op,
+}
+
+/// A completion-queue entry: the tag of the finished [`Sqe`] and the
+/// outcome the engine produced for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cqe {
+    /// The tag of the submission this completes.
+    pub tag: u64,
+    /// The operation's outcome.
+    pub result: OpResult,
+}
+
+/// A point-in-time view of the queue's occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueDepth {
+    /// SQEs sitting in submission rings, not yet picked up by a worker.
+    pub queued: usize,
+    /// Ops submitted whose completions have not been posted yet (queued,
+    /// plus in execution).
+    pub in_flight: u64,
+    /// High-water mark of `queued` over the queue's lifetime.
+    pub high_water: usize,
+}
+
+/// One shard's MPSC submission ring: submitters push, the shard's worker
+/// pops in FIFO order.
+#[derive(Debug, Default)]
+struct Ring {
+    state: Mutex<RingState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    entries: VecDeque<Sqe>,
+    closed: bool,
+}
+
+impl Ring {
+    fn push(&self, sqe: Sqe) {
+        let mut state = unpoison(self.state.lock());
+        state.entries.push_back(sqe);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next entry; `None` once the ring is closed *and*
+    /// drained, so shutdown never abandons accepted work.
+    fn pop(&self) -> Option<Sqe> {
+        let mut state = unpoison(self.state.lock());
+        loop {
+            if let Some(sqe) = state.entries.pop_front() {
+                return Some(sqe);
+            }
+            if state.closed {
+                return None;
+            }
+            state = unpoison(self.ready.wait(state));
+        }
+    }
+
+    fn close(&self) {
+        unpoison(self.state.lock()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The shared completion queue plus the in-flight accounting that lets
+/// reapers distinguish "nothing yet" from "nothing ever".
+#[derive(Debug, Default)]
+struct CompletionQueue {
+    state: Mutex<CqState>,
+    posted: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CqState {
+    ready: VecDeque<Cqe>,
+    /// Submitted ops whose completion has not been posted yet.
+    in_flight: u64,
+}
+
+impl CompletionQueue {
+    fn begin(&self) {
+        unpoison(self.state.lock()).in_flight += 1;
+    }
+
+    fn post(&self, cqe: Cqe) {
+        let mut state = unpoison(self.state.lock());
+        state.in_flight -= 1;
+        state.ready.push_back(cqe);
+        drop(state);
+        // notify_all, not notify_one: with several blocked reapers, the one
+        // woken here may consume the entry while another still needs to
+        // observe `in_flight == 0` to return `None` instead of waiting for
+        // a wakeup that will never come.
+        self.posted.notify_all();
+    }
+
+    fn try_reap(&self) -> Option<Cqe> {
+        unpoison(self.state.lock()).ready.pop_front()
+    }
+
+    /// Blocks until a completion is available; `None` when nothing is in
+    /// flight and the queue is empty (reaping more would wait forever).
+    fn reap(&self) -> Option<Cqe> {
+        let mut state = unpoison(self.state.lock());
+        loop {
+            if let Some(cqe) = state.ready.pop_front() {
+                return Some(cqe);
+            }
+            if state.in_flight == 0 {
+                return None;
+            }
+            state = unpoison(self.posted.wait(state));
+        }
+    }
+
+    fn in_flight(&self) -> u64 {
+        unpoison(self.state.lock()).in_flight
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    rings: Vec<Ring>,
+    cq: CompletionQueue,
+    /// SQEs currently queued across all rings (not yet popped).
+    queued: AtomicUsize,
+    /// High-water mark of `queued`.
+    high_water: AtomicUsize,
+    /// Completions posted over the queue's lifetime.
+    completed: AtomicU64,
+}
+
+/// The io_uring-style front end over a [`VbiService`]. See the [module
+/// docs](self) for the model.
+#[derive(Debug)]
+pub struct VbiQueue {
+    service: VbiService,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Round-robin cursor for ops with no deterministic home shard.
+    rr: AtomicUsize,
+}
+
+impl VbiQueue {
+    /// Builds a service from `config` and the queue over it: one
+    /// submission ring and one worker thread per shard.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self::over(VbiService::new(config))
+    }
+
+    /// Builds the queue over an existing service (the service handle stays
+    /// usable for synchronous calls alongside the queue).
+    pub fn over(service: VbiService) -> Self {
+        let shards = service.shards();
+        let shared = Arc::new(Shared {
+            rings: (0..shards).map(|_| Ring::default()).collect(),
+            cq: CompletionQueue::default(),
+            queued: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let workers = (0..shards)
+            .map(|ring| {
+                let shared = Arc::clone(&shared);
+                let service = service.clone();
+                std::thread::spawn(move || worker_loop(ring, &service, &shared))
+            })
+            .collect();
+        Self { service, shared, workers, rr: AtomicUsize::new(0) }
+    }
+
+    /// The service behind the queue (for synchronous setup calls and
+    /// statistics).
+    pub fn service(&self) -> &VbiService {
+        &self.service
+    }
+
+    /// Submits one tagged operation and returns immediately; the outcome
+    /// arrives as a [`Cqe`] carrying `tag`. Never blocks on a shard lock —
+    /// routing costs at most a client-state peek.
+    pub fn submit(&self, tag: u64, op: Op) {
+        let ring = self.route(&op);
+        self.shared.cq.begin();
+        let depth = self.shared.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared.high_water.fetch_max(depth, Ordering::Relaxed);
+        self.shared.rings[ring].push(Sqe { tag, op });
+    }
+
+    /// Submits a batch of entries (in order; same routing as
+    /// [`VbiQueue::submit`]).
+    pub fn submit_all<I: IntoIterator<Item = Sqe>>(&self, sqes: I) {
+        for sqe in sqes {
+            self.submit(sqe.tag, sqe.op);
+        }
+    }
+
+    /// Picks the submission ring for an op: the home shard of the VB it
+    /// touches when that is determined (same VB → same ring → FIFO
+    /// execution), round-robin otherwise.
+    fn route(&self, op: &Op) -> usize {
+        let shards = self.shared.rings.len();
+        if shards == 1 {
+            return 0;
+        }
+        match op {
+            Op::Attach { vbuid, .. } | Op::AttachAt { vbuid, .. } | Op::Detach { vbuid, .. } => {
+                return self.service.shard_of(*vbuid);
+            }
+            Op::ReleaseVb { client, index } => {
+                if let Some(vbuid) = self.service.peek_vbuid(*client, *index) {
+                    return self.service.shard_of(vbuid);
+                }
+            }
+            _ => {
+                if let Some((client, va, _)) = op.checked_access() {
+                    if let Some(vbuid) = self.service.peek_vbuid(client, va.cvt_index()) {
+                        return self.service.shard_of(vbuid);
+                    }
+                }
+            }
+        }
+        self.rr.fetch_add(1, Ordering::Relaxed) % shards
+    }
+
+    /// Reaps one completion without blocking.
+    pub fn try_reap(&self) -> Option<Cqe> {
+        self.shared.cq.try_reap()
+    }
+
+    /// Reaps one completion, blocking while ops are in flight. Returns
+    /// `None` when the queue is idle (nothing in flight, nothing ready) —
+    /// reaping more would wait forever.
+    pub fn reap(&self) -> Option<Cqe> {
+        self.shared.cq.reap()
+    }
+
+    /// Reaps every outstanding completion, blocking until the queue is
+    /// idle.
+    pub fn drain(&self) -> Vec<Cqe> {
+        let mut out = Vec::new();
+        while let Some(cqe) = self.reap() {
+            out.push(cqe);
+        }
+        out
+    }
+
+    /// Ops submitted whose completions have not been *posted* yet.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.cq.in_flight()
+    }
+
+    /// Completions posted over the queue's lifetime (reaped or not).
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the queue occupancy (ring depth, in-flight count,
+    /// lifetime high-water mark).
+    pub fn depth(&self) -> QueueDepth {
+        QueueDepth {
+            queued: self.shared.queued.load(Ordering::Relaxed),
+            in_flight: self.in_flight(),
+            high_water: self.shared.high_water.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the rings, lets the workers finish everything already
+    /// submitted, joins them, and returns the unreaped completions.
+    pub fn shutdown(mut self) -> Vec<Cqe> {
+        self.finish();
+        let mut out = Vec::new();
+        while let Some(cqe) = self.shared.cq.try_reap() {
+            out.push(cqe);
+        }
+        out
+    }
+
+    fn finish(&mut self) {
+        for ring in &self.shared.rings {
+            ring.close();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for VbiQueue {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One shard's worker: drain the ring in FIFO order, execute through the
+/// shared engine, post tagged completions.
+///
+/// A panic inside the engine (an internal MTL invariant tripping) must not
+/// kill the worker: that would strand the op's `in_flight` count and hang
+/// every blocked reaper forever, silently. It is caught and posted as a
+/// [`VbiError::EngineFault`] completion instead — consistent with the rest
+/// of the crate, which unpoisons locks and keeps serving after a panicking
+/// holder.
+fn worker_loop(ring: usize, service: &VbiService, shared: &Shared) {
+    while let Some(Sqe { tag, op }) = shared.rings[ring].pop() {
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.execute(op)))
+            .unwrap_or_else(|panic| {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(VbiError::EngineFault(message))
+            });
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.cq.post(Cqe { tag, result });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbi_core::client::{ClientId, VirtualAddress};
+    use vbi_core::ops::OpOutput;
+    use vbi_core::perm::Rwx;
+    use vbi_core::vb::VbProperties;
+    use vbi_core::VbiConfig;
+
+    fn queue(shards: usize) -> VbiQueue {
+        VbiQueue::new(ServiceConfig::new(
+            shards,
+            VbiConfig { phys_frames: 8192, ..VbiConfig::vbi_full() },
+        ))
+    }
+
+    #[test]
+    fn pipelined_ops_complete_with_their_tags() {
+        let q = queue(4);
+        let c = q.service().create_client().unwrap();
+        let vb = q.service().request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        for i in 0..32u64 {
+            q.submit(i, Op::StoreU64 { client: c, va: vb.at(i * 8), value: i * 3 });
+        }
+        let stores = q.drain();
+        assert_eq!(stores.len(), 32);
+        for cqe in &stores {
+            assert_eq!(cqe.result, Ok(OpOutput::Unit));
+        }
+        for i in 0..32u64 {
+            q.submit(100 + i, Op::LoadU64 { client: c, va: vb.at(i * 8) });
+        }
+        let mut loads = q.drain();
+        assert_eq!(loads.len(), 32);
+        loads.sort_by_key(|cqe| cqe.tag);
+        for (i, cqe) in loads.iter().enumerate() {
+            assert_eq!(cqe.tag, 100 + i as u64);
+            assert_eq!(cqe.result, Ok(OpOutput::U64(i as u64 * 3)));
+        }
+    }
+
+    #[test]
+    fn same_vb_ops_execute_in_submission_order() {
+        let q = queue(4);
+        let c = q.service().create_client().unwrap();
+        let vb = q.service().request_vb(c, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        // A store burst to one cell: the last submitted value must win.
+        for i in 0..100u64 {
+            q.submit(i, Op::StoreU64 { client: c, va: vb.at(0), value: i });
+        }
+        q.submit(1000, Op::LoadU64 { client: c, va: vb.at(0) });
+        let mut final_load = None;
+        while let Some(cqe) = q.reap() {
+            if cqe.tag == 1000 {
+                final_load = Some(cqe.result);
+            }
+        }
+        assert_eq!(final_load, Some(Ok(OpOutput::U64(99))));
+    }
+
+    #[test]
+    fn control_plane_ops_flow_through_the_queue() {
+        let q = queue(2);
+        q.submit(1, Op::CreateClient);
+        let cqe = q.reap().expect("completion arrives");
+        assert_eq!(cqe.tag, 1);
+        let client = cqe.result.unwrap().as_client().unwrap();
+        q.submit(
+            2,
+            Op::RequestVb {
+                client,
+                bytes: 4096,
+                props: VbProperties::NONE,
+                perms: Rwx::READ_WRITE,
+            },
+        );
+        let handle = q.reap().unwrap().result.unwrap().as_handle().unwrap();
+        q.submit(3, Op::StoreU64 { client, va: handle.at(0), value: 7 });
+        q.submit(4, Op::LoadU64 { client, va: handle.at(0) });
+        let mut results: Vec<Cqe> = q.drain();
+        results.sort_by_key(|c| c.tag);
+        assert_eq!(results[1].result, Ok(OpOutput::U64(7)));
+        q.submit(5, Op::DestroyClient { client });
+        assert!(q.reap().unwrap().result.is_ok());
+        assert!(!q.service().client_exists(client));
+    }
+
+    #[test]
+    fn errors_are_completions_not_panics() {
+        let q = queue(2);
+        let c = q.service().create_client().unwrap();
+        q.submit(9, Op::LoadU64 { client: c, va: VirtualAddress::new(42, 0) });
+        q.submit(10, Op::DestroyClient { client: ClientId(999) });
+        let mut cqes = q.drain();
+        cqes.sort_by_key(|c| c.tag);
+        assert!(cqes[0].result.is_err());
+        assert!(cqes[1].result.is_err());
+    }
+
+    #[test]
+    fn idle_reap_returns_none_and_shutdown_returns_unreaped() {
+        let q = queue(1);
+        assert!(q.reap().is_none(), "idle queue must not block");
+        let c = q.service().create_client().unwrap();
+        let vb = q.service().request_vb(c, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        q.submit(1, Op::StoreU64 { client: c, va: vb.at(0), value: 1 });
+        q.submit(2, Op::LoadU64 { client: c, va: vb.at(0) });
+        let leftovers = q.shutdown();
+        assert_eq!(leftovers.len(), 2, "accepted work completes before shutdown");
+    }
+
+    #[test]
+    fn depth_reports_high_water() {
+        let q = queue(2);
+        let c = q.service().create_client().unwrap();
+        let vb = q.service().request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        for i in 0..64u64 {
+            q.submit(i, Op::StoreU64 { client: c, va: vb.at(i * 8), value: i });
+        }
+        q.drain();
+        let depth = q.depth();
+        assert_eq!(depth.queued, 0);
+        assert_eq!(depth.in_flight, 0);
+        assert!(depth.high_water >= 1, "at least one SQE was queued at once");
+        assert_eq!(q.completed(), 64);
+    }
+}

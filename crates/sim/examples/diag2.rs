@@ -9,7 +9,9 @@ fn main() {
             let res = std::panic::catch_unwind(|| run(sys, &spec, &cfg));
             match res {
                 Ok(r) => eprintln!("{name:14} {:9} ok ipc={:.3}", sys.label(), r.ipc()),
-                Err(_) => { eprintln!("{name:14} {:9} PANIC", sys.label()); }
+                Err(_) => {
+                    eprintln!("{name:14} {:9} PANIC", sys.label());
+                }
             }
         }
     }

@@ -4,10 +4,25 @@ use vbi_workloads::spec::benchmark;
 fn main() {
     let cfg = EngineConfig { accesses: 150_000, warmup: 15_000, seed: 2020, phys_frames: 1 << 20 };
     let spec = benchmark("mcf").unwrap();
-    for sys in [SystemKind::Native, SystemKind::PerfectTlb, SystemKind::Vbi1, SystemKind::Vbi2, SystemKind::VbiFull] {
+    for sys in [
+        SystemKind::Native,
+        SystemKind::PerfectTlb,
+        SystemKind::Vbi1,
+        SystemKind::Vbi2,
+        SystemKind::VbiFull,
+    ] {
         let r = run(sys, &spec, &cfg);
         let c = r.counters;
-        println!("{:12} ipc={:.4} cyc={:9} llc_miss={:6} tlb_miss={:6} xl_acc={:7} dram={:6} zero={:6}",
-            sys.label(), r.ipc(), r.cycles, c.llc_misses, c.tlb_misses, c.translation_accesses, c.dram_accesses, c.zero_lines);
+        println!(
+            "{:12} ipc={:.4} cyc={:9} llc_miss={:6} tlb_miss={:6} xl_acc={:7} dram={:6} zero={:6}",
+            sys.label(),
+            r.ipc(),
+            r.cycles,
+            c.llc_misses,
+            c.tlb_misses,
+            c.translation_accesses,
+            c.dram_accesses,
+            c.zero_lines
+        );
     }
 }

@@ -123,11 +123,8 @@ pub fn run_on(
 
         let cost = system.access(access.region, access.offset, access.is_write);
         // Independent misses overlap in the ROB; dependent ones serialize.
-        let exposed = if access.dependent {
-            cost.stall as f64
-        } else {
-            cost.stall as f64 / spec.mlp
-        };
+        let exposed =
+            if access.dependent { cost.stall as f64 } else { cost.stall as f64 / spec.mlp };
         cycles_x4 += (exposed * 4.0) as u64;
     }
 
@@ -184,11 +181,7 @@ mod tests {
         let spec = benchmark("mcf").unwrap();
         let native = run(SystemKind::Native, &spec, &quick());
         let vbi = run(SystemKind::Vbi2, &spec, &quick());
-        assert!(
-            vbi.speedup_over(&native) > 1.2,
-            "VBI-2 speedup {}",
-            vbi.speedup_over(&native)
-        );
+        assert!(vbi.speedup_over(&native) > 1.2, "VBI-2 speedup {}", vbi.speedup_over(&native));
     }
 
     #[test]

@@ -121,8 +121,7 @@ pub fn run_hetero(
             let region = bases.iter().rposition(|&b| b <= wb).unwrap_or(0);
             memory.access(region, wb - bases[region], true);
         }
-        let exposed =
-            if access.dependent { stall as f64 } else { stall as f64 / spec.mlp };
+        let exposed = if access.dependent { stall as f64 } else { stall as f64 / spec.mlp };
         cycles_x4 += (exposed * 4.0) as u64;
     }
     // Migration traffic steals device time from the application.
@@ -167,12 +166,7 @@ mod tests {
         let spec = benchmark("sphinx3").unwrap(); // strongly hot/cold
         let unaware = run_hetero(HeteroKind::PcmDram, Policy::Unaware, &spec, &quick());
         let vbi = run_hetero(HeteroKind::PcmDram, Policy::VbiHotness, &spec, &quick());
-        assert!(
-            vbi.speedup_over(&unaware) > 1.0,
-            "vbi {} vs unaware {}",
-            vbi.ipc(),
-            unaware.ipc()
-        );
+        assert!(vbi.speedup_over(&unaware) > 1.0, "vbi {} vs unaware {}", vbi.ipc(), unaware.ipc());
     }
 
     #[test]

@@ -29,12 +29,8 @@ impl BundleResult {
     /// Weighted speedup against per-app baseline (alone) results.
     pub fn weighted_speedup(&self, baselines: &[RunResult]) -> f64 {
         assert_eq!(self.apps.len(), baselines.len());
-        let sum: f64 = self
-            .apps
-            .iter()
-            .zip(baselines)
-            .map(|(shared, alone)| shared.ipc() / alone.ipc())
-            .sum();
+        let sum: f64 =
+            self.apps.iter().zip(baselines).map(|(shared, alone)| shared.ipc() / alone.ipc()).sum();
         sum / self.apps.len() as f64
     }
 }
@@ -81,7 +77,10 @@ pub fn run_alone_native(apps: &[WorkloadSpec], config: &EngineConfig) -> Vec<Run
 
 /// Builds a standalone system for ad-hoc experiments (re-exported for the
 /// bench harness).
-pub fn standalone(system_kind: SystemKind, phys_frames: u64) -> Box<dyn crate::systems::MemorySystem> {
+pub fn standalone(
+    system_kind: SystemKind,
+    phys_frames: u64,
+) -> Box<dyn crate::systems::MemorySystem> {
     build_system(system_kind, phys_frames)
 }
 

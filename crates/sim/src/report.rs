@@ -193,12 +193,9 @@ mod tests {
 
     #[test]
     fn render_contains_headers_and_rows() {
-        let results = vec![
-            result("mcf", SystemKind::Native, 100),
-            result("mcf", SystemKind::Vbi2, 400),
-        ];
-        let table =
-            SpeedupTable::from_runs(SystemKind::Native, vec![SystemKind::Vbi2], &results);
+        let results =
+            vec![result("mcf", SystemKind::Native, 100), result("mcf", SystemKind::Vbi2, 400)];
+        let table = SpeedupTable::from_runs(SystemKind::Native, vec![SystemKind::Vbi2], &results);
         let text = table.render_with_exclusion("Figure 6", "mcf");
         assert!(text.contains("Figure 6"));
         assert!(text.contains("VBI-2"));

@@ -2,9 +2,12 @@
 //!
 //! Where [`crate::engine`] measures *simulated cycles* of one core, this
 //! module measures *host throughput* of the concurrent service: M OS
-//! threads replay workload traces against a [`VbiService`] and the report
-//! carries real ops/sec plus the per-shard lock-contention counters. It is
-//! the driver behind the `service` bench in `vbi-bench` and the
+//! threads replay workload traces against a [`VbiService`] — synchronously
+//! or batched ([`service_run`]), or pipelined through the [`VbiQueue`]
+//! submission/completion front end ([`queue_run`]) — and the report
+//! carries real ops/sec plus the per-shard lock-contention counters (and,
+//! in queue mode, the submission-ring high-water depth). It is the driver
+//! behind the `service` and `queue` benches in `vbi-bench` and the
 //! equivalence/stress suites at the workspace root.
 //!
 //! The same replay is exposed in deterministic single-threaded form
@@ -18,11 +21,12 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use vbi_core::config::VbiConfig;
+use vbi_core::ops::Op as VbiOp;
 use vbi_core::perm::Rwx;
 use vbi_core::stats::MtlStats;
 use vbi_core::system::{System, VbHandle};
 use vbi_core::vb::VbProperties;
-use vbi_service::{Request, ServiceConfig, ShardLoad, VbiService};
+use vbi_service::{ServiceConfig, ShardLoad, VbiQueue, VbiService};
 use vbi_workloads::spec::benchmark;
 use vbi_workloads::trace::WorkloadSpec;
 
@@ -55,7 +59,11 @@ pub fn trace_ops(spec: &WorkloadSpec, seed: u64, count: usize) -> Vec<Op> {
 
 /// Replays `ops` through a single-owner [`System`]; returns every loaded
 /// value (in op order) and the MTL counters.
-pub fn replay_on_system(config: VbiConfig, spec: &WorkloadSpec, ops: &[Op]) -> (Vec<u64>, MtlStats) {
+pub fn replay_on_system(
+    config: VbiConfig,
+    spec: &WorkloadSpec,
+    ops: &[Op],
+) -> (Vec<u64>, MtlStats) {
     let mut system = System::new(config);
     let client = system.create_client().expect("fresh system");
     let handles: Vec<VbHandle> = spec
@@ -150,7 +158,8 @@ pub struct ServiceRunReport {
     pub shards: usize,
     /// Operations completed across all threads.
     pub total_ops: u64,
-    /// Wall-clock seconds spent replaying (excludes setup).
+    /// Wall-clock seconds of the whole replay scope, including each
+    /// worker's setup (client/VB creation, trace materialization).
     pub elapsed_secs: f64,
     /// Throughput in operations per second.
     pub ops_per_sec: f64,
@@ -258,13 +267,13 @@ fn replay_worker(
             }
         }
     } else {
-        let mut batch: Vec<Request> = Vec::with_capacity(config.batch);
+        let mut batch: Vec<VbiOp> = Vec::with_capacity(config.batch);
         for op in &ops {
             let va = handles[op.region].at(op.offset);
             batch.push(if op.is_write {
-                Request::Store { client, va, value: values.gen() }
+                VbiOp::StoreU64 { client, va, value: values.gen() }
             } else {
-                Request::Load { client, va }
+                VbiOp::LoadU64 { client, va }
             });
             if batch.len() == config.batch {
                 flush(service, &mut batch);
@@ -274,7 +283,7 @@ fn replay_worker(
     }
 }
 
-fn flush(service: &VbiService, batch: &mut Vec<Request>) {
+fn flush(service: &VbiService, batch: &mut Vec<VbiOp>) {
     if batch.is_empty() {
         return;
     }
@@ -282,6 +291,167 @@ fn flush(service: &VbiService, batch: &mut Vec<Request>) {
         assert!(response.is_ok(), "harness requests are always in bounds");
     }
     batch.clear();
+}
+
+/// Report of one queue-mode run ([`queue_run`]): M submitter threads
+/// pipelining tagged ops through a [`VbiQueue`] while per-shard workers
+/// execute and post completions.
+#[derive(Debug, Clone)]
+pub struct QueueRunReport {
+    /// Submitter threads.
+    pub threads: usize,
+    /// MTL shards (= queue worker threads).
+    pub shards: usize,
+    /// Pipeline window each submitter keeps in flight.
+    pub window: usize,
+    /// Operations completed across all threads.
+    pub total_ops: u64,
+    /// Completions reaped (must equal `total_ops` — asserted by the run).
+    pub completions: u64,
+    /// Wall-clock seconds of the whole replay scope, including each
+    /// submitter's setup (client/VB creation, trace materialization) and
+    /// the final drain.
+    pub elapsed_secs: f64,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// High-water mark of SQEs queued at once.
+    pub max_queue_depth: usize,
+    /// Merged MTL counters across shards.
+    pub mtl: MtlStats,
+    /// Per-shard lock traffic.
+    pub shard_loads: Vec<ShardLoad>,
+}
+
+impl QueueRunReport {
+    /// One-line JSON rendering (no external serializer in this workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"threads\":{},\"shards\":{},\"window\":{},\"total_ops\":{},",
+                "\"completions\":{},\"elapsed_secs\":{:.6},\"ops_per_sec\":{:.0},",
+                "\"max_queue_depth\":{},\"translation_requests\":{},\"tlb_hits\":{}}}"
+            ),
+            self.threads,
+            self.shards,
+            self.window,
+            self.total_ops,
+            self.completions,
+            self.elapsed_secs,
+            self.ops_per_sec,
+            self.max_queue_depth,
+            self.mtl.translation_requests,
+            self.mtl.tlb_hits,
+        )
+    }
+}
+
+/// Runs `config.threads` submitters against a fresh [`VbiQueue`] over a
+/// `config.shards`-way service: each submitter pipelines its trace through
+/// tagged submissions, keeping up to `config.batch` ops in flight (the
+/// pipeline window), and reaps completions as it goes — the asynchronous
+/// analogue of [`service_run`]. Every completion is verified `Ok`, and the
+/// run asserts none were lost.
+///
+/// # Panics
+///
+/// Panics if `config.benchmark` is unknown, the footprint exceeds the
+/// machine, or any completion is missing or failed.
+pub fn queue_run(config: &ServiceRunConfig) -> QueueRunReport {
+    let spec = benchmark(config.benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark {:?}", config.benchmark));
+    let queue = VbiQueue::new(ServiceConfig::new(
+        config.shards,
+        VbiConfig { phys_frames: config.phys_frames, ..VbiConfig::vbi_full() },
+    ));
+    let window = config.batch.max(1);
+    let started = Instant::now();
+    let reaped: u64 = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.threads)
+            .map(|thread| {
+                let queue = &queue;
+                let spec = &spec;
+                scope.spawn(move || queue_worker(queue, spec, config, thread as u64, window))
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("submitter panicked")).sum()
+    });
+    // Reap whatever the submitters left in flight.
+    let leftovers = queue.drain();
+    for cqe in &leftovers {
+        assert!(cqe.result.is_ok(), "harness requests are always in bounds");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total_ops = (config.threads * config.ops_per_thread) as u64;
+    let completions = reaped + leftovers.len() as u64;
+    assert_eq!(completions, total_ops, "a completion was lost");
+    let depth = queue.depth();
+    let service = queue.service();
+    QueueRunReport {
+        threads: config.threads,
+        shards: config.shards,
+        window,
+        total_ops,
+        completions,
+        elapsed_secs: elapsed,
+        ops_per_sec: if elapsed > 0.0 { total_ops as f64 / elapsed } else { 0.0 },
+        max_queue_depth: depth.high_water,
+        mtl: service.stats(),
+        shard_loads: service.contention(),
+    }
+}
+
+/// One submitter: pipeline the thread's trace through the queue with a
+/// bounded window, reaping (and checking) completions to make room.
+/// Returns the number of completions this thread reaped.
+fn queue_worker(
+    queue: &VbiQueue,
+    spec: &WorkloadSpec,
+    config: &ServiceRunConfig,
+    thread: u64,
+    window: usize,
+) -> u64 {
+    // Setup is synchronous: the client and its VBs exist before the first
+    // pipelined access (queued ops may not depend on unreaped ones).
+    let service = queue.service();
+    let client = service.create_client().expect("service has client IDs");
+    let handles: Vec<VbHandle> = spec
+        .regions
+        .iter()
+        .map(|r| {
+            service
+                .request_vb(client, r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
+                .expect("harness footprint fits the machine")
+        })
+        .collect();
+    let mut values = SmallRng::stream(config.seed, thread);
+    let ops = trace_ops(spec, config.seed ^ thread, config.ops_per_thread);
+    let mut reaped = 0u64;
+    for (seq, op) in ops.iter().enumerate() {
+        let va = handles[op.region].at(op.offset);
+        let tag = (thread << 32) | seq as u64;
+        queue.submit(
+            tag,
+            if op.is_write {
+                VbiOp::StoreU64 { client, va, value: values.gen() }
+            } else {
+                VbiOp::LoadU64 { client, va }
+            },
+        );
+        // The window bounds *global* in-flight work; the completion queue
+        // is shared, so a reaped CQE may belong to any submitter. Blocking
+        // reap (not a try_reap spin) keeps submitters off the CPU while
+        // the shard workers catch up.
+        while queue.in_flight() > (window * config.threads) as u64 {
+            match queue.reap() {
+                Some(cqe) => {
+                    assert!(cqe.result.is_ok(), "harness requests are always in bounds");
+                    reaped += 1;
+                }
+                None => break, // another thread reaped the queue idle
+            }
+        }
+    }
+    reaped
 }
 
 #[cfg(test)]
@@ -332,5 +502,26 @@ mod tests {
         assert_eq!(report.total_ops, 8_000);
         assert!(report.mtl.pages_allocated > 0);
         assert_eq!(report.shard_loads.len(), 2);
+    }
+
+    #[test]
+    fn queue_run_loses_no_completions_and_reports_depth() {
+        let config = ServiceRunConfig {
+            threads: 2,
+            shards: 2,
+            ops_per_thread: 2_000,
+            batch: 16,
+            ..Default::default()
+        };
+        let report = queue_run(&config);
+        assert_eq!(report.total_ops, 4_000);
+        assert_eq!(report.completions, 4_000);
+        assert!(report.ops_per_sec > 0.0);
+        assert!(report.mtl.translation_requests > 0);
+        assert!(report.max_queue_depth >= 1);
+        assert_eq!(report.shard_loads.len(), 2);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"max_queue_depth\""));
     }
 }

@@ -19,9 +19,9 @@ use vbi_baselines::mmu::{NativeMmu, PerfectMmu, L2_TLB_LATENCY};
 use vbi_baselines::nested::NestedMmu;
 use vbi_baselines::page_table::PageSize;
 use vbi_core::addr::{SizeClass, VbiAddress, Vbuid};
+use vbi_core::client::ClientId;
 use vbi_core::config::VbiConfig;
 use vbi_core::cvt_cache::CvtCache;
-use vbi_core::client::ClientId;
 use vbi_core::mtl::{Mtl, MtlAccess, TranslateResult};
 use vbi_core::vb::VbProperties;
 use vbi_mem_sim::controller::MemoryController;
@@ -683,9 +683,7 @@ mod tests {
             native.access(0, off, false);
             virt.access(0, off, false);
         }
-        assert!(
-            virt.counters().translation_accesses > native.counters().translation_accesses * 2
-        );
+        assert!(virt.counters().translation_accesses > native.counters().translation_accesses * 2);
     }
 
     #[test]

@@ -138,9 +138,7 @@ mod tests {
         let mut r = rng();
         let bytes = 1 << 20;
         let hot_limit = bytes / 10;
-        let hits = (0..10_000)
-            .filter(|_| p.next_offset(&mut r, bytes, 0, 0) < hot_limit)
-            .count();
+        let hits = (0..10_000).filter(|_| p.next_offset(&mut r, bytes, 0, 0) < hot_limit).count();
         assert!(hits > 8_500, "{hits} of 10000 in the hot region");
     }
 

@@ -70,16 +70,8 @@ pub const FIG6_BENCHMARKS: [&str; 14] = [
 
 /// The subset shown in Figure 7 (large pages); averages still use all of
 /// [`FIG6_BENCHMARKS`].
-pub const FIG7_BENCHMARKS: [&str; 8] = [
-    "bzip2",
-    "GemsFDTD",
-    "mcf",
-    "milc",
-    "deepsjeng-17",
-    "lbm-17",
-    "img-dnn",
-    "Graph 500",
-];
+pub const FIG7_BENCHMARKS: [&str; 8] =
+    ["bzip2", "GemsFDTD", "mcf", "milc", "deepsjeng-17", "lbm-17", "img-dnn", "Graph 500"];
 
 /// The benchmarks of Figures 9 and 10 (heterogeneous memory).
 pub const HETERO_BENCHMARKS: [&str; 15] = [
@@ -119,7 +111,14 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
             regions: vec![
                 region("graph-core", 64 * MB, Pattern::PointerChase, 0.05, 3.5),
                 region("graph-rest", 96 * MB, Pattern::PointerChase, 0.05, 1.5),
-                region("open-list", 24 * MB, Pattern::HotCold { hot_fraction: 0.2, hot_probability: 0.8 }, 0.45, 3.0).with_init(0.2),
+                region(
+                    "open-list",
+                    24 * MB,
+                    Pattern::HotCold { hot_fraction: 0.2, hot_probability: 0.8 },
+                    0.45,
+                    3.0,
+                )
+                .with_init(0.2),
                 region("way-map", 48 * MB, Pattern::RandomUniform, 0.10, 2.0).with_init(0.3),
             ],
             mean_gap: 4,
@@ -130,7 +129,13 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
         "bzip2" => WorkloadSpec {
             name: "bzip2",
             regions: vec![
-                region("block", 96 * MB, Pattern::HotCold { hot_fraction: 0.3, hot_probability: 0.85 }, 0.35, 4.0),
+                region(
+                    "block",
+                    96 * MB,
+                    Pattern::HotCold { hot_fraction: 0.3, hot_probability: 0.85 },
+                    0.35,
+                    4.0,
+                ),
                 region("sort-arrays", 96 * MB, Pattern::RandomUniform, 0.40, 3.0),
                 region("output", 16 * MB, Pattern::Sequential { stride: 64 }, 0.9, 1.0),
             ],
@@ -206,7 +211,13 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
         "namd" => WorkloadSpec {
             name: "namd",
             regions: vec![
-                region("atoms", 24 * MB, Pattern::HotCold { hot_fraction: 0.1, hot_probability: 0.95 }, 0.30, 5.0),
+                region(
+                    "atoms",
+                    24 * MB,
+                    Pattern::HotCold { hot_fraction: 0.1, hot_probability: 0.95 },
+                    0.30,
+                    5.0,
+                ),
                 region("pairlists", 16 * MB, Pattern::Sequential { stride: 64 }, 0.10, 2.0),
             ],
             mean_gap: 7,
@@ -216,8 +227,21 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
         "sjeng" => WorkloadSpec {
             name: "sjeng",
             regions: vec![
-                region("hash-table", 40 * MB, Pattern::HotCold { hot_fraction: 0.05, hot_probability: 0.9 }, 0.40, 4.0).with_init(0.1),
-                region("board-stack", 2 * MB, Pattern::HotCold { hot_fraction: 0.5, hot_probability: 0.95 }, 0.50, 3.0),
+                region(
+                    "hash-table",
+                    40 * MB,
+                    Pattern::HotCold { hot_fraction: 0.05, hot_probability: 0.9 },
+                    0.40,
+                    4.0,
+                )
+                .with_init(0.1),
+                region(
+                    "board-stack",
+                    2 * MB,
+                    Pattern::HotCold { hot_fraction: 0.5, hot_probability: 0.95 },
+                    0.50,
+                    3.0,
+                ),
             ],
             mean_gap: 8,
             mlp: 2.5,
@@ -235,7 +259,13 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
                 region("field-b1", 64 * MB, Pattern::Strided { stride: 8 * 1024 }, 0.3, 0.8),
                 region("field-b2", 64 * MB, Pattern::Strided { stride: 8 * 1024 }, 0.3, 0.6),
                 region("field-b3", 64 * MB, Pattern::Strided { stride: 8 * 1024 }, 0.3, 0.4),
-                region("coeffs", 32 * MB, Pattern::HotCold { hot_fraction: 0.2, hot_probability: 0.8 }, 0.1, 1.0),
+                region(
+                    "coeffs",
+                    32 * MB,
+                    Pattern::HotCold { hot_fraction: 0.2, hot_probability: 0.8 },
+                    0.1,
+                    1.0,
+                ),
             ],
             mean_gap: 3,
             mlp: 6.0,
@@ -248,7 +278,13 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
                 region("tt1", 80 * MB, Pattern::RandomUniform, 0.35, 1.6).with_init(0.15),
                 region("tt2", 80 * MB, Pattern::RandomUniform, 0.35, 1.2).with_init(0.15),
                 region("tt3", 80 * MB, Pattern::RandomUniform, 0.35, 0.8).with_init(0.15),
-                region("stacks", 4 * MB, Pattern::HotCold { hot_fraction: 0.5, hot_probability: 0.95 }, 0.50, 2.0),
+                region(
+                    "stacks",
+                    4 * MB,
+                    Pattern::HotCold { hot_fraction: 0.5, hot_probability: 0.95 },
+                    0.50,
+                    2.0,
+                ),
             ],
             mean_gap: 5,
             mlp: 2.0,
@@ -272,7 +308,13 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
                 region("event-heap-hot", 32 * MB, Pattern::PointerChase, 0.30, 3.5).with_init(0.4),
                 region("event-heap-cold", 96 * MB, Pattern::PointerChase, 0.30, 1.5).with_init(0.4),
                 region("modules", 64 * MB, Pattern::RandomUniform, 0.20, 3.0),
-                region("queues", 16 * MB, Pattern::HotCold { hot_fraction: 0.3, hot_probability: 0.85 }, 0.50, 2.0),
+                region(
+                    "queues",
+                    16 * MB,
+                    Pattern::HotCold { hot_fraction: 0.3, hot_probability: 0.85 },
+                    0.50,
+                    2.0,
+                ),
             ],
             mean_gap: 4,
             mlp: 1.8,
@@ -284,7 +326,13 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
                 region("dom-hot", 32 * MB, Pattern::PointerChase, 0.15, 3.5),
                 region("dom-cold", 160 * MB, Pattern::PointerChase, 0.15, 1.5),
                 region("strings", 48 * MB, Pattern::RandomUniform, 0.25, 2.0),
-                region("stylesheet", 8 * MB, Pattern::HotCold { hot_fraction: 0.2, hot_probability: 0.9 }, 0.05, 2.0),
+                region(
+                    "stylesheet",
+                    8 * MB,
+                    Pattern::HotCold { hot_fraction: 0.2, hot_probability: 0.9 },
+                    0.05,
+                    2.0,
+                ),
             ],
             mean_gap: 4,
             mlp: 2.0,
@@ -294,7 +342,13 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
         "hmmer" => WorkloadSpec {
             name: "hmmer",
             regions: vec![
-                region("dp-matrix", 12 * MB, Pattern::HotCold { hot_fraction: 0.25, hot_probability: 0.95 }, 0.55, 5.0),
+                region(
+                    "dp-matrix",
+                    12 * MB,
+                    Pattern::HotCold { hot_fraction: 0.25, hot_probability: 0.95 },
+                    0.55,
+                    5.0,
+                ),
                 region("sequences", 24 * MB, Pattern::Sequential { stride: 64 }, 0.02, 2.0),
             ],
             mean_gap: 8,
@@ -307,7 +361,13 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
                 region("matrix-hot", 48 * MB, Pattern::Strided { stride: 12 * 1024 }, 0.20, 2.8),
                 region("matrix-cold", 112 * MB, Pattern::Strided { stride: 12 * 1024 }, 0.20, 1.2),
                 region("row-index", 64 * MB, Pattern::RandomUniform, 0.15, 3.0),
-                region("basis", 16 * MB, Pattern::HotCold { hot_fraction: 0.3, hot_probability: 0.9 }, 0.60, 2.0),
+                region(
+                    "basis",
+                    16 * MB,
+                    Pattern::HotCold { hot_fraction: 0.3, hot_probability: 0.9 },
+                    0.60,
+                    2.0,
+                ),
             ],
             mean_gap: 4,
             mlp: 2.5,
@@ -317,9 +377,21 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
         "sphinx3" => WorkloadSpec {
             name: "sphinx3",
             regions: vec![
-                region("acoustic-hot", 24 * MB, Pattern::HotCold { hot_fraction: 0.6, hot_probability: 0.9 }, 0.02, 3.5),
+                region(
+                    "acoustic-hot",
+                    24 * MB,
+                    Pattern::HotCold { hot_fraction: 0.6, hot_probability: 0.9 },
+                    0.02,
+                    3.5,
+                ),
                 region("acoustic-cold", 360 * MB, Pattern::RandomUniform, 0.02, 1.5),
-                region("active-list", 8 * MB, Pattern::HotCold { hot_fraction: 0.4, hot_probability: 0.9 }, 0.55, 3.0),
+                region(
+                    "active-list",
+                    8 * MB,
+                    Pattern::HotCold { hot_fraction: 0.4, hot_probability: 0.9 },
+                    0.55,
+                    3.0,
+                ),
             ],
             mean_gap: 5,
             mlp: 3.0,
@@ -333,7 +405,13 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
                 region("weights0", 64 * MB, Pattern::Sequential { stride: 64 }, 0.02, 2.2),
                 region("weights1", 64 * MB, Pattern::Sequential { stride: 64 }, 0.02, 1.6),
                 region("weights2", 64 * MB, Pattern::Sequential { stride: 64 }, 0.02, 1.2),
-                region("activations", 16 * MB, Pattern::HotCold { hot_fraction: 0.5, hot_probability: 0.9 }, 0.60, 3.0),
+                region(
+                    "activations",
+                    16 * MB,
+                    Pattern::HotCold { hot_fraction: 0.5, hot_probability: 0.9 },
+                    0.60,
+                    3.0,
+                ),
                 region("requests", 32 * MB, Pattern::RandomUniform, 0.30, 1.0).with_init(0.2),
             ],
             mean_gap: 3,
@@ -348,7 +426,14 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
                 region("phrase-cold", 192 * MB, Pattern::PointerChase, 0.05, 2.0).with_init(0.9),
                 region("lm-hot", 48 * MB, Pattern::RandomUniform, 0.05, 2.0),
                 region("lm-cold", 80 * MB, Pattern::RandomUniform, 0.05, 1.0),
-                region("hypotheses", 16 * MB, Pattern::HotCold { hot_fraction: 0.3, hot_probability: 0.85 }, 0.60, 2.0).with_init(0.1),
+                region(
+                    "hypotheses",
+                    16 * MB,
+                    Pattern::HotCold { hot_fraction: 0.3, hot_probability: 0.85 },
+                    0.60,
+                    2.0,
+                )
+                .with_init(0.1),
             ],
             mean_gap: 4,
             mlp: 1.8,
@@ -361,8 +446,16 @@ pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
             regions: vec![
                 region("edges-core", 96 * MB, Pattern::RandomUniform, 0.02, 3.6).with_init(0.9),
                 region("edges-rest", 416 * MB, Pattern::RandomUniform, 0.02, 2.4).with_init(0.9),
-                region("vertices", 96 * MB, Pattern::HotCold { hot_fraction: 0.1, hot_probability: 0.6 }, 0.40, 3.0).with_init(0.3),
-                region("frontier", 16 * MB, Pattern::Sequential { stride: 64 }, 0.70, 2.0).with_init(0.1),
+                region(
+                    "vertices",
+                    96 * MB,
+                    Pattern::HotCold { hot_fraction: 0.1, hot_probability: 0.6 },
+                    0.40,
+                    3.0,
+                )
+                .with_init(0.3),
+                region("frontier", 16 * MB, Pattern::Sequential { stride: 64 }, 0.70, 2.0)
+                    .with_init(0.1),
             ],
             mean_gap: 2,
             mlp: 3.5,

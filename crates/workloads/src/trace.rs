@@ -135,11 +135,8 @@ impl Iterator for TraceGenerator<'_> {
 
     fn next(&mut self) -> Option<Access> {
         let pick: f64 = self.rng.gen();
-        let region = self
-            .cumulative
-            .iter()
-            .position(|&c| pick <= c)
-            .unwrap_or(self.spec.regions.len() - 1);
+        let region =
+            self.cumulative.iter().position(|&c| pick <= c).unwrap_or(self.spec.regions.len() - 1);
         let r = &self.spec.regions[region];
         let offset =
             r.pattern.next_offset(&mut self.rng, r.bytes, self.cursors[region], region as u64);

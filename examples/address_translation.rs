@@ -11,12 +11,7 @@ use vbi::sim::systems::SystemKind;
 use vbi::workloads::spec::benchmark;
 
 fn main() {
-    let cfg = EngineConfig {
-        accesses: 40_000,
-        warmup: 4_000,
-        seed: 2020,
-        phys_frames: 1 << 20,
-    };
+    let cfg = EngineConfig { accesses: 40_000, warmup: 4_000, seed: 2020, phys_frames: 1 << 20 };
 
     for name in ["mcf", "namd"] {
         let spec = benchmark(name).expect("known benchmark");
@@ -26,16 +21,10 @@ fn main() {
             spec.region_count()
         );
         let native = run(SystemKind::Native, &spec, &cfg);
-        println!(
-            "  {:14} {:>8}  {:>12} {:>12}",
-            "system", "speedup", "TLB misses", "walk refs"
-        );
+        println!("  {:14} {:>8}  {:>12} {:>12}", "system", "speedup", "TLB misses", "walk refs");
         for kind in SystemKind::ALL {
-            let result = if kind == SystemKind::Native {
-                native.clone()
-            } else {
-                run(kind, &spec, &cfg)
-            };
+            let result =
+                if kind == SystemKind::Native { native.clone() } else { run(kind, &spec, &cfg) };
             println!(
                 "  {:14} {:>7.2}x {:>12} {:>12}",
                 kind.label(),

@@ -33,12 +33,7 @@ fn main() {
     );
 
     // Then the experiment shape of Figures 9 and 10 on one benchmark.
-    let cfg = EngineConfig {
-        accesses: 40_000,
-        warmup: 4_000,
-        seed: 2020,
-        phys_frames: 1 << 20,
-    };
+    let cfg = EngineConfig { accesses: 40_000, warmup: 4_000, seed: 2020, phys_frames: 1 << 20 };
     let spec = benchmark("sphinx3").expect("known benchmark");
     for kind in [HeteroKind::PcmDram, HeteroKind::TlDram] {
         let unaware = run_hetero(kind, Policy::Unaware, &spec, &cfg);

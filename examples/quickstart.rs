@@ -20,12 +20,7 @@ fn main() -> vbi::Result<()> {
     // request_vb: the OS picks the smallest size class that fits 1 MiB
     // (the 4 MiB class), enables the VB, and attaches us read-write. The
     // returned CVT index is our pointer to the VB.
-    let data = system.request_vb(
-        app,
-        1 << 20,
-        VbProperties::LATENCY_SENSITIVE,
-        Rwx::READ_WRITE,
-    )?;
+    let data = system.request_vb(app, 1 << 20, VbProperties::LATENCY_SENSITIVE, Rwx::READ_WRITE)?;
     println!("attached {} at CVT index {}", data.vbuid, data.cvt_index);
 
     // Addresses are {CVT index, offset}: store then load.

@@ -51,6 +51,6 @@ pub use vbi_sim as sim;
 pub use vbi_workloads as workloads;
 
 pub use vbi_core::{
-    AccessKind, ClientId, Mtl, Result, Rwx, SizeClass, System, VbProperties, VbiAddress,
-    VbiConfig, VbiError, Vbuid, VirtualAddress,
+    AccessKind, ClientId, Mtl, Op, OpOutput, OpResult, Result, Rwx, SizeClass, System,
+    VbProperties, VbiAddress, VbiConfig, VbiError, Vbuid, VirtualAddress,
 };

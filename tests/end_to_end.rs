@@ -15,9 +15,7 @@ fn data_survives_every_optimization_combination() {
         let config = VbiConfig { phys_frames: 1 << 16, ..config };
         let mut system = System::new(config);
         let client = system.create_client().unwrap();
-        let vb = system
-            .request_vb(client, 8 << 20, VbProperties::NONE, Rwx::READ_WRITE)
-            .unwrap();
+        let vb = system.request_vb(client, 8 << 20, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         // Scattered writes across the 8 MiB structure.
         for i in 0..256u64 {
             let offset = (i * 77_773) % (8 << 20);
@@ -86,9 +84,7 @@ fn swap_pressure_across_many_processes_loses_nothing() {
     let mut handles = Vec::new();
     for p in 0..4u64 {
         let client = system.create_client().unwrap();
-        let vb = system
-            .request_vb(client, 8 << 20, VbProperties::NONE, Rwx::READ_WRITE)
-            .unwrap();
+        let vb = system.request_vb(client, 8 << 20, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         for page in 0..512u64 {
             system.store_u64(client, vb.at(page * 4096), p * 10_000 + page).unwrap();
         }
@@ -143,9 +139,7 @@ fn disable_frees_exactly_what_enable_consumed() {
     let client = system.create_client().unwrap();
     let before = system.mtl().free_frames();
     for round in 0..3 {
-        let vb = system
-            .request_vb(client, 2 << 20, VbProperties::NONE, Rwx::READ_WRITE)
-            .unwrap();
+        let vb = system.request_vb(client, 2 << 20, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         for page in (0..512u64).step_by(7) {
             system.store_u64(client, vb.at(page * 4096), round).unwrap();
         }
@@ -159,8 +153,7 @@ fn kernel_vbs_are_unreachable_without_attachment() {
     let mut system = System::new(full_config());
     let kernel = system.create_client().unwrap();
     let user = system.create_client().unwrap();
-    let secret =
-        system.request_vb(kernel, 4096, VbProperties::KERNEL, Rwx::READ_WRITE).unwrap();
+    let secret = system.request_vb(kernel, 4096, VbProperties::KERNEL, Rwx::READ_WRITE).unwrap();
     system.store_u64(kernel, secret.at(0), 0xdead).unwrap();
 
     // The user client has an empty CVT: no index reaches the kernel VB.
@@ -179,9 +172,7 @@ fn mixed_size_classes_coexist() {
     let sizes: [u64; 4] = [1 << 10, 100 << 10, 2 << 20, 64 << 20];
     let mut handles = Vec::new();
     for (i, bytes) in sizes.iter().enumerate() {
-        let vb = system
-            .request_vb(client, *bytes, VbProperties::NONE, Rwx::READ_WRITE)
-            .unwrap();
+        let vb = system.request_vb(client, *bytes, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         system.store_u64(client, vb.at(bytes - 8), i as u64).unwrap();
         handles.push(vb);
     }

@@ -6,11 +6,8 @@ use vbi::{Rwx, SizeClass, System, VbProperties, VbiConfig, VbiError};
 
 #[test]
 fn cvt_exhaustion_is_a_clean_error() {
-    let mut system = System::new(VbiConfig {
-        phys_frames: 1 << 14,
-        cvt_capacity: 4,
-        ..VbiConfig::vbi_full()
-    });
+    let mut system =
+        System::new(VbiConfig { phys_frames: 1 << 14, cvt_capacity: 4, ..VbiConfig::vbi_full() });
     let client = system.create_client().unwrap();
     for _ in 0..4 {
         system.request_vb(client, 4096, VbProperties::NONE, Rwx::READ).unwrap();
@@ -116,20 +113,17 @@ fn swap_thrash_under_extreme_pressure_preserves_data() {
 fn pinned_vbs_are_swapped_only_as_a_last_resort() {
     let mut system = System::new(VbiConfig { phys_frames: 48, ..VbiConfig::vbi_2() });
     let client = system.create_client().unwrap();
-    let pinned = system
-        .request_vb(client, 64 << 10, VbProperties::PINNED, Rwx::READ_WRITE)
-        .unwrap();
+    let pinned =
+        system.request_vb(client, 64 << 10, VbProperties::PINNED, Rwx::READ_WRITE).unwrap();
     for page in 0..16u64 {
         system.store_u64(client, pinned.at(page << 12), page).unwrap();
     }
-    let victim =
-        system.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    let victim = system.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
     for page in 0..16u64 {
         system.store_u64(client, victim.at(page << 12), page).unwrap();
     }
     // Pressure from a third VB should prefer swapping the unpinned one.
-    let third =
-        system.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    let third = system.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
     for page in 0..8u64 {
         system.store_u64(client, third.at(page << 12), page).unwrap();
     }

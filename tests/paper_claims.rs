@@ -55,12 +55,7 @@ fn vbi_full_can_beat_the_perfect_tlb() {
     let spec = benchmark("mcf").unwrap();
     let perfect = run(SystemKind::PerfectTlb, &spec, &cfg());
     let vf = run(SystemKind::VbiFull, &spec, &cfg());
-    assert!(
-        vf.ipc() > perfect.ipc(),
-        "VBI-Full {} vs Perfect TLB {}",
-        vf.ipc(),
-        perfect.ipc()
-    );
+    assert!(vf.ipc() > perfect.ipc(), "VBI-Full {} vs Perfect TLB {}", vf.ipc(), perfect.ipc());
     assert!(
         vf.counters.dram_accesses < perfect.counters.dram_accesses,
         "the win must come from fewer DRAM accesses"
@@ -108,8 +103,7 @@ fn cache_friendly_workloads_are_insensitive() {
     // Figure 6: namd's bars hover near 1.0 for every system.
     let spec = benchmark("namd").unwrap();
     let native = run(SystemKind::Native, &spec, &cfg());
-    for kind in [SystemKind::Vivt, SystemKind::Vbi1, SystemKind::VbiFull, SystemKind::PerfectTlb]
-    {
+    for kind in [SystemKind::Vivt, SystemKind::Vbi1, SystemKind::VbiFull, SystemKind::PerfectTlb] {
         let s = run(kind, &spec, &cfg()).speedup_over(&native);
         assert!((0.85..1.35).contains(&s), "{} at {s}", kind.label());
     }

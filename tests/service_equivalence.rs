@@ -1,11 +1,24 @@
-//! Equivalence proof for the concurrent service (ISSUE 2 acceptance):
-//! one fixed workload trace replayed through the single-owner
-//! [`vbi_core::System`] and through a 1-shard [`vbi_service::VbiService`]
-//! driven by one thread yields byte-identical loads and identical
-//! [`vbi_core::MtlStats`] — the concurrency layer adds no observable
-//! behavior of its own.
+//! Equivalence proof for the concurrent service: one fixed workload trace
+//! replayed through the single-owner [`vbi_core::System`] and through a
+//! 1-shard [`vbi_service::VbiService`] driven by one thread yields
+//! byte-identical loads and identical [`vbi_core::MtlStats`] — the
+//! concurrency layer adds no observable behavior of its own.
+//!
+//! Beyond the fixed traces, a property-based test drives *random mixed op
+//! sequences over the full [`Op`] surface* — client churn, VB
+//! request/attach/detach/release, every load/store width, and deliberate
+//! error ops — through `VbiService::submit` in one batch and through
+//! `System::execute` sequentially, asserting response-for-response and
+//! counter-for-counter identity. Both front ends route through the one
+//! engine in `vbi_core::ops`, and this is the proof nothing diverges.
 
-use vbi_core::VbiConfig;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use vbi_core::ops::{Op, OpResult};
+use vbi_core::system::VbHandle;
+use vbi_core::{ClientId, Rwx, System, VbProperties, VbiConfig};
 use vbi_service::{ServiceConfig, VbiService};
 use vbi_sim::service_run::{replay_on_service, replay_on_system, trace_ops};
 use vbi_workloads::spec::benchmark;
@@ -41,6 +54,175 @@ fn equivalence_holds_across_config_variants() {
         let (service_loads, service_stats) = replay_on_service(&service, &spec, &ops);
         assert_eq!(system_loads, service_loads);
         assert_eq!(system_stats, service_stats);
+    }
+}
+
+/// Generates a random but *self-consistent* op sequence over the full
+/// surface: a scratch `System` executes each op as it is drawn, so the
+/// generator knows which clients and VBs exist and can mix valid traffic
+/// (most ops) with deliberate error ops (bad clients, bad indices,
+/// out-of-range offsets, oversized requests). The recorded sequence is
+/// deterministic in `seed` and replays identically on any engine front
+/// end.
+fn random_mixed_ops(seed: u64, len: usize, cfg: &VbiConfig) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scratch = System::new(cfg.clone());
+    // The model: live clients and the VB handles each one holds.
+    let mut clients: Vec<(ClientId, Vec<VbHandle>)> = Vec::new();
+    let mut ops = Vec::with_capacity(len);
+    while ops.len() < len {
+        let have_vb = clients.iter().any(|(_, vbs)| !vbs.is_empty());
+        let roll = rng.gen_range(0u32..100);
+        let op = if clients.is_empty() || roll < 5 {
+            Op::CreateClient
+        } else if roll < 12 {
+            let client = clients[rng.gen_range(0..clients.len())].0;
+            let bytes = if rng.gen_bool(0.05) {
+                u64::MAX // RequestTooLarge path
+            } else {
+                rng.gen_range(1u64..(1 << 20))
+            };
+            Op::RequestVb { client, bytes, props: VbProperties::NONE, perms: Rwx::READ_WRITE }
+        } else if roll < 16 && have_vb {
+            // Attach a (possibly different) client to an existing VB.
+            let (_, vbs) = &clients[rng.gen_range(0..clients.len())];
+            if vbs.is_empty() {
+                continue;
+            }
+            let vbuid = vbs[rng.gen_range(0..vbs.len())].vbuid;
+            let client = clients[rng.gen_range(0..clients.len())].0;
+            let perms = if rng.gen_bool(0.3) { Rwx::READ } else { Rwx::READ_WRITE };
+            Op::Attach { client, vbuid, perms }
+        } else if roll < 18 && have_vb {
+            let idx = rng.gen_range(0..clients.len());
+            let (client, vbs) = &clients[idx];
+            if vbs.is_empty() {
+                continue;
+            }
+            Op::Detach { client: *client, vbuid: vbs[rng.gen_range(0..vbs.len())].vbuid }
+        } else if roll < 20 && have_vb {
+            let idx = rng.gen_range(0..clients.len());
+            let (client, vbs) = &clients[idx];
+            if vbs.is_empty() {
+                continue;
+            }
+            Op::ReleaseVb { client: *client, index: vbs[rng.gen_range(0..vbs.len())].cvt_index }
+        } else if roll < 22 && clients.len() > 1 {
+            Op::DestroyClient { client: clients[rng.gen_range(0..clients.len())].0 }
+        } else if roll < 25 {
+            // Deliberate error ops: ghost clients and bad indices.
+            let client = if rng.gen_bool(0.5) { ClientId(60_000) } else { clients[0].0 };
+            Op::LoadU64 { client, va: vbi_core::VirtualAddress::new(9_999, 0) }
+        } else if have_vb {
+            // Data plane on a random live (client, VB).
+            let idx = rng.gen_range(0..clients.len());
+            let (client, vbs) = &clients[idx];
+            if vbs.is_empty() {
+                continue;
+            }
+            let client = *client;
+            let vb = vbs[rng.gen_range(0..vbs.len())];
+            let span = vb.vbuid.bytes();
+            // Mostly in range; occasionally off the end (error path).
+            let offset = if rng.gen_bool(0.05) {
+                span + rng.gen_range(0u64..64)
+            } else {
+                rng.gen_range(0..span.saturating_sub(8).max(1))
+            };
+            let va = vb.at(offset);
+            match rng.gen_range(0u32..7) {
+                0 => Op::LoadU64 { client, va },
+                1 => Op::StoreU64 { client, va, value: rng.gen() },
+                2 => Op::LoadU8 { client, va },
+                3 => Op::StoreU8 { client, va, value: rng.gen() },
+                4 => Op::LoadBytes { client, va, len: rng.gen_range(0usize..200) },
+                5 => {
+                    let n = rng.gen_range(0usize..200);
+                    let data: Vec<u8> = (0..n).map(|_| rng.gen::<u8>()).collect();
+                    Op::StoreBytes { client, va, data }
+                }
+                _ => Op::Access { client, va, kind: vbi_core::AccessKind::Read },
+            }
+        } else {
+            continue;
+        };
+        // Execute on the scratch machine to keep the model truthful.
+        let result = scratch.execute(op.clone());
+        match (&op, &result) {
+            (Op::CreateClient, Ok(out)) => {
+                clients.push((out.as_client().expect("client op"), Vec::new()));
+            }
+            (Op::RequestVb { client, .. }, Ok(out)) => {
+                let handle = out.as_handle().expect("handle op");
+                let entry = clients.iter_mut().find(|(c, _)| c == client).expect("live");
+                entry.1.push(handle);
+            }
+            (Op::Attach { client, vbuid, .. }, Ok(out)) => {
+                let index = out.as_cvt_index().expect("index op");
+                let entry = clients.iter_mut().find(|(c, _)| c == client).expect("live");
+                entry.1.push(VbHandle { cvt_index: index, vbuid: *vbuid });
+            }
+            (Op::Detach { client, vbuid }, Ok(_)) => {
+                let entry = clients.iter_mut().find(|(c, _)| c == client).expect("live");
+                if let Some(pos) = entry.1.iter().position(|h| h.vbuid == *vbuid) {
+                    entry.1.remove(pos);
+                }
+            }
+            (Op::ReleaseVb { client, index }, Ok(_)) => {
+                let entry = clients.iter_mut().find(|(c, _)| c == client).expect("live");
+                entry.1.retain(|h| h.cvt_index != *index);
+            }
+            (Op::DestroyClient { client }, Ok(_)) => {
+                clients.retain(|(c, _)| c != client);
+            }
+            _ => {}
+        }
+        ops.push(op);
+    }
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole property: a random mixed op sequence over the FULL
+    /// surface produces identical responses and identical MtlStats whether
+    /// it runs sequentially through `System::execute` or as one
+    /// `VbiService::submit` batch on a 1-shard service.
+    #[test]
+    fn submit_over_full_surface_matches_system(seed in any::<u64>(), len in 1usize..150) {
+        let cfg = VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() };
+        let ops = random_mixed_ops(seed, len, &cfg);
+
+        let mut system = System::new(cfg.clone());
+        let system_responses: Vec<OpResult> =
+            ops.iter().map(|op| system.execute(op.clone())).collect();
+
+        let service = VbiService::new(ServiceConfig::single(cfg));
+        let service_responses = service.submit(&ops);
+
+        prop_assert_eq!(&system_responses, &service_responses,
+            "responses diverged (seed {})", seed);
+        prop_assert_eq!(system.mtl().stats(), service.stats(),
+            "MTL counters diverged (seed {})", seed);
+    }
+
+    /// The same sequences, executed op-by-op through `VbiService::execute`
+    /// (the queue workers' path) instead of one batch — the async front
+    /// end's execution semantics equal the synchronous adapter's too.
+    #[test]
+    fn op_by_op_service_matches_system(seed in any::<u64>(), len in 1usize..100) {
+        let cfg = VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() };
+        let ops = random_mixed_ops(seed, len, &cfg);
+
+        let mut system = System::new(cfg.clone());
+        let service = VbiService::new(ServiceConfig::single(cfg));
+        for op in &ops {
+            let want = system.execute(op.clone());
+            let got = service.execute(op.clone());
+            prop_assert_eq!(want, got, "op {:?} diverged (seed {})", op, seed);
+        }
+        prop_assert_eq!(system.mtl().stats(), service.stats());
     }
 }
 

@@ -6,11 +6,12 @@
 //! thread, shard routing a pure function of the VBUID) rather than timing
 //! based, so the suite is deterministic in what it checks.
 
+use std::collections::HashSet;
 use std::sync::Barrier;
 use std::thread;
 
-use vbi::{Rwx, VbProperties, VbiConfig, VbiError, VirtualAddress};
-use vbi_service::{Request, Response, ServiceConfig, VbiService};
+use vbi::{Op, OpOutput, Rwx, VbProperties, VbiConfig, VbiError, VirtualAddress};
+use vbi_service::{Cqe, ServiceConfig, VbiQueue, VbiService};
 
 const THREADS: usize = 8;
 
@@ -200,42 +201,114 @@ fn concurrent_batches_lose_no_writes() {
             s.spawn(move || {
                 let client = svc.create_client().unwrap();
                 let shared_index = svc.attach(client, shared.vbuid, Rwx::READ_WRITE).unwrap();
-                let private = svc
-                    .request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE)
-                    .unwrap();
+                let private =
+                    svc.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
                 let base = t * SLOTS * 8;
                 let mut batch = Vec::new();
                 for i in 0..SLOTS {
-                    batch.push(Request::Store {
+                    batch.push(Op::StoreU64 {
                         client,
                         va: VirtualAddress::new(shared_index, base + i * 8),
                         value: t << 32 | i,
                     });
-                    batch.push(Request::Store { client, va: private.at(i * 8), value: !i });
+                    batch.push(Op::StoreU64 { client, va: private.at(i * 8), value: !i });
                 }
                 for r in svc.submit(&batch) {
-                    assert_eq!(r, Response::Store(Ok(())));
+                    assert_eq!(r, Ok(OpOutput::Unit));
                 }
-                let reads: Vec<Request> = (0..SLOTS)
+                let reads: Vec<Op> = (0..SLOTS)
                     .flat_map(|i| {
                         [
-                            Request::Load {
+                            Op::LoadU64 {
                                 client,
                                 va: VirtualAddress::new(shared_index, base + i * 8),
                             },
-                            Request::Load { client, va: private.at(i * 8) },
+                            Op::LoadU64 { client, va: private.at(i * 8) },
                         ]
                     })
                     .collect();
                 let responses = svc.submit(&reads);
                 for (i, pair) in responses.chunks(2).enumerate() {
                     let i = i as u64;
-                    assert_eq!(pair[0].loaded(), Some(t << 32 | i), "thread {t} slot {i}");
-                    assert_eq!(pair[1].loaded(), Some(!i), "thread {t} private slot {i}");
+                    assert_eq!(pair[0], Ok(OpOutput::U64(t << 32 | i)), "thread {t} slot {i}");
+                    assert_eq!(pair[1], Ok(OpOutput::U64(!i)), "thread {t} private slot {i}");
                 }
             });
         }
     });
+}
+
+/// The completion-queue front end under fire: many submitter threads
+/// pipeline tagged mixed ops (data plane + client churn) through one
+/// [`VbiQueue`] while per-shard workers execute and every thread reaps
+/// concurrently. Exactly one completion must come back per submission —
+/// no lost, duplicated, or cross-wired tags — and every op's outcome must
+/// be the expected one.
+#[test]
+fn queue_loses_no_completions() {
+    const OPS_PER_THREAD: u64 = 300;
+    let queue = VbiQueue::new(ServiceConfig::new(
+        4,
+        VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() },
+    ));
+    let reaped: Vec<Vec<Cqe>> = thread::scope(|s| {
+        let workers: Vec<_> = (0..THREADS as u64)
+            .map(|t| {
+                let queue = &queue;
+                s.spawn(move || {
+                    // Synchronous setup: pipelined ops must not depend on
+                    // unreaped completions.
+                    let service = queue.service();
+                    let client = service.create_client().unwrap();
+                    let vb = service
+                        .request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+                        .unwrap();
+                    let mut mine = Vec::new();
+                    for i in 0..OPS_PER_THREAD {
+                        let tag = (t << 32) | i;
+                        let op = match i % 4 {
+                            0 => Op::StoreU64 { client, va: vb.at((i % 64) * 8), value: t + i },
+                            1 => Op::LoadU64 { client, va: vb.at((i % 64) * 8) },
+                            2 => Op::StoreU8 { client, va: vb.at(4096 + i), value: t as u8 },
+                            // An invalid index: errors must flow back as
+                            // completions too.
+                            _ => Op::LoadU64 { client, va: VirtualAddress::new(5000, 0) },
+                        };
+                        queue.submit(tag, op);
+                        // Reap opportunistically so the rings stay shallow;
+                        // completions may belong to any thread.
+                        if let Some(cqe) = queue.try_reap() {
+                            mine.push(cqe);
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    // Drain what nobody reaped, then account for every single tag.
+    let mut all: Vec<Cqe> = reaped.into_iter().flatten().collect();
+    all.extend(queue.drain());
+    assert_eq!(all.len(), THREADS * OPS_PER_THREAD as usize, "completion count mismatch");
+    let mut seen = HashSet::new();
+    for cqe in &all {
+        assert!(seen.insert(cqe.tag), "tag {} completed twice", cqe.tag);
+        let i = cqe.tag & 0xffff_ffff;
+        match i % 4 {
+            0 | 2 => assert_eq!(cqe.result, Ok(OpOutput::Unit), "store {i} failed"),
+            1 => assert!(matches!(cqe.result, Ok(OpOutput::U64(_))), "load {i} failed"),
+            _ => assert!(
+                matches!(cqe.result, Err(VbiError::InvalidCvtIndex { .. })),
+                "bad-index op {i} must error"
+            ),
+        }
+    }
+    for t in 0..THREADS as u64 {
+        for i in 0..OPS_PER_THREAD {
+            assert!(seen.contains(&((t << 32) | i)), "tag {t}:{i} never completed");
+        }
+    }
 }
 
 /// Client and VB churn from many threads never leaks frames: after every

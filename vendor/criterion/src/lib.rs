@@ -31,23 +31,14 @@ impl Default for Criterion {
     fn default() -> Self {
         // Honour the CLI filter cargo-bench passes through (`cargo bench foo`),
         // and swallow harness flags like `--bench`.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
-        Criterion {
-            sample_size: 100,
-            filter,
-        }
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { sample_size: 100, filter }
     }
 }
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.to_string(),
-            sample_size: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: None }
     }
 
     pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
@@ -71,11 +62,8 @@ impl Criterion {
         if !self.matches(&id) {
             return;
         }
-        let mut bencher = Bencher {
-            iters: sample_size as u64,
-            elapsed: Duration::ZERO,
-            performed: 0,
-        };
+        let mut bencher =
+            Bencher { iters: sample_size as u64, elapsed: Duration::ZERO, performed: 0 };
         f(&mut bencher);
         let ns = bencher.elapsed.as_nanos() as f64 / bencher.performed.max(1) as f64;
         println!("bench: {:<40} {:>14.1} ns/iter ({} iters)", id, ns, bencher.performed);
@@ -174,10 +162,7 @@ mod tests {
 
     #[test]
     fn group_and_bencher_run_bodies() {
-        let mut c = Criterion {
-            sample_size: 4,
-            filter: None,
-        };
+        let mut c = Criterion { sample_size: 4, filter: None };
         let mut hits = 0u64;
         {
             let mut group = c.benchmark_group("g");
@@ -194,10 +179,7 @@ mod tests {
 
     #[test]
     fn iter_batched_ref_gets_fresh_input() {
-        let mut c = Criterion {
-            sample_size: 3,
-            filter: None,
-        };
+        let mut c = Criterion { sample_size: 3, filter: None };
         c.bench_function("batched", |b| {
             b.iter_batched_ref(
                 || vec![0u8; 4],

@@ -36,19 +36,13 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig {
-            cases: 256,
-            max_global_rejects: 65536,
-        }
+        ProptestConfig { cases: 256, max_global_rejects: 65536 }
     }
 }
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig {
-            cases,
-            ..Default::default()
-        }
+        ProptestConfig { cases, ..Default::default() }
     }
 }
 
