@@ -115,7 +115,7 @@ fn ablate_structure_depth(c: &mut Criterion) {
 /// (§4.3: near-100% hit rate at 64 entries because programs use < 48 VBs).
 fn ablate_cvt_cache(c: &mut Criterion) {
     use vbi_core::client::{ClientId, Cvt};
-    use vbi_core::cvt_cache::CvtCache;
+    use vbi_core::cvt_cache::{ClientCvtCache, CvtCache};
     use vbi_core::perm::Rwx;
 
     let mut group = c.benchmark_group("ablate-cvt-cache");

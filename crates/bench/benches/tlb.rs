@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use vbi_core::addr::{SizeClass, Vbuid};
 use vbi_core::client::{ClientId, Cvt};
-use vbi_core::cvt_cache::CvtCache;
+use vbi_core::cvt_cache::{ClientCvtCache, CvtCache};
 use vbi_core::perm::Rwx;
 use vbi_core::tlb::Tlb;
 

@@ -1,4 +1,4 @@
-//! The per-core direct-mapped CVT cache (§4.3).
+//! The per-core direct-mapped CVT cache (§4.3), in two flavors.
 //!
 //! Every memory operation must consult the executing client's CVT entry for
 //! its permission check. The CVT cache exploits the locality of CVT accesses:
@@ -6,36 +6,99 @@
 //! fewer than 48 for all but one application), so a small direct-mapped cache
 //! keyed by CVT index achieves a near-100% hit rate — faster and cheaper than
 //! the large set-associative TLBs conventional processors need.
+//!
+//! Two implementations share the [`ClientCvtCache`] interface the op engine
+//! programs against:
+//!
+//! * [`CvtCache`] — the plain single-owner cache used by [`crate::System`];
+//! * [`SeqCvtCache`] — a seqlock-published cache for the concurrent service:
+//!   an epoch counter plus atomically packed entries ([`CvtEntry::to_bits`])
+//!   let *readers validate a snapshot without taking any lock*, while
+//!   writers (cache fills and control-plane invalidations, both serialized
+//!   by the owning client's lock) bump the epoch around every mutation. A
+//!   reader that observes an odd or changed epoch took a torn snapshot and
+//!   falls back to the locked path.
+//!
+//! Both are direct-mapped with identical indexing and fill policy, so a
+//! sequential run produces the same hit/miss sequence on either — which is
+//! what keeps the service observably identical to `System`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::client::{ClientId, CvtEntry};
 
-/// Statistics for a CVT cache.
+/// Statistics for a CVT cache, split by lookup path.
+///
+/// `lockfree_hits` counts hits served from a [`SeqCvtCache`] snapshot with
+/// no lock held; `locked_hits` counts hits found under the client lock (the
+/// only kind a plain [`CvtCache`] produces); `misses` counts lookups that
+/// had to read the in-memory CVT; `torn_retries` counts lock-free attempts
+/// abandoned because a writer was mid-update (each one falls back to the
+/// locked path, where it is then counted as a hit or miss).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CvtCacheStats {
-    /// Lookups that found the entry.
-    pub hits: u64,
+    /// Hits served lock-free from an epoch-validated snapshot.
+    pub lockfree_hits: u64,
+    /// Hits found while holding the client lock.
+    pub locked_hits: u64,
     /// Lookups that missed and required a CVT memory read.
     pub misses: u64,
+    /// Lock-free attempts abandoned on a torn (epoch-invalid) read.
+    pub torn_retries: u64,
 }
 
 impl CvtCacheStats {
+    /// Total hits across both paths.
+    pub fn hits(&self) -> u64 {
+        self.lockfree_hits + self.locked_hits
+    }
+
+    /// Total lookups (every lookup resolves as exactly one hit or miss;
+    /// torn retries are extra attempts, not extra lookups).
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
     /// Accumulates another cache's counters into this one (per-client CVT
     /// cache stats aggregate into one report in sharded deployments).
     pub fn merge(&mut self, other: &CvtCacheStats) {
-        let CvtCacheStats { hits, misses } = other;
-        self.hits += hits;
+        let CvtCacheStats { lockfree_hits, locked_hits, misses, torn_retries } = other;
+        self.lockfree_hits += lockfree_hits;
+        self.locked_hits += locked_hits;
         self.misses += misses;
+        self.torn_retries += torn_retries;
     }
 
     /// Hit rate in `[0, 1]`; 1.0 for an untouched cache.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.lookups();
         if total == 0 {
             1.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits() as f64 / total as f64
         }
     }
+}
+
+/// The CVT-cache interface the op engine programs against. Implementations
+/// must behave as the same direct-mapped cache so every front end produces
+/// the same hit/miss sequence for the same lookups.
+///
+/// All three methods are called with the owning client's state held
+/// exclusively (the locked path); [`SeqCvtCache`] additionally serves
+/// lock-free reads outside this interface.
+pub trait ClientCvtCache {
+    /// Looks up the cached CVT entry for `(client, index)`, recording a hit
+    /// or miss.
+    fn lookup(&mut self, client: ClientId, index: usize) -> Option<CvtEntry>;
+
+    /// Fills the cache after a miss was serviced from the in-memory CVT.
+    fn fill(&mut self, client: ClientId, index: usize, entry: CvtEntry);
+
+    /// Invalidates any cached copy of `(client, index)` — required when the
+    /// OS detaches a VB or rewrites an entry (e.g. `promote_vb` redirection).
+    fn invalidate(&mut self, client: ClientId, index: usize);
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -55,7 +118,7 @@ struct Slot {
 ///
 /// ```
 /// use vbi_core::client::{ClientId, Cvt};
-/// use vbi_core::cvt_cache::CvtCache;
+/// use vbi_core::cvt_cache::{ClientCvtCache, CvtCache};
 /// use vbi_core::perm::Rwx;
 /// use vbi_core::addr::{SizeClass, Vbuid};
 ///
@@ -91,39 +154,6 @@ impl CvtCache {
         self.slots.len()
     }
 
-    /// Looks up the cached CVT entry for `(client, index)`, recording a hit
-    /// or miss.
-    pub fn lookup(&mut self, client: ClientId, index: usize) -> Option<CvtEntry> {
-        let slot = index % self.slots.len();
-        match &self.slots[slot] {
-            Some(s) if s.client == client && s.index == index => {
-                self.stats.hits += 1;
-                Some(s.entry)
-            }
-            _ => {
-                self.stats.misses += 1;
-                None
-            }
-        }
-    }
-
-    /// Fills the cache after a miss was serviced from the in-memory CVT.
-    pub fn fill(&mut self, client: ClientId, index: usize, entry: CvtEntry) {
-        let slot = index % self.slots.len();
-        self.slots[slot] = Some(Slot { client, index, entry });
-    }
-
-    /// Invalidates any cached copy of `(client, index)` — required when the
-    /// OS detaches a VB or rewrites an entry (e.g. `promote_vb` redirection).
-    pub fn invalidate(&mut self, client: ClientId, index: usize) {
-        let slot = index % self.slots.len();
-        if let Some(s) = &self.slots[slot] {
-            if s.client == client && s.index == index {
-                self.slots[slot] = None;
-            }
-        }
-    }
-
     /// Invalidates every cached entry of `client` (process destruction).
     pub fn invalidate_client(&mut self, client: ClientId) {
         for slot in &mut self.slots {
@@ -144,6 +174,231 @@ impl CvtCache {
     }
 }
 
+impl ClientCvtCache for CvtCache {
+    fn lookup(&mut self, client: ClientId, index: usize) -> Option<CvtEntry> {
+        let slot = index % self.slots.len();
+        match &self.slots[slot] {
+            Some(s) if s.client == client && s.index == index => {
+                // Single-owner cache: every hit is found under the owner's
+                // exclusive access.
+                self.stats.locked_hits += 1;
+                Some(s.entry)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn fill(&mut self, client: ClientId, index: usize, entry: CvtEntry) {
+        let slot = index % self.slots.len();
+        self.slots[slot] = Some(Slot { client, index, entry });
+    }
+
+    fn invalidate(&mut self, client: ClientId, index: usize) {
+        let slot = index % self.slots.len();
+        if let Some(s) = &self.slots[slot] {
+            if s.client == client && s.index == index {
+                self.slots[slot] = None;
+            }
+        }
+    }
+}
+
+/// Tag value of an empty [`SeqCvtCache`] slot (no CVT index is `u64::MAX`;
+/// CVTs are bounded by `cvt_capacity`, orders of magnitude smaller).
+const EMPTY: u64 = u64::MAX;
+
+/// One published slot: the CVT index occupying it and the packed entry.
+/// Multi-word, so only meaningful under the cache's epoch protocol.
+#[derive(Debug)]
+struct SeqSlot {
+    tag: AtomicU64,
+    entry: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SeqShared {
+    /// Seqlock epoch: even = stable, odd = a writer is mid-update. Writers
+    /// (always serialized by the owning client's lock) bump it before and
+    /// after every slot mutation.
+    epoch: AtomicU64,
+    slots: Vec<SeqSlot>,
+    lockfree_hits: AtomicU64,
+    locked_hits: AtomicU64,
+    misses: AtomicU64,
+    torn_retries: AtomicU64,
+}
+
+/// A seqlock-published direct-mapped CVT cache: the lock-free read path of
+/// the concurrent service.
+///
+/// The handle is cheap to clone (`Arc` inside); one clone lives under the
+/// client's lock (the write side, via [`ClientCvtCache`]) and others serve
+/// [`SeqCvtCache::lookup_lockfree`] from reader threads. Entries are packed
+/// into single `u64`s ([`CvtEntry::to_bits`]) and every access is atomic,
+/// so a racing reader can never observe a half-written entry — at worst it
+/// observes an epoch change and falls back to the locked path.
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::client::{ClientId, Cvt};
+/// use vbi_core::cvt_cache::{ClientCvtCache, SeqCvtCache};
+/// use vbi_core::perm::Rwx;
+/// use vbi_core::addr::{SizeClass, Vbuid};
+///
+/// let mut cvt = Cvt::new(ClientId(0), 16);
+/// let idx = cvt.attach(Vbuid::new(SizeClass::Kib4, 1), Rwx::READ)?;
+/// let mut cache = SeqCvtCache::new(64);
+///
+/// assert!(cache.lookup_lockfree(idx).is_none()); // cold: nothing published
+/// cache.fill(ClientId(0), idx, *cvt.entry(idx)?); // write side (locked)
+/// assert!(cache.lookup_lockfree(idx).is_some()); // now lock-free
+/// assert_eq!(cache.stats().lockfree_hits, 1);
+/// # Ok::<(), vbi_core::VbiError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqCvtCache {
+    shared: Arc<SeqShared>,
+}
+
+impl SeqCvtCache {
+    /// Creates a seqlock-published cache with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CVT cache needs at least one slot");
+        Self {
+            shared: Arc::new(SeqShared {
+                epoch: AtomicU64::new(0),
+                slots: (0..capacity)
+                    .map(|_| SeqSlot { tag: AtomicU64::new(EMPTY), entry: AtomicU64::new(0) })
+                    .collect(),
+                lockfree_hits: AtomicU64::new(0),
+                locked_hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                torn_retries: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// Reads the slot for `index`, validating the epoch before and after.
+    /// `Err(())` means the snapshot was torn.
+    fn snapshot(&self, index: usize) -> core::result::Result<Option<CvtEntry>, ()> {
+        let shared = &*self.shared;
+        let slot = &shared.slots[index % shared.slots.len()];
+        let before = shared.epoch.load(Ordering::Acquire);
+        if before % 2 == 1 {
+            return Err(()); // writer mid-update
+        }
+        let tag = slot.tag.load(Ordering::Acquire);
+        let entry = slot.entry.load(Ordering::Acquire);
+        if shared.epoch.load(Ordering::Acquire) != before {
+            return Err(()); // a writer intervened: tag/entry may be mixed
+        }
+        Ok((tag == index as u64).then(|| CvtEntry::from_bits(entry)))
+    }
+
+    /// The lock-free fast path: looks up `index` from the published
+    /// snapshot without taking any lock. Returns `None` on a miss *or* a
+    /// torn read — either way the caller must fall back to the locked path,
+    /// which performs the (counted) authoritative lookup.
+    pub fn lookup_lockfree(&self, index: usize) -> Option<CvtEntry> {
+        match self.snapshot(index) {
+            Ok(Some(entry)) => {
+                self.shared.lockfree_hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            Ok(None) => None,
+            Err(()) => {
+                self.shared.torn_retries.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stat-free, lock-free peek at the published entry for `index` — the
+    /// routing lookup the completion queue uses to pick a submission ring.
+    pub fn peek(&self, index: usize) -> Option<CvtEntry> {
+        self.snapshot(index).ok().flatten()
+    }
+
+    /// Marks the start of a slot mutation (epoch goes odd). Callers hold
+    /// the owning client's lock, so begin/end pairs never interleave.
+    fn begin_write(&self) {
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Marks the end of a slot mutation (epoch returns to even).
+    fn end_write(&self) {
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CvtCacheStats {
+        CvtCacheStats {
+            lockfree_hits: self.shared.lockfree_hits.load(Ordering::Relaxed),
+            locked_hits: self.shared.locked_hits.load(Ordering::Relaxed),
+            misses: self.shared.misses.load(Ordering::Relaxed),
+            torn_retries: self.shared.torn_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets statistics (e.g. after warm-up).
+    pub fn reset_stats(&self) {
+        self.shared.lockfree_hits.store(0, Ordering::Relaxed);
+        self.shared.locked_hits.store(0, Ordering::Relaxed);
+        self.shared.misses.store(0, Ordering::Relaxed);
+        self.shared.torn_retries.store(0, Ordering::Relaxed);
+    }
+}
+
+impl ClientCvtCache for SeqCvtCache {
+    // The locked (write-side) interface. Each cache belongs to exactly one
+    // client in the service, so the client tag is implicit; the published
+    // tag disambiguates direct-mapped aliases only.
+
+    fn lookup(&mut self, _client: ClientId, index: usize) -> Option<CvtEntry> {
+        // Under the client lock no writer can race this read, so no epoch
+        // dance is needed; lock-free readers of these same words are
+        // unaffected by our loads.
+        let slot = &self.shared.slots[index % self.shared.slots.len()];
+        if slot.tag.load(Ordering::Acquire) == index as u64 {
+            self.shared.locked_hits.fetch_add(1, Ordering::Relaxed);
+            Some(CvtEntry::from_bits(slot.entry.load(Ordering::Acquire)))
+        } else {
+            self.shared.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    fn fill(&mut self, _client: ClientId, index: usize, entry: CvtEntry) {
+        let slot = &self.shared.slots[index % self.shared.slots.len()];
+        self.begin_write();
+        slot.entry.store(entry.to_bits(), Ordering::Release);
+        slot.tag.store(index as u64, Ordering::Release);
+        self.end_write();
+    }
+
+    fn invalidate(&mut self, _client: ClientId, index: usize) {
+        let slot = &self.shared.slots[index % self.shared.slots.len()];
+        if slot.tag.load(Ordering::Acquire) == index as u64 {
+            self.begin_write();
+            slot.tag.store(EMPTY, Ordering::Release);
+            self.end_write();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,10 +413,47 @@ mod tests {
     }
 
     #[test]
-    fn stats_merge_sums_counters() {
-        let mut a = CvtCacheStats { hits: 4, misses: 1 };
-        a.merge(&CvtCacheStats { hits: 6, misses: 9 });
-        assert_eq!(a, CvtCacheStats { hits: 10, misses: 10 });
+    fn stats_merge_sums_every_field() {
+        let mut a = CvtCacheStats { lockfree_hits: 3, locked_hits: 1, misses: 1, torn_retries: 2 };
+        a.merge(&CvtCacheStats { lockfree_hits: 4, locked_hits: 2, misses: 9, torn_retries: 1 });
+        assert_eq!(
+            a,
+            CvtCacheStats { lockfree_hits: 7, locked_hits: 3, misses: 10, torn_retries: 3 }
+        );
+        assert_eq!(a.hits(), 10);
+        assert_eq!(a.lookups(), 20);
+        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_a_combined_runs_counters() {
+        // Two caches process two workload halves; merging their stats must
+        // equal the counters of one cache that processed both halves (cache
+        // *state* is disjoint per client, so only counters aggregate).
+        let run = |cache: &mut CvtCache, base: u64, rounds: usize| {
+            for _ in 0..rounds {
+                for idx in 0..4usize {
+                    if cache.lookup(ClientId(0), idx).is_none() {
+                        cache.fill(ClientId(0), idx, entry_for(base + idx as u64));
+                    }
+                }
+            }
+        };
+        let mut first = CvtCache::new(8);
+        run(&mut first, 0, 3);
+        let mut second = CvtCache::new(8);
+        run(&mut second, 100, 5);
+
+        let mut combined = CvtCache::new(8);
+        run(&mut combined, 0, 3);
+        // A fresh client's lookups miss cold again, like `second` did.
+        combined.invalidate_client(ClientId(0));
+        run(&mut combined, 100, 5);
+
+        let mut merged = first.stats();
+        merged.merge(&second.stats());
+        assert_eq!(merged, combined.stats());
+        assert!(merged.lockfree_hits == 0, "plain caches never hit lock-free");
     }
 
     #[test]
@@ -171,7 +463,10 @@ mod tests {
         cache.fill(ClientId(0), 3, entry_for(7));
         let hit = cache.lookup(ClientId(0), 3).unwrap();
         assert_eq!(hit.vbuid().vbid(), 7);
-        assert_eq!(cache.stats(), CvtCacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CvtCacheStats { locked_hits: 1, misses: 1, ..Default::default() }
+        );
     }
 
     #[test]
@@ -226,5 +521,86 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_capacity_panics() {
         let _ = CvtCache::new(0);
+    }
+
+    // --- SeqCvtCache ---------------------------------------------------------
+
+    #[test]
+    fn seq_cache_matches_plain_cache_hit_miss_sequence() {
+        // The same lookup/fill/invalidate sequence produces the same
+        // hit/miss totals on both implementations — the property that keeps
+        // the service observably identical to System.
+        let mut plain = CvtCache::new(8);
+        let mut seq = SeqCvtCache::new(8);
+        let client = ClientId(0);
+        let drive = |cache: &mut dyn ClientCvtCache| {
+            let mut outcomes = Vec::new();
+            for round in 0..3 {
+                for idx in [0usize, 3, 9, 1, 3, 9] {
+                    // 9 aliases 1 (mod 8)
+                    match cache.lookup(client, idx) {
+                        Some(_) => outcomes.push((round, idx, true)),
+                        None => {
+                            cache.fill(client, idx, entry_for(idx as u64));
+                            outcomes.push((round, idx, false));
+                        }
+                    }
+                }
+                cache.invalidate(client, 3);
+            }
+            outcomes
+        };
+        assert_eq!(drive(&mut plain), drive(&mut seq));
+        let (p, s) = (plain.stats(), seq.stats());
+        assert_eq!(p.hits(), s.hits());
+        assert_eq!(p.misses, s.misses);
+    }
+
+    #[test]
+    fn seq_cache_lockfree_path_hits_after_fill() {
+        let mut cache = SeqCvtCache::new(8);
+        assert!(cache.lookup_lockfree(2).is_none(), "cold");
+        cache.fill(ClientId(0), 2, entry_for(5));
+        let entry = cache.lookup_lockfree(2).expect("published");
+        assert_eq!(entry.vbuid().vbid(), 5);
+        assert!(entry.is_valid());
+        assert_eq!(entry.permissions(), Rwx::READ);
+        cache.invalidate(ClientId(0), 2);
+        assert!(cache.lookup_lockfree(2).is_none(), "invalidated");
+        let stats = cache.stats();
+        assert_eq!(stats.lockfree_hits, 1);
+        assert_eq!(stats.torn_retries, 0, "no writer raced this test");
+    }
+
+    #[test]
+    fn seq_cache_peek_is_stat_free() {
+        let mut cache = SeqCvtCache::new(8);
+        cache.fill(ClientId(0), 1, entry_for(4));
+        assert_eq!(cache.peek(1).unwrap().vbuid().vbid(), 4);
+        assert!(cache.peek(2).is_none());
+        assert_eq!(cache.stats(), CvtCacheStats::default());
+    }
+
+    #[test]
+    fn seq_cache_readers_share_the_published_image() {
+        let mut write_side = SeqCvtCache::new(8);
+        let read_side = write_side.clone();
+        write_side.fill(ClientId(0), 6, entry_for(11));
+        assert_eq!(read_side.lookup_lockfree(6).unwrap().vbuid().vbid(), 11);
+        // Stats are shared too: the hit above is visible on both handles.
+        assert_eq!(write_side.stats().lockfree_hits, 1);
+    }
+
+    #[test]
+    fn packed_entries_roundtrip() {
+        for vbid in [0u64, 1, 42, 1 << 10] {
+            for sc in [SizeClass::Kib4, SizeClass::Gib4, SizeClass::Tib128] {
+                let mut cvt = Cvt::new(ClientId(0), 4);
+                let i = cvt.attach(Vbuid::new(sc, vbid % sc.vb_count()), Rwx::READ_WRITE).unwrap();
+                let entry = *cvt.entry(i).unwrap();
+                let back = CvtEntry::from_bits(entry.to_bits());
+                assert_eq!(back, entry);
+            }
+        }
     }
 }

@@ -13,6 +13,7 @@ use core::fmt;
 use crate::addr::Vbuid;
 use crate::client::ClientId;
 use crate::error::Result;
+use crate::ops::{Op, OpOutput};
 use crate::perm::Rwx;
 use crate::system::System;
 use crate::vb::VbProperties;
@@ -88,7 +89,7 @@ impl Instruction {
     ///
     /// Propagates the underlying operation's error (see [`System`] and
     /// [`crate::mtl::Mtl`]).
-    pub fn execute(self, system: &mut System) -> Result<Outcome> {
+    pub fn execute(self, system: &System) -> Result<Outcome> {
         match self {
             Instruction::EnableVb { vbuid, props } => {
                 system.mtl_mut().enable_vb(vbuid, props)?;
@@ -99,12 +100,18 @@ impl Instruction {
                 Ok(Outcome::None)
             }
             Instruction::Attach { client, vbuid, perms } => {
-                let index = system.attach(client, vbuid, perms)?;
-                Ok(Outcome::CvtIndex(index))
+                // Instructions carry raw client IDs (they are the op
+                // plumbing beneath sessions), so route through the engine.
+                match system.execute(Op::Attach { client, vbuid, perms })? {
+                    OpOutput::CvtIndex(index) => Ok(Outcome::CvtIndex(index)),
+                    other => unreachable!("attach returns an index, got {other:?}"),
+                }
             }
             Instruction::Detach { client, vbuid } => {
-                let refcount = system.detach(client, vbuid)?;
-                Ok(Outcome::Refcount(refcount))
+                match system.execute(Op::Detach { client, vbuid })? {
+                    OpOutput::RefCount(count) => Ok(Outcome::Refcount(count)),
+                    other => unreachable!("detach returns a refcount, got {other:?}"),
+                }
             }
             Instruction::CloneVb { source, destination } => {
                 system.mtl_mut().clone_vb(source, destination)?;
@@ -152,55 +159,55 @@ mod tests {
 
     #[test]
     fn instruction_sequence_drives_a_full_lifecycle() {
-        let mut s = system();
-        let client = s.create_client().unwrap();
+        let s = system();
+        let session = s.create_client().unwrap();
+        let client = session.id();
         let vbuid = s.mtl().find_free_vb(SizeClass::Kib128).unwrap();
 
-        Instruction::EnableVb { vbuid, props: VbProperties::NONE }.execute(&mut s).unwrap();
+        Instruction::EnableVb { vbuid, props: VbProperties::NONE }.execute(&s).unwrap();
         let Outcome::CvtIndex(index) =
-            Instruction::Attach { client, vbuid, perms: Rwx::READ_WRITE }.execute(&mut s).unwrap()
+            Instruction::Attach { client, vbuid, perms: Rwx::READ_WRITE }.execute(&s).unwrap()
         else {
             panic!("attach returns an index");
         };
-        s.store_u64(client, VirtualAddress::new(index, 0), 11).unwrap();
+        session.store_u64(VirtualAddress::new(index, 0), 11).unwrap();
 
-        let Outcome::Refcount(rc) = Instruction::Detach { client, vbuid }.execute(&mut s).unwrap()
+        let Outcome::Refcount(rc) = Instruction::Detach { client, vbuid }.execute(&s).unwrap()
         else {
             panic!("detach returns a refcount");
         };
         assert_eq!(rc, 0);
-        Instruction::DisableVb { vbuid }.execute(&mut s).unwrap();
+        Instruction::DisableVb { vbuid }.execute(&s).unwrap();
     }
 
     #[test]
     fn clone_and_promote_instructions() {
-        let mut s = system();
-        let client = s.create_client().unwrap();
+        let s = system();
+        let session = s.create_client().unwrap();
+        let client = session.id();
         let src = s.mtl().find_free_vb(SizeClass::Kib128).unwrap();
-        Instruction::EnableVb { vbuid: src, props: VbProperties::NONE }.execute(&mut s).unwrap();
+        Instruction::EnableVb { vbuid: src, props: VbProperties::NONE }.execute(&s).unwrap();
         let Outcome::CvtIndex(i) =
-            Instruction::Attach { client, vbuid: src, perms: Rwx::READ_WRITE }
-                .execute(&mut s)
-                .unwrap()
+            Instruction::Attach { client, vbuid: src, perms: Rwx::READ_WRITE }.execute(&s).unwrap()
         else {
             panic!()
         };
-        s.store_u64(client, VirtualAddress::new(i, 0), 5).unwrap();
+        session.store_u64(VirtualAddress::new(i, 0), 5).unwrap();
 
         let dst = s.mtl().find_free_vb(SizeClass::Kib128).unwrap();
-        Instruction::EnableVb { vbuid: dst, props: VbProperties::NONE }.execute(&mut s).unwrap();
-        Instruction::CloneVb { source: src, destination: dst }.execute(&mut s).unwrap();
+        Instruction::EnableVb { vbuid: dst, props: VbProperties::NONE }.execute(&s).unwrap();
+        Instruction::CloneVb { source: src, destination: dst }.execute(&s).unwrap();
 
         let large = s.mtl().find_free_vb(SizeClass::Mib4).unwrap();
-        Instruction::EnableVb { vbuid: large, props: VbProperties::NONE }.execute(&mut s).unwrap();
-        Instruction::PromoteVb { source: dst, destination: large }.execute(&mut s).unwrap();
+        Instruction::EnableVb { vbuid: large, props: VbProperties::NONE }.execute(&s).unwrap();
+        Instruction::PromoteVb { source: dst, destination: large }.execute(&s).unwrap();
 
         let Outcome::CvtIndex(j) =
-            Instruction::Attach { client, vbuid: large, perms: Rwx::READ }.execute(&mut s).unwrap()
+            Instruction::Attach { client, vbuid: large, perms: Rwx::READ }.execute(&s).unwrap()
         else {
             panic!()
         };
-        assert_eq!(s.load_u64(client, VirtualAddress::new(j, 0)).unwrap(), 5);
+        assert_eq!(session.load_u64(VirtualAddress::new(j, 0)).unwrap(), 5);
     }
 
     #[test]

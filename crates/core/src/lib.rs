@@ -24,15 +24,16 @@
 //!
 //! # fn main() -> Result<(), vbi_core::VbiError> {
 //! // A machine with the paper's VBI-Full configuration.
-//! let mut system = System::new(VbiConfig::vbi_full());
+//! let system = System::new(VbiConfig::vbi_full());
 //!
-//! // Create a process (a "memory client") and give it a data VB.
+//! // Create a process (a "memory client"): the returned session owns the
+//! // client's whole API surface. Give it a data VB.
 //! let client = system.create_client()?;
-//! let vb = system.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE)?;
+//! let vb = client.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE)?;
 //!
 //! // Processes address memory as {CVT index, offset}.
-//! system.store_u64(client, vb.at(0x100), 42)?;
-//! assert_eq!(system.load_u64(client, vb.at(0x100))?, 42);
+//! client.store_u64(vb.at(0x100), 42)?;
+//! assert_eq!(client.load_u64(vb.at(0x100))?, 42);
 //! # Ok(())
 //! # }
 //! ```
@@ -53,6 +54,7 @@
 //! | [`swap`] | §3.4 | backing store |
 //! | [`mtl`] | §4.5, §5 | the Memory Translation Layer |
 //! | [`ops`] | §4.2 | the op-execution engine: every request-path op, executed once |
+//! | [`session`] | §4.2 | [`ClientSession`]: the per-client handle every front end hands out |
 //! | [`system`] | §4.2 | the synchronous adapter over the engine |
 //! | [`stats`] | §7.2 | MTL counters, mergeable across shards |
 //! | [`os`] | §3.4, §4.4 | OS model: processes, fork, shared libraries, mmap |
@@ -79,8 +81,10 @@ pub mod ops;
 pub mod os;
 pub mod perm;
 pub mod phys;
+pub mod session;
 pub mod stats;
 pub mod swap;
+pub mod sync;
 pub mod system;
 pub mod tlb;
 pub mod translate;
@@ -95,8 +99,9 @@ pub use error::{Result, VbiError};
 pub use mtl::Mtl;
 pub use ops::{Op, OpOutput, OpResult};
 pub use perm::{AccessKind, Rwx};
+pub use session::{ClientSession, SessionHost};
 pub use stats::MtlStats;
-pub use system::System;
+pub use system::{System, SystemSession};
 pub use vb::VbProperties;
 
 // The `vbi-service` crate shares MTL shards and CVTs across threads; these
@@ -106,8 +111,10 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Mtl>();
     assert_send_sync::<System>();
+    assert_send_sync::<SystemSession>();
     assert_send_sync::<client::Cvt>();
     assert_send_sync::<cvt_cache::CvtCache>();
+    assert_send_sync::<cvt_cache::SeqCvtCache>();
     assert_send_sync::<client::ClientIdAllocator>();
     assert_send_sync::<multinode::MultiNodeSystem>();
     assert_send_sync::<MtlStats>();

@@ -15,7 +15,7 @@
 //!   MTL, `HashMap`s of CVTs) — the synchronous adapter;
 //! * `vbi_service::VbiService` implements it with `Mutex<Mtl>` shards and
 //!   lock-protected client state — the concurrent sharding adapter, which
-//!   also batches ([`VbiService::submit`]) and queues (`VbiQueue`) the same
+//!   also batches (`VbiService::submit`) and queues (`VbiQueue`) the same
 //!   [`Op`]s.
 //!
 //! Because both adapters route every op through this engine, a 1-shard
@@ -26,15 +26,23 @@
 //! ## Locking contract
 //!
 //! The engine never asks the environment for two resources at once: every
-//! [`OpEnv`] callback (`with_client`, `with_home_mtl`, `place_vb`) is
-//! entered and exited before the next one starts. Lock-based environments
-//! therefore never hold a client lock and a shard lock simultaneously on
-//! the engine's behalf, making deadlock impossible by construction.
+//! [`OpEnv`] callback (`with_client`, `with_client_read`, `with_home_mtl`,
+//! `place_vb`) is entered and exited before the next one starts. Lock-based
+//! environments therefore never hold a client lock and a shard lock
+//! simultaneously on the engine's behalf, making deadlock impossible by
+//! construction.
+//!
+//! Client state additionally splits into a read and a write side:
+//! [`OpEnv::with_client_read`] is the engine's declaration that an op never
+//! mutates client state, which lets the concurrent service answer CVT-cache
+//! hits from a seqlock-published snapshot with **zero** client-lock
+//! acquisitions, falling back to the locked [`cvt_lookup`] path on a miss
+//! or torn read. Control-plane ops always take the write side.
 
 use crate::addr::{SizeClass, VbiAddress, Vbuid};
 use crate::client::{ClientId, Cvt, CvtEntry, VirtualAddress};
 use crate::config::VbiConfig;
-use crate::cvt_cache::CvtCache;
+use crate::cvt_cache::ClientCvtCache;
 use crate::error::{Result, VbiError};
 use crate::mtl::Mtl;
 use crate::perm::{AccessKind, Rwx};
@@ -330,10 +338,11 @@ pub trait OpEnv {
     /// Returns a destroyed client's ID to the allocator.
     fn release_client_id(&mut self, id: ClientId);
 
-    /// Inserts fresh client state for `id` unless `id` is already live.
-    /// Returns whether the insert happened. Must be atomic with respect to
-    /// concurrent inserts of the same ID.
-    fn try_insert_client(&mut self, id: ClientId, cvt: Cvt, cache: CvtCache) -> bool;
+    /// Inserts fresh client state for `id` unless `id` is already live,
+    /// pairing the CVT with whichever [`ClientCvtCache`] implementation the
+    /// environment uses. Returns whether the insert happened. Must be atomic
+    /// with respect to concurrent inserts of the same ID.
+    fn try_insert_client(&mut self, id: ClientId, cvt: Cvt) -> bool;
 
     /// Removes the client's state, returning the VBUIDs its CVT held (so
     /// the engine can release the references).
@@ -343,7 +352,8 @@ pub trait OpEnv {
     /// [`VbiError::InvalidClient`] for unknown clients.
     fn take_client_vbuids(&mut self, id: ClientId) -> Result<Vec<Vbuid>>;
 
-    /// Runs `f` with exclusive access to the client's CVT and CVT cache.
+    /// Runs `f` with exclusive access to the client's CVT and CVT cache —
+    /// the write side of client state, taken by every control-plane op.
     ///
     /// # Errors
     ///
@@ -351,8 +361,22 @@ pub trait OpEnv {
     fn with_client<R>(
         &mut self,
         id: ClientId,
-        f: impl FnOnce(&mut Cvt, &mut CvtCache) -> R,
+        f: impl FnOnce(&mut Cvt, &mut dyn ClientCvtCache) -> R,
     ) -> Result<R>;
+
+    /// The read-side capability: looks up the client's CVT entry for
+    /// `index` through its CVT cache, returning the entry plus whether the
+    /// cache supplied it. This is the engine's single way of saying *"this
+    /// op never mutates client state (beyond cache bookkeeping)"* —
+    /// environments may serve cache hits without any exclusive client lock
+    /// (the service's seqlock fast path) and fall back to the locked
+    /// [`cvt_lookup`] on a miss or torn read.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidClient`] for unknown clients, or
+    /// [`VbiError::InvalidCvtIndex`] for an unattached index.
+    fn with_client_read(&mut self, id: ClientId, index: usize) -> Result<(CvtEntry, bool)>;
 
     /// Runs `f` with exclusive access to the MTL that homes `vbuid`.
     fn with_home_mtl<R>(&mut self, vbuid: Vbuid, f: impl FnOnce(&mut Mtl) -> R) -> R;
@@ -378,11 +402,10 @@ pub fn create_client<E: OpEnv>(env: &mut E) -> Result<ClientId> {
     loop {
         let id = env.alloc_client_id()?;
         let cvt = Cvt::new(id, env.config().cvt_capacity);
-        let cache = CvtCache::new(env.config().cvt_cache_slots);
         // The allocator does not know about IDs claimed through
         // `create_client_with_id` (§6.1 VM partitioning), so skip any ID
         // that is already live instead of clobbering its state.
-        if env.try_insert_client(id, cvt, cache) {
+        if env.try_insert_client(id, cvt) {
             return Ok(id);
         }
     }
@@ -395,8 +418,7 @@ pub fn create_client<E: OpEnv>(env: &mut E) -> Result<ClientId> {
 /// Returns [`VbiError::InvalidClient`] if the ID is already live.
 pub fn create_client_with_id<E: OpEnv>(env: &mut E, id: ClientId) -> Result<ClientId> {
     let cvt = Cvt::new(id, env.config().cvt_capacity);
-    let cache = CvtCache::new(env.config().cvt_cache_slots);
-    if env.try_insert_client(id, cvt, cache) {
+    if env.try_insert_client(id, cvt) {
         Ok(id)
     } else {
         Err(VbiError::InvalidClient(id))
@@ -537,9 +559,39 @@ pub fn release_vb<E: OpEnv>(env: &mut E, client: ClientId, index: usize) -> Resu
 
 // --- data plane -------------------------------------------------------------
 
+/// The locked-path CVT-entry lookup through the client's cache: consult the
+/// cache, and on a miss read the in-memory CVT and fill. The single
+/// definition every environment's slow path (and every write-kind check)
+/// uses, so hit/miss sequences are identical across front ends.
+///
+/// # Errors
+///
+/// [`VbiError::InvalidCvtIndex`] for an unattached index.
+pub fn cvt_lookup(
+    cvt: &Cvt,
+    cache: &mut dyn ClientCvtCache,
+    client: ClientId,
+    index: usize,
+) -> Result<(CvtEntry, bool)> {
+    match cache.lookup(client, index) {
+        Some(entry) => Ok((entry, true)),
+        None => {
+            // Miss: read the in-memory CVT and fill the cache.
+            let entry = *cvt.entry(index)?;
+            cache.fill(client, index, entry);
+            Ok((entry, false))
+        }
+    }
+}
+
 /// Performs the CPU-side access check of §4.2.3 through the client's CVT
 /// cache: index bounds, RWX permission, and offset bounds. On success
 /// returns the VBI address plus cache-hit information.
+///
+/// Read-kind checks (loads, fetches, read permission probes) go through the
+/// environment's read capability ([`OpEnv::with_client_read`]), which may
+/// answer a cache hit without taking any client lock; write-kind checks
+/// take the exclusive side.
 ///
 /// # Errors
 ///
@@ -551,18 +603,11 @@ pub fn access<E: OpEnv>(
     va: VirtualAddress,
     kind: AccessKind,
 ) -> Result<CheckedAccess> {
-    let (entry, cvt_cache_hit) =
-        env.with_client(client, |cvt, cache| -> Result<(CvtEntry, bool)> {
-            match cache.lookup(client, va.cvt_index()) {
-                Some(entry) => Ok((entry, true)),
-                None => {
-                    // Miss: read the in-memory CVT and fill the cache.
-                    let entry = *cvt.entry(va.cvt_index())?;
-                    cache.fill(client, va.cvt_index(), entry);
-                    Ok((entry, false))
-                }
-            }
-        })??;
+    let (entry, cvt_cache_hit) = if kind.is_write() {
+        env.with_client(client, |cvt, cache| cvt_lookup(cvt, cache, client, va.cvt_index()))??
+    } else {
+        env.with_client_read(client, va.cvt_index())?
+    };
     let required = kind.required();
     if !entry.permissions().allows(required) {
         return Err(VbiError::PermissionDenied {

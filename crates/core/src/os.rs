@@ -4,7 +4,8 @@
 //! keeps exactly two duties: *protection* (which client may attach to which
 //! VB) and *policy* (loading binaries, forking, shared libraries,
 //! memory-mapped files). This module implements those duties against
-//! [`System`]:
+//! [`System`], holding one [`ClientSession`] per process (plus its own
+//! privileged session for loading):
 //!
 //! * **Process creation** — one VB per binary section, loaded by the OS
 //!   attaching itself with write permission, copying, and detaching.
@@ -25,6 +26,7 @@ use crate::client::{ClientId, VirtualAddress};
 use crate::error::{Result, VbiError};
 use crate::perm::Rwx;
 use crate::phys::FRAME_BYTES;
+use crate::session::ClientSession;
 use crate::system::{System, VbHandle};
 use crate::vb::VbProperties;
 
@@ -104,7 +106,7 @@ struct HeapState {
 #[derive(Debug, Clone)]
 pub struct Process {
     pid: Pid,
-    client: ClientId,
+    session: ClientSession<System>,
     name: String,
     /// Section handles in binary order.
     sections: Vec<VbHandle>,
@@ -121,9 +123,14 @@ impl Process {
         self.pid
     }
 
-    /// The hardware client ID backing this process.
+    /// The process's session — its memory API surface.
+    pub fn session(&self) -> &ClientSession<System> {
+        &self.session
+    }
+
+    /// The hardware client ID backing this process (op plumbing).
     pub fn client(&self) -> ClientId {
-        self.client
+        self.session.id()
     }
 
     /// The program name.
@@ -166,15 +173,14 @@ pub struct Allocation {
 /// };
 /// let pid = os.create_process(&image)?;
 /// let code = os.process(pid)?.sections()[0];
-/// let client = os.process(pid)?.client();
-/// assert_eq!(os.system_mut().fetch(client, code.at(0))?, 0x90);
+/// assert_eq!(os.process(pid)?.session().fetch(code.at(0))?, 0x90);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
 pub struct Os {
     system: System,
-    os_client: ClientId,
+    os_session: ClientSession<System>,
     processes: HashMap<Pid, Process>,
     libraries: HashMap<String, (LibraryImage, VbHandle)>,
     next_pid: u32,
@@ -182,38 +188,37 @@ pub struct Os {
 
 impl Os {
     /// Boots the OS model: creates the system and the OS's own client (the
-    /// privileged client used for loading).
+    /// privileged session used for loading).
     ///
     /// # Panics
     ///
     /// Panics if the OS client cannot be created (impossible on a fresh
     /// system).
     pub fn new(config: crate::config::VbiConfig) -> Self {
-        let mut system = System::new(config);
-        let os_client = system.create_client().expect("fresh system has client IDs");
+        let system = System::new(config);
+        let os_session = system.create_client().expect("fresh system has client IDs");
         Self {
             system,
-            os_client,
+            os_session,
             processes: HashMap::new(),
             libraries: HashMap::new(),
             next_pid: 1,
         }
     }
 
-    /// The underlying system (for inspection).
+    /// The underlying system (for inspection and direct MTL access).
     pub fn system(&self) -> &System {
         &self.system
     }
 
-    /// Mutable access to the underlying system (for direct loads/stores in
-    /// examples and tests).
-    pub fn system_mut(&mut self) -> &mut System {
-        &mut self.system
+    /// The OS's own privileged session.
+    pub fn os_session(&self) -> &ClientSession<System> {
+        &self.os_session
     }
 
     /// The OS's own client ID.
     pub fn os_client(&self) -> ClientId {
-        self.os_client
+        self.os_session.id()
     }
 
     /// Looks up a live process.
@@ -234,8 +239,8 @@ impl Os {
     /// protocol: the OS attaches itself with write permission, copies, and
     /// detaches (§4.4, "Process Creation").
     fn load_vb(&mut self, bytes: u64, props: VbProperties, contents: &[u8]) -> Result<VbHandle> {
-        let handle = self.system.request_vb(self.os_client, bytes, props, Rwx::READ_WRITE)?;
-        self.system.store_bytes(self.os_client, handle.at(0), contents)?;
+        let handle = self.os_session.request_vb(bytes, props, Rwx::READ_WRITE)?;
+        self.os_session.store_bytes(handle.at(0), contents)?;
         // Detach the OS but keep the VB enabled for the target process: the
         // OS detach would drop the refcount to zero, so the caller attaches
         // the process first.
@@ -243,7 +248,7 @@ impl Os {
     }
 
     fn os_detach(&mut self, handle: VbHandle) -> Result<()> {
-        self.system.detach(self.os_client, handle.vbuid)?;
+        self.os_session.detach(handle.vbuid)?;
         Ok(())
     }
 
@@ -255,7 +260,7 @@ impl Os {
     ///
     /// Any allocation, attach, or load error.
     pub fn create_process(&mut self, image: &BinaryImage) -> Result<Pid> {
-        let client = self.system.create_client()?;
+        let session = self.system.create_client()?;
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
 
@@ -263,7 +268,7 @@ impl Os {
         for section in &image.sections {
             let bytes = (section.contents.len() as u64).max(1);
             let loaded = self.load_vb(bytes, section.kind.props(), &section.contents)?;
-            let index = self.system.attach(client, loaded.vbuid, section.kind.perms())?;
+            let index = session.attach(loaded.vbuid, section.kind.perms())?;
             self.os_detach(loaded)?;
             sections.push(VbHandle { cvt_index: index, vbuid: loaded.vbuid });
         }
@@ -272,7 +277,7 @@ impl Os {
             pid,
             Process {
                 pid,
-                client,
+                session,
                 name: image.name.clone(),
                 sections,
                 shared_indices: Vec::new(),
@@ -291,7 +296,7 @@ impl Os {
     pub fn destroy_process(&mut self, pid: Pid) -> Result<()> {
         let process =
             self.processes.remove(&pid).ok_or(VbiError::InvalidClient(ClientId(pid.0 as u16)))?;
-        self.system.destroy_client(process.client)
+        process.session.destroy()
     }
 
     /// Registers a shared library: its code is loaded once into a shared VB.
@@ -324,14 +329,14 @@ impl Os {
             .get(name)
             .map(|(l, h)| (l.clone(), *h))
             .ok_or(VbiError::SwapFailure { reason: "unknown library" })?;
-        let client = self.process(pid)?.client();
+        let session = self.process(pid)?.session().clone();
 
         // Attach the shared code VB.
-        let code_index = self.system.attach(client, shared.vbuid, Rwx::READ_EXECUTE)?;
+        let code_index = session.attach(shared.vbuid, Rwx::READ_EXECUTE)?;
         // The very next CVT index receives the private static data.
         let data_bytes = (library.static_data.len() as u64).max(1);
         let data = self.load_vb(data_bytes, VbProperties::LIBRARY_DATA, &library.static_data)?;
-        self.system.attach_at(client, code_index + 1, data.vbuid, Rwx::READ_WRITE)?;
+        session.attach_at(code_index + 1, data.vbuid, Rwx::READ_WRITE)?;
         self.os_detach(data)?;
 
         let process = self.processes.get_mut(&pid).expect("checked above");
@@ -348,13 +353,13 @@ impl Os {
     /// Any clone, enable, or attach error.
     pub fn fork(&mut self, pid: Pid) -> Result<Pid> {
         let parent = self.process(pid)?.clone();
-        let child_client = self.system.create_client()?;
+        let child = self.system.create_client()?;
         let child_pid = Pid(self.next_pid);
         self.next_pid += 1;
 
         let entries: Vec<(usize, crate::addr::Vbuid, Rwx)> = self
             .system
-            .cvt(parent.client)?
+            .cvt(parent.client())?
             .iter()
             .map(|(i, e)| (i, e.vbuid(), e.permissions()))
             .collect();
@@ -368,7 +373,7 @@ impl Os {
             if is_shared {
                 // Shared VB (library code): both processes attach to the
                 // same VB at the same index.
-                self.system.attach_at(child_client, index, vbuid, perms)?;
+                child.attach_at(index, vbuid, perms)?;
             } else {
                 // Private VB: enable a clone of the same size class and
                 // attach it at the same index so pointers stay valid.
@@ -376,7 +381,7 @@ impl Os {
                 let props = self.system.mtl().props(vbuid)?;
                 self.system.mtl_mut().enable_vb(clone, props)?;
                 self.system.mtl_mut().clone_vb(vbuid, clone)?;
-                self.system.attach_at(child_client, index, clone, perms)?;
+                child.attach_at(index, clone, perms)?;
                 if parent.sections.iter().any(|s| s.cvt_index == index) {
                     child_sections.push(VbHandle { cvt_index: index, vbuid: clone });
                 }
@@ -387,7 +392,7 @@ impl Os {
             child_pid,
             Process {
                 pid: child_pid,
-                client: child_client,
+                session: child,
                 name: parent.name.clone(),
                 sections: child_sections,
                 shared_indices: parent.shared_indices.clone(),
@@ -404,8 +409,7 @@ impl Os {
     ///
     /// Any allocation error.
     pub fn create_heap(&mut self, pid: Pid, bytes: u64, props: VbProperties) -> Result<VbHandle> {
-        let client = self.process(pid)?.client();
-        let handle = self.system.request_vb(client, bytes, props, Rwx::READ_WRITE)?;
+        let handle = self.process(pid)?.session().request_vb(bytes, props, Rwx::READ_WRITE)?;
         let process = self.processes.get_mut(&pid).expect("checked above");
         process.heaps.insert(handle.cvt_index, HeapState { brk: 0, free_list: Vec::new() });
         Ok(handle)
@@ -421,7 +425,8 @@ impl Os {
     /// [`VbiError::InvalidCvtIndex`] for a non-heap index, or promotion
     /// errors when the VB is at the largest class.
     pub fn malloc(&mut self, pid: Pid, heap: usize, size: u64) -> Result<Allocation> {
-        let client = self.process(pid)?.client();
+        let session = self.process(pid)?.session().clone();
+        let client = session.id();
         let vb_size = self.system.cvt(client)?.entry(heap)?.vbuid().bytes();
         let size = size.max(8).next_multiple_of(8);
 
@@ -456,7 +461,7 @@ impl Os {
         }
 
         // Out of space: promote, then retry the bump.
-        let promoted = self.system.promote(client, heap)?;
+        let promoted = session.promote(heap)?;
         let process = self.processes.get_mut(&pid).expect("still live");
         let state = process.heaps.get_mut(&heap).expect("still a heap");
         let offset = state.brk;
@@ -496,9 +501,7 @@ impl Os {
     ///
     /// Any allocation or attach error.
     pub fn mmap_file(&mut self, pid: Pid, contents: &[u8], perms: Rwx) -> Result<VbHandle> {
-        let client = self.process(pid)?.client();
-        let handle = self.system.request_vb(
-            client,
+        let handle = self.process(pid)?.session().request_vb(
             (contents.len() as u64).max(1),
             VbProperties::FILE_BACKED,
             perms,
@@ -520,8 +523,7 @@ impl Os {
     /// Any attach error.
     pub fn share_vb(&mut self, from: Pid, handle: VbHandle, to: Pid, perms: Rwx) -> Result<usize> {
         let _ = self.process(from)?;
-        let to_client = self.process(to)?.client();
-        let index = self.system.attach(to_client, handle.vbuid, perms)?;
+        let index = self.process(to)?.session().attach(handle.vbuid, perms)?;
         let process = self.processes.get_mut(&to).expect("checked above");
         process.shared_indices.push(index);
         Ok(index)
@@ -558,36 +560,30 @@ mod tests {
         let mut os = os();
         let pid = os.create_process(&trivial_image("a.out")).unwrap();
         let process = os.process(pid).unwrap();
-        let client = process.client();
+        let session = process.session().clone();
         let code = process.sections()[0];
         let data = process.sections()[1];
-        assert_eq!(os.system_mut().fetch(client, code.at(0)).unwrap(), 0xc3);
-        assert_eq!(os.system_mut().load_u8(client, data.at(2)).unwrap(), 3);
+        assert_eq!(session.fetch(code.at(0)).unwrap(), 0xc3);
+        assert_eq!(session.load_u8(data.at(2)).unwrap(), 3);
         // Code is not writable by the process.
-        assert!(matches!(
-            os.system_mut().store_u8(client, code.at(0), 0),
-            Err(VbiError::PermissionDenied { .. })
-        ));
+        assert!(matches!(session.store_u8(code.at(0), 0), Err(VbiError::PermissionDenied { .. })));
     }
 
     #[test]
     fn kernel_data_is_protected_from_processes() {
         let mut os = os();
         // The OS keeps a private VB.
-        let os_client = os.os_client();
-        let secret = os
-            .system_mut()
-            .request_vb(os_client, 4096, VbProperties::KERNEL, Rwx::READ_WRITE)
-            .unwrap();
-        os.system_mut().store_u64(os_client, secret.at(0), 0x5ec3e7).unwrap();
+        let secret =
+            os.os_session().request_vb(4096, VbProperties::KERNEL, Rwx::READ_WRITE).unwrap();
+        os.os_session().store_u64(secret.at(0), 0x5ec3e7).unwrap();
 
         let pid = os.create_process(&trivial_image("attacker")).unwrap();
-        let client = os.process(pid).unwrap().client();
+        let session = os.process(pid).unwrap().session().clone();
         // The process has no CVT entry for the kernel VB; its own indices
         // do not reach it.
         for index in 0..8 {
             let va = VirtualAddress::new(index, 0);
-            if let Ok(value) = os.system_mut().load_u64(client, va) {
+            if let Ok(value) = session.load_u64(va) {
                 assert_ne!(value, 0x5ec3e7);
             }
         }
@@ -599,8 +595,7 @@ mod tests {
         let free0 = os.system().mtl().free_frames();
         let pid = os.create_process(&trivial_image("tmp")).unwrap();
         let heap = os.create_heap(pid, 64 << 10, VbProperties::NONE).unwrap();
-        let client = os.process(pid).unwrap().client();
-        os.system_mut().store_u64(client, heap.at(0), 1).unwrap();
+        os.process(pid).unwrap().session().store_u64(heap.at(0), 1).unwrap();
         os.destroy_process(pid).unwrap();
         assert_eq!(os.system().mtl().free_frames(), free0);
         assert_eq!(os.process_count(), 0);
@@ -625,14 +620,14 @@ mod tests {
         assert_eq!(lib1.vbuid, lib2.vbuid);
 
         // ...and each reaches its own static data at code index + 1.
-        let c1 = os.process(p1).unwrap().client();
-        let c2 = os.process(p2).unwrap().client();
+        let s1 = os.process(p1).unwrap().session().clone();
+        let s2 = os.process(p2).unwrap().session().clone();
         let data1 = lib1.at(0).cvt_relative(1);
         let data2 = lib2.at(0).cvt_relative(1);
-        os.system_mut().store_u8(c1, data1, 0x11).unwrap();
-        os.system_mut().store_u8(c2, data2, 0x22).unwrap();
-        assert_eq!(os.system_mut().load_u8(c1, data1).unwrap(), 0x11);
-        assert_eq!(os.system_mut().load_u8(c2, data2).unwrap(), 0x22);
+        s1.store_u8(data1, 0x11).unwrap();
+        s2.store_u8(data2, 0x22).unwrap();
+        assert_eq!(s1.load_u8(data1).unwrap(), 0x11);
+        assert_eq!(s2.load_u8(data2).unwrap(), 0x22);
     }
 
     #[test]
@@ -640,17 +635,17 @@ mod tests {
         let mut os = os();
         let parent = os.create_process(&trivial_image("shell")).unwrap();
         let heap = os.create_heap(parent, 64 << 10, VbProperties::NONE).unwrap();
-        let pc = os.process(parent).unwrap().client();
-        os.system_mut().store_u64(pc, heap.at(0), 1234).unwrap();
+        let ps = os.process(parent).unwrap().session().clone();
+        ps.store_u64(heap.at(0), 1234).unwrap();
 
         let child = os.fork(parent).unwrap();
-        let cc = os.process(child).unwrap().client();
+        let cs = os.process(child).unwrap().session().clone();
         // Same pointer (CVT index + offset) works in the child.
-        assert_eq!(os.system_mut().load_u64(cc, heap.at(0)).unwrap(), 1234);
+        assert_eq!(cs.load_u64(heap.at(0)).unwrap(), 1234);
         // Writes are private.
-        os.system_mut().store_u64(cc, heap.at(0), 5678).unwrap();
-        assert_eq!(os.system_mut().load_u64(pc, heap.at(0)).unwrap(), 1234);
-        assert_eq!(os.system_mut().load_u64(cc, heap.at(0)).unwrap(), 5678);
+        cs.store_u64(heap.at(0), 5678).unwrap();
+        assert_eq!(ps.load_u64(heap.at(0)).unwrap(), 1234);
+        assert_eq!(cs.load_u64(heap.at(0)).unwrap(), 5678);
     }
 
     #[test]
@@ -690,10 +685,10 @@ mod tests {
         let pid = os.create_process(&trivial_image("grower")).unwrap();
         let heap = os.create_heap(pid, 4 << 10, VbProperties::NONE).unwrap();
         assert_eq!(heap.vbuid.size_class(), SizeClass::Kib4);
-        let client = os.process(pid).unwrap().client();
+        let session = os.process(pid).unwrap().session().clone();
 
         let a = os.malloc(pid, heap.cvt_index, 3 << 10).unwrap();
-        os.system_mut().store_u64(client, a.address, 42).unwrap();
+        session.store_u64(a.address, 42).unwrap();
         assert!(a.promoted.is_none());
 
         // This one does not fit in 4 KiB: the VB is promoted to 128 KiB.
@@ -702,21 +697,21 @@ mod tests {
         assert_eq!(promoted.vbuid.size_class(), SizeClass::Kib128);
         assert_eq!(promoted.cvt_index, heap.cvt_index, "pointers stay valid");
         // Old data is still there through the same pointer.
-        assert_eq!(os.system_mut().load_u64(client, a.address).unwrap(), 42);
+        assert_eq!(session.load_u64(a.address).unwrap(), 42);
     }
 
     #[test]
     fn mmap_file_reads_file_contents() {
         let mut os = os();
         let pid = os.create_process(&trivial_image("pager")).unwrap();
-        let client = os.process(pid).unwrap().client();
         let mut contents = vec![0u8; 10_000];
         contents[0] = 0x10;
         contents[9_999] = 0x99;
         let handle = os.mmap_file(pid, &contents, Rwx::READ_WRITE).unwrap();
-        assert_eq!(os.system_mut().load_u8(client, handle.at(0)).unwrap(), 0x10);
-        assert_eq!(os.system_mut().load_u8(client, handle.at(9_999)).unwrap(), 0x99);
-        assert_eq!(os.system_mut().load_u8(client, handle.at(5_000)).unwrap(), 0);
+        let session = os.process(pid).unwrap().session();
+        assert_eq!(session.load_u8(handle.at(0)).unwrap(), 0x10);
+        assert_eq!(session.load_u8(handle.at(9_999)).unwrap(), 0x99);
+        assert_eq!(session.load_u8(handle.at(5_000)).unwrap(), 0);
     }
 
     #[test]
@@ -725,11 +720,12 @@ mod tests {
         let p1 = os.create_process(&trivial_image("writer")).unwrap();
         let p2 = os.create_process(&trivial_image("reader")).unwrap();
         let heap = os.create_heap(p1, 4096, VbProperties::NONE).unwrap();
-        let c1 = os.process(p1).unwrap().client();
         let idx2 = os.share_vb(p1, heap, p2, Rwx::READ).unwrap();
-        let c2 = os.process(p2).unwrap().client();
-        os.system_mut().store_u64(c1, heap.at(8), 2020).unwrap();
-        assert_eq!(os.system_mut().load_u64(c2, VirtualAddress::new(idx2, 8)).unwrap(), 2020);
+        os.process(p1).unwrap().session().store_u64(heap.at(8), 2020).unwrap();
+        assert_eq!(
+            os.process(p2).unwrap().session().load_u64(VirtualAddress::new(idx2, 8)).unwrap(),
+            2020
+        );
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Session handles: the client-facing API of every front end.
+//!
+//! The paper's programming model is per-client: a process holds CVT indices
+//! and issues `{CVT index, offset}` accesses against *its own* protection
+//! state. [`ClientSession`] is that model in code — `create_client` on any
+//! front end ([`crate::System`], `vbi_service::VbiService`,
+//! `vbi_service::VbiQueue`) returns an owned session bound to the new
+//! client, and the entire data plane lives on the session
+//! (`session.load_u64(va)`), with [`ClientId`] remaining an implementation
+//! detail of the [`Op`] plumbing underneath.
+//!
+//! Sessions are cheap to clone and (for `Send + Sync` hosts) freely shared
+//! across threads: many reader threads can hold clones of one session, and
+//! on the concurrent service their CVT-cache-hit reads proceed entirely
+//! lock-free (see `vbi_service`'s seqlock read path).
+
+use crate::client::{ClientId, VirtualAddress};
+use crate::cvt_cache::CvtCacheStats;
+use crate::error::Result;
+use crate::ops::{CheckedAccess, Op, OpOutput, OpResult, VbHandle};
+use crate::perm::{AccessKind, Rwx};
+use crate::vb::VbProperties;
+
+/// A front end that can execute engine [`Op`]s on behalf of a session.
+///
+/// Implemented by `System`, `VbiService`, and (via its service) `VbiQueue`;
+/// the host decides where state lives and how it is locked, the session
+/// provides the typed per-client surface.
+pub trait SessionHost: Clone {
+    /// Executes one op through the host's engine adapter.
+    fn run_op(&self, op: Op) -> OpResult;
+
+    /// The client's CVT-cache statistics (split by lock-free/locked path).
+    ///
+    /// # Errors
+    ///
+    /// `VbiError::InvalidClient` for destroyed clients.
+    fn client_cvt_cache_stats(&self, client: ClientId) -> Result<CvtCacheStats>;
+
+    /// Copies `data` into a VB through the engine's checked store path
+    /// (`ops::store_bytes`) without cloning the span into an owned
+    /// [`Op`] — the zero-copy half of [`ClientSession::store_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    fn store_bytes_for(&self, client: ClientId, va: VirtualAddress, data: &[u8]) -> Result<()>;
+}
+
+/// An owned handle on one memory client of a front end `H`.
+///
+/// All data-plane operations (`load_*`, `store_*`, [`ClientSession::fetch`],
+/// [`ClientSession::access`]) and the client's control plane
+/// ([`ClientSession::request_vb`], attach/detach/release) live here; no
+/// other public surface takes a raw [`ClientId`].
+///
+/// # Examples
+///
+/// ```
+/// use vbi_core::{Rwx, System, VbProperties, VbiConfig};
+///
+/// # fn main() -> Result<(), vbi_core::VbiError> {
+/// let system = System::new(VbiConfig::vbi_full());
+/// let app = system.create_client()?;
+/// let vb = app.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE)?;
+/// app.store_u64(vb.at(8), 2020)?;
+/// assert_eq!(app.load_u64(vb.at(8))?, 2020);
+/// app.destroy()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientSession<H: SessionHost> {
+    host: H,
+    client: ClientId,
+}
+
+impl<H: SessionHost> ClientSession<H> {
+    /// Binds a session to an *existing* client of `host` — used by the OS
+    /// and VM layers when the client was created through the op plumbing
+    /// (e.g. a queued `Op::CreateClient` completion). Front-end
+    /// `create_client` methods are the normal way to obtain a session.
+    pub fn bind(host: H, client: ClientId) -> Self {
+        Self { host, client }
+    }
+
+    /// The underlying client ID (op/engine plumbing; needed to build raw
+    /// [`Op`]s for batched or queued submission).
+    pub fn id(&self) -> ClientId {
+        self.client
+    }
+
+    /// The front end this session runs against.
+    pub fn host(&self) -> &H {
+        &self.host
+    }
+
+    fn run(&self, op: Op) -> OpResult {
+        self.host.run_op(op)
+    }
+
+    // --- control plane -------------------------------------------------------
+
+    /// The `request_vb` system call (§4.2): allocates and attaches the
+    /// smallest free VB that fits `bytes`, returning the handle whose CVT
+    /// index is this client's pointer to the VB.
+    ///
+    /// # Errors
+    ///
+    /// `VbiError::RequestTooLarge` beyond 128 TiB, `VbiError::CvtFull`, or
+    /// VB exhaustion.
+    pub fn request_vb(&self, bytes: u64, props: VbProperties, perms: Rwx) -> Result<VbHandle> {
+        match self.run(Op::RequestVb { client: self.client, bytes, props, perms })? {
+            OpOutput::Handle(handle) => Ok(handle),
+            other => unreachable!("request_vb returns a handle, got {other:?}"),
+        }
+    }
+
+    /// The `attach` instruction: grants this client access to `vbuid` with
+    /// `perms`. Returns the CVT index.
+    ///
+    /// # Errors
+    ///
+    /// `VbiError::VbNotEnabled` or `VbiError::CvtFull`.
+    pub fn attach(&self, vbuid: crate::addr::Vbuid, perms: Rwx) -> Result<usize> {
+        match self.run(Op::Attach { client: self.client, vbuid, perms })? {
+            OpOutput::CvtIndex(index) => Ok(index),
+            other => unreachable!("attach returns an index, got {other:?}"),
+        }
+    }
+
+    /// `attach` at a specific CVT index (fork and shared-library layout).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClientSession::attach`], plus `VbiError::InvalidCvtIndex`.
+    pub fn attach_at(&self, index: usize, vbuid: crate::addr::Vbuid, perms: Rwx) -> Result<()> {
+        self.run(Op::AttachAt { client: self.client, index, vbuid, perms }).map(|_| ())
+    }
+
+    /// The `detach` instruction: revokes this client's access to `vbuid`.
+    /// Returns the VB's new reference count.
+    ///
+    /// # Errors
+    ///
+    /// `VbiError::VbNotEnabled` if this client has no entry for `vbuid`.
+    pub fn detach(&self, vbuid: crate::addr::Vbuid) -> Result<u32> {
+        match self.run(Op::Detach { client: self.client, vbuid })? {
+            OpOutput::RefCount(count) => Ok(count),
+            other => unreachable!("detach returns a refcount, got {other:?}"),
+        }
+    }
+
+    /// Detaches the VB behind a CVT index and disables it at zero
+    /// references — the common "free this data structure" path.
+    ///
+    /// # Errors
+    ///
+    /// `VbiError::InvalidCvtIndex` or `VbiError::VbNotEnabled`.
+    pub fn release_vb(&self, index: usize) -> Result<()> {
+        self.run(Op::ReleaseVb { client: self.client, index }).map(|_| ())
+    }
+
+    /// Destroys the client: detaches every VB in its CVT, disables VBs
+    /// whose reference count drops to zero, and recycles the client ID.
+    /// Consumes the session; clones of it (other reader threads) observe
+    /// `VbiError::InvalidClient` from then on.
+    ///
+    /// # Errors
+    ///
+    /// `VbiError::InvalidClient` if the client was already destroyed.
+    pub fn destroy(self) -> Result<()> {
+        self.run(Op::DestroyClient { client: self.client }).map(|_| ())
+    }
+
+    // --- data plane ----------------------------------------------------------
+
+    /// The CPU-side protection check of §4.2.3, without touching memory. A
+    /// read-kind check on a CVT-cache hit takes no client lock.
+    ///
+    /// # Errors
+    ///
+    /// Any protection error.
+    pub fn access(&self, va: VirtualAddress, kind: AccessKind) -> Result<CheckedAccess> {
+        match self.run(Op::Access { client: self.client, va, kind })? {
+            OpOutput::Checked(checked) => Ok(checked),
+            other => unreachable!("access returns check info, got {other:?}"),
+        }
+    }
+
+    /// Protection-checked functional load of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn load_u64(&self, va: VirtualAddress) -> Result<u64> {
+        match self.run(Op::LoadU64 { client: self.client, va })? {
+            OpOutput::U64(value) => Ok(value),
+            other => unreachable!("load returns a u64, got {other:?}"),
+        }
+    }
+
+    /// Protection-checked functional store of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn store_u64(&self, va: VirtualAddress, value: u64) -> Result<()> {
+        self.run(Op::StoreU64 { client: self.client, va, value }).map(|_| ())
+    }
+
+    /// Protection-checked functional load of one byte.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn load_u8(&self, va: VirtualAddress) -> Result<u8> {
+        match self.run(Op::LoadU8 { client: self.client, va })? {
+            OpOutput::U8(value) => Ok(value),
+            other => unreachable!("load returns a byte, got {other:?}"),
+        }
+    }
+
+    /// Protection-checked functional store of one byte.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn store_u8(&self, va: VirtualAddress, value: u8) -> Result<()> {
+        self.run(Op::StoreU8 { client: self.client, va, value }).map(|_| ())
+    }
+
+    /// Protection-checked instruction fetch (returns the byte; fetch width
+    /// is immaterial to the model).
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn fetch(&self, va: VirtualAddress) -> Result<u8> {
+        match self.run(Op::Fetch { client: self.client, va })? {
+            OpOutput::U8(value) => Ok(value),
+            other => unreachable!("fetch returns a byte, got {other:?}"),
+        }
+    }
+
+    /// Reads `len` bytes through the checked load path — one protection
+    /// check and one home-MTL visit for the whole span.
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error.
+    pub fn load_bytes(&self, va: VirtualAddress, len: usize) -> Result<Vec<u8>> {
+        match self.run(Op::LoadBytes { client: self.client, va, len })? {
+            OpOutput::Bytes(bytes) => Ok(bytes),
+            other => unreachable!("load returns bytes, got {other:?}"),
+        }
+    }
+
+    /// Copies `data` into a VB through the checked store path — one
+    /// protection check and one home-MTL visit for the whole copy, with
+    /// no clone of the span (the host routes the slice straight into the
+    /// engine's `ops::store_bytes`).
+    ///
+    /// # Errors
+    ///
+    /// Any protection or translation error, including running off the end
+    /// of the VB mid-copy (bytes before the fault stay written).
+    pub fn store_bytes(&self, va: VirtualAddress, data: &[u8]) -> Result<()> {
+        self.host.store_bytes_for(self.client, va, data)
+    }
+
+    // --- introspection -------------------------------------------------------
+
+    /// This client's CVT-cache statistics, split by lookup path (lock-free
+    /// hits vs locked hits vs misses vs torn-read fallbacks).
+    ///
+    /// # Errors
+    ///
+    /// `VbiError::InvalidClient` if the client was destroyed.
+    pub fn cvt_cache_stats(&self) -> Result<CvtCacheStats> {
+        self.host.client_cvt_cache_stats(self.client)
+    }
+}

@@ -1,0 +1,19 @@
+//! Small lock-plumbing helpers shared by every lock-based front end.
+//!
+//! Lives in `vbi-core` so the synchronous adapter ([`crate::System`]) and
+//! the concurrent service crate recover from poisoned locks through one
+//! definition instead of per-crate copies.
+
+use std::sync::LockResult;
+
+/// Extracts the guard from a [`LockResult`], ignoring poisoning.
+///
+/// Every multi-step state update in the workspace rolls back on error, so a
+/// panicking lock holder leaves state functionally consistent; continuing to
+/// serve is safe and keeps one misbehaving client from wedging the rest.
+pub fn unpoison<G>(result: LockResult<G>) -> G {
+    match result {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

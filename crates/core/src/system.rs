@@ -2,37 +2,46 @@
 //!
 //! [`System`] models everything between a program's `{CVT index, offset}`
 //! virtual address and physical memory: the per-client Client-VB Tables, the
-//! per-core CVT caches, and the Memory Translation Layer. It exposes the
-//! operations of §4.2 — `request_vb`, `attach`/`detach`, loads and stores
-//! with protection checks, VB promotion — as a safe API that the OS model
-//! (`crate::os`) and the simulators build on.
+//! per-core CVT caches, and the Memory Translation Layer. Programs obtain a
+//! [`ClientSession`] from [`System::create_client`] and issue the operations
+//! of §4.2 — `request_vb`, `attach`/`detach`, loads and stores with
+//! protection checks, VB promotion — through it; the OS model (`crate::os`)
+//! and the simulators build on the same sessions.
 //!
 //! All request logic — permission checks, CVT-cache fills, rollback,
 //! stat accounting — lives in [`crate::ops`]; `System` merely implements
-//! [`OpEnv`] with plain single-owner fields and delegates. The concurrent
-//! front ends (`vbi_service::VbiService`, `vbi_service::VbiQueue`) route
-//! through the *same* engine, which is what makes them observably
-//! identical to a `System` under sequential driving.
+//! [`OpEnv`] with plain single-owner fields behind one handle lock and
+//! delegates. The concurrent front ends (`vbi_service::VbiService`,
+//! `vbi_service::VbiQueue`) route through the *same* engine, which is what
+//! makes them observably identical to a `System` under sequential driving.
+//!
+//! The handle is cheap to clone (`Arc` inside) and `Send + Sync`; each
+//! method takes the one inner lock for its duration, so a `System` stays a
+//! strictly serialized single-owner machine — the concurrency story
+//! (sharding, the lock-free read path) belongs to `vbi_service`.
 
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::addr::{SizeClass, VbiAddress, Vbuid};
-use crate::client::{ClientId, ClientIdAllocator, Cvt, VirtualAddress};
+use crate::client::{ClientId, ClientIdAllocator, Cvt, CvtEntry};
 use crate::config::VbiConfig;
-use crate::cvt_cache::{CvtCache, CvtCacheStats};
+use crate::cvt_cache::{ClientCvtCache, CvtCache, CvtCacheStats};
 use crate::error::{Result, VbiError};
 use crate::mtl::{Mtl, MtlAccess, TranslateResult};
 use crate::ops::{self, Op, OpEnv, OpResult};
-use crate::perm::{AccessKind, Rwx};
+use crate::session::{ClientSession, SessionHost};
+use crate::sync::unpoison;
 use crate::vb::VbProperties;
 
 pub use crate::ops::{CheckedAccess, VbHandle};
 
-/// A full VBI machine: MTL + clients + CVTs + CVT caches.
-///
-/// See the [crate-level documentation](crate) for a quick-start example.
+/// A synchronous session over a [`System`].
+pub type SystemSession = ClientSession<System>;
+
 #[derive(Debug)]
-pub struct System {
+struct SystemInner {
     mtl: Mtl,
     cvts: HashMap<ClientId, Cvt>,
     cvt_caches: HashMap<ClientId, CvtCache>,
@@ -40,7 +49,7 @@ pub struct System {
     config: VbiConfig,
 }
 
-impl OpEnv for System {
+impl OpEnv for SystemInner {
     fn config(&self) -> &VbiConfig {
         &self.config
     }
@@ -53,12 +62,12 @@ impl OpEnv for System {
         self.client_ids.release(id);
     }
 
-    fn try_insert_client(&mut self, id: ClientId, cvt: Cvt, cache: CvtCache) -> bool {
+    fn try_insert_client(&mut self, id: ClientId, cvt: Cvt) -> bool {
         if self.cvts.contains_key(&id) {
             return false;
         }
         self.cvts.insert(id, cvt);
-        self.cvt_caches.insert(id, cache);
+        self.cvt_caches.insert(id, CvtCache::new(self.config.cvt_cache_slots));
         true
     }
 
@@ -71,11 +80,18 @@ impl OpEnv for System {
     fn with_client<R>(
         &mut self,
         id: ClientId,
-        f: impl FnOnce(&mut Cvt, &mut CvtCache) -> R,
+        f: impl FnOnce(&mut Cvt, &mut dyn ClientCvtCache) -> R,
     ) -> Result<R> {
         let cvt = self.cvts.get_mut(&id).ok_or(VbiError::InvalidClient(id))?;
         let cache = self.cvt_caches.get_mut(&id).expect("cache exists with cvt");
         Ok(f(cvt, cache))
+    }
+
+    fn with_client_read(&mut self, id: ClientId, index: usize) -> Result<(CvtEntry, bool)> {
+        // A System is single-owner: the read side is the locked path.
+        let cvt = self.cvts.get(&id).ok_or(VbiError::InvalidClient(id))?;
+        let cache = self.cvt_caches.get_mut(&id).expect("cache exists with cvt");
+        ops::cvt_lookup(cvt, cache, id, index)
     }
 
     fn with_home_mtl<R>(&mut self, _vbuid: Vbuid, f: impl FnOnce(&mut Mtl) -> R) -> R {
@@ -90,16 +106,79 @@ impl OpEnv for System {
     }
 }
 
+/// A full VBI machine: MTL + clients + CVTs + CVT caches, behind a
+/// cheap-to-clone handle.
+///
+/// See the [crate-level documentation](crate) for a quick-start example.
+#[derive(Debug, Clone)]
+pub struct System {
+    inner: Arc<Mutex<SystemInner>>,
+    /// The (immutable) configuration, readable without the inner lock.
+    config: Arc<VbiConfig>,
+}
+
+/// A guard giving read access to a [`System`]'s MTL; dereferences to
+/// [`Mtl`]. Holds the system's inner lock — drop it before calling any
+/// other `System` or session method, or that call deadlocks.
+pub struct MtlRef<'a>(MutexGuard<'a, SystemInner>);
+
+impl Deref for MtlRef<'_> {
+    type Target = Mtl;
+    fn deref(&self) -> &Mtl {
+        &self.0.mtl
+    }
+}
+
+/// A guard giving exclusive access to a [`System`]'s MTL; dereferences
+/// mutably to [`Mtl`]. Same lock discipline as [`MtlRef`].
+pub struct MtlRefMut<'a>(MutexGuard<'a, SystemInner>);
+
+impl Deref for MtlRefMut<'_> {
+    type Target = Mtl;
+    fn deref(&self) -> &Mtl {
+        &self.0.mtl
+    }
+}
+
+impl DerefMut for MtlRefMut<'_> {
+    fn deref_mut(&mut self) -> &mut Mtl {
+        &mut self.0.mtl
+    }
+}
+
+/// A guard giving read access to one client's CVT; dereferences to
+/// [`Cvt`]. Holds the system's inner lock — drop it before calling any
+/// other `System` or session method.
+pub struct CvtRef<'a> {
+    guard: MutexGuard<'a, SystemInner>,
+    client: ClientId,
+}
+
+impl Deref for CvtRef<'_> {
+    type Target = Cvt;
+    fn deref(&self) -> &Cvt {
+        // Existence was checked at construction and the lock is held.
+        self.guard.cvts.get(&self.client).expect("checked at construction")
+    }
+}
+
 impl System {
     /// Creates a system with the given configuration.
     pub fn new(config: VbiConfig) -> Self {
         Self {
-            mtl: Mtl::new(config.clone()),
-            cvts: HashMap::new(),
-            cvt_caches: HashMap::new(),
-            client_ids: ClientIdAllocator::new(),
-            config,
+            inner: Arc::new(Mutex::new(SystemInner {
+                mtl: Mtl::new(config.clone()),
+                cvts: HashMap::new(),
+                cvt_caches: HashMap::new(),
+                client_ids: ClientIdAllocator::new(),
+                config: config.clone(),
+            })),
+            config: Arc::new(config),
         }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SystemInner> {
+        unpoison(self.inner.lock())
     }
 
     /// The active configuration.
@@ -107,32 +186,36 @@ impl System {
         &self.config
     }
 
-    /// Read access to the MTL (stats, structure inspection).
-    pub fn mtl(&self) -> &Mtl {
-        &self.mtl
+    /// Read access to the MTL (stats, structure inspection). The guard
+    /// holds the system lock; drop it before the next `System` call.
+    pub fn mtl(&self) -> MtlRef<'_> {
+        MtlRef(self.lock())
     }
 
     /// Mutable access to the MTL (used by simulators driving translation
     /// directly and by the OS model for swapping/mmap).
-    pub fn mtl_mut(&mut self) -> &mut Mtl {
-        &mut self.mtl
+    pub fn mtl_mut(&self) -> MtlRefMut<'_> {
+        MtlRefMut(self.lock())
     }
 
     /// Executes one [`Op`] through the shared engine — the same dispatch
-    /// the batched and queued front ends use.
-    pub fn execute(&mut self, op: Op) -> OpResult {
-        ops::execute(self, op)
+    /// the batched and queued front ends use, and the plumbing every
+    /// [`ClientSession`] method funnels through.
+    pub fn execute(&self, op: Op) -> OpResult {
+        ops::execute(&mut *self.lock(), op)
     }
 
     // --- clients ------------------------------------------------------------
 
-    /// Registers a new memory client (process, OS, or VM guest).
+    /// Registers a new memory client (process, OS, or VM guest) and returns
+    /// the session handle that owns its API surface.
     ///
     /// # Errors
     ///
     /// Returns [`VbiError::OutOfClients`] when all 2^16 IDs are live.
-    pub fn create_client(&mut self) -> Result<ClientId> {
-        ops::create_client(self)
+    pub fn create_client(&self) -> Result<ClientSession<System>> {
+        let id = ops::create_client(&mut *self.lock())?;
+        Ok(ClientSession::bind(self.clone(), id))
     }
 
     /// Registers a client with a caller-chosen ID (used by the VM layer,
@@ -141,111 +224,117 @@ impl System {
     /// # Errors
     ///
     /// Returns [`VbiError::InvalidClient`] if the ID is already live.
-    pub fn create_client_with_id(&mut self, id: ClientId) -> Result<ClientId> {
-        ops::create_client_with_id(self, id)
-    }
-
-    /// Destroys a client: detaches every VB in its CVT, disables VBs whose
-    /// reference count drops to zero (§4.2.4), and recycles the client ID.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`VbiError::InvalidClient`] for unknown clients.
-    pub fn destroy_client(&mut self, client: ClientId) -> Result<()> {
-        ops::destroy_client(self, client)
+    pub fn create_client_with_id(&self, id: ClientId) -> Result<ClientSession<System>> {
+        let id = ops::create_client_with_id(&mut *self.lock(), id)?;
+        Ok(ClientSession::bind(self.clone(), id))
     }
 
     /// Whether `client` is live.
     pub fn client_exists(&self, client: ClientId) -> bool {
-        self.cvts.contains_key(&client)
+        self.lock().cvts.contains_key(&client)
     }
 
-    /// The client's CVT (for inspection).
+    /// The client's CVT (kernel-level inspection; the OS model uses this
+    /// for fork). The guard holds the system lock.
     ///
     /// # Errors
     ///
     /// Returns [`VbiError::InvalidClient`] for unknown clients.
-    pub fn cvt(&self, client: ClientId) -> Result<&Cvt> {
-        self.cvts.get(&client).ok_or(VbiError::InvalidClient(client))
+    pub fn cvt(&self, client: ClientId) -> Result<CvtRef<'_>> {
+        let guard = self.lock();
+        if !guard.cvts.contains_key(&client) {
+            return Err(VbiError::InvalidClient(client));
+        }
+        Ok(CvtRef { guard, client })
     }
 
-    /// The client's CVT-cache statistics.
+    /// Promotes the VB behind `client`'s CVT index to the next larger size
+    /// class — the implementation behind [`ClientSession::promote`].
+    fn promote_for(&self, client: ClientId, index: usize) -> Result<VbHandle> {
+        let inner = &mut *self.lock();
+        let old =
+            inner.cvts.get(&client).ok_or(VbiError::InvalidClient(client))?.entry(index)?.vbuid();
+        let next = old
+            .size_class()
+            .next_larger()
+            .ok_or(VbiError::RequestTooLarge { requested: old.bytes() + 1 })?;
+        let props = inner.mtl.props(old)?;
+        let new = inner.mtl.find_free_vb(next)?;
+        inner.mtl.enable_vb(new, props)?;
+        if let Err(e) = inner.mtl.promote_vb(old, new) {
+            let _ = inner.mtl.disable_vb(new);
+            return Err(e);
+        }
+        // Redirect every CVT entry in the system pointing at the old VB and
+        // move its reference counts to the new VB.
+        let mut moved = 0;
+        for (cid, cvt) in inner.cvts.iter_mut() {
+            let indices: Vec<usize> =
+                cvt.iter().filter(|(_, e)| e.vbuid() == old).map(|(i, _)| i).collect();
+            for i in indices {
+                cvt.redirect(i, new)?;
+                inner.cvt_caches.get_mut(cid).expect("cache exists with cvt").invalidate(*cid, i);
+                moved += 1;
+            }
+        }
+        for _ in 0..moved {
+            inner.mtl.remove_ref(old)?;
+            inner.mtl.add_ref(new)?;
+        }
+        inner.mtl.disable_vb(old)?;
+        Ok(VbHandle { cvt_index: index, vbuid: new })
+    }
+
+    // --- direct MTL access ---------------------------------------------------
+
+    /// Direct (unchecked) MTL translation — the path taken after the cache
+    /// hierarchy misses, used by the timing simulator.
     ///
     /// # Errors
     ///
-    /// Returns [`VbiError::InvalidClient`] for unknown clients.
-    pub fn cvt_cache_stats(&self, client: ClientId) -> Result<CvtCacheStats> {
-        self.cvt_caches.get(&client).map(CvtCache::stats).ok_or(VbiError::InvalidClient(client))
+    /// Any translation error.
+    pub fn mtl_translate(
+        &self,
+        address: VbiAddress,
+        access: MtlAccess,
+    ) -> Result<crate::mtl::Translation> {
+        self.lock().mtl.translate(address, access)
     }
 
-    // --- VB management --------------------------------------------------------
+    /// Convenience: whether an address's data is currently backed by
+    /// physical memory (false = zero-line territory).
+    pub fn is_backed(&self, address: VbiAddress) -> bool {
+        matches!(
+            self.lock().mtl.translate(address, MtlAccess::Read).map(|t| t.result),
+            Ok(TranslateResult::Mapped(_))
+        )
+    }
+}
 
-    /// The `request_vb` system call (§4.2): finds the smallest free VB that
-    /// fits `bytes`, enables it with `props`, attaches the caller with
-    /// `perms`, and returns the CVT index as the program's handle.
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::RequestTooLarge`] for requests beyond 128 TiB,
-    /// [`VbiError::InvalidClient`], [`VbiError::CvtFull`], or VB exhaustion.
-    pub fn request_vb(
-        &mut self,
+impl SessionHost for System {
+    fn run_op(&self, op: Op) -> OpResult {
+        self.execute(op)
+    }
+
+    fn client_cvt_cache_stats(&self, client: ClientId) -> Result<CvtCacheStats> {
+        self.lock()
+            .cvt_caches
+            .get(&client)
+            .map(CvtCache::stats)
+            .ok_or(VbiError::InvalidClient(client))
+    }
+
+    fn store_bytes_for(
+        &self,
         client: ClientId,
-        bytes: u64,
-        props: VbProperties,
-        perms: Rwx,
-    ) -> Result<VbHandle> {
-        ops::request_vb(self, client, bytes, props, perms)
-    }
-
-    /// The `attach` instruction: adds a CVT entry for `vbuid` with `perms`
-    /// and increments the VB's reference count. Returns the CVT index.
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::InvalidClient`], [`VbiError::VbNotEnabled`], or
-    /// [`VbiError::CvtFull`].
-    pub fn attach(&mut self, client: ClientId, vbuid: Vbuid, perms: Rwx) -> Result<usize> {
-        ops::attach(self, client, vbuid, perms)
-    }
-
-    /// `attach` at a specific CVT index (fork and shared-library layout).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`System::attach`].
-    pub fn attach_at(
-        &mut self,
-        client: ClientId,
-        index: usize,
-        vbuid: Vbuid,
-        perms: Rwx,
+        va: crate::client::VirtualAddress,
+        data: &[u8],
     ) -> Result<()> {
-        ops::attach_at(self, client, index, vbuid, perms)
+        ops::store_bytes(&mut *self.lock(), client, va, data)
     }
+}
 
-    /// The `detach` instruction: invalidates the client's CVT entry for
-    /// `vbuid` and decrements the reference count. Returns the new count so
-    /// callers can `disable_vb` at zero.
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::InvalidClient`] or [`VbiError::VbNotEnabled`].
-    pub fn detach(&mut self, client: ClientId, vbuid: Vbuid) -> Result<u32> {
-        ops::detach(self, client, vbuid)
-    }
-
-    /// Detaches the VB behind a handle and disables it if this was the last
-    /// reference — the common "free this data structure" path.
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`], or
-    /// [`VbiError::VbNotEnabled`].
-    pub fn release_vb(&mut self, client: ClientId, index: usize) -> Result<()> {
-        ops::release_vb(self, client, index)
-    }
-
+impl ClientSession<System> {
     /// Promotes the VB behind `index` to the next larger size class (§4.4):
     /// enables a larger VB, executes `promote_vb`, redirects every CVT entry
     /// in the system that referenced the old VB, and disables the old VB.
@@ -259,157 +348,16 @@ impl System {
     ///
     /// [`VbiError::RequestTooLarge`] at the largest class, plus any
     /// attach/enable error.
-    pub fn promote(&mut self, client: ClientId, index: usize) -> Result<VbHandle> {
-        let old = self.cvt(client)?.entry(index)?.vbuid();
-        let next = old
-            .size_class()
-            .next_larger()
-            .ok_or(VbiError::RequestTooLarge { requested: old.bytes() + 1 })?;
-        let props = self.mtl.props(old)?;
-        let new = self.mtl.find_free_vb(next)?;
-        self.mtl.enable_vb(new, props)?;
-        if let Err(e) = self.mtl.promote_vb(old, new) {
-            let _ = self.mtl.disable_vb(new);
-            return Err(e);
-        }
-        // Redirect every CVT entry in the system pointing at the old VB and
-        // move its reference counts to the new VB.
-        let mut moved = 0;
-        for (cid, cvt) in self.cvts.iter_mut() {
-            let indices: Vec<usize> =
-                cvt.iter().filter(|(_, e)| e.vbuid() == old).map(|(i, _)| i).collect();
-            for i in indices {
-                cvt.redirect(i, new)?;
-                self.cvt_caches.get_mut(cid).expect("cache exists with cvt").invalidate(*cid, i);
-                moved += 1;
-            }
-        }
-        for _ in 0..moved {
-            self.mtl.remove_ref(old)?;
-            self.mtl.add_ref(new)?;
-        }
-        self.mtl.disable_vb(old)?;
-        Ok(VbHandle { cvt_index: index, vbuid: new })
-    }
-
-    // --- protection-checked access ---------------------------------------------
-
-    /// Performs the CPU-side access check of §4.2.3 through the client's CVT
-    /// cache: index bounds, RWX permission, and offset bounds. On success
-    /// returns the VBI address plus cache-hit information.
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`],
-    /// [`VbiError::PermissionDenied`], or [`VbiError::OffsetOutOfRange`].
-    pub fn access(
-        &mut self,
-        client: ClientId,
-        va: VirtualAddress,
-        kind: AccessKind,
-    ) -> Result<CheckedAccess> {
-        ops::access(self, client, va, kind)
-    }
-
-    // --- functional loads and stores ----------------------------------------------
-
-    /// Protection-checked functional load of a `u64`.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn load_u64(&mut self, client: ClientId, va: VirtualAddress) -> Result<u64> {
-        ops::load_u64(self, client, va)
-    }
-
-    /// Protection-checked functional store of a `u64`.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn store_u64(&mut self, client: ClientId, va: VirtualAddress, value: u64) -> Result<()> {
-        ops::store_u64(self, client, va, value)
-    }
-
-    /// Protection-checked functional load of one byte.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn load_u8(&mut self, client: ClientId, va: VirtualAddress) -> Result<u8> {
-        ops::load_u8(self, client, va)
-    }
-
-    /// Protection-checked functional store of one byte.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn store_u8(&mut self, client: ClientId, va: VirtualAddress, value: u8) -> Result<()> {
-        ops::store_u8(self, client, va, value)
-    }
-
-    /// Protection-checked instruction fetch (returns the byte; fetch width
-    /// is immaterial to the model).
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn fetch(&mut self, client: ClientId, va: VirtualAddress) -> Result<u8> {
-        ops::fetch(self, client, va)
-    }
-
-    /// Copies `data` into a VB through a checked store path (bulk helper for
-    /// loaders and tests): one protection check and one MTL visit for the
-    /// whole span.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn store_bytes(&mut self, client: ClientId, va: VirtualAddress, data: &[u8]) -> Result<()> {
-        ops::store_bytes(self, client, va, data)
-    }
-
-    /// Reads `len` bytes from a VB through a checked load path.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn load_bytes(
-        &mut self,
-        client: ClientId,
-        va: VirtualAddress,
-        len: usize,
-    ) -> Result<Vec<u8>> {
-        ops::load_bytes(self, client, va, len)
-    }
-
-    /// Direct (unchecked) MTL translation — the path taken after the cache
-    /// hierarchy misses, used by the timing simulator.
-    ///
-    /// # Errors
-    ///
-    /// Any translation error.
-    pub fn mtl_translate(
-        &mut self,
-        address: VbiAddress,
-        access: MtlAccess,
-    ) -> Result<crate::mtl::Translation> {
-        self.mtl.translate(address, access)
-    }
-
-    /// Convenience: whether an address's data is currently backed by
-    /// physical memory (false = zero-line territory).
-    pub fn is_backed(&mut self, address: VbiAddress) -> bool {
-        matches!(
-            self.mtl.translate(address, MtlAccess::Read).map(|t| t.result),
-            Ok(TranslateResult::Mapped(_))
-        )
+    pub fn promote(&self, index: usize) -> Result<VbHandle> {
+        self.host().promote_for(self.id(), index)
     }
 }
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::VirtualAddress;
+    use crate::perm::Rwx;
 
     fn system() -> System {
         System::new(VbiConfig { phys_frames: 4096, ..VbiConfig::vbi_full() })
@@ -417,158 +365,172 @@ mod tests {
 
     #[test]
     fn request_vb_picks_the_smallest_fitting_class() {
-        let mut s = system();
+        let s = system();
         let c = s.create_client().unwrap();
-        let small = s.request_vb(c, 100, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let small = c.request_vb(100, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         assert_eq!(small.vbuid.size_class(), SizeClass::Kib4);
-        let big = s.request_vb(c, 200 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let big = c.request_vb(200 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         assert_eq!(big.vbuid.size_class(), SizeClass::Mib4);
     }
 
     #[test]
     fn store_and_load_roundtrip() {
-        let mut s = system();
+        let s = system();
         let c = s.create_client().unwrap();
-        let vb = s.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        s.store_u64(c, vb.at(8), 0xabcd).unwrap();
-        assert_eq!(s.load_u64(c, vb.at(8)).unwrap(), 0xabcd);
-        assert_eq!(s.load_u64(c, vb.at(16)).unwrap(), 0, "untouched memory reads zero");
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(8), 0xabcd).unwrap();
+        assert_eq!(c.load_u64(vb.at(8)).unwrap(), 0xabcd);
+        assert_eq!(c.load_u64(vb.at(16)).unwrap(), 0, "untouched memory reads zero");
     }
 
     #[test]
     fn permissions_are_enforced_per_client() {
-        let mut s = system();
+        let s = system();
         let owner = s.create_client().unwrap();
         let reader = s.create_client().unwrap();
-        let vb = s.request_vb(owner, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        s.store_u64(owner, vb.at(0), 7).unwrap();
+        let vb = owner.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        owner.store_u64(vb.at(0), 7).unwrap();
 
         // True sharing (§3.4): attach the second client read-only.
-        let idx = s.attach(reader, vb.vbuid, Rwx::READ).unwrap();
+        let idx = reader.attach(vb.vbuid, Rwx::READ).unwrap();
         let ro = VirtualAddress::new(idx, 0);
-        assert_eq!(s.load_u64(reader, ro).unwrap(), 7);
-        assert!(matches!(s.store_u64(reader, ro, 8), Err(VbiError::PermissionDenied { .. })));
+        assert_eq!(reader.load_u64(ro).unwrap(), 7);
+        assert!(matches!(reader.store_u64(ro, 8), Err(VbiError::PermissionDenied { .. })));
     }
 
     #[test]
     fn true_sharing_is_coherent() {
-        let mut s = system();
+        let s = system();
         let a = s.create_client().unwrap();
         let b = s.create_client().unwrap();
-        let vb = s.request_vb(a, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        let idx_b = s.attach(b, vb.vbuid, Rwx::READ_WRITE).unwrap();
-        s.store_u64(a, vb.at(0), 1).unwrap();
-        assert_eq!(s.load_u64(b, VirtualAddress::new(idx_b, 0)).unwrap(), 1);
-        s.store_u64(b, VirtualAddress::new(idx_b, 0), 2).unwrap();
-        assert_eq!(s.load_u64(a, vb.at(0)).unwrap(), 2);
+        let vb = a.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let idx_b = b.attach(vb.vbuid, Rwx::READ_WRITE).unwrap();
+        a.store_u64(vb.at(0), 1).unwrap();
+        assert_eq!(b.load_u64(VirtualAddress::new(idx_b, 0)).unwrap(), 1);
+        b.store_u64(VirtualAddress::new(idx_b, 0), 2).unwrap();
+        assert_eq!(a.load_u64(vb.at(0)).unwrap(), 2);
     }
 
     #[test]
     fn unattached_clients_cannot_touch_a_vb() {
-        let mut s = system();
+        let s = system();
         let owner = s.create_client().unwrap();
         let stranger = s.create_client().unwrap();
-        let vb = s.request_vb(owner, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let vb = owner.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         // The stranger's CVT has no entry: the index is invalid for them.
-        assert!(matches!(s.load_u64(stranger, vb.at(0)), Err(VbiError::InvalidCvtIndex { .. })));
+        assert!(matches!(stranger.load_u64(vb.at(0)), Err(VbiError::InvalidCvtIndex { .. })));
     }
 
     #[test]
     fn release_vb_disables_at_zero_refs() {
-        let mut s = system();
+        let s = system();
         let c = s.create_client().unwrap();
         let free0 = s.mtl().free_frames();
-        let vb = s.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        s.store_u64(c, vb.at(0), 9).unwrap();
-        s.release_vb(c, vb.cvt_index).unwrap();
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(0), 9).unwrap();
+        c.release_vb(vb.cvt_index).unwrap();
         assert_eq!(s.mtl().free_frames(), free0);
-        assert!(matches!(s.load_u64(c, vb.at(0)), Err(VbiError::InvalidCvtIndex { .. })));
+        assert!(matches!(c.load_u64(vb.at(0)), Err(VbiError::InvalidCvtIndex { .. })));
     }
 
     #[test]
     fn shared_vb_survives_one_detach() {
-        let mut s = system();
+        let s = system();
         let a = s.create_client().unwrap();
         let b = s.create_client().unwrap();
-        let vb = s.request_vb(a, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        let idx_b = s.attach(b, vb.vbuid, Rwx::READ).unwrap();
-        s.store_u64(a, vb.at(0), 3).unwrap();
-        s.release_vb(a, vb.cvt_index).unwrap();
+        let vb = a.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let idx_b = b.attach(vb.vbuid, Rwx::READ).unwrap();
+        a.store_u64(vb.at(0), 3).unwrap();
+        a.release_vb(vb.cvt_index).unwrap();
         // B still reads the data: the VB had refcount 2.
-        assert_eq!(s.load_u64(b, VirtualAddress::new(idx_b, 0)).unwrap(), 3);
+        assert_eq!(b.load_u64(VirtualAddress::new(idx_b, 0)).unwrap(), 3);
     }
 
     #[test]
     fn destroy_client_releases_everything() {
-        let mut s = system();
+        let s = system();
         let free0 = s.mtl().free_frames();
         let c = s.create_client().unwrap();
+        let id = c.id();
         for i in 0..4 {
-            let vb = s.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-            s.store_u64(c, vb.at(0), i).unwrap();
+            let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+            c.store_u64(vb.at(0), i).unwrap();
         }
-        s.destroy_client(c).unwrap();
+        c.destroy().unwrap();
         assert_eq!(s.mtl().free_frames(), free0);
-        assert!(!s.client_exists(c));
+        assert!(!s.client_exists(id));
+    }
+
+    #[test]
+    fn destroyed_sessions_error_on_surviving_clones() {
+        let s = system();
+        let c = s.create_client().unwrap();
+        let clone = c.clone();
+        let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.destroy().unwrap();
+        assert!(matches!(clone.load_u64(vb.at(0)), Err(VbiError::InvalidClient(_))));
     }
 
     #[test]
     fn promotion_keeps_the_pointer_valid() {
-        let mut s = system();
+        let s = system();
         let c = s.create_client().unwrap();
-        let vb = s.request_vb(c, 4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        s.store_u64(c, vb.at(64), 31337).unwrap();
-        let promoted = s.promote(c, vb.cvt_index).unwrap();
+        let vb = c.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(64), 31337).unwrap();
+        let promoted = c.promote(vb.cvt_index).unwrap();
         // Same CVT index — the program's pointers still work (§4.2.2) —
         // but more space.
         assert_eq!(promoted.cvt_index, vb.cvt_index);
         assert_eq!(promoted.vbuid.size_class(), SizeClass::Kib128);
-        assert_eq!(s.load_u64(c, vb.at(64)).unwrap(), 31337);
-        s.store_u64(c, vb.at(100 << 10), 1).unwrap();
-        assert_eq!(s.load_u64(c, vb.at(100 << 10)).unwrap(), 1);
+        assert_eq!(c.load_u64(vb.at(64)).unwrap(), 31337);
+        c.store_u64(vb.at(100 << 10), 1).unwrap();
+        assert_eq!(c.load_u64(vb.at(100 << 10)).unwrap(), 1);
     }
 
     #[test]
     fn promotion_redirects_all_sharers() {
-        let mut s = system();
+        let s = system();
         let a = s.create_client().unwrap();
         let b = s.create_client().unwrap();
-        let vb = s.request_vb(a, 4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        let idx_b = s.attach(b, vb.vbuid, Rwx::READ_WRITE).unwrap();
-        s.store_u64(a, vb.at(0), 5).unwrap();
-        s.promote(a, vb.cvt_index).unwrap();
-        assert_eq!(s.load_u64(b, VirtualAddress::new(idx_b, 0)).unwrap(), 5);
+        let vb = a.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let idx_b = b.attach(vb.vbuid, Rwx::READ_WRITE).unwrap();
+        a.store_u64(vb.at(0), 5).unwrap();
+        a.promote(vb.cvt_index).unwrap();
+        assert_eq!(b.load_u64(VirtualAddress::new(idx_b, 0)).unwrap(), 5);
     }
 
     #[test]
     fn cvt_cache_gets_hot() {
-        let mut s = system();
+        let s = system();
         let c = s.create_client().unwrap();
-        let vb = s.request_vb(c, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         for _ in 0..100 {
-            s.load_u64(c, vb.at(0)).unwrap();
+            c.load_u64(vb.at(0)).unwrap();
         }
-        let stats = s.cvt_cache_stats(c).unwrap();
+        let stats = c.cvt_cache_stats().unwrap();
         assert!(stats.hit_rate() > 0.95, "hit rate {}", stats.hit_rate());
+        // A single-owner System has no lock-free path: all hits are locked.
+        assert_eq!(stats.lockfree_hits, 0);
+        assert_eq!(stats.torn_retries, 0);
     }
 
     #[test]
     fn oversized_requests_are_rejected() {
-        let mut s = system();
+        let s = system();
         let c = s.create_client().unwrap();
         assert!(matches!(
-            s.request_vb(c, u64::MAX, VbProperties::NONE, Rwx::READ),
+            c.request_vb(u64::MAX, VbProperties::NONE, Rwx::READ),
             Err(VbiError::RequestTooLarge { .. })
         ));
     }
 
     #[test]
     fn bulk_bytes_roundtrip() {
-        let mut s = system();
+        let s = system();
         let c = s.create_client().unwrap();
-        let vb = s.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         let data: Vec<u8> = (0..=255).collect();
-        s.store_bytes(c, vb.at(4000), &data).unwrap(); // straddles a page
-        assert_eq!(s.load_bytes(c, vb.at(4000), 256).unwrap(), data);
+        c.store_bytes(vb.at(4000), &data).unwrap(); // straddles a page
+        assert_eq!(c.load_bytes(vb.at(4000), 256).unwrap(), data);
     }
 }

@@ -12,6 +12,7 @@ use core::fmt;
 use crate::addr::{SizeClass, Vbuid};
 use crate::client::ClientId;
 use crate::error::{Result, VbiError};
+use crate::session::ClientSession;
 use crate::system::System;
 
 /// A virtual-machine ID within the partitioned VBI space. ID 0 is the host.
@@ -143,12 +144,13 @@ impl VirtualMachine {
         self.vm
     }
 
-    /// Creates a guest process: a client inside the VM's client-ID slice.
+    /// Creates a guest process: a client inside the VM's client-ID slice,
+    /// returned as a session like any native client.
     ///
     /// # Errors
     ///
     /// [`VbiError::OutOfClients`] when the slice is exhausted.
-    pub fn create_guest_client(&mut self, system: &mut System) -> Result<ClientId> {
+    pub fn create_guest_client(&mut self, system: &System) -> Result<ClientSession<System>> {
         if self.next_client >= self.client_end {
             return Err(VbiError::OutOfClients);
         }
@@ -235,15 +237,15 @@ mod tests {
 
     #[test]
     fn guests_allocate_in_their_own_slices() {
-        let mut system =
+        let system =
             System::new(VbiConfig { phys_frames: 4096, vm_id_bits: 5, ..VbiConfig::vbi_full() });
         let part = VmPartition::new(5);
         let mut vm1 = VirtualMachine::new(VmId(1), part);
         let mut vm2 = VirtualMachine::new(VmId(2), part);
 
-        let c1 = vm1.create_guest_client(&mut system).unwrap();
-        let c2 = vm2.create_guest_client(&mut system).unwrap();
-        assert_ne!(c1, c2);
+        let c1 = vm1.create_guest_client(&system).unwrap();
+        let c2 = vm2.create_guest_client(&system).unwrap();
+        assert_ne!(c1.id(), c2.id());
 
         let vb1 = vm1.find_free_vb(&system, SizeClass::Kib128).unwrap();
         system.mtl_mut().enable_vb(vb1, VbProperties::NONE).unwrap();
@@ -255,21 +257,21 @@ mod tests {
 
         // A guest process accesses its VB like any native process: same
         // translation path, no nested walk.
-        let i1 = system.attach(c1, vb1, Rwx::READ_WRITE).unwrap();
-        system.store_u64(c1, crate::client::VirtualAddress::new(i1, 0), 77).unwrap();
-        assert_eq!(system.load_u64(c1, crate::client::VirtualAddress::new(i1, 0)).unwrap(), 77);
+        let i1 = c1.attach(vb1, Rwx::READ_WRITE).unwrap();
+        c1.store_u64(crate::client::VirtualAddress::new(i1, 0), 77).unwrap();
+        assert_eq!(c1.load_u64(crate::client::VirtualAddress::new(i1, 0)).unwrap(), 77);
     }
 
     #[test]
     fn guest_client_slice_exhaustion() {
-        let mut system =
+        let system =
             System::new(VbiConfig { phys_frames: 256, vm_id_bits: 8, ..VbiConfig::vbi_full() });
         let part = VmPartition::new(8);
         let mut vm = VirtualMachine::new(VmId(255), part);
         // 2^16 / 2^8 = 256 clients per VM.
         for _ in 0..256 {
-            vm.create_guest_client(&mut system).unwrap();
+            vm.create_guest_client(&system).unwrap();
         }
-        assert!(matches!(vm.create_guest_client(&mut system), Err(VbiError::OutOfClients)));
+        assert!(matches!(vm.create_guest_client(&system), Err(VbiError::OutOfClients)));
     }
 }

@@ -12,9 +12,17 @@
 //!   disjoint slice of the VBID space and its own physical frames — a
 //!   VBI address names its home shard deterministically, so independent
 //!   VBs never contend on a lock;
-//! * **read-mostly client state**: the per-client CVTs and CVT caches sit
-//!   behind an `RwLock` map that is read-locked on the hot access path and
-//!   write-locked only by client creation/destruction;
+//! * **seqlock client state**: each client's CVT sits behind a mutex, but
+//!   its CVT cache is *published* through an epoch-validated
+//!   [`SeqCvtCache`], so the common-case read — a protection check that
+//!   hits the CVT cache — takes **zero** client-lock acquisitions (the
+//!   paper's central claim: cached translations need no MTL or OS
+//!   involvement). Control-plane ops take the mutex and bump the epoch;
+//!   readers that observe a torn epoch fall back to the locked path;
+//! * **sessions**: [`VbiService::create_client`] returns a
+//!   [`ClientSession`] that owns the client's whole API surface
+//!   (`session.load_u64(va)`, `session.request_vb(..)`), shareable across
+//!   any number of reader threads;
 //! * a **batched request path** ([`VbiService::submit`]) over the full
 //!   [`Op`] surface that performs protection checks first and visits each
 //!   shard once per run of data-plane ops, amortizing lock traffic;
@@ -37,9 +45,11 @@
 //! while holding a shard lock (the engine's [`OpEnv`] contract — each
 //! state callback is entered and exited before the next), and no path
 //! holds two shard locks at once. That makes deadlock impossible by
-//! construction. Shard locks count contention: every acquisition first
-//! tries `try_lock`, and blocked acquisitions increment a per-shard
-//! counter reported by [`VbiService::contention`].
+//! construction. Shard locks count contention ([`VbiService::contention`])
+//! and client locks count acquisitions
+//! ([`VbiService::client_lock_acquisitions`]) — the stress suite uses the
+//! latter to *prove* the lock-free read path takes no client lock on a
+//! CVT-cache hit.
 //!
 //! ## Example
 //!
@@ -50,42 +60,46 @@
 //!
 //! # fn main() -> Result<(), vbi_core::VbiError> {
 //! let service = VbiService::new(ServiceConfig::new(4, VbiConfig::vbi_full()));
+//! let owner = service.create_client()?;
+//! let vb = owner.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE)?;
+//! owner.store_u64(vb.at(8), 7)?;
 //! thread::scope(|s| {
-//!     for t in 0..4u64 {
-//!         let service = service.clone();
+//!     for _ in 0..4 {
+//!         let reader = owner.clone(); // many readers, one client
 //!         s.spawn(move || {
-//!             let client = service.create_client().unwrap();
-//!             let vb = service
-//!                 .request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE)
-//!                 .unwrap();
-//!             service.store_u64(client, vb.at(8), t).unwrap();
-//!             assert_eq!(service.load_u64(client, vb.at(8)).unwrap(), t);
+//!             assert_eq!(reader.load_u64(vb.at(8)).unwrap(), 7);
 //!         });
 //!     }
 //! });
-//! assert!(service.stats().pages_allocated >= 4);
+//! assert!(owner.cvt_cache_stats()?.lockfree_hits > 0);
 //! # Ok(())
 //! # }
 //! ```
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, LockResult, Mutex, MutexGuard, RwLock, TryLockError};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use vbi_core::addr::{SizeClass, VbiAddress, Vbuid};
-use vbi_core::client::{ClientId, ClientIdAllocator, Cvt, VirtualAddress};
+use vbi_core::client::{ClientId, ClientIdAllocator, Cvt, CvtEntry};
 use vbi_core::config::VbiConfig;
-use vbi_core::cvt_cache::{CvtCache, CvtCacheStats};
+use vbi_core::cvt_cache::{CvtCacheStats, SeqCvtCache};
 use vbi_core::error::{Result, VbiError};
 use vbi_core::mtl::{Mtl, MtlAccess};
-use vbi_core::ops::{self, CheckedAccess, Op, OpEnv, OpResult, VbHandle};
-use vbi_core::perm::{AccessKind, Rwx};
+use vbi_core::ops::{self, Op, OpEnv, OpResult};
+use vbi_core::session::{ClientSession, SessionHost};
 use vbi_core::stats::MtlStats;
 use vbi_core::vb::VbProperties;
 
 pub mod queue;
+mod sync;
+
+use crate::sync::{lock_counted, unpoison};
 
 pub use queue::{Cqe, QueueDepth, Sqe, VbiQueue};
+
+/// A session over the sharded service — the client-facing API surface.
+pub type ServiceSession = ClientSession<VbiService>;
 
 /// Configuration of a sharded service: the shard count plus the base
 /// machine configuration.
@@ -99,18 +113,30 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Machine configuration; `phys_frames` is the machine total.
     pub base: VbiConfig,
+    /// Whether read-kind protection checks may be answered lock-free from
+    /// the seqlock-published CVT cache (default `true`). `false` forces
+    /// every check through the locked path — the baseline the `read_path`
+    /// bench compares against.
+    pub lockfree_reads: bool,
 }
 
 impl ServiceConfig {
     /// A `shards`-way service over `base`.
     pub fn new(shards: usize, base: VbiConfig) -> Self {
-        Self { shards, base }
+        Self { shards, base, lockfree_reads: true }
     }
 
     /// The degenerate single-shard service — byte- and stats-identical to
     /// a [`vbi_core::System`] under single-threaded driving.
     pub fn single(base: VbiConfig) -> Self {
-        Self { shards: 1, base }
+        Self::new(1, base)
+    }
+
+    /// Selects whether the lock-free read path is used (see
+    /// [`ServiceConfig::lockfree_reads`]).
+    pub fn with_lockfree_reads(mut self, enabled: bool) -> Self {
+        self.lockfree_reads = enabled;
+        self
     }
 }
 
@@ -134,12 +160,44 @@ impl ShardLoad {
     }
 }
 
-/// Per-client protection state: the CVT plus its (per-core, here
-/// per-client) CVT cache.
+/// The lockable half of a client's state. The CVT is authoritative; the
+/// cache handle inside is the *write side* of the seqlock-published image
+/// (its clone in [`ClientSlot::reads`] serves the lock-free path).
 #[derive(Debug)]
 struct ClientState {
     cvt: Cvt,
-    cache: CvtCache,
+    cache: SeqCvtCache,
+}
+
+/// One client: the locked state, the lock-free read image, and the
+/// client-lock traffic counters.
+#[derive(Debug)]
+struct ClientSlot {
+    state: Mutex<ClientState>,
+    /// Clone of `state.cache` (same shared image) for lock-free readers.
+    reads: SeqCvtCache,
+    /// Client-lock acquisitions — the counter that proves cache-hit reads
+    /// take zero client locks.
+    lock_acquisitions: AtomicU64,
+    /// Client-lock acquisitions that had to block.
+    lock_contended: AtomicU64,
+}
+
+impl ClientSlot {
+    fn new(cvt: Cvt, cache_slots: usize) -> Self {
+        let cache = SeqCvtCache::new(cache_slots);
+        Self {
+            reads: cache.clone(),
+            state: Mutex::new(ClientState { cvt, cache }),
+            lock_acquisitions: AtomicU64::new(0),
+            lock_contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the client state, counting the acquisition.
+    fn lock(&self) -> MutexGuard<'_, ClientState> {
+        lock_counted(&self.state, &self.lock_acquisitions, &self.lock_contended)
+    }
 }
 
 /// One MTL shard plus its lock-traffic counters.
@@ -154,7 +212,7 @@ struct Shard {
 struct Inner {
     config: ServiceConfig,
     shards: Vec<Shard>,
-    clients: RwLock<HashMap<ClientId, Arc<Mutex<ClientState>>>>,
+    clients: RwLock<HashMap<ClientId, Arc<ClientSlot>>>,
     ids: Mutex<ClientIdAllocator>,
     /// Round-robin cursor for placing newly requested VBs on shards.
     placement: AtomicUsize,
@@ -163,8 +221,9 @@ struct Inner {
 /// A concurrent, sharded VBI memory service.
 ///
 /// The handle is cheap to clone (`Arc` inside) and `Send + Sync`; clone it
-/// into every worker thread. See the [crate-level docs](crate) for the
-/// design and an example.
+/// into every worker thread, or hand threads clones of a
+/// [`ClientSession`]. See the [crate-level docs](crate) for the design and
+/// an example.
 #[derive(Debug, Clone)]
 pub struct VbiService {
     inner: Arc<Inner>,
@@ -175,16 +234,8 @@ pub struct VbiService {
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<VbiService>();
+    assert_send_sync::<ServiceSession>();
 };
-
-pub(crate) fn unpoison<G>(result: LockResult<G>) -> G {
-    // A panicking holder leaves state functionally consistent here (all
-    // multi-step MTL updates roll back on error); keep serving.
-    match result {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
 
 /// The service's [`OpEnv`]: the engine runs against lock-protected state.
 ///
@@ -206,34 +257,53 @@ impl OpEnv for ServiceEnv<'_> {
         unpoison(self.0.inner.ids.lock()).release(id);
     }
 
-    fn try_insert_client(&mut self, id: ClientId, cvt: Cvt, cache: CvtCache) -> bool {
+    fn try_insert_client(&mut self, id: ClientId, cvt: Cvt) -> bool {
         let mut clients = unpoison(self.0.inner.clients.write());
         match clients.entry(id) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(Arc::new(Mutex::new(ClientState { cvt, cache })));
+                slot.insert(Arc::new(ClientSlot::new(
+                    cvt,
+                    self.0.inner.config.base.cvt_cache_slots,
+                )));
                 true
             }
         }
     }
 
     fn take_client_vbuids(&mut self, id: ClientId) -> Result<Vec<Vbuid>> {
-        let state = unpoison(self.0.inner.clients.write())
+        let slot = unpoison(self.0.inner.clients.write())
             .remove(&id)
             .ok_or(VbiError::InvalidClient(id))?;
-        let st = unpoison(state.lock());
+        let st = slot.lock();
         Ok(st.cvt.iter().map(|(_, entry)| entry.vbuid()).collect())
     }
 
     fn with_client<R>(
         &mut self,
         id: ClientId,
-        f: impl FnOnce(&mut Cvt, &mut CvtCache) -> R,
+        f: impl FnOnce(&mut Cvt, &mut dyn vbi_core::cvt_cache::ClientCvtCache) -> R,
     ) -> Result<R> {
-        let state = self.0.client_state(id)?;
-        let mut st = unpoison(state.lock());
+        let slot = self.0.client_slot(id)?;
+        let mut st = slot.lock();
         let ClientState { cvt, cache } = &mut *st;
         Ok(f(cvt, cache))
+    }
+
+    fn with_client_read(&mut self, id: ClientId, index: usize) -> Result<(CvtEntry, bool)> {
+        let slot = self.0.client_slot(id)?;
+        // Fast path: an epoch-validated hit on the published CVT cache —
+        // no client lock taken, nothing mutated but atomic stat counters.
+        if self.0.inner.config.lockfree_reads {
+            if let Some(entry) = slot.reads.lookup_lockfree(index) {
+                return Ok((entry, true));
+            }
+        }
+        // Slow path (miss, torn read, or lock-free reads disabled): the
+        // locked authoritative lookup, identical to every other front end.
+        let mut st = slot.lock();
+        let ClientState { cvt, cache } = &mut *st;
+        ops::cvt_lookup(cvt, cache, id, index)
     }
 
     fn with_home_mtl<R>(&mut self, vbuid: Vbuid, f: impl FnOnce(&mut Mtl) -> R) -> R {
@@ -311,15 +381,7 @@ impl VbiService {
     /// Locks a shard, counting contention.
     fn lock_shard(&self, shard: usize) -> MutexGuard<'_, Mtl> {
         let slot = &self.inner.shards[shard];
-        slot.acquisitions.fetch_add(1, Ordering::Relaxed);
-        match slot.mtl.try_lock() {
-            Ok(guard) => guard,
-            Err(TryLockError::WouldBlock) => {
-                slot.contended.fetch_add(1, Ordering::Relaxed);
-                unpoison(slot.mtl.lock())
-            }
-            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
-        }
+        lock_counted(&slot.mtl, &slot.acquisitions, &slot.contended)
     }
 
     /// Locks the home shard of `vbuid`.
@@ -327,24 +389,27 @@ impl VbiService {
         self.lock_shard(self.shard_of(vbuid))
     }
 
-    fn client_state(&self, client: ClientId) -> Result<Arc<Mutex<ClientState>>> {
+    fn client_slot(&self, client: ClientId) -> Result<Arc<ClientSlot>> {
         unpoison(self.inner.clients.read())
             .get(&client)
             .cloned()
             .ok_or(VbiError::InvalidClient(client))
     }
 
-    /// Reads the VB a client's CVT index points at, without touching the
-    /// CVT cache or any stats — the routing peek used by [`VbiQueue`] to
-    /// pick a submission ring.
+    /// Reads the VB a client's CVT index points at, without touching any
+    /// stats — the routing peek used by [`VbiQueue`] to pick a submission
+    /// ring. Served lock-free from the published CVT cache when possible.
     pub(crate) fn peek_vbuid(&self, client: ClientId, cvt_index: usize) -> Option<Vbuid> {
-        let state = self.client_state(client).ok()?;
-        let st = unpoison(state.lock());
+        let slot = self.client_slot(client).ok()?;
+        if let Some(entry) = slot.reads.peek(cvt_index) {
+            return Some(entry.vbuid());
+        }
+        let st = slot.lock();
         st.cvt.entry(cvt_index).ok().map(|entry| entry.vbuid())
     }
 
     /// Executes one [`Op`] through the shared engine against this
-    /// service's sharded state — the single entry point the typed methods,
+    /// service's sharded state — the single entry point the sessions,
     /// [`VbiService::submit`], and [`VbiQueue`] workers all funnel through.
     pub fn execute(&self, op: Op) -> OpResult {
         ops::execute(&mut ServiceEnv(self), op)
@@ -352,13 +417,16 @@ impl VbiService {
 
     // --- clients ------------------------------------------------------------
 
-    /// Registers a new memory client.
+    /// Registers a new memory client and returns the session that owns its
+    /// API surface. Clone the session into as many threads as needed;
+    /// CVT-cache-hit reads from any of them take no client lock.
     ///
     /// # Errors
     ///
     /// Returns [`VbiError::OutOfClients`] when all 2^16 IDs are live.
-    pub fn create_client(&self) -> Result<ClientId> {
-        ops::create_client(&mut ServiceEnv(self))
+    pub fn create_client(&self) -> Result<ServiceSession> {
+        let id = ops::create_client(&mut ServiceEnv(self))?;
+        Ok(ClientSession::bind(self.clone(), id))
     }
 
     /// Registers a client with a caller-chosen ID (VM partitioning, §6.1).
@@ -366,18 +434,9 @@ impl VbiService {
     /// # Errors
     ///
     /// Returns [`VbiError::InvalidClient`] if the ID is already live.
-    pub fn create_client_with_id(&self, id: ClientId) -> Result<ClientId> {
-        ops::create_client_with_id(&mut ServiceEnv(self), id)
-    }
-
-    /// Destroys a client: detaches every VB in its CVT, disables VBs whose
-    /// reference count drops to zero, and recycles the client ID.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`VbiError::InvalidClient`] for unknown clients.
-    pub fn destroy_client(&self, client: ClientId) -> Result<()> {
-        ops::destroy_client(&mut ServiceEnv(self), client)
+    pub fn create_client_with_id(&self, id: ClientId) -> Result<ServiceSession> {
+        let id = ops::create_client_with_id(&mut ServiceEnv(self), id)?;
+        Ok(ClientSession::bind(self.clone(), id))
     }
 
     /// Whether `client` is live.
@@ -385,175 +444,31 @@ impl VbiService {
         unpoison(self.inner.clients.read()).contains_key(&client)
     }
 
-    /// The client's CVT-cache statistics.
+    /// Client-lock acquisitions performed on behalf of `client` so far —
+    /// the counter behind the "cache-hit reads take zero client locks"
+    /// proof in the stress suite.
     ///
     /// # Errors
     ///
     /// Returns [`VbiError::InvalidClient`] for unknown clients.
-    pub fn cvt_cache_stats(&self, client: ClientId) -> Result<CvtCacheStats> {
-        let state = self.client_state(client)?;
-        let stats = unpoison(state.lock()).cache.stats();
-        Ok(stats)
-    }
-
-    // --- VB management --------------------------------------------------------
-
-    /// The `request_vb` system call: finds the smallest free VB that fits
-    /// `bytes` on a shard (round-robin placement, falling over to the next
-    /// shard when one slice or memory pool is exhausted), enables it,
-    /// attaches the caller, and returns the handle.
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::RequestTooLarge`] beyond 128 TiB,
-    /// [`VbiError::InvalidClient`], [`VbiError::CvtFull`], or exhaustion of
-    /// every shard.
-    pub fn request_vb(
-        &self,
-        client: ClientId,
-        bytes: u64,
-        props: VbProperties,
-        perms: Rwx,
-    ) -> Result<VbHandle> {
-        ops::request_vb(&mut ServiceEnv(self), client, bytes, props, perms)
-    }
-
-    /// The `attach` instruction: adds a CVT entry for `vbuid` with `perms`
-    /// and increments the VB's reference count. Returns the CVT index.
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::InvalidClient`], [`VbiError::VbNotEnabled`], or
-    /// [`VbiError::CvtFull`].
-    pub fn attach(&self, client: ClientId, vbuid: Vbuid, perms: Rwx) -> Result<usize> {
-        ops::attach(&mut ServiceEnv(self), client, vbuid, perms)
-    }
-
-    /// `attach` at a specific CVT index (fork and shared-library layout).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`VbiService::attach`].
-    pub fn attach_at(
-        &self,
-        client: ClientId,
-        index: usize,
-        vbuid: Vbuid,
-        perms: Rwx,
-    ) -> Result<()> {
-        ops::attach_at(&mut ServiceEnv(self), client, index, vbuid, perms)
-    }
-
-    /// The `detach` instruction: invalidates the client's CVT entry for
-    /// `vbuid` and decrements the reference count. Returns the new count.
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::InvalidClient`] or [`VbiError::VbNotEnabled`].
-    pub fn detach(&self, client: ClientId, vbuid: Vbuid) -> Result<u32> {
-        ops::detach(&mut ServiceEnv(self), client, vbuid)
-    }
-
-    /// Detaches the VB behind a handle and disables it at zero references —
-    /// the common "free this data structure" path.
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::InvalidClient`], [`VbiError::InvalidCvtIndex`], or
-    /// [`VbiError::VbNotEnabled`].
-    pub fn release_vb(&self, client: ClientId, index: usize) -> Result<()> {
-        ops::release_vb(&mut ServiceEnv(self), client, index)
-    }
-
-    // --- protection-checked access ---------------------------------------------
-
-    /// Protection check without touching memory (exposed for tests and
-    /// routing diagnostics): returns the VBI address an access would use.
-    ///
-    /// # Errors
-    ///
-    /// Any protection error.
-    pub fn access(
-        &self,
-        client: ClientId,
-        va: VirtualAddress,
-        kind: AccessKind,
-    ) -> Result<CheckedAccess> {
-        ops::access(&mut ServiceEnv(self), client, va, kind)
-    }
-
-    // --- functional loads and stores ----------------------------------------------
-
-    /// Protection-checked functional load of a `u64`.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn load_u64(&self, client: ClientId, va: VirtualAddress) -> Result<u64> {
-        ops::load_u64(&mut ServiceEnv(self), client, va)
-    }
-
-    /// Protection-checked functional store of a `u64`.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn store_u64(&self, client: ClientId, va: VirtualAddress, value: u64) -> Result<()> {
-        ops::store_u64(&mut ServiceEnv(self), client, va, value)
-    }
-
-    /// Protection-checked functional load of one byte.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn load_u8(&self, client: ClientId, va: VirtualAddress) -> Result<u8> {
-        ops::load_u8(&mut ServiceEnv(self), client, va)
-    }
-
-    /// Protection-checked functional store of one byte.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn store_u8(&self, client: ClientId, va: VirtualAddress, value: u8) -> Result<()> {
-        ops::store_u8(&mut ServiceEnv(self), client, va, value)
-    }
-
-    /// Copies `data` into a VB through the checked store path: one
-    /// protection check and one home-shard lock for the whole span.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error, including running off the end
-    /// of the VB mid-copy (bytes before the fault are written).
-    pub fn store_bytes(&self, client: ClientId, va: VirtualAddress, data: &[u8]) -> Result<()> {
-        ops::store_bytes(&mut ServiceEnv(self), client, va, data)
-    }
-
-    /// Reads `len` bytes from a VB through the checked load path — one
-    /// protection check and one shard lock for the whole span.
-    ///
-    /// # Errors
-    ///
-    /// Any protection or translation error.
-    pub fn load_bytes(&self, client: ClientId, va: VirtualAddress, len: usize) -> Result<Vec<u8>> {
-        ops::load_bytes(&mut ServiceEnv(self), client, va, len)
+    pub fn client_lock_acquisitions(&self, client: ClientId) -> Result<u64> {
+        Ok(self.client_slot(client)?.lock_acquisitions.load(Ordering::Relaxed))
     }
 
     // --- batched path ----------------------------------------------------------
 
     /// Executes a batch over the **full op surface**, visiting each shard
     /// at most once per run of data-plane ops: protection checks run first
-    /// (client locks only), checked accesses are grouped by home shard,
-    /// and each shard lock is taken a single time for its whole group,
-    /// running the deferred MTL halves through [`vbi_core::ops::run_checked`]
-    /// — the engine's single definition of each op's memory effect.
-    /// MTL-free ops (`Access`, empty byte spans) answer inline at their
-    /// batch position. Control-plane ops (client/VB management) act as
-    /// sequencing barriers: pending data ops drain before they execute, so
-    /// a batch behaves like its sequential execution. Responses come back
-    /// in request order.
+    /// (lock-free for cached reads, client locks otherwise), checked
+    /// accesses are grouped by home shard, and each shard lock is taken a
+    /// single time for its whole group, running the deferred MTL halves
+    /// through [`vbi_core::ops::run_checked`] — the engine's single
+    /// definition of each op's memory effect. MTL-free ops (`Access`,
+    /// empty byte spans) answer inline at their batch position.
+    /// Control-plane ops (client/VB management) act as sequencing
+    /// barriers: pending data ops drain before they execute, so a batch
+    /// behaves like its sequential execution. Responses come back in
+    /// request order.
     ///
     /// Within a run of data-plane ops, requests targeting one shard
     /// execute in batch order; there is no ordering guarantee *across*
@@ -675,11 +590,32 @@ impl VbiService {
     }
 }
 
+impl SessionHost for VbiService {
+    fn run_op(&self, op: Op) -> OpResult {
+        self.execute(op)
+    }
+
+    fn client_cvt_cache_stats(&self, client: ClientId) -> Result<CvtCacheStats> {
+        Ok(self.client_slot(client)?.reads.stats())
+    }
+
+    fn store_bytes_for(
+        &self,
+        client: ClientId,
+        va: vbi_core::client::VirtualAddress,
+        data: &[u8],
+    ) -> Result<()> {
+        ops::store_bytes(&mut ServiceEnv(self), client, va, data)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::thread;
-    use vbi_core::ops::OpOutput;
+    use vbi_core::client::VirtualAddress;
+    use vbi_core::ops::{OpOutput, VbHandle};
+    use vbi_core::perm::Rwx;
 
     fn service(shards: usize) -> VbiService {
         VbiService::new(ServiceConfig::new(
@@ -692,10 +628,10 @@ mod tests {
     fn roundtrip_through_one_shard() {
         let svc = service(1);
         let c = svc.create_client().unwrap();
-        let vb = svc.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        svc.store_u64(c, vb.at(8), 0xfeed).unwrap();
-        assert_eq!(svc.load_u64(c, vb.at(8)).unwrap(), 0xfeed);
-        assert_eq!(svc.load_u64(c, vb.at(16)).unwrap(), 0, "untouched memory reads zero");
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(8), 0xfeed).unwrap();
+        assert_eq!(c.load_u64(vb.at(8)).unwrap(), 0xfeed);
+        assert_eq!(c.load_u64(vb.at(16)).unwrap(), 0, "untouched memory reads zero");
     }
 
     #[test]
@@ -703,7 +639,7 @@ mod tests {
         let svc = service(4);
         let c = svc.create_client().unwrap();
         let handles: Vec<VbHandle> = (0..8)
-            .map(|_| svc.request_vb(c, 4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
+            .map(|_| c.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
             .collect();
         let shards: Vec<usize> = handles.iter().map(|h| svc.shard_of(h.vbuid)).collect();
         // Round-robin placement touches every shard.
@@ -717,7 +653,7 @@ mod tests {
         }
         // Traffic lands only on the home shard.
         svc.reset_stats();
-        svc.store_u64(c, handles[0].at(0), 7).unwrap();
+        c.store_u64(handles[0].at(0), 7).unwrap();
         let per_shard = svc.shard_stats();
         for (s, stats) in per_shard.iter().enumerate() {
             if s == svc.shard_of(handles[0].vbuid) {
@@ -733,12 +669,52 @@ mod tests {
         let svc = service(2);
         let owner = svc.create_client().unwrap();
         let reader = svc.create_client().unwrap();
-        let vb = svc.request_vb(owner, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        svc.store_u64(owner, vb.at(0), 9).unwrap();
-        let idx = svc.attach(reader, vb.vbuid, Rwx::READ).unwrap();
+        let vb = owner.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        owner.store_u64(vb.at(0), 9).unwrap();
+        let idx = reader.attach(vb.vbuid, Rwx::READ).unwrap();
         let ro = VirtualAddress::new(idx, 0);
-        assert_eq!(svc.load_u64(reader, ro).unwrap(), 9);
-        assert!(matches!(svc.store_u64(reader, ro, 1), Err(VbiError::PermissionDenied { .. })));
+        assert_eq!(reader.load_u64(ro).unwrap(), 9);
+        assert!(matches!(reader.store_u64(ro, 1), Err(VbiError::PermissionDenied { .. })));
+    }
+
+    #[test]
+    fn cache_hit_reads_take_no_client_lock() {
+        let svc = service(2);
+        let c = svc.create_client().unwrap();
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(0), 5).unwrap();
+        // Warm the published cache (one locked fill on the first read).
+        assert_eq!(c.load_u64(vb.at(0)).unwrap(), 5);
+        let locks_before = svc.client_lock_acquisitions(c.id()).unwrap();
+        let stats_before = c.cvt_cache_stats().unwrap();
+        for _ in 0..100 {
+            assert_eq!(c.load_u64(vb.at(0)).unwrap(), 5);
+        }
+        let locks_after = svc.client_lock_acquisitions(c.id()).unwrap();
+        let stats_after = c.cvt_cache_stats().unwrap();
+        assert_eq!(locks_after, locks_before, "cache-hit reads must take zero client locks");
+        assert_eq!(stats_after.lockfree_hits, stats_before.lockfree_hits + 100);
+    }
+
+    #[test]
+    fn lockfree_reads_can_be_disabled() {
+        let svc = VbiService::new(
+            ServiceConfig::new(1, VbiConfig { phys_frames: 4096, ..VbiConfig::vbi_full() })
+                .with_lockfree_reads(false),
+        );
+        let c = svc.create_client().unwrap();
+        let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(0), 1).unwrap();
+        let locks_before = svc.client_lock_acquisitions(c.id()).unwrap();
+        for _ in 0..10 {
+            c.load_u64(vb.at(0)).unwrap();
+        }
+        assert_eq!(
+            svc.client_lock_acquisitions(c.id()).unwrap(),
+            locks_before + 10,
+            "with lock-free reads off, every read locks"
+        );
+        assert_eq!(c.cvt_cache_stats().unwrap().lockfree_hits, 0);
     }
 
     #[test]
@@ -746,17 +722,18 @@ mod tests {
         let svc = service(4);
         let c = svc.create_client().unwrap();
         let vbs: Vec<VbHandle> = (0..4)
-            .map(|_| svc.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
+            .map(|_| c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
             .collect();
+        let client = c.id();
         let mut batch = Vec::new();
         for (i, vb) in vbs.iter().enumerate() {
-            batch.push(Op::StoreU64 { client: c, va: vb.at(64), value: 100 + i as u64 });
+            batch.push(Op::StoreU64 { client, va: vb.at(64), value: 100 + i as u64 });
         }
         for vb in &vbs {
-            batch.push(Op::LoadU64 { client: c, va: vb.at(64) });
+            batch.push(Op::LoadU64 { client, va: vb.at(64) });
         }
         // An invalid CVT index fails inside the batch without poisoning it.
-        batch.push(Op::LoadU64 { client: c, va: VirtualAddress::new(99, 0) });
+        batch.push(Op::LoadU64 { client, va: VirtualAddress::new(99, 0) });
         let responses = svc.submit(&batch);
         assert_eq!(responses.len(), batch.len());
         for r in &responses[0..4] {
@@ -776,17 +753,17 @@ mod tests {
         let svc = service(2);
         let reader = svc.create_client().unwrap();
         let owner = svc.create_client().unwrap();
-        let vb = svc.request_vb(owner, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let vb = owner.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         let batch = vec![
-            Op::StoreU64 { client: owner, va: vb.at(0), value: 31337 },
-            Op::Attach { client: reader, vbuid: vb.vbuid, perms: Rwx::READ },
-            Op::LoadU64 { client: owner, va: vb.at(0) },
-            Op::StoreBytes { client: owner, va: vb.at(64), data: vec![1, 2, 3] },
-            Op::LoadBytes { client: owner, va: vb.at(64), len: 3 },
-            Op::StoreBytes { client: owner, va: vb.at(999), data: Vec::new() },
-            Op::StoreU8 { client: owner, va: vb.at(200), value: 0xab },
-            Op::LoadU8 { client: owner, va: vb.at(200) },
-            Op::DestroyClient { client: reader },
+            Op::StoreU64 { client: owner.id(), va: vb.at(0), value: 31337 },
+            Op::Attach { client: reader.id(), vbuid: vb.vbuid, perms: Rwx::READ },
+            Op::LoadU64 { client: owner.id(), va: vb.at(0) },
+            Op::StoreBytes { client: owner.id(), va: vb.at(64), data: vec![1, 2, 3] },
+            Op::LoadBytes { client: owner.id(), va: vb.at(64), len: 3 },
+            Op::StoreBytes { client: owner.id(), va: vb.at(999), data: Vec::new() },
+            Op::StoreU8 { client: owner.id(), va: vb.at(200), value: 0xab },
+            Op::LoadU8 { client: owner.id(), va: vb.at(200) },
+            Op::DestroyClient { client: reader.id() },
         ];
         let responses = svc.submit(&batch);
         assert_eq!(responses[0], Ok(OpOutput::Unit));
@@ -798,10 +775,10 @@ mod tests {
         assert_eq!(responses[5], Ok(OpOutput::Unit), "empty span needs no check");
         assert_eq!(responses[7].as_ref().unwrap().as_u8(), Some(0xab));
         assert_eq!(responses[8], Ok(OpOutput::Unit));
-        assert!(!svc.client_exists(reader));
+        assert!(!svc.client_exists(reader.id()));
         let _ = reader_idx;
         // The owner's data survived the reader's destruction.
-        assert_eq!(svc.load_u64(owner, vb.at(0)).unwrap(), 31337);
+        assert_eq!(owner.load_u64(vb.at(0)).unwrap(), 31337);
     }
 
     #[test]
@@ -810,13 +787,13 @@ mod tests {
         let a = svc.create_client().unwrap();
         let b = svc.create_client().unwrap();
         let free0 = svc.free_frames();
-        let vb = svc.request_vb(a, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        let idx_b = svc.attach(b, vb.vbuid, Rwx::READ).unwrap();
-        svc.store_u64(a, vb.at(0), 3).unwrap();
-        svc.release_vb(a, vb.cvt_index).unwrap();
+        let vb = a.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let idx_b = b.attach(vb.vbuid, Rwx::READ).unwrap();
+        a.store_u64(vb.at(0), 3).unwrap();
+        a.release_vb(vb.cvt_index).unwrap();
         // B still reads: refcount was 2.
-        assert_eq!(svc.load_u64(b, VirtualAddress::new(idx_b, 0)).unwrap(), 3);
-        svc.release_vb(b, idx_b).unwrap();
+        assert_eq!(b.load_u64(VirtualAddress::new(idx_b, 0)).unwrap(), 3);
+        b.release_vb(idx_b).unwrap();
         assert_eq!(svc.free_frames(), free0);
     }
 
@@ -825,15 +802,17 @@ mod tests {
         let svc = service(4);
         let free0 = svc.free_frames();
         let c = svc.create_client().unwrap();
+        let survivor = c.clone();
         for i in 0..6 {
-            let vb = svc.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-            svc.store_u64(c, vb.at(0), i).unwrap();
+            let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+            c.store_u64(vb.at(0), i).unwrap();
         }
-        svc.destroy_client(c).unwrap();
+        let id = c.id();
+        c.destroy().unwrap();
         assert_eq!(svc.free_frames(), free0);
-        assert!(!svc.client_exists(c));
+        assert!(!svc.client_exists(id));
         assert!(matches!(
-            svc.load_u64(c, VirtualAddress::new(0, 0)),
+            survivor.load_u64(VirtualAddress::new(0, 0)),
             Err(VbiError::InvalidClient(_))
         ));
     }
@@ -847,11 +826,10 @@ mod tests {
                     let svc = svc.clone();
                     s.spawn(move || {
                         let c = svc.create_client().unwrap();
-                        let vb = svc
-                            .request_vb(c, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
-                            .unwrap();
-                        svc.store_u64(c, vb.at(t * 8), t * 11).unwrap();
-                        svc.load_u64(c, vb.at(t * 8)).unwrap()
+                        let vb =
+                            c.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+                        c.store_u64(vb.at(t * 8), t * 11).unwrap();
+                        c.load_u64(vb.at(t * 8)).unwrap()
                     })
                 })
                 .collect();
@@ -869,36 +847,36 @@ mod tests {
     fn create_client_skips_ids_claimed_with_id() {
         let svc = service(1);
         // Claim the IDs the allocator would hand out first (§6.1 VM path).
-        svc.create_client_with_id(ClientId(0)).unwrap();
-        svc.create_client_with_id(ClientId(1)).unwrap();
-        let vb = svc.request_vb(ClientId(0), 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        svc.store_u64(ClientId(0), vb.at(0), 7).unwrap();
+        let zero = svc.create_client_with_id(ClientId(0)).unwrap();
+        let one = svc.create_client_with_id(ClientId(1)).unwrap();
+        let vb = zero.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        zero.store_u64(vb.at(0), 7).unwrap();
         // A sequential create must not clobber the live clients.
         let fresh = svc.create_client().unwrap();
-        assert!(fresh != ClientId(0) && fresh != ClientId(1), "clobbered {fresh:?}");
-        assert_eq!(svc.load_u64(ClientId(0), vb.at(0)).unwrap(), 7, "state survived");
+        assert!(fresh.id() != ClientId(0) && fresh.id() != ClientId(1), "clobbered");
+        assert_eq!(zero.load_u64(vb.at(0)).unwrap(), 7, "state survived");
         // And a destroyed with_id ID is reusable without double-allocation.
-        svc.destroy_client(ClientId(1)).unwrap();
+        one.destroy().unwrap();
         let reused = svc.create_client().unwrap();
         let again = svc.create_client().unwrap();
-        assert_ne!(reused, again);
+        assert_ne!(reused.id(), again.id());
     }
 
     #[test]
     fn bulk_bytes_roundtrip_with_one_check() {
         let svc = service(2);
         let c = svc.create_client().unwrap();
-        let vb = svc.request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         let data: Vec<u8> = (0..=255).collect();
-        svc.store_bytes(c, vb.at(4000), &data).unwrap(); // straddles a page
-        assert_eq!(svc.load_bytes(c, vb.at(4000), 256).unwrap(), data);
-        assert!(svc.store_bytes(c, vb.at(vb.vbuid.bytes() - 4), &data).is_err(), "runs off the VB");
-        assert_eq!(svc.load_bytes(c, vb.at(0), 0).unwrap(), Vec::<u8>::new());
+        c.store_bytes(vb.at(4000), &data).unwrap(); // straddles a page
+        assert_eq!(c.load_bytes(vb.at(4000), 256).unwrap(), data);
+        assert!(c.store_bytes(vb.at(vb.vbuid.bytes() - 4), &data).is_err(), "runs off the VB");
+        assert_eq!(c.load_bytes(vb.at(0), 0).unwrap(), Vec::<u8>::new());
         // A read-only sharer cannot bulk-write.
         let reader = svc.create_client().unwrap();
-        let idx = svc.attach(reader, vb.vbuid, Rwx::READ).unwrap();
+        let idx = reader.attach(vb.vbuid, Rwx::READ).unwrap();
         assert!(matches!(
-            svc.store_bytes(reader, VirtualAddress::new(idx, 0), &data),
+            reader.store_bytes(VirtualAddress::new(idx, 0), &data),
             Err(VbiError::PermissionDenied { .. })
         ));
     }
@@ -907,12 +885,19 @@ mod tests {
     fn failed_request_vb_rolls_back_the_enable() {
         let svc = service(1);
         let ghost = ClientId(999);
-        let err = svc.request_vb(ghost, 4096, VbProperties::NONE, Rwx::READ).unwrap_err();
+        let err = svc
+            .execute(Op::RequestVb {
+                client: ghost,
+                bytes: 4096,
+                props: VbProperties::NONE,
+                perms: Rwx::READ,
+            })
+            .unwrap_err();
         assert!(matches!(err, VbiError::InvalidClient(_)));
         // The rolled-back VB is immediately reusable by a real client.
         let c = svc.create_client().unwrap();
-        let vb = svc.request_vb(c, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        svc.store_u64(c, vb.at(0), 1).unwrap();
+        let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(0), 1).unwrap();
     }
 
     #[test]
@@ -920,10 +905,10 @@ mod tests {
         let svc = service(2);
         let a = svc.create_client().unwrap();
         let b = svc.create_client().unwrap();
-        let vb = svc.request_vb(a, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        svc.store_u64(a, vb.at(0), 5).unwrap();
+        let vb = a.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        a.store_u64(vb.at(0), 5).unwrap();
         // Mirror the owner's layout in the other client (fork-style).
-        svc.attach_at(b, vb.cvt_index, vb.vbuid, Rwx::READ).unwrap();
-        assert_eq!(svc.load_u64(b, vb.at(0)).unwrap(), 5);
+        b.attach_at(vb.cvt_index, vb.vbuid, Rwx::READ).unwrap();
+        assert_eq!(b.load_u64(vb.at(0)).unwrap(), 5);
     }
 }

@@ -3,13 +3,14 @@
 //! The paper's MTL is an *asynchronous* hardware agent (§4): a core hands
 //! translation-and-access work to the memory controller and continues
 //! executing, with the result delivered off the critical path. [`VbiQueue`]
-//! gives the sharded [`VbiService`](crate::VbiService) that shape in
+//! gives the sharded [`VbiService`] that shape in
 //! software:
 //!
 //! * clients **submit** tagged operations ([`Sqe`]) without blocking on
 //!   shard locks — submission routes the op to its home shard's MPSC ring
-//!   (a cheap CVT peek resolves the VBUID; no stats are touched) and
-//!   returns immediately;
+//!   (a stat-free CVT peek resolves the VBUID, served lock-free from the
+//!   client's seqlock-published CVT cache when it hits) and returns
+//!   immediately;
 //! * one **worker thread per shard** drains its ring in FIFO order and
 //!   executes each op through the shared engine
 //!   ([`vbi_core::ops::execute`]) — the same code path the synchronous and
@@ -38,10 +39,11 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use vbi_core::error::VbiError;
+use vbi_core::error::{Result, VbiError};
 use vbi_core::ops::{Op, OpResult};
 
-use crate::{unpoison, ServiceConfig, VbiService};
+use crate::sync::unpoison;
+use crate::{ServiceConfig, ServiceSession, VbiService};
 
 /// A submission-queue entry: one operation plus the caller's tag, echoed
 /// verbatim on the completion so pipelined requests can be told apart.
@@ -231,6 +233,19 @@ impl VbiQueue {
         &self.service
     }
 
+    /// Registers a new memory client and returns its session — the
+    /// synchronous per-client surface alongside the queue. Tagged
+    /// submissions for the client build their [`Op`]s with
+    /// [`ClientSession::id`](vbi_core::session::ClientSession::id).
+    ///
+    /// # Errors
+    ///
+    /// Returns `VbiError::OutOfClients`
+    /// when all 2^16 IDs are live.
+    pub fn create_client(&self) -> Result<ServiceSession> {
+        self.service.create_client()
+    }
+
     /// Submits one tagged operation and returns immediately; the outcome
     /// arrives as a [`Cqe`] carrying `tag`. Never blocks on a shard lock —
     /// routing costs at most a client-state peek.
@@ -392,8 +407,9 @@ mod tests {
     #[test]
     fn pipelined_ops_complete_with_their_tags() {
         let q = queue(4);
-        let c = q.service().create_client().unwrap();
-        let vb = q.service().request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let session = q.create_client().unwrap();
+        let c = session.id();
+        let vb = session.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         for i in 0..32u64 {
             q.submit(i, Op::StoreU64 { client: c, va: vb.at(i * 8), value: i * 3 });
         }
@@ -417,8 +433,9 @@ mod tests {
     #[test]
     fn same_vb_ops_execute_in_submission_order() {
         let q = queue(4);
-        let c = q.service().create_client().unwrap();
-        let vb = q.service().request_vb(c, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let session = q.create_client().unwrap();
+        let c = session.id();
+        let vb = session.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         // A store burst to one cell: the last submitted value must win.
         for i in 0..100u64 {
             q.submit(i, Op::StoreU64 { client: c, va: vb.at(0), value: i });
@@ -463,7 +480,7 @@ mod tests {
     #[test]
     fn errors_are_completions_not_panics() {
         let q = queue(2);
-        let c = q.service().create_client().unwrap();
+        let c = q.create_client().unwrap().id();
         q.submit(9, Op::LoadU64 { client: c, va: VirtualAddress::new(42, 0) });
         q.submit(10, Op::DestroyClient { client: ClientId(999) });
         let mut cqes = q.drain();
@@ -476,8 +493,9 @@ mod tests {
     fn idle_reap_returns_none_and_shutdown_returns_unreaped() {
         let q = queue(1);
         assert!(q.reap().is_none(), "idle queue must not block");
-        let c = q.service().create_client().unwrap();
-        let vb = q.service().request_vb(c, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let session = q.create_client().unwrap();
+        let c = session.id();
+        let vb = session.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         q.submit(1, Op::StoreU64 { client: c, va: vb.at(0), value: 1 });
         q.submit(2, Op::LoadU64 { client: c, va: vb.at(0) });
         let leftovers = q.shutdown();
@@ -487,8 +505,9 @@ mod tests {
     #[test]
     fn depth_reports_high_water() {
         let q = queue(2);
-        let c = q.service().create_client().unwrap();
-        let vb = q.service().request_vb(c, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let session = q.create_client().unwrap();
+        let c = session.id();
+        let vb = session.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         for i in 0..64u64 {
             q.submit(i, Op::StoreU64 { client: c, va: vb.at(i * 8), value: i });
         }

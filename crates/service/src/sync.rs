@@ -1,0 +1,27 @@
+//! Shared lock plumbing for the service crate: poisoning recovery and
+//! counted lock acquisition, defined once for the shard and client locks of
+//! [`crate::VbiService`] and the rings of [`crate::VbiQueue`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, TryLockError};
+
+pub(crate) use vbi_core::sync::unpoison;
+
+/// Locks `mutex`, incrementing `acquisitions` always and `contended` when
+/// the lock was held and the caller had to block — the instrumented
+/// acquisition every counted lock in the service goes through.
+pub(crate) fn lock_counted<'a, T>(
+    mutex: &'a Mutex<T>,
+    acquisitions: &AtomicU64,
+    contended: &AtomicU64,
+) -> MutexGuard<'a, T> {
+    acquisitions.fetch_add(1, Ordering::Relaxed);
+    match mutex.try_lock() {
+        Ok(guard) => guard,
+        Err(TryLockError::WouldBlock) => {
+            contended.fetch_add(1, Ordering::Relaxed);
+            unpoison(mutex.lock())
+        }
+        Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+    }
+}

@@ -10,7 +10,7 @@
 //! * [`multicore`] — quad-core bundles and weighted speedup (Figure 8);
 //! * [`hetero_run`] — PCM-DRAM and TL-DRAM placement experiments
 //!   (Figures 9-10);
-//! * [`service_run`] — the multi-threaded traffic harness for the
+//! * [`mod@service_run`] — the multi-threaded traffic harness for the
 //!   concurrent `vbi-service` (host ops/sec, shard contention, and the
 //!   deterministic replay used by the equivalence suite);
 //! * [`report`] — speedup tables with `AVG` / `AVG-no-mcf` rows.

@@ -64,14 +64,14 @@ pub fn replay_on_system(
     spec: &WorkloadSpec,
     ops: &[Op],
 ) -> (Vec<u64>, MtlStats) {
-    let mut system = System::new(config);
-    let client = system.create_client().expect("fresh system");
+    let system = System::new(config);
+    let session = system.create_client().expect("fresh system");
     let handles: Vec<VbHandle> = spec
         .regions
         .iter()
         .map(|r| {
-            system
-                .request_vb(client, r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
+            session
+                .request_vb(r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
                 .expect("harness footprint fits the machine")
         })
         .collect();
@@ -79,12 +79,13 @@ pub fn replay_on_system(
     for (i, op) in ops.iter().enumerate() {
         let va = handles[op.region].at(op.offset);
         if op.is_write {
-            system.store_u64(client, va, i as u64).expect("in-bounds store");
+            session.store_u64(va, i as u64).expect("in-bounds store");
         } else {
-            loads.push(system.load_u64(client, va).expect("in-bounds load"));
+            loads.push(session.load_u64(va).expect("in-bounds load"));
         }
     }
-    (loads, system.mtl().stats())
+    let stats = system.mtl().stats();
+    (loads, stats)
 }
 
 /// Replays `ops` through a [`VbiService`] from one thread; returns every
@@ -94,13 +95,13 @@ pub fn replay_on_service(
     spec: &WorkloadSpec,
     ops: &[Op],
 ) -> (Vec<u64>, MtlStats) {
-    let client = service.create_client().expect("service has client IDs");
+    let session = service.create_client().expect("service has client IDs");
     let handles: Vec<VbHandle> = spec
         .regions
         .iter()
         .map(|r| {
-            service
-                .request_vb(client, r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
+            session
+                .request_vb(r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
                 .expect("harness footprint fits the machine")
         })
         .collect();
@@ -108,9 +109,9 @@ pub fn replay_on_service(
     for (i, op) in ops.iter().enumerate() {
         let va = handles[op.region].at(op.offset);
         if op.is_write {
-            service.store_u64(client, va, i as u64).expect("in-bounds store");
+            session.store_u64(va, i as u64).expect("in-bounds store");
         } else {
-            loads.push(service.load_u64(client, va).expect("in-bounds load"));
+            loads.push(session.load_u64(va).expect("in-bounds load"));
         }
     }
     (loads, service.stats())
@@ -244,13 +245,13 @@ fn replay_worker(
     config: &ServiceRunConfig,
     thread: u64,
 ) {
-    let client = service.create_client().expect("service has client IDs");
+    let session = service.create_client().expect("service has client IDs");
     let handles: Vec<VbHandle> = spec
         .regions
         .iter()
         .map(|r| {
-            service
-                .request_vb(client, r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
+            session
+                .request_vb(r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
                 .expect("harness footprint fits the machine")
         })
         .collect();
@@ -261,12 +262,13 @@ fn replay_worker(
         for op in &ops {
             let va = handles[op.region].at(op.offset);
             if op.is_write {
-                service.store_u64(client, va, values.gen()).expect("in-bounds store");
+                session.store_u64(va, values.gen()).expect("in-bounds store");
             } else {
-                service.load_u64(client, va).expect("in-bounds load");
+                session.load_u64(va).expect("in-bounds load");
             }
         }
     } else {
+        let client = session.id();
         let mut batch: Vec<VbiOp> = Vec::with_capacity(config.batch);
         for op in &ops {
             let va = handles[op.region].at(op.offset);
@@ -412,14 +414,14 @@ fn queue_worker(
 ) -> u64 {
     // Setup is synchronous: the client and its VBs exist before the first
     // pipelined access (queued ops may not depend on unreaped ones).
-    let service = queue.service();
-    let client = service.create_client().expect("service has client IDs");
+    let session = queue.create_client().expect("service has client IDs");
+    let client = session.id();
     let handles: Vec<VbHandle> = spec
         .regions
         .iter()
         .map(|r| {
-            service
-                .request_vb(client, r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
+            session
+                .request_vb(r.bytes.min(REGION_CAP), VbProperties::NONE, Rwx::READ_WRITE)
                 .expect("harness footprint fits the machine")
         })
         .collect();
@@ -452,6 +454,152 @@ fn queue_worker(
         }
     }
     reaped
+}
+
+/// Configuration of one read-path run ([`read_path_run`]): N reader
+/// threads sharing **one** client session, hammering warm CVT-cache-hit
+/// loads — the hot path the lock-free redesign takes the client lock off.
+#[derive(Debug, Clone)]
+pub struct ReadPathConfig {
+    /// Reader threads sharing the one session.
+    pub threads: usize,
+    /// MTL shards (spreads the VBs so readers of different VBs do not
+    /// serialize on one shard lock either).
+    pub shards: usize,
+    /// Loads each reader performs.
+    pub ops_per_thread: usize,
+    /// VBs the client owns (reads round-robin across them; keep it at or
+    /// below the CVT-cache slot count so the cache stays warm).
+    pub vbs: usize,
+    /// `true` = seqlock fast path enabled; `false` = locked baseline.
+    pub lockfree: bool,
+    /// Total physical frames of the machine.
+    pub phys_frames: u64,
+}
+
+impl Default for ReadPathConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            shards: 4,
+            ops_per_thread: 50_000,
+            vbs: 16,
+            lockfree: true,
+            phys_frames: 1 << 16,
+        }
+    }
+}
+
+/// Report of one read-path run.
+#[derive(Debug, Clone)]
+pub struct ReadPathReport {
+    /// Reader threads of the run.
+    pub threads: usize,
+    /// Whether the lock-free fast path was enabled.
+    pub lockfree: bool,
+    /// Loads completed across all readers.
+    pub total_ops: u64,
+    /// Wall-clock seconds of the read phase only (setup and warm-up are
+    /// excluded — this isolates the steady-state hot path).
+    pub elapsed_secs: f64,
+    /// Throughput in loads per second.
+    pub ops_per_sec: f64,
+    /// Client-lock acquisitions during the read phase. Zero when every
+    /// read hit the published cache lock-free.
+    pub client_locks: u64,
+    /// CVT-cache stats delta of the read phase.
+    pub cache: vbi_core::cvt_cache::CvtCacheStats,
+}
+
+impl ReadPathReport {
+    /// One-line JSON rendering (no external serializer in this workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"threads\":{},\"lockfree\":{},\"total_ops\":{},",
+                "\"elapsed_secs\":{:.6},\"ops_per_sec\":{:.0},\"client_locks\":{},",
+                "\"lockfree_hits\":{},\"locked_hits\":{},\"torn_retries\":{}}}"
+            ),
+            self.threads,
+            self.lockfree,
+            self.total_ops,
+            self.elapsed_secs,
+            self.ops_per_sec,
+            self.client_locks,
+            self.cache.lockfree_hits,
+            self.cache.locked_hits,
+            self.cache.torn_retries,
+        )
+    }
+}
+
+/// Runs `config.threads` readers, all clones of **one** session, over a
+/// warm CVT cache: every load is a cache-hit protection check plus one
+/// home-shard memory read. With `lockfree` the checks take zero client
+/// locks (seqlock snapshot); without it each check locks the client — the
+/// contended baseline the redesign removes.
+///
+/// # Panics
+///
+/// Panics if the footprint does not fit the machine or any read fails.
+pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
+    let service = VbiService::new(
+        ServiceConfig::new(
+            config.shards,
+            VbiConfig { phys_frames: config.phys_frames, ..VbiConfig::vbi_full() },
+        )
+        .with_lockfree_reads(config.lockfree),
+    );
+    let session = service.create_client().expect("fresh service");
+    let handles: Vec<VbHandle> = (0..config.vbs)
+        .map(|_| {
+            session
+                .request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+                .expect("footprint fits")
+        })
+        .collect();
+    // Populate and warm: one locked fill per CVT index, then steady state.
+    for (i, vb) in handles.iter().enumerate() {
+        session.store_u64(vb.at(0), i as u64).expect("in-bounds store");
+        session.load_u64(vb.at(0)).expect("warm-up load");
+    }
+    let locks_before = service.client_lock_acquisitions(session.id()).expect("live client");
+    let cache_before = session.cvt_cache_stats().expect("live client");
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..config.threads {
+            let session = session.clone();
+            let handles = &handles;
+            scope.spawn(move || {
+                for i in 0..config.ops_per_thread {
+                    let vb = &handles[(i + thread) % handles.len()];
+                    let got = session.load_u64(vb.at(0)).expect("in-bounds load");
+                    assert_eq!(got, ((i + thread) % handles.len()) as u64, "stale read");
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let client_locks =
+        service.client_lock_acquisitions(session.id()).expect("live client") - locks_before;
+    let cache_after = session.cvt_cache_stats().expect("live client");
+    let total_ops = (config.threads * config.ops_per_thread) as u64;
+    ReadPathReport {
+        threads: config.threads,
+        lockfree: config.lockfree,
+        total_ops,
+        elapsed_secs: elapsed,
+        ops_per_sec: if elapsed > 0.0 { total_ops as f64 / elapsed } else { 0.0 },
+        client_locks,
+        cache: vbi_core::cvt_cache::CvtCacheStats {
+            lockfree_hits: cache_after.lockfree_hits - cache_before.lockfree_hits,
+            locked_hits: cache_after.locked_hits - cache_before.locked_hits,
+            misses: cache_after.misses - cache_before.misses,
+            torn_retries: cache_after.torn_retries - cache_before.torn_retries,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -502,6 +650,23 @@ mod tests {
         assert_eq!(report.total_ops, 8_000);
         assert!(report.mtl.pages_allocated > 0);
         assert_eq!(report.shard_loads.len(), 2);
+    }
+
+    #[test]
+    fn read_path_run_is_lock_free_when_enabled() {
+        let base =
+            ReadPathConfig { threads: 2, shards: 2, ops_per_thread: 500, ..Default::default() };
+        let fast = read_path_run(&ReadPathConfig { lockfree: true, ..base.clone() });
+        assert_eq!(fast.total_ops, 1_000);
+        assert_eq!(fast.client_locks, 0, "warm cache-hit reads must take zero client locks");
+        assert_eq!(fast.cache.lockfree_hits, 1_000);
+        let json = fast.to_json();
+        assert!(json.contains("\"client_locks\":0"), "{json}");
+
+        let locked = read_path_run(&ReadPathConfig { lockfree: false, ..base });
+        assert_eq!(locked.client_locks, 1_000, "baseline locks once per read");
+        assert_eq!(locked.cache.lockfree_hits, 0);
+        assert_eq!(locked.cache.locked_hits, 1_000);
     }
 
     #[test]

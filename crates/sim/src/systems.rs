@@ -21,7 +21,7 @@ use vbi_baselines::page_table::PageSize;
 use vbi_core::addr::{SizeClass, VbiAddress, Vbuid};
 use vbi_core::client::ClientId;
 use vbi_core::config::VbiConfig;
-use vbi_core::cvt_cache::CvtCache;
+use vbi_core::cvt_cache::{ClientCvtCache, CvtCache};
 use vbi_core::mtl::{Mtl, MtlAccess, TranslateResult};
 use vbi_core::vb::VbProperties;
 use vbi_mem_sim::controller::MemoryController;

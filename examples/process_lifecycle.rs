@@ -35,15 +35,16 @@ fn main() -> vbi::Result<()> {
     );
 
     // Library code reaches its per-process static data at `code index + 1`
-    // without load-time relocation (§4.4).
-    let client = os.process(parent)?.client();
+    // without load-time relocation (§4.4). All memory access goes through
+    // the process's session handle.
+    let session = os.process(parent)?.session().clone();
     let lib_data = lib.at(0).cvt_relative(1);
-    os.system_mut().store_u8(client, lib_data, 42)?;
+    session.store_u8(lib_data, 42)?;
 
     // A heap; malloc/free manage offsets inside the VB.
     let heap = os.create_heap(parent, 4 << 10, VbProperties::NONE)?;
     let a = os.malloc(parent, heap.cvt_index, 1024)?;
-    os.system_mut().store_u64(client, a.address, 7777)?;
+    session.store_u64(a.address, 7777)?;
 
     // Growing past the 4 KiB VB transparently promotes it to 128 KiB; the
     // CVT index — and therefore every existing pointer — is unchanged.
@@ -51,15 +52,15 @@ fn main() -> vbi::Result<()> {
     println!(
         "heap grew: promoted = {:?}, old data still readable = {}",
         b.promoted.map(|h| h.vbuid.to_string()),
-        os.system_mut().load_u64(client, a.address)?
+        session.load_u64(a.address)?
     );
 
     // Fork: the child sees identical pointers; writes are private (COW).
     let child = os.fork(parent)?;
-    let child_client = os.process(child)?.client();
-    assert_eq!(os.system_mut().load_u64(child_client, a.address)?, 7777);
-    os.system_mut().store_u64(child_client, a.address, 1111)?;
-    assert_eq!(os.system_mut().load_u64(client, a.address)?, 7777);
+    let child_session = os.process(child)?.session().clone();
+    assert_eq!(child_session.load_u64(a.address)?, 7777);
+    child_session.store_u64(a.address, 1111)?;
+    assert_eq!(session.load_u64(a.address)?, 7777);
     println!(
         "forked: child wrote privately; cow copies so far = {}",
         os.system().mtl().stats().cow_copies
@@ -68,7 +69,7 @@ fn main() -> vbi::Result<()> {
     // Memory-mapped file: offsets map 1:1 to the file (§3.4).
     let file: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
     let mapped = os.mmap_file(parent, &file, Rwx::READ)?;
-    assert_eq!(os.system_mut().load_u8(client, mapped.at(9_999))?, file[9_999]);
+    assert_eq!(session.load_u8(mapped.at(9_999))?, file[9_999]);
     println!("mmap: byte 9999 reads {}", file[9_999]);
 
     // Destruction returns every frame.

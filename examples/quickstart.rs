@@ -1,8 +1,8 @@
 //! Quickstart: the VBI programming model in one file.
 //!
-//! Creates a machine, a process (memory client), requests a virtual block
-//! (the `request_vb` system call of §4.2), and exercises loads/stores,
-//! protection, and sharing.
+//! Creates a machine, a process (memory client) with its session handle,
+//! requests a virtual block (the `request_vb` system call of §4.2), and
+//! exercises loads/stores, protection, and sharing.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -11,30 +11,31 @@ use vbi::{Rwx, System, VbProperties, VbiConfig, VirtualAddress};
 fn main() -> vbi::Result<()> {
     // A machine with the paper's full configuration: delayed physical
     // allocation + early reservation.
-    let mut system = System::new(VbiConfig::vbi_full());
+    let system = System::new(VbiConfig::vbi_full());
 
-    // A process is a "memory client" with a Client-VB Table (CVT).
+    // A process is a "memory client" with a Client-VB Table (CVT); the
+    // session returned by create_client owns the client's whole API.
     let app = system.create_client()?;
-    println!("created {app}");
+    println!("created {}", app.id());
 
     // request_vb: the OS picks the smallest size class that fits 1 MiB
     // (the 4 MiB class), enables the VB, and attaches us read-write. The
     // returned CVT index is our pointer to the VB.
-    let data = system.request_vb(app, 1 << 20, VbProperties::LATENCY_SENSITIVE, Rwx::READ_WRITE)?;
+    let data = app.request_vb(1 << 20, VbProperties::LATENCY_SENSITIVE, Rwx::READ_WRITE)?;
     println!("attached {} at CVT index {}", data.vbuid, data.cvt_index);
 
     // Addresses are {CVT index, offset}: store then load.
     for i in 0..8u64 {
-        system.store_u64(app, data.at(i * 8), i * i)?;
+        app.store_u64(data.at(i * 8), i * i)?;
     }
     for i in 0..8u64 {
-        assert_eq!(system.load_u64(app, data.at(i * 8))?, i * i);
+        assert_eq!(app.load_u64(data.at(i * 8))?, i * i);
     }
     println!("stored and reloaded 8 words");
 
     // Reads of never-written memory observe zeros — no physical memory is
     // consumed until data is actually written (§5.1).
-    assert_eq!(system.load_u64(app, data.at(512 << 10))?, 0);
+    assert_eq!(app.load_u64(data.at(512 << 10))?, 0);
     println!(
         "free frames after touching 1 MiB lazily: {} of {}",
         system.mtl().free_frames(),
@@ -43,19 +44,19 @@ fn main() -> vbi::Result<()> {
 
     // True sharing (§3.4): a second process attaches to the same VB.
     let reader = system.create_client()?;
-    let idx = system.attach(reader, data.vbuid, Rwx::READ)?;
-    assert_eq!(system.load_u64(reader, VirtualAddress::new(idx, 0))?, 0);
-    assert_eq!(system.load_u64(reader, VirtualAddress::new(idx, 8))?, 1);
-    println!("{reader} shares the VB read-only");
+    let idx = reader.attach(data.vbuid, Rwx::READ)?;
+    assert_eq!(reader.load_u64(VirtualAddress::new(idx, 0))?, 0);
+    assert_eq!(reader.load_u64(VirtualAddress::new(idx, 8))?, 1);
+    println!("{} shares the VB read-only", reader.id());
 
     // ...but cannot write it.
-    let denied = system.store_u64(reader, VirtualAddress::new(idx, 0), 1);
+    let denied = reader.store_u64(VirtualAddress::new(idx, 0), 1);
     println!("write by reader: {denied:?}");
     assert!(denied.is_err());
 
     // Cleanup releases all physical memory.
-    system.destroy_client(app)?;
-    system.destroy_client(reader)?;
+    app.destroy()?;
+    reader.destroy()?;
     println!("done; MTL stats: {:?}", system.mtl().stats());
     Ok(())
 }

@@ -20,12 +20,14 @@ fn main() -> vbi::Result<()> {
     let queue = VbiQueue::new(ServiceConfig::new(4, VbiConfig::vbi_full()));
     println!("queue over {} shards ({} worker threads)", 4, 4);
 
-    // Setup is synchronous through the service handle — queued ops must
-    // not depend on completions we have not reaped yet.
+    // Setup is synchronous through a session — queued ops must not depend
+    // on completions we have not reaped yet. Tagged submissions build raw
+    // `Op`s with the session's client ID.
     let service = queue.service();
-    let app = service.create_client()?;
+    let session = queue.create_client()?;
+    let app = session.id();
     let vbs: Vec<_> = (0..4)
-        .map(|_| service.request_vb(app, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE))
+        .map(|_| session.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE))
         .collect::<vbi::Result<_>>()?;
     println!(
         "client {app} owns 4 VBs homed on shards {:?}",

@@ -9,7 +9,7 @@ use vbi::{Rwx, SizeClass, System, VbProperties, VbiConfig, VirtualAddress};
 fn main() -> vbi::Result<()> {
     // Figure 5's layout: 5 VM-ID bits = 31 guests + the host.
     let partition = VmPartition::new(5);
-    let mut system = System::new(VbiConfig { vm_id_bits: 5, ..VbiConfig::vbi_full() });
+    let system = System::new(VbiConfig { vm_id_bits: 5, ..VbiConfig::vbi_full() });
 
     println!(
         "partition: {} VMs, {} x 4 GiB VBs each",
@@ -21,9 +21,9 @@ fn main() -> vbi::Result<()> {
     let mut vm2 = VirtualMachine::new(VmId(2), partition);
 
     // Each guest OS allocates clients and VBs inside its own slice without
-    // coordinating with the host.
-    let guest1 = vm1.create_guest_client(&mut system)?;
-    let guest2 = vm2.create_guest_client(&mut system)?;
+    // coordinating with the host; guest processes get ordinary sessions.
+    let guest1 = vm1.create_guest_client(&system)?;
+    let guest2 = vm2.create_guest_client(&system)?;
 
     let vb1 = vm1.find_free_vb(&system, SizeClass::Kib128)?;
     system.mtl_mut().enable_vb(vb1, VbProperties::NONE)?;
@@ -35,16 +35,16 @@ fn main() -> vbi::Result<()> {
     // Guest memory accesses are plain VBI accesses: protection at the CVT,
     // translation at the memory controller. No two-dimensional page walk
     // exists anywhere in this path.
-    let i1 = system.attach(guest1, vb1, Rwx::READ_WRITE)?;
-    let i2 = system.attach(guest2, vb2, Rwx::READ_WRITE)?;
-    system.store_u64(guest1, VirtualAddress::new(i1, 0), 0xAAAA)?;
-    system.store_u64(guest2, VirtualAddress::new(i2, 0), 0xBBBB)?;
-    assert_eq!(system.load_u64(guest1, VirtualAddress::new(i1, 0))?, 0xAAAA);
-    assert_eq!(system.load_u64(guest2, VirtualAddress::new(i2, 0))?, 0xBBBB);
+    let i1 = guest1.attach(vb1, Rwx::READ_WRITE)?;
+    let i2 = guest2.attach(vb2, Rwx::READ_WRITE)?;
+    guest1.store_u64(VirtualAddress::new(i1, 0), 0xAAAA)?;
+    guest2.store_u64(VirtualAddress::new(i2, 0), 0xBBBB)?;
+    assert_eq!(guest1.load_u64(VirtualAddress::new(i1, 0))?, 0xAAAA);
+    assert_eq!(guest2.load_u64(VirtualAddress::new(i2, 0))?, 0xBBBB);
     println!("guest accesses translated once, directly — no 2D walks");
 
     // Isolation: guest 2 has no CVT entry for guest 1's VB.
-    let stolen = system.load_u64(guest2, VirtualAddress::new(i2 + 1, 0));
+    let stolen = guest2.load_u64(VirtualAddress::new(i2 + 1, 0));
     println!("guest2 probing beyond its CVT: {stolen:?}");
     assert!(stolen.is_err());
 

@@ -21,7 +21,7 @@
 //!   home-MTL partitioning) with a batched request path;
 //! * `sim` ([`vbi_sim`]) — the end-to-end evaluation engine behind the
 //!   `vbi-bench` figure binaries, plus the multi-threaded service traffic
-//!   harness ([`vbi_sim::service_run`]).
+//!   harness ([`mod@vbi_sim::service_run`]).
 //!
 //! ## Quick start
 //!
@@ -29,11 +29,11 @@
 //! use vbi::{System, VbiConfig, VbProperties, Rwx};
 //!
 //! # fn main() -> Result<(), vbi::VbiError> {
-//! let mut system = System::new(VbiConfig::vbi_full());
-//! let client = system.create_client()?;
-//! let vb = system.request_vb(client, 1 << 20, VbProperties::NONE, Rwx::READ_WRITE)?;
-//! system.store_u64(client, vb.at(0), 2020)?;
-//! assert_eq!(system.load_u64(client, vb.at(0))?, 2020);
+//! let system = System::new(VbiConfig::vbi_full());
+//! let client = system.create_client()?; // an owned ClientSession
+//! let vb = client.request_vb(1 << 20, VbProperties::NONE, Rwx::READ_WRITE)?;
+//! client.store_u64(vb.at(0), 2020)?;
+//! assert_eq!(client.load_u64(vb.at(0))?, 2020);
 //! # Ok(())
 //! # }
 //! ```
@@ -51,6 +51,7 @@ pub use vbi_sim as sim;
 pub use vbi_workloads as workloads;
 
 pub use vbi_core::{
-    AccessKind, ClientId, Mtl, Op, OpOutput, OpResult, Result, Rwx, SizeClass, System,
-    VbProperties, VbiAddress, VbiConfig, VbiError, Vbuid, VirtualAddress,
+    AccessKind, ClientId, ClientSession, Mtl, Op, OpOutput, OpResult, Result, Rwx, SessionHost,
+    SizeClass, System, SystemSession, VbProperties, VbiAddress, VbiConfig, VbiError, Vbuid,
+    VirtualAddress,
 };

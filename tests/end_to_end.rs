@@ -1,6 +1,6 @@
 //! End-to-end integration tests spanning the whole workspace: OS model on
 //! top of the System on top of the MTL, with data integrity verified
-//! through every optimization path.
+//! through every optimization path — all access through session handles.
 
 use vbi::core::os::{BinaryImage, LibraryImage, Os, Section, SectionKind};
 use vbi::{Rwx, SizeClass, System, VbProperties, VbiConfig, VbiError, VirtualAddress};
@@ -13,17 +13,17 @@ fn full_config() -> VbiConfig {
 fn data_survives_every_optimization_combination() {
     for config in [VbiConfig::vbi_1(), VbiConfig::vbi_2(), VbiConfig::vbi_full()] {
         let config = VbiConfig { phys_frames: 1 << 16, ..config };
-        let mut system = System::new(config);
+        let system = System::new(config);
         let client = system.create_client().unwrap();
-        let vb = system.request_vb(client, 8 << 20, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let vb = client.request_vb(8 << 20, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         // Scattered writes across the 8 MiB structure.
         for i in 0..256u64 {
             let offset = (i * 77_773) % (8 << 20);
-            system.store_u64(client, vb.at(offset & !7), i).unwrap();
+            client.store_u64(vb.at(offset & !7), i).unwrap();
         }
         for i in 0..256u64 {
             let offset = (i * 77_773) % (8 << 20);
-            assert_eq!(system.load_u64(client, vb.at(offset & !7)).unwrap(), i);
+            assert_eq!(client.load_u64(vb.at(offset & !7)).unwrap(), i);
         }
     }
 }
@@ -37,66 +37,63 @@ fn fork_chains_preserve_isolation() {
     };
     let gen0 = os.create_process(&image).unwrap();
     let heap = os.create_heap(gen0, 64 << 10, VbProperties::NONE).unwrap();
-    let c0 = os.process(gen0).unwrap().client();
-    os.system_mut().store_u64(c0, heap.at(0), 100).unwrap();
+    let s0 = os.process(gen0).unwrap().session().clone();
+    s0.store_u64(heap.at(0), 100).unwrap();
 
     // Three generations of forks, each mutating the same address.
     let gen1 = os.fork(gen0).unwrap();
-    let c1 = os.process(gen1).unwrap().client();
-    os.system_mut().store_u64(c1, heap.at(0), 101).unwrap();
+    let s1 = os.process(gen1).unwrap().session().clone();
+    s1.store_u64(heap.at(0), 101).unwrap();
 
     let gen2 = os.fork(gen1).unwrap();
-    let c2 = os.process(gen2).unwrap().client();
-    os.system_mut().store_u64(c2, heap.at(0), 102).unwrap();
+    let s2 = os.process(gen2).unwrap().session().clone();
+    s2.store_u64(heap.at(0), 102).unwrap();
 
-    assert_eq!(os.system_mut().load_u64(c0, heap.at(0)).unwrap(), 100);
-    assert_eq!(os.system_mut().load_u64(c1, heap.at(0)).unwrap(), 101);
-    assert_eq!(os.system_mut().load_u64(c2, heap.at(0)).unwrap(), 102);
+    assert_eq!(s0.load_u64(heap.at(0)).unwrap(), 100);
+    assert_eq!(s1.load_u64(heap.at(0)).unwrap(), 101);
+    assert_eq!(s2.load_u64(heap.at(0)).unwrap(), 102);
 
     os.destroy_process(gen2).unwrap();
     os.destroy_process(gen1).unwrap();
-    assert_eq!(os.system_mut().load_u64(c0, heap.at(0)).unwrap(), 100);
+    assert_eq!(s0.load_u64(heap.at(0)).unwrap(), 100);
 }
 
 #[test]
 fn promotion_chain_walks_all_the_way_up() {
-    let mut system = System::new(full_config());
+    let system = System::new(full_config());
     let client = system.create_client().unwrap();
-    let vb = system.request_vb(client, 4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-    system.store_u64(client, vb.at(0), 4242).unwrap();
+    let vb = client.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    client.store_u64(vb.at(0), 4242).unwrap();
 
     // 4 KiB -> 128 KiB -> 4 MiB.
-    let p1 = system.promote(client, vb.cvt_index).unwrap();
+    let p1 = client.promote(vb.cvt_index).unwrap();
     assert_eq!(p1.vbuid.size_class(), SizeClass::Kib128);
-    let p2 = system.promote(client, vb.cvt_index).unwrap();
+    let p2 = client.promote(vb.cvt_index).unwrap();
     assert_eq!(p2.vbuid.size_class(), SizeClass::Mib4);
 
-    assert_eq!(system.load_u64(client, vb.at(0)).unwrap(), 4242);
+    assert_eq!(client.load_u64(vb.at(0)).unwrap(), 4242);
     // The whole 4 MiB is now usable via the original CVT index.
-    system.store_u64(client, vb.at((4 << 20) - 8), 1).unwrap();
+    client.store_u64(vb.at((4 << 20) - 8), 1).unwrap();
 }
 
 #[test]
 fn swap_pressure_across_many_processes_loses_nothing() {
     // ~7 MiB of physical memory; 4 processes write 2 MiB each = pressure.
     let config = VbiConfig { phys_frames: 1800, ..VbiConfig::vbi_2() };
-    let mut system = System::new(config);
+    let system = System::new(config);
     let mut handles = Vec::new();
     for p in 0..4u64 {
         let client = system.create_client().unwrap();
-        let vb = system.request_vb(client, 8 << 20, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let vb = client.request_vb(8 << 20, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         for page in 0..512u64 {
-            system.store_u64(client, vb.at(page * 4096), p * 10_000 + page).unwrap();
+            client.store_u64(vb.at(page * 4096), p * 10_000 + page).unwrap();
         }
         handles.push((client, vb));
     }
     assert!(system.mtl().stats().pages_swapped_out > 0, "pressure must trigger swap");
     for (p, (client, vb)) in handles.iter().enumerate() {
         for page in 0..512u64 {
-            assert_eq!(
-                system.load_u64(*client, vb.at(page * 4096)).unwrap(),
-                p as u64 * 10_000 + page
-            );
+            assert_eq!(client.load_u64(vb.at(page * 4096)).unwrap(), p as u64 * 10_000 + page);
         }
     }
 }
@@ -121,45 +118,45 @@ fn shared_library_data_stays_private_across_forks() {
 
     // Same code VB, different data VBs reached by +1 addressing.
     assert_eq!(lib_a.vbuid, lib_b.vbuid);
-    let ca = os.process(a).unwrap().client();
-    let cb = os.process(b).unwrap().client();
+    let sa = os.process(a).unwrap().session().clone();
+    let sb = os.process(b).unwrap().session().clone();
     let data_a = lib_a.at(0).cvt_relative(1);
     let data_b = lib_b.at(0).cvt_relative(1);
-    os.system_mut().store_u8(ca, data_a, 0xA1).unwrap();
-    os.system_mut().store_u8(cb, data_b, 0xB2).unwrap();
-    assert_eq!(os.system_mut().load_u8(ca, data_a).unwrap(), 0xA1);
-    assert_eq!(os.system_mut().load_u8(cb, data_b).unwrap(), 0xB2);
+    sa.store_u8(data_a, 0xA1).unwrap();
+    sb.store_u8(data_b, 0xB2).unwrap();
+    assert_eq!(sa.load_u8(data_a).unwrap(), 0xA1);
+    assert_eq!(sb.load_u8(data_b).unwrap(), 0xB2);
     // The template value is intact in untouched bytes.
-    assert_eq!(os.system_mut().load_u8(ca, data_a.offset_by(1)).unwrap(), 7);
+    assert_eq!(sa.load_u8(data_a.offset_by(1)).unwrap(), 7);
 }
 
 #[test]
 fn disable_frees_exactly_what_enable_consumed() {
-    let mut system = System::new(full_config());
+    let system = System::new(full_config());
     let client = system.create_client().unwrap();
     let before = system.mtl().free_frames();
     for round in 0..3 {
-        let vb = system.request_vb(client, 2 << 20, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let vb = client.request_vb(2 << 20, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         for page in (0..512u64).step_by(7) {
-            system.store_u64(client, vb.at(page * 4096), round).unwrap();
+            client.store_u64(vb.at(page * 4096), round).unwrap();
         }
-        system.release_vb(client, vb.cvt_index).unwrap();
+        client.release_vb(vb.cvt_index).unwrap();
         assert_eq!(system.mtl().free_frames(), before, "round {round} leaked");
     }
 }
 
 #[test]
 fn kernel_vbs_are_unreachable_without_attachment() {
-    let mut system = System::new(full_config());
+    let system = System::new(full_config());
     let kernel = system.create_client().unwrap();
     let user = system.create_client().unwrap();
-    let secret = system.request_vb(kernel, 4096, VbProperties::KERNEL, Rwx::READ_WRITE).unwrap();
-    system.store_u64(kernel, secret.at(0), 0xdead).unwrap();
+    let secret = kernel.request_vb(4096, VbProperties::KERNEL, Rwx::READ_WRITE).unwrap();
+    kernel.store_u64(secret.at(0), 0xdead).unwrap();
 
     // The user client has an empty CVT: no index reaches the kernel VB.
     for index in 0..4 {
         assert!(matches!(
-            system.load_u64(user, VirtualAddress::new(index, 0)),
+            user.load_u64(VirtualAddress::new(index, 0)),
             Err(VbiError::InvalidCvtIndex { .. })
         ));
     }
@@ -167,13 +164,13 @@ fn kernel_vbs_are_unreachable_without_attachment() {
 
 #[test]
 fn mixed_size_classes_coexist() {
-    let mut system = System::new(full_config());
+    let system = System::new(full_config());
     let client = system.create_client().unwrap();
     let sizes: [u64; 4] = [1 << 10, 100 << 10, 2 << 20, 64 << 20];
     let mut handles = Vec::new();
     for (i, bytes) in sizes.iter().enumerate() {
-        let vb = system.request_vb(client, *bytes, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-        system.store_u64(client, vb.at(bytes - 8), i as u64).unwrap();
+        let vb = client.request_vb(*bytes, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        client.store_u64(vb.at(bytes - 8), i as u64).unwrap();
         handles.push(vb);
     }
     let classes: Vec<SizeClass> = handles.iter().map(|h| h.vbuid.size_class()).collect();
@@ -182,6 +179,6 @@ fn mixed_size_classes_coexist() {
         vec![SizeClass::Kib4, SizeClass::Kib128, SizeClass::Mib4, SizeClass::Mib128]
     );
     for (i, (vb, bytes)) in handles.iter().zip(sizes).enumerate() {
-        assert_eq!(system.load_u64(client, vb.at(bytes - 8)).unwrap(), i as u64);
+        assert_eq!(client.load_u64(vb.at(bytes - 8)).unwrap(), i as u64);
     }
 }

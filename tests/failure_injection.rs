@@ -6,38 +6,39 @@ use vbi::{Rwx, SizeClass, System, VbProperties, VbiConfig, VbiError};
 
 #[test]
 fn cvt_exhaustion_is_a_clean_error() {
-    let mut system =
+    let system =
         System::new(VbiConfig { phys_frames: 1 << 14, cvt_capacity: 4, ..VbiConfig::vbi_full() });
     let client = system.create_client().unwrap();
     for _ in 0..4 {
-        system.request_vb(client, 4096, VbProperties::NONE, Rwx::READ).unwrap();
+        client.request_vb(4096, VbProperties::NONE, Rwx::READ).unwrap();
     }
-    let err = system.request_vb(client, 4096, VbProperties::NONE, Rwx::READ);
+    let err = client.request_vb(4096, VbProperties::NONE, Rwx::READ);
     assert!(matches!(err, Err(VbiError::CvtFull(_))));
     // The failed request must not leak an enabled VB: the next release and
     // re-request cycle still works.
-    system.release_vb(client, 0).unwrap();
-    system.request_vb(client, 4096, VbProperties::NONE, Rwx::READ).unwrap();
+    client.release_vb(0).unwrap();
+    client.request_vb(4096, VbProperties::NONE, Rwx::READ).unwrap();
 }
 
 #[test]
 fn client_id_exhaustion_and_recycling() {
-    let mut system = System::new(VbiConfig { phys_frames: 1 << 12, ..VbiConfig::vbi_full() });
+    let system = System::new(VbiConfig { phys_frames: 1 << 12, ..VbiConfig::vbi_full() });
     // Client IDs recycle through destruction.
     let a = system.create_client().unwrap();
-    system.destroy_client(a).unwrap();
+    let a_id = a.id();
+    a.destroy().unwrap();
     let b = system.create_client().unwrap();
-    assert_eq!(a, b, "released IDs are reused");
+    assert_eq!(a_id, b.id(), "released IDs are reused");
 }
 
 #[test]
 fn oom_during_write_leaves_prior_data_intact() {
-    let mut system = System::new(VbiConfig { phys_frames: 24, ..VbiConfig::vbi_1() });
+    let system = System::new(VbiConfig { phys_frames: 24, ..VbiConfig::vbi_1() });
     let client = system.create_client().unwrap();
-    let vb = system.request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    let vb = client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
     let mut written = Vec::new();
     for page in 0..32u64 {
-        match system.store_u64(client, vb.at(page << 12), page + 1) {
+        match client.store_u64(vb.at(page << 12), page + 1) {
             Ok(()) => written.push(page),
             Err(VbiError::OutOfPhysicalMemory) => break,
             Err(other) => panic!("unexpected error {other}"),
@@ -46,13 +47,13 @@ fn oom_during_write_leaves_prior_data_intact() {
     assert!(!written.is_empty(), "some writes must succeed");
     assert!(written.len() < 32, "memory must run out");
     for page in written {
-        assert_eq!(system.load_u64(client, vb.at(page << 12)).unwrap(), page + 1);
+        assert_eq!(client.load_u64(vb.at(page << 12)).unwrap(), page + 1);
     }
 }
 
 #[test]
 fn double_enable_and_double_disable_are_rejected() {
-    let mut system = System::new(VbiConfig { phys_frames: 1 << 12, ..VbiConfig::vbi_full() });
+    let system = System::new(VbiConfig { phys_frames: 1 << 12, ..VbiConfig::vbi_full() });
     let vb = system.mtl().find_free_vb(SizeClass::Kib4).unwrap();
     system.mtl_mut().enable_vb(vb, VbProperties::NONE).unwrap();
     assert!(matches!(
@@ -65,19 +66,19 @@ fn double_enable_and_double_disable_are_rejected() {
 
 #[test]
 fn detach_of_unattached_vb_fails_without_corruption() {
-    let mut system = System::new(VbiConfig { phys_frames: 1 << 12, ..VbiConfig::vbi_full() });
+    let system = System::new(VbiConfig { phys_frames: 1 << 12, ..VbiConfig::vbi_full() });
     let a = system.create_client().unwrap();
     let b = system.create_client().unwrap();
-    let vb = system.request_vb(a, 4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    let vb = a.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
     // b never attached: detaching must fail and leave a's access intact.
-    assert!(system.detach(b, vb.vbuid).is_err());
-    system.store_u64(a, vb.at(0), 5).unwrap();
-    assert_eq!(system.load_u64(a, vb.at(0)).unwrap(), 5);
+    assert!(b.detach(vb.vbuid).is_err());
+    a.store_u64(vb.at(0), 5).unwrap();
+    assert_eq!(a.load_u64(vb.at(0)).unwrap(), 5);
 }
 
 #[test]
 fn promotion_at_the_top_class_is_rejected() {
-    let mut system = System::new(VbiConfig { phys_frames: 1 << 12, ..VbiConfig::vbi_full() });
+    let system = System::new(VbiConfig { phys_frames: 1 << 12, ..VbiConfig::vbi_full() });
     let vb = system.mtl().find_free_vb(SizeClass::Tib128).unwrap();
     system.mtl_mut().enable_vb(vb, VbProperties::NONE).unwrap();
     let other = system.mtl().find_free_vb(SizeClass::Tib128).unwrap();
@@ -92,45 +93,44 @@ fn promotion_at_the_top_class_is_rejected() {
 fn swap_thrash_under_extreme_pressure_preserves_data() {
     // Two VBs, each bigger than half of memory, accessed alternately: pages
     // ping-pong through the backing store.
-    let mut system = System::new(VbiConfig { phys_frames: 28, ..VbiConfig::vbi_2() });
+    let system = System::new(VbiConfig { phys_frames: 28, ..VbiConfig::vbi_2() });
     let client = system.create_client().unwrap();
-    let a = system.request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-    let b = system.request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    let a = client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    let b = client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
     for round in 0..3u64 {
         for page in 0..16u64 {
-            system.store_u64(client, a.at(page << 12), round * 100 + page).unwrap();
-            system.store_u64(client, b.at(page << 12), round * 200 + page).unwrap();
+            client.store_u64(a.at(page << 12), round * 100 + page).unwrap();
+            client.store_u64(b.at(page << 12), round * 200 + page).unwrap();
         }
     }
     for page in 0..16u64 {
-        assert_eq!(system.load_u64(client, a.at(page << 12)).unwrap(), 200 + page);
-        assert_eq!(system.load_u64(client, b.at(page << 12)).unwrap(), 400 + page);
+        assert_eq!(client.load_u64(a.at(page << 12)).unwrap(), 200 + page);
+        assert_eq!(client.load_u64(b.at(page << 12)).unwrap(), 400 + page);
     }
     assert!(system.mtl().stats().pages_swapped_out > 0);
 }
 
 #[test]
 fn pinned_vbs_are_swapped_only_as_a_last_resort() {
-    let mut system = System::new(VbiConfig { phys_frames: 48, ..VbiConfig::vbi_2() });
+    let system = System::new(VbiConfig { phys_frames: 48, ..VbiConfig::vbi_2() });
     let client = system.create_client().unwrap();
-    let pinned =
-        system.request_vb(client, 64 << 10, VbProperties::PINNED, Rwx::READ_WRITE).unwrap();
+    let pinned = client.request_vb(64 << 10, VbProperties::PINNED, Rwx::READ_WRITE).unwrap();
     for page in 0..16u64 {
-        system.store_u64(client, pinned.at(page << 12), page).unwrap();
+        client.store_u64(pinned.at(page << 12), page).unwrap();
     }
-    let victim = system.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    let victim = client.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
     for page in 0..16u64 {
-        system.store_u64(client, victim.at(page << 12), page).unwrap();
+        client.store_u64(victim.at(page << 12), page).unwrap();
     }
     // Pressure from a third VB should prefer swapping the unpinned one.
-    let third = system.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    let third = client.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
     for page in 0..8u64 {
-        system.store_u64(client, third.at(page << 12), page).unwrap();
+        client.store_u64(third.at(page << 12), page).unwrap();
     }
     // All data is intact regardless of who got swapped.
     for page in 0..16u64 {
-        assert_eq!(system.load_u64(client, pinned.at(page << 12)).unwrap(), page);
-        assert_eq!(system.load_u64(client, victim.at(page << 12)).unwrap(), page);
+        assert_eq!(client.load_u64(pinned.at(page << 12)).unwrap(), page);
+        assert_eq!(client.load_u64(victim.at(page << 12)).unwrap(), page);
     }
 }
 
@@ -143,19 +143,19 @@ fn process_destruction_mid_pressure_releases_swap() {
     };
     let p1 = os.create_process(&image).unwrap();
     let h1 = os.create_heap(p1, 128 << 10, VbProperties::NONE).unwrap();
-    let c1 = os.process(p1).unwrap().client();
+    let s1 = os.process(p1).unwrap().session().clone();
     for page in 0..24u64 {
-        os.system_mut().store_u64(c1, h1.at(page << 12), page).unwrap();
+        s1.store_u64(h1.at(page << 12), page).unwrap();
     }
     let p2 = os.create_process(&image).unwrap();
     let h2 = os.create_heap(p2, 128 << 10, VbProperties::NONE).unwrap();
-    let c2 = os.process(p2).unwrap().client();
+    let s2 = os.process(p2).unwrap().session().clone();
     for page in 0..24u64 {
-        os.system_mut().store_u64(c2, h2.at(page << 12), 100 + page).unwrap();
+        s2.store_u64(h2.at(page << 12), 100 + page).unwrap();
     }
     // Destroy the first process: its swap slots and frames are released.
     os.destroy_process(p1).unwrap();
     for page in 0..24u64 {
-        assert_eq!(os.system_mut().load_u64(c2, h2.at(page << 12)).unwrap(), 100 + page);
+        assert_eq!(s2.load_u64(h2.at(page << 12)).unwrap(), 100 + page);
     }
 }

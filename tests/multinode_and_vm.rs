@@ -8,7 +8,7 @@ use vbi::{Rwx, SizeClass, System, VbProperties, VbiConfig, VirtualAddress};
 
 #[test]
 fn thirty_one_guests_coexist() {
-    let mut system =
+    let system =
         System::new(VbiConfig { phys_frames: 1 << 16, vm_id_bits: 5, ..VbiConfig::vbi_full() });
     let partition = VmPartition::new(5);
     let mut vms: Vec<VirtualMachine> =
@@ -16,16 +16,16 @@ fn thirty_one_guests_coexist() {
 
     let mut handles = Vec::new();
     for vm in &mut vms {
-        let client = vm.create_guest_client(&mut system).unwrap();
+        let guest = vm.create_guest_client(&system).unwrap();
         let vb = vm.find_free_vb(&system, SizeClass::Kib4).unwrap();
         system.mtl_mut().enable_vb(vb, VbProperties::NONE).unwrap();
-        let idx = system.attach(client, vb, Rwx::READ_WRITE).unwrap();
-        system.store_u64(client, VirtualAddress::new(idx, 0), vm.id().0 as u64).unwrap();
-        handles.push((client, idx, vm.id().0 as u64));
+        let idx = guest.attach(vb, Rwx::READ_WRITE).unwrap();
+        guest.store_u64(VirtualAddress::new(idx, 0), vm.id().0 as u64).unwrap();
+        handles.push((guest, idx, vm.id().0 as u64));
     }
     // Every guest reads back its own value: full isolation.
-    for (client, idx, want) in handles {
-        assert_eq!(system.load_u64(client, VirtualAddress::new(idx, 0)).unwrap(), want);
+    for (guest, idx, want) in handles {
+        assert_eq!(guest.load_u64(VirtualAddress::new(idx, 0)).unwrap(), want);
     }
 }
 

@@ -114,12 +114,12 @@ proptest! {
     fn system_behaves_like_memory(
         ops in prop::collection::vec((0usize..3, 0u64..256, any::<u64>(), any::<bool>()), 1..60),
     ) {
-        let mut system = System::new(VbiConfig { phys_frames: 1 << 14, ..VbiConfig::vbi_full() });
+        let system = System::new(VbiConfig { phys_frames: 1 << 14, ..VbiConfig::vbi_full() });
         let client = system.create_client().unwrap();
         let handles: Vec<_> = (0..3)
             .map(|_| {
-                system
-                    .request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+                client
+                    .request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE)
                     .unwrap()
             })
             .collect();
@@ -129,10 +129,10 @@ proptest! {
         for (vb, slot, value, is_write) in ops {
             let addr = handles[vb].at(slot * 8);
             if is_write {
-                system.store_u64(client, addr, value).unwrap();
+                client.store_u64(addr, value).unwrap();
                 model.insert((vb, slot), value);
             } else {
-                let got = system.load_u64(client, addr).unwrap();
+                let got = client.load_u64(addr).unwrap();
                 let want = model.get(&(vb, slot)).copied().unwrap_or(0);
                 prop_assert_eq!(got, want, "vb {} slot {}", vb, slot);
             }
@@ -144,41 +144,41 @@ proptest! {
     fn cow_clones_are_independent(
         writes in prop::collection::vec((0u64..32, any::<u64>(), any::<bool>()), 1..40),
     ) {
-        let mut system = System::new(VbiConfig { phys_frames: 1 << 14, ..VbiConfig::vbi_full() });
+        let system = System::new(VbiConfig { phys_frames: 1 << 14, ..VbiConfig::vbi_full() });
         let client = system.create_client().unwrap();
-        let src = system
-            .request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+        let src = client
+            .request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
             .unwrap();
         // Populate source.
         for page in 0..32u64 {
-            system.store_u64(client, src.at(page * 4096), page).unwrap();
+            client.store_u64(src.at(page * 4096), page).unwrap();
         }
         // Clone via the MTL and attach.
         let dst_vbuid = system.mtl().find_free_vb(src.vbuid.size_class()).unwrap();
         system.mtl_mut().enable_vb(dst_vbuid, VbProperties::NONE).unwrap();
         system.mtl_mut().clone_vb(src.vbuid, dst_vbuid).unwrap();
-        let dst_index = system.attach(client, dst_vbuid, Rwx::READ_WRITE).unwrap();
+        let dst_index = client.attach(dst_vbuid, Rwx::READ_WRITE).unwrap();
 
         let mut src_model: Vec<u64> = (0..32).collect();
         let mut dst_model: Vec<u64> = (0..32).collect();
         for (page, value, to_src) in writes {
             if to_src {
-                system.store_u64(client, src.at(page * 4096), value).unwrap();
+                client.store_u64(src.at(page * 4096), value).unwrap();
                 src_model[page as usize] = value;
             } else {
                 let addr = vbi::VirtualAddress::new(dst_index, page * 4096);
-                system.store_u64(client, addr, value).unwrap();
+                client.store_u64(addr, value).unwrap();
                 dst_model[page as usize] = value;
             }
         }
         for page in 0..32u64 {
             prop_assert_eq!(
-                system.load_u64(client, src.at(page * 4096)).unwrap(),
+                client.load_u64(src.at(page * 4096)).unwrap(),
                 src_model[page as usize]
             );
             let addr = vbi::VirtualAddress::new(dst_index, page * 4096);
             prop_assert_eq!(
-                system.load_u64(client, addr).unwrap(),
+                client.load_u64(addr).unwrap(),
                 dst_model[page as usize]
             );
         }

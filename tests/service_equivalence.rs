@@ -66,7 +66,7 @@ fn equivalence_holds_across_config_variants() {
 /// end.
 fn random_mixed_ops(seed: u64, len: usize, cfg: &VbiConfig) -> Vec<Op> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut scratch = System::new(cfg.clone());
+    let scratch = System::new(cfg.clone());
     // The model: live clients and the VB handles each one holds.
     let mut clients: Vec<(ClientId, Vec<VbHandle>)> = Vec::new();
     let mut ops = Vec::with_capacity(len);
@@ -194,7 +194,7 @@ proptest! {
         let cfg = VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() };
         let ops = random_mixed_ops(seed, len, &cfg);
 
-        let mut system = System::new(cfg.clone());
+        let system = System::new(cfg.clone());
         let system_responses: Vec<OpResult> =
             ops.iter().map(|op| system.execute(op.clone())).collect();
 
@@ -215,7 +215,7 @@ proptest! {
         let cfg = VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() };
         let ops = random_mixed_ops(seed, len, &cfg);
 
-        let mut system = System::new(cfg.clone());
+        let system = System::new(cfg.clone());
         let service = VbiService::new(ServiceConfig::single(cfg));
         for op in &ops {
             let want = system.execute(op.clone());

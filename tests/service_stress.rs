@@ -1,12 +1,14 @@
 //! Concurrency stress suite for the sharded memory service: many threads
-//! hammering disjoint and shared VBs through one `VbiService` handle.
+//! hammering disjoint and shared VBs through `ClientSession` handles.
 //!
 //! Run under `--release` in CI so real interleavings are exercised; the
 //! assertions are strict (no lost writes, permissions enforced from every
-//! thread, shard routing a pure function of the VBUID) rather than timing
-//! based, so the suite is deterministic in what it checks.
+//! thread, shard routing a pure function of the VBUID, epoch-validated
+//! reads never stale, cache-hit reads take zero client locks) rather than
+//! timing based, so the suite is deterministic in what it checks.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::thread;
 
@@ -35,15 +37,14 @@ fn disjoint_vbs_lose_no_writes() {
                 let svc = svc.clone();
                 s.spawn(move || {
                     let client = svc.create_client().unwrap();
-                    let vb = svc
-                        .request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
-                        .unwrap();
+                    let vb =
+                        client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
                     for i in 0..WRITES {
-                        svc.store_u64(client, vb.at(i * 8), t * 1_000_000 + i).unwrap();
+                        client.store_u64(vb.at(i * 8), t * 1_000_000 + i).unwrap();
                     }
                     for i in 0..WRITES {
                         assert_eq!(
-                            svc.load_u64(client, vb.at(i * 8)).unwrap(),
+                            client.load_u64(vb.at(i * 8)).unwrap(),
                             t * 1_000_000 + i,
                             "thread {t} lost write {i}"
                         );
@@ -58,10 +59,10 @@ fn disjoint_vbs_lose_no_writes() {
     // re-verifies the data written by the worker threads.
     let auditor = svc.create_client().unwrap();
     for (t, vbuid) in vbs.iter().enumerate() {
-        let index = svc.attach(auditor, *vbuid, Rwx::READ).unwrap();
+        let index = auditor.attach(*vbuid, Rwx::READ).unwrap();
         for i in [0, WRITES / 2, WRITES - 1] {
             assert_eq!(
-                svc.load_u64(auditor, VirtualAddress::new(index, i * 8)).unwrap(),
+                auditor.load_u64(VirtualAddress::new(index, i * 8)).unwrap(),
                 t as u64 * 1_000_000 + i,
                 "auditor saw stale data of thread {t}"
             );
@@ -77,8 +78,8 @@ fn shared_vb_disjoint_slots_lose_no_writes() {
     let svc = service(4);
     const SLOTS: u64 = 256;
     let owner = svc.create_client().unwrap();
-    let vb = svc
-        .request_vb(owner, (THREADS as u64) * SLOTS * 8, VbProperties::NONE, Rwx::READ_WRITE)
+    let vb = owner
+        .request_vb((THREADS as u64) * SLOTS * 8, VbProperties::NONE, Rwx::READ_WRITE)
         .unwrap();
     let barrier = Barrier::new(THREADS);
     thread::scope(|s| {
@@ -87,10 +88,11 @@ fn shared_vb_disjoint_slots_lose_no_writes() {
             let barrier = &barrier;
             s.spawn(move || {
                 let client = svc.create_client().unwrap();
-                let index = svc.attach(client, vb.vbuid, Rwx::READ_WRITE).unwrap();
+                let index = client.attach(vb.vbuid, Rwx::READ_WRITE).unwrap();
                 let base = t * SLOTS * 8;
                 for i in 0..SLOTS {
-                    svc.store_u64(client, VirtualAddress::new(index, base + i * 8), t * 7_000 + i)
+                    client
+                        .store_u64(VirtualAddress::new(index, base + i * 8), t * 7_000 + i)
                         .unwrap();
                 }
                 barrier.wait();
@@ -99,7 +101,7 @@ fn shared_vb_disjoint_slots_lose_no_writes() {
                     for i in 0..SLOTS {
                         let va = VirtualAddress::new(index, other * SLOTS * 8 + i * 8);
                         assert_eq!(
-                            svc.load_u64(client, va).unwrap(),
+                            client.load_u64(va).unwrap(),
                             other * 7_000 + i,
                             "thread {t} read a lost write of thread {other}"
                         );
@@ -116,19 +118,19 @@ fn shared_vb_disjoint_slots_lose_no_writes() {
 fn permissions_are_enforced_cross_thread() {
     let svc = service(2);
     let owner = svc.create_client().unwrap();
-    let vb = svc.request_vb(owner, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
-    svc.store_u64(owner, vb.at(0), 42).unwrap();
+    let vb = owner.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    owner.store_u64(vb.at(0), 42).unwrap();
     thread::scope(|s| {
         // Readers: loads succeed, stores are denied — every time.
         for _ in 0..THREADS {
             let svc = svc.clone();
             s.spawn(move || {
                 let reader = svc.create_client().unwrap();
-                let index = svc.attach(reader, vb.vbuid, Rwx::READ).unwrap();
+                let index = reader.attach(vb.vbuid, Rwx::READ).unwrap();
                 let va = VirtualAddress::new(index, 0);
                 for _ in 0..200 {
-                    assert!(svc.load_u64(reader, va).unwrap() >= 42);
-                    match svc.store_u64(reader, va, 0) {
+                    assert!(reader.load_u64(va).unwrap() >= 42);
+                    match reader.store_u64(va, 0) {
                         Err(VbiError::PermissionDenied { .. }) => {}
                         other => panic!("read-only store must be denied, got {other:?}"),
                     }
@@ -136,15 +138,15 @@ fn permissions_are_enforced_cross_thread() {
             });
         }
         // The owner keeps the cell monotonically increasing meanwhile.
-        let svc_owner = svc.clone();
+        let writer = owner.clone();
         s.spawn(move || {
             for i in 0..200u64 {
-                svc_owner.store_u64(owner, vb.at(0), 42 + i).unwrap();
+                writer.store_u64(vb.at(0), 42 + i).unwrap();
             }
         });
     });
     // No denied store ever landed.
-    assert!(svc.load_u64(owner, vb.at(0)).unwrap() >= 42);
+    assert!(owner.load_u64(vb.at(0)).unwrap() >= 42);
 }
 
 /// Shard routing is a pure function of the VBUID: every thread computes
@@ -155,7 +157,7 @@ fn shard_routing_is_deterministic() {
     let svc = service(8);
     let client = svc.create_client().unwrap();
     let handles: Vec<_> = (0..16)
-        .map(|_| svc.request_vb(client, 4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
+        .map(|_| client.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
         .collect();
     let reference: Vec<usize> = handles.iter().map(|h| svc.shard_of(h.vbuid)).collect();
     thread::scope(|s| {
@@ -174,7 +176,7 @@ fn shard_routing_is_deterministic() {
     });
     // Traffic isolation: touching one VB moves only its home shard's counters.
     svc.reset_stats();
-    svc.store_u64(client, handles[0].at(0), 1).unwrap();
+    client.store_u64(handles[0].at(0), 1).unwrap();
     for (shard, stats) in svc.shard_stats().iter().enumerate() {
         if shard == reference[0] {
             assert!(stats.translation_requests > 0, "home shard idle");
@@ -192,17 +194,18 @@ fn concurrent_batches_lose_no_writes() {
     let svc = service(4);
     const SLOTS: u64 = 128;
     let owner = svc.create_client().unwrap();
-    let shared = svc
-        .request_vb(owner, (THREADS as u64) * SLOTS * 8, VbProperties::NONE, Rwx::READ_WRITE)
+    let shared = owner
+        .request_vb((THREADS as u64) * SLOTS * 8, VbProperties::NONE, Rwx::READ_WRITE)
         .unwrap();
     thread::scope(|s| {
         for t in 0..THREADS as u64 {
             let svc = svc.clone();
             s.spawn(move || {
-                let client = svc.create_client().unwrap();
-                let shared_index = svc.attach(client, shared.vbuid, Rwx::READ_WRITE).unwrap();
+                let session = svc.create_client().unwrap();
+                let client = session.id();
+                let shared_index = session.attach(shared.vbuid, Rwx::READ_WRITE).unwrap();
                 let private =
-                    svc.request_vb(client, 64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+                    session.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
                 let base = t * SLOTS * 8;
                 let mut batch = Vec::new();
                 for i in 0..SLOTS {
@@ -258,11 +261,10 @@ fn queue_loses_no_completions() {
                 s.spawn(move || {
                     // Synchronous setup: pipelined ops must not depend on
                     // unreaped completions.
-                    let service = queue.service();
-                    let client = service.create_client().unwrap();
-                    let vb = service
-                        .request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
-                        .unwrap();
+                    let session = queue.create_client().unwrap();
+                    let client = session.id();
+                    let vb =
+                        session.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
                     let mut mine = Vec::new();
                     for i in 0..OPS_PER_THREAD {
                         let tag = (t << 32) | i;
@@ -323,17 +325,135 @@ fn concurrent_churn_leaks_nothing() {
             s.spawn(move || {
                 for round in 0..20 {
                     let client = svc.create_client().unwrap();
-                    let vb = svc
-                        .request_vb(client, 128 << 10, VbProperties::NONE, Rwx::READ_WRITE)
-                        .unwrap();
+                    let vb =
+                        client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
                     for i in 0..16 {
-                        svc.store_u64(client, vb.at(i * 512), t * 100 + round + i).unwrap();
+                        client.store_u64(vb.at(i * 512), t * 100 + round + i).unwrap();
                     }
-                    svc.destroy_client(client).unwrap();
+                    client.destroy().unwrap();
                 }
             });
         }
     });
     assert_eq!(svc.free_frames(), baseline, "churn leaked physical frames");
     assert!(svc.stats().pages_allocated > 0);
+}
+
+/// The seqlock read path under attach/detach fire, seeded and byte-exact:
+/// reader threads hammer `session.load_u64` through one shared session
+/// while a writer thread detaches and re-attaches *different VBs at the
+/// same CVT index*. Every read must observe exactly one of the two
+/// epoch-consistent states — the X value, the Y value, or (in the gap
+/// between detach and re-attach) a clean `InvalidCvtIndex` — never a torn
+/// mix, never a value from a VB the entry no longer names.
+#[test]
+fn readers_never_observe_stale_translations_under_attach_detach() {
+    const X_VALUE: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+    const Y_VALUE: u64 = 0xBBBB_BBBB_BBBB_BBBB;
+    const READS_PER_THREAD: u64 = 30_000; // seeded, deterministic workload size
+    const SWAPS: u64 = 2_000;
+
+    let svc = service(4);
+    let session = svc.create_client().unwrap();
+    // Two VBs with distinct, constant contents.
+    let x = session.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    let y = session.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    session.store_u64(x.at(0), X_VALUE).unwrap();
+    session.store_u64(y.at(0), Y_VALUE).unwrap();
+    // The contested entry: a dedicated index that the writer retargets
+    // between X and Y for the whole run.
+    let contested = session.attach(x.vbuid, Rwx::READ).unwrap();
+    let va = VirtualAddress::new(contested, 0);
+
+    let stop = AtomicBool::new(false);
+    thread::scope(|s| {
+        // Writer: detach the contested entry (by index — the original
+        // read-write attachments keep both VBs referenced and alive) and
+        // re-attach the other VB at the same index — each step bumps the
+        // client's epoch and invalidates the published cache slot.
+        let writer = session.clone();
+        let stop_flag = &stop;
+        s.spawn(move || {
+            for swap in 0..SWAPS {
+                writer.release_vb(contested).unwrap();
+                let next = if swap % 2 == 0 { y.vbuid } else { x.vbuid };
+                writer.attach_at(contested, next, Rwx::READ).unwrap();
+            }
+            stop_flag.store(true, Ordering::Release);
+        });
+        // Readers: every load must be byte-exact pre- or post-epoch state.
+        for t in 0..4u64 {
+            let reader = session.clone();
+            let stop_flag = &stop;
+            s.spawn(move || {
+                let mut reads = 0u64;
+                while reads < READS_PER_THREAD && !stop_flag.load(Ordering::Acquire) {
+                    match reader.load_u64(va) {
+                        Ok(value) => assert!(
+                            value == X_VALUE || value == Y_VALUE,
+                            "thread {t}: torn/stale read {value:#x}"
+                        ),
+                        // The gap between detach and re-attach.
+                        Err(VbiError::InvalidCvtIndex { .. }) => {}
+                        Err(other) => panic!("thread {t}: unexpected error {other}"),
+                    }
+                    reads += 1;
+                }
+            });
+        }
+    });
+    // The contested entry still resolves after the dust settles.
+    let final_value = session.load_u64(va).unwrap();
+    assert!(final_value == X_VALUE || final_value == Y_VALUE);
+}
+
+/// The acceptance-criterion proof: once the CVT cache is warm, reads
+/// through `ClientSession` clones on many threads perform **zero**
+/// client-mutex acquisitions — the client-lock counter does not move, and
+/// every one of those reads is accounted as a lock-free hit.
+#[test]
+fn warm_cache_hit_reads_take_zero_client_locks() {
+    const READERS: usize = 8;
+    const READS_PER_THREAD: usize = 5_000;
+
+    let svc = service(4);
+    let session = svc.create_client().unwrap();
+    let vbs: Vec<_> = (0..8)
+        .map(|i| {
+            let vb = session.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+            session.store_u64(vb.at(0), i).unwrap();
+            vb
+        })
+        .collect();
+    // Warm: one read per index fills the published cache (locked fills).
+    for vb in &vbs {
+        session.load_u64(vb.at(0)).unwrap();
+    }
+
+    let locks_before = svc.client_lock_acquisitions(session.id()).unwrap();
+    let hits_before = session.cvt_cache_stats().unwrap().lockfree_hits;
+    thread::scope(|s| {
+        for t in 0..READERS {
+            let reader = session.clone();
+            let vbs = &vbs;
+            s.spawn(move || {
+                for i in 0..READS_PER_THREAD {
+                    let pick = (i + t) % vbs.len();
+                    assert_eq!(reader.load_u64(vbs[pick].at(0)).unwrap(), pick as u64);
+                }
+            });
+        }
+    });
+    let locks_after = svc.client_lock_acquisitions(session.id()).unwrap();
+    let hits_after = session.cvt_cache_stats().unwrap().lockfree_hits;
+
+    assert_eq!(
+        locks_after, locks_before,
+        "cache-hit reads must perform zero client-mutex acquisitions"
+    );
+    assert_eq!(
+        hits_after - hits_before,
+        (READERS * READS_PER_THREAD) as u64,
+        "every read must be a lock-free hit"
+    );
 }
