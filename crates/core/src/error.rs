@@ -90,6 +90,13 @@ pub enum VbiError {
     },
     /// The VM ID is outside the configured partition.
     InvalidVmId(u8),
+    /// A migration named a destination shard the machine does not have.
+    InvalidShard {
+        /// The requested destination shard.
+        shard: usize,
+        /// Number of shards the machine actually has.
+        shards: usize,
+    },
     /// Address arithmetic produced an address outside the VB or the VBI
     /// address space.
     MalformedAddress(u64),
@@ -139,6 +146,9 @@ impl fmt::Display for VbiError {
             ),
             Self::SwapFailure { reason } => write!(f, "backing store failure: {reason}"),
             Self::InvalidVmId(id) => write!(f, "virtual machine id {id} is out of range"),
+            Self::InvalidShard { shard, shards } => {
+                write!(f, "shard {shard} is out of range for a {shards}-shard machine")
+            }
             Self::MalformedAddress(bits) => write!(f, "malformed VBI address {bits:#018x}"),
             Self::EngineFault(message) => write!(f, "engine fault while serving the op: {message}"),
         }

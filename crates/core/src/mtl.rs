@@ -346,6 +346,15 @@ impl Mtl {
         Ok(self.vits.entry(vbuid)?.props)
     }
 
+    /// The VB's current reference count (number of attached clients).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::VbNotEnabled`] for disabled VBs.
+    pub fn ref_count(&self, vbuid: Vbuid) -> Result<u32> {
+        Ok(self.vits.entry(vbuid)?.refcount)
+    }
+
     /// The VB's current translation-structure kind (`None` before first
     /// allocation).
     ///
@@ -373,16 +382,58 @@ impl Mtl {
 
         // Take the source structure, mark it COW, rebuild a structure for dst.
         let Some(mut src_structure) = self.vits.entry_mut(src)?.translation.take() else {
+            self.stats.vbs_cloned += 1;
             return Ok(()); // nothing allocated yet; nothing to share
         };
         src_structure.mark_all_cow();
 
         // A clone shares the source's frames, which are not the clone's own
         // contiguous region, so the clone's structure is table-based from
-        // the start.
-        let mut dst_structure = self.table_structure_for(dst.size_class())?;
-        for (page, frame, _) in src_structure.mapped_pages() {
+        // the start. All fallible work happens before any share is
+        // accounted, so a failed clone can restore the source untouched
+        // (the COW marking only costs a copy on the next write).
+        let mut dst_structure = match self.table_structure_for(dst.size_class()) {
+            Ok(structure) => structure,
+            Err(e) => {
+                self.vits.entry_mut(src)?.translation = Some(src_structure);
+                return Err(e);
+            }
+        };
+        let mut dup_slots = Vec::new();
+        if let Err(e) = self.build_clone_entries(&src_structure, &mut dst_structure, &mut dup_slots)
+        {
+            // Unwind: nothing is shared yet — drop the duplicated swap
+            // slots and the clone's table nodes, put the source back.
+            for slot in dup_slots {
+                self.swap.discard(slot);
+            }
+            dst_structure.release_tables(&mut self.buddy);
+            self.vits.entry_mut(src)?.translation = Some(src_structure);
+            return Err(e);
+        }
+        // Infallible from here: account the shares, publish both structures.
+        for (_, frame, _) in src_structure.mapped_pages() {
             *self.frame_shares.entry(frame.0).or_insert(1) += 1;
+        }
+        self.vits.entry_mut(src)?.translation = Some(src_structure);
+        self.vits.entry_mut(dst)?.translation = Some(dst_structure);
+        // COW marking invalidates cached translations of the source.
+        self.page_tlb.invalidate_matching(|(vb, _)| *vb == src);
+        self.direct_tlb.invalidate(&src);
+        self.stats.vbs_cloned += 1;
+        Ok(())
+    }
+
+    /// The fallible half of [`Mtl::clone_vb`]: fills the clone's structure
+    /// with COW-shared mappings and duplicated swap slots, recording each
+    /// duplicate so a failed clone can discard it again.
+    fn build_clone_entries(
+        &mut self,
+        src_structure: &TranslationStructure,
+        dst_structure: &mut TranslationStructure,
+        dup_slots: &mut Vec<SwapSlot>,
+    ) -> Result<()> {
+        for (page, frame, _) in src_structure.mapped_pages() {
             dst_structure.set_entry(
                 page,
                 PageEntry::Mapped { frame, cow: true },
@@ -391,13 +442,61 @@ impl Mtl {
         }
         for (page, slot) in src_structure.swapped_pages() {
             let dup = self.swap.duplicate(slot);
+            dup_slots.push(dup);
             dst_structure.set_entry(page, PageEntry::Swapped(dup), &mut self.buddy)?;
         }
-        self.vits.entry_mut(src)?.translation = Some(src_structure);
-        self.vits.entry_mut(dst)?.translation = Some(dst_structure);
-        // COW marking invalidates cached translations of the source.
-        self.page_tlb.invalidate_matching(|(vb, _)| *vb == src);
-        self.direct_tlb.invalidate(&src);
+        Ok(())
+    }
+
+    /// Copies the resident contents of `from` (homed on `src`) into the
+    /// freshly enabled, same-sized `to` — the data-movement half of §4.2.2's
+    /// "seamlessly migrate/copy VBs" and §6.2's cross-MTL migration, shared
+    /// by the op engine's `Op::Migrate` and
+    /// [`crate::multinode::MultiNodeSystem::migrate_vb`]. `dst` is the
+    /// destination's home MTL when it differs from the source's (`None` =
+    /// both VBs live on `src`, the 1-node case).
+    ///
+    /// The copy goes page by page and skips never-allocated pages, so
+    /// delayed allocation survives the migration; swapped-out source pages
+    /// are faulted back in and copied. The caller redirects CVT entries and
+    /// disables `from` afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Any translation error on either MTL.
+    pub fn migrate_contents(
+        src: &mut Mtl,
+        mut dst: Option<&mut Mtl>,
+        from: Vbuid,
+        to: Vbuid,
+    ) -> Result<()> {
+        if from.size_class() != to.size_class() {
+            return Err(VbiError::CloneSizeMismatch { source: from, destination: to });
+        }
+        for page in 0..from.size_class().pages() {
+            let src_addr = from.address(page << 12)?;
+            // A read probe swaps the page in if needed; unbacked pages stay
+            // unbacked on the destination too.
+            let backed = matches!(
+                src.translate(src_addr, MtlAccess::Read)?.result,
+                TranslateResult::Mapped(_)
+            );
+            if !backed {
+                continue;
+            }
+            for line in 0..(4096 / 8) {
+                let offset = (page << 12) + line * 8;
+                let value = src.read_u64(from.address(offset)?)?;
+                if value != 0 {
+                    let to_addr = to.address(offset)?;
+                    match dst.as_deref_mut() {
+                        Some(dst) => dst.write_u64(to_addr, value)?,
+                        None => src.write_u64(to_addr, value)?,
+                    }
+                }
+            }
+        }
+        src.stats.vbs_migrated += 1;
         Ok(())
     }
 
@@ -420,15 +519,44 @@ impl Mtl {
             self.stats.promotions += 1;
             return Ok(()); // nothing to move
         };
-        let mut dst_structure = match self.vits.entry_mut(dst)?.translation.take() {
-            Some(s) => s,
-            None => self.table_structure_for(dst.size_class())?,
+        let (mut dst_structure, dst_was_fresh) = match self.vits.entry_mut(dst)?.translation.take()
+        {
+            Some(s) => (s, false),
+            None => match self.table_structure_for(dst.size_class()) {
+                Ok(s) => (s, true),
+                Err(e) => {
+                    self.vits.entry_mut(src)?.translation = Some(src_structure);
+                    return Err(e);
+                }
+            },
         };
-        for (page, frame, cow) in src_structure.mapped_pages() {
-            dst_structure.set_entry(page, PageEntry::Mapped { frame, cow }, &mut self.buddy)?;
-        }
-        for (page, slot) in src_structure.swapped_pages() {
-            dst_structure.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy)?;
+        // Fallible phase: copy every entry into the destination. On failure
+        // the source still owns all frames and swap slots, so unwinding is
+        // unsetting what was copied and restoring both structures.
+        let mut copied = Vec::new();
+        let filled = (|| -> Result<()> {
+            for (page, frame, cow) in src_structure.mapped_pages() {
+                dst_structure.set_entry(page, PageEntry::Mapped { frame, cow }, &mut self.buddy)?;
+                copied.push(page);
+            }
+            for (page, slot) in src_structure.swapped_pages() {
+                dst_structure.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy)?;
+                copied.push(page);
+            }
+            Ok(())
+        })();
+        if let Err(e) = filled {
+            if dst_was_fresh {
+                dst_structure.release_tables(&mut self.buddy);
+            } else {
+                for page in copied {
+                    // Unsetting a just-set entry walks existing nodes only.
+                    let _ = dst_structure.set_entry(page, PageEntry::Unmapped, &mut self.buddy);
+                }
+                self.vits.entry_mut(dst)?.translation = Some(dst_structure);
+            }
+            self.vits.entry_mut(src)?.translation = Some(src_structure);
+            return Err(e);
         }
         src_structure.release_tables(&mut self.buddy);
         // The source's reservation extents are orphaned: the frames now
@@ -1562,6 +1690,55 @@ mod tests {
             }
         }
         assert!(saw_oom);
+    }
+
+    #[test]
+    fn failed_clone_restores_the_source() {
+        // vbi_2: no early reservation, so memory really runs dry.
+        let config = VbiConfig { phys_frames: 16, ..VbiConfig::vbi_2() };
+        let mut m = Mtl::new(config);
+        let src = enabled_vb(&mut m, SizeClass::Kib128);
+        m.write_u64(src.address(0).unwrap(), 7777).unwrap();
+        // Exhaust physical memory so the clone's table allocation must fail.
+        let hog = enabled_vb(&mut m, SizeClass::Kib128);
+        for page in 0..32u64 {
+            if m.write_u64(hog.address(page << 12).unwrap(), 1).is_err() {
+                break;
+            }
+        }
+        let free_before = m.free_frames();
+        let dst = m.find_free_vb(SizeClass::Kib128).unwrap();
+        m.enable_vb(dst, VbProperties::NONE).unwrap();
+        assert!(matches!(m.clone_vb(src, dst), Err(VbiError::OutOfPhysicalMemory)));
+        // The aborted clone changed nothing: the source still reads its
+        // data (its taken structure was restored), no frames moved, no
+        // clone was counted.
+        assert_eq!(m.read_u64(src.address(0).unwrap()).unwrap(), 7777);
+        assert_eq!(m.free_frames(), free_before);
+        assert_eq!(m.stats().vbs_cloned, 0);
+    }
+
+    #[test]
+    fn failed_promote_restores_the_source() {
+        let config = VbiConfig { phys_frames: 16, ..VbiConfig::vbi_2() };
+        let mut m = Mtl::new(config);
+        let src = enabled_vb(&mut m, SizeClass::Kib128);
+        m.write_u64(src.address(8).unwrap(), 31337).unwrap();
+        let hog = enabled_vb(&mut m, SizeClass::Kib128);
+        for page in 0..32u64 {
+            if m.write_u64(hog.address(page << 12).unwrap(), 1).is_err() {
+                break;
+            }
+        }
+        let free_before = m.free_frames();
+        // A 4 MiB destination needs a single-level table — an allocation
+        // that must fail on the exhausted machine.
+        let dst = m.find_free_vb(SizeClass::Mib4).unwrap();
+        m.enable_vb(dst, VbProperties::NONE).unwrap();
+        assert!(matches!(m.promote_vb(src, dst), Err(VbiError::OutOfPhysicalMemory)));
+        assert_eq!(m.read_u64(src.address(8).unwrap()).unwrap(), 31337);
+        assert_eq!(m.free_frames(), free_before);
+        assert_eq!(m.stats().promotions, 0);
     }
 
     #[test]

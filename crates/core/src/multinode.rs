@@ -179,39 +179,33 @@ impl MultiNodeSystem {
     /// Migrates a VB's contents to a fresh VB of the same size class homed
     /// on `to` ("the OS can seamlessly migrate data from a VB hosted by one
     /// MTL to a VB hosted by another MTL"). Returns the new VBUID; the OS
-    /// then redirects CVT entries (see `crate::client::Cvt::redirect`) and
-    /// disables the old VB.
+    /// then redirects CVT entries (see [`crate::client::Cvt::redirect_all`])
+    /// and disables the old VB.
+    ///
+    /// A wrapper over the engine's shared data-movement primitive,
+    /// [`Mtl::migrate_contents`] — the same copy the op engine's
+    /// `Op::Migrate` runs behind the sharded service, here driven with
+    /// per-node MTLs instead of per-shard locks. Pages never written stay
+    /// unmapped on the destination too (delayed allocation is preserved
+    /// across the migration).
     ///
     /// # Errors
     ///
     /// Any enable/translation error on either node.
     pub fn migrate_vb(&mut self, vbuid: Vbuid, to: NodeId) -> Result<Vbuid> {
-        let new = self.enable_vb_on(to, vbuid.size_class(), {
-            let from = self.home_of(vbuid);
-            self.mtl(from).props(vbuid)?
-        })?;
-        // Copy resident data page by page. Pages never written stay unmapped
-        // on the destination too (delayed allocation is preserved across the
-        // migration).
         let from = self.home_of(vbuid);
-        let pages = vbuid.size_class().pages();
-        for page in 0..pages {
-            let src_addr = vbuid.address(page << 12)?;
-            let src_mtl = &mut self.mtls[from.0 as usize];
-            let backed = matches!(
-                src_mtl.translate(src_addr, MtlAccess::Read)?.result,
-                crate::mtl::TranslateResult::Mapped(_)
-            );
-            if !backed {
-                continue;
-            }
-            for line in 0..(4096 / 8) {
-                let offset = (page << 12) + line * 8;
-                let value = self.mtls[from.0 as usize].read_u64(vbuid.address(offset)?)?;
-                if value != 0 {
-                    self.mtls[to.0 as usize].write_u64(new.address(offset)?, value)?;
-                }
-            }
+        let props = self.mtl(from).props(vbuid)?;
+        let new = self.enable_vb_on(to, vbuid.size_class(), props)?;
+        let (src, dst) = (from.0 as usize, to.0 as usize);
+        if src == dst {
+            Mtl::migrate_contents(&mut self.mtls[src], None, vbuid, new)?;
+        } else {
+            // Split the per-node MTL vector so source and destination can be
+            // borrowed together (the service takes two shard locks instead).
+            let (lo, hi) = self.mtls.split_at_mut(src.max(dst));
+            let (src_mtl, dst_mtl) =
+                if src < dst { (&mut lo[src], &mut hi[0]) } else { (&mut hi[0], &mut lo[dst]) };
+            Mtl::migrate_contents(src_mtl, Some(dst_mtl), vbuid, new)?;
         }
         Ok(new)
     }

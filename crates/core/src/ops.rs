@@ -25,12 +25,15 @@
 //!
 //! ## Locking contract
 //!
-//! The engine never asks the environment for two resources at once: every
-//! [`OpEnv`] callback (`with_client`, `with_client_read`, `with_home_mtl`,
-//! `place_vb`) is entered and exited before the next one starts. Lock-based
-//! environments therefore never hold a client lock and a shard lock
-//! simultaneously on the engine's behalf, making deadlock impossible by
-//! construction.
+//! The engine asks the environment for at most one *kind* of resource at a
+//! time: every [`OpEnv`] callback (`with_client`, `with_client_read`,
+//! `with_home_mtl`, `place_vb`, `redirect_clients`) is entered and exited
+//! before the next one starts, so lock-based environments never hold a
+//! client lock and a shard lock simultaneously on the engine's behalf. The
+//! one deliberate exception is the remap family's [`OpEnv::with_mtl_pair`],
+//! which holds the source *and* destination home MTLs of a migration at
+//! once — environments acquire the two shard locks in shard-index order,
+//! keeping deadlock impossible by construction.
 //!
 //! Client state additionally splits into a read and a write side:
 //! [`OpEnv::with_client_read`] is the engine's declaration that an op never
@@ -212,6 +215,38 @@ pub enum Op {
         /// Bytes to write.
         data: Vec<u8>,
     },
+    /// VB promotion (§4.4): move the VB behind `client`'s CVT `index` into
+    /// a freshly enabled VB of the next larger size class on the same home
+    /// shard, redirect every attached client's CVT entry (§4.2.2 — the
+    /// program's pointers stay valid), and disable the drained source.
+    Promote {
+        /// Client whose handle names the VB (every sharer is redirected).
+        client: ClientId,
+        /// CVT index of the VB to promote.
+        index: usize,
+    },
+    /// `clone_vb` behind a handle (§4.4): enable a same-class VB on the
+    /// source's home shard, make it a copy-on-write clone, and attach it to
+    /// `client` with the source entry's permissions.
+    CloneVb {
+        /// Client receiving the clone.
+        client: ClientId,
+        /// CVT index of the VB to clone.
+        index: usize,
+    },
+    /// Cross-shard VB migration (§4.2.2, §6.2): copy the VB behind
+    /// `client`'s CVT `index` into a fresh VB homed on `to_shard`, redirect
+    /// every attached client's CVT entry, and disable the source — the OS
+    /// "seamlessly migrates VBs by just updating the VBUID of the
+    /// corresponding CVT entry".
+    Migrate {
+        /// Client whose handle names the VB (every sharer is redirected).
+        client: ClientId,
+        /// CVT index of the VB to migrate.
+        index: usize,
+        /// Destination shard (0 on a single-shard machine).
+        to_shard: usize,
+    },
 }
 
 impl Op {
@@ -236,6 +271,19 @@ impl Op {
             Op::StoreBytes { client, va, ref data } if !data.is_empty() => {
                 Some((client, va, AccessKind::Write))
             }
+            _ => None,
+        }
+    }
+
+    /// For the VB-remap family (promote/clone/migrate): the `(client, CVT
+    /// index)` naming the *source* VB. Queued front ends use this to route a
+    /// remap to its source shard's worker, which engages the destination
+    /// shard through the environment's ordered two-MTL capability.
+    pub fn remap_source(&self) -> Option<(ClientId, usize)> {
+        match *self {
+            Op::Promote { client, index }
+            | Op::CloneVb { client, index }
+            | Op::Migrate { client, index, .. } => Some((client, index)),
             _ => None,
         }
     }
@@ -389,6 +437,51 @@ pub trait OpEnv {
     /// [`VbiError::OutOfVirtualBlocks`] when every eligible MTL slice of
     /// the class is exhausted.
     fn place_vb(&mut self, size_class: SizeClass, props: VbProperties) -> Result<Vbuid>;
+
+    /// Number of MTL shards the environment routes VBs across (1 for the
+    /// single-owner `System`). `Mtl::shard_of(vbuid, shard_count)` names a
+    /// VB's home shard.
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// Finds a free VB of `size_class` homed on the given `shard` and
+    /// enables it with `props` — the *targeted* placement the remap family
+    /// uses: promotion and cloning stay on the source's shard (their frames
+    /// are shared or moved, never copied), migration names its destination.
+    ///
+    /// # Errors
+    ///
+    /// [`VbiError::InvalidShard`] for a shard the machine does not have, or
+    /// [`VbiError::OutOfVirtualBlocks`] when the shard's slice of the class
+    /// is exhausted.
+    fn place_vb_on(
+        &mut self,
+        shard: usize,
+        size_class: SizeClass,
+        props: VbProperties,
+    ) -> Result<Vbuid>;
+
+    /// Runs `f` with `src`'s home MTL and, when `dst` is homed on a
+    /// *different* shard, the destination's home MTL as well (`None` means
+    /// both VBs share one MTL). This is the engine's only two-resource
+    /// acquisition: lock-based environments take the two shard locks in
+    /// shard-index order, so concurrent remaps can never deadlock.
+    fn with_mtl_pair<R>(
+        &mut self,
+        src: Vbuid,
+        dst: Vbuid,
+        f: impl FnOnce(&mut Mtl, Option<&mut Mtl>) -> R,
+    ) -> R;
+
+    /// Rewrites every live client's CVT entries naming `old` to name `new`
+    /// ([`crate::client::Cvt::redirect_all`] per client — the §4.2.2
+    /// remap), invalidating each affected CVT-cache slot so stale
+    /// translations cannot be served (the concurrent service bumps the
+    /// seqlock epoch, forcing lock-free readers onto the authoritative
+    /// path). Returns the number of entries rewritten, i.e. the reference
+    /// count to move from `old` to `new`.
+    fn redirect_clients(&mut self, old: Vbuid, new: Vbuid) -> usize;
 }
 
 // --- control plane ----------------------------------------------------------
@@ -555,6 +648,183 @@ pub fn release_vb<E: OpEnv>(env: &mut E, client: ClientId, index: usize) -> Resu
         }
         Ok(())
     })
+}
+
+// --- VB remap (promote / clone / migrate) -----------------------------------
+//
+// Concurrency contract: a remap is an *OS operation* (§4.2.2 — the OS
+// updates the VBUID of the CVT entries), and like the paper's OS it must be
+// serialized against *mutation* of the VB being remapped. Concurrent
+// readers never observe a torn CVT entry — entries are seqlock-published
+// whole words, the copy completes before any entry is redirected, and
+// every rewrite bumps the owning client's CVT-cache epoch, so the next
+// check re-resolves the new VB. A read whose protection check *already*
+// resolved the pre-remap entry, however, races the handover like an
+// in-flight access races the CVT rewrite in hardware: it touches the
+// drained source's afterlife — usually a clean `VbNotEnabled` in the
+// disable window, or stale bytes if the freed VBUID has since been
+// re-placed — and converges on retry once it re-resolves the entry
+// (exactly what the remap stress suites and `migration_run` assert). A
+// concurrent *writer* can likewise land a store on the source between the
+// copy and the redirect, and that store dies with the source; concurrent
+// attach/detach churn on the same VB races the reference-count handover.
+// Callers that mutate a VB while remapping it get the same guarantees the
+// paper's OS would give them: none.
+
+/// Reads the CVT entry behind `client`'s `index` under the write side of
+/// client state (remaps are control-plane: no lock-free shortcut).
+fn remap_source_entry<E: OpEnv>(env: &mut E, client: ClientId, index: usize) -> Result<CvtEntry> {
+    env.with_client(client, |cvt, _| cvt.entry(index).copied())?
+}
+
+/// The shared §4.2.2 remap tail: every CVT entry in the system naming `old`
+/// is rewritten to `new` (invalidating the cached copies), the matching
+/// reference counts move with them, and the drained source VB is disabled
+/// — freeing its frames on the source shard.
+///
+/// The destination's references are charged *before* the redirect (from
+/// the source's current count) so a client releasing an already-redirected
+/// entry can never underflow the new VB's count mid-remap; any drift from
+/// the actual redirect tally is reconciled after. If the redirect moved
+/// nothing — a concurrent remap of the same VB won the race — the
+/// unreferenced destination is rolled back rather than leaked.
+fn finish_remap<E: OpEnv>(env: &mut E, old: Vbuid, new: Vbuid) -> Result<()> {
+    let expected = env
+        .with_home_mtl(old, |mtl| mtl.ref_count(old))
+        .map_err(|e| unplace_vb(env, new, e))? as usize;
+    env.with_home_mtl(new, |mtl| -> Result<()> {
+        for _ in 0..expected {
+            mtl.add_ref(new)?;
+        }
+        Ok(())
+    })
+    .map_err(|e| unplace_vb(env, new, e))?;
+    let moved = env.redirect_clients(old, new);
+    // With the control plane quiesced (see the module docs) the redirect
+    // moves exactly `expected` entries; reconcile either direction anyway.
+    env.with_home_mtl(new, |mtl| -> Result<()> {
+        for _ in moved..expected {
+            mtl.remove_ref(new)?;
+        }
+        for _ in expected..moved {
+            mtl.add_ref(new)?;
+        }
+        Ok(())
+    })?;
+    if moved == 0 {
+        // No entry named the source — a racing remap of the same VB won
+        // (sequentially impossible: the caller's own entry always
+        // redirects). This remap did not happen: best-effort-drain the
+        // orphaned source, roll the unreferenced destination back instead
+        // of leaking its copied frames, and report the source gone.
+        env.with_home_mtl(old, |mtl| {
+            let _ = mtl.disable_vb(old);
+        });
+        return Err(unplace_vb(env, new, VbiError::VbNotEnabled(old)));
+    }
+    env.with_home_mtl(old, |mtl| -> Result<()> {
+        for _ in 0..moved {
+            mtl.remove_ref(old)?;
+        }
+        mtl.disable_vb(old)?;
+        Ok(())
+    })
+}
+
+/// Disables a freshly placed VB again — the rollback when the remap's data
+/// movement or attach fails after placement succeeded.
+fn unplace_vb<E: OpEnv>(env: &mut E, vbuid: Vbuid, err: VbiError) -> VbiError {
+    env.with_home_mtl(vbuid, |mtl| {
+        let _ = mtl.disable_vb(vbuid);
+    });
+    err
+}
+
+/// Promotes the VB behind `client`'s CVT `index` to the next larger size
+/// class (§4.4): enables a larger VB on the *same* home shard (promotion
+/// moves frames, which never leave their MTL), executes `promote_vb`,
+/// redirects every CVT entry in the system that referenced the old VB, and
+/// disables the old VB. Returns the new handle — same CVT index, so the
+/// program's pointers stay valid (§4.2.2).
+///
+/// # Errors
+///
+/// [`VbiError::RequestTooLarge`] at the largest class, plus any
+/// enable/translation error.
+pub fn promote<E: OpEnv>(env: &mut E, client: ClientId, index: usize) -> Result<VbHandle> {
+    let old = remap_source_entry(env, client, index)?.vbuid();
+    let next = old
+        .size_class()
+        .next_larger()
+        .ok_or(VbiError::RequestTooLarge { requested: old.bytes() + 1 })?;
+    let props = env.with_home_mtl(old, |mtl| mtl.props(old))?;
+    let home = Mtl::shard_of(old, env.shard_count());
+    let new = env.place_vb_on(home, next, props)?;
+    env.with_mtl_pair(old, new, |mtl, pair| {
+        debug_assert!(pair.is_none(), "promotion never leaves the home shard");
+        mtl.promote_vb(old, new)
+    })
+    .map_err(|e| unplace_vb(env, new, e))?;
+    finish_remap(env, old, new)?;
+    Ok(VbHandle { cvt_index: index, vbuid: new })
+}
+
+/// Clones the VB behind `client`'s CVT `index` (§4.4 `clone_vb`): enables a
+/// same-class VB on the source's home shard (clones *share* frames
+/// copy-on-write, so both must live on one MTL), clones the translation
+/// state, and attaches the clone to `client` with the source entry's
+/// permissions. Returns the clone's handle. The source VB and every other
+/// sharer are untouched.
+///
+/// # Errors
+///
+/// VB exhaustion on the home shard, [`VbiError::CvtFull`], or any
+/// translation error.
+pub fn clone_vb<E: OpEnv>(env: &mut E, client: ClientId, index: usize) -> Result<VbHandle> {
+    let entry = remap_source_entry(env, client, index)?;
+    let src = entry.vbuid();
+    let props = env.with_home_mtl(src, |mtl| mtl.props(src))?;
+    let home = Mtl::shard_of(src, env.shard_count());
+    let dst = env.place_vb_on(home, src.size_class(), props)?;
+    env.with_mtl_pair(src, dst, |mtl, pair| {
+        debug_assert!(pair.is_none(), "clones share frames: one home shard");
+        mtl.clone_vb(src, dst)
+    })
+    .map_err(|e| unplace_vb(env, dst, e))?;
+    let cvt_index =
+        attach(env, client, dst, entry.permissions()).map_err(|e| unplace_vb(env, dst, e))?;
+    Ok(VbHandle { cvt_index, vbuid: dst })
+}
+
+/// Migrates the VB behind `client`'s CVT `index` to a fresh VB homed on
+/// `to_shard` (§6.2, the OS's phase-change move): enables a same-class VB
+/// on the destination shard, copies the resident contents under *both*
+/// home MTLs ([`Mtl::migrate_contents`] — taken in shard-index order by the
+/// environment), redirects every CVT entry in the system, and disables the
+/// source, freeing its frames. Returns the new handle — same CVT index,
+/// new home shard.
+///
+/// # Errors
+///
+/// [`VbiError::InvalidShard`] for an out-of-range destination, VB
+/// exhaustion on the destination shard, or any translation error.
+pub fn migrate<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    index: usize,
+    to_shard: usize,
+) -> Result<VbHandle> {
+    let shards = env.shard_count();
+    if to_shard >= shards {
+        return Err(VbiError::InvalidShard { shard: to_shard, shards });
+    }
+    let old = remap_source_entry(env, client, index)?.vbuid();
+    let props = env.with_home_mtl(old, |mtl| mtl.props(old))?;
+    let new = env.place_vb_on(to_shard, old.size_class(), props)?;
+    env.with_mtl_pair(old, new, |src, dst| Mtl::migrate_contents(src, dst, old, new))
+        .map_err(|e| unplace_vb(env, new, e))?;
+    finish_remap(env, old, new)?;
+    Ok(VbHandle { cvt_index: index, vbuid: new })
 }
 
 // --- data plane -------------------------------------------------------------
@@ -805,6 +1075,11 @@ pub fn execute<E: OpEnv>(env: &mut E, op: Op) -> OpResult {
         }
         Op::Detach { client, vbuid } => detach(env, client, vbuid).map(OpOutput::RefCount),
         Op::ReleaseVb { client, index } => release_vb(env, client, index).map(|()| OpOutput::Unit),
+        Op::Promote { client, index } => promote(env, client, index).map(OpOutput::Handle),
+        Op::CloneVb { client, index } => clone_vb(env, client, index).map(OpOutput::Handle),
+        Op::Migrate { client, index, to_shard } => {
+            migrate(env, client, index, to_shard).map(OpOutput::Handle)
+        }
         Op::Access { client, va, kind } => access(env, client, va, kind).map(OpOutput::Checked),
         Op::Fetch { .. }
         | Op::LoadU64 { .. }

@@ -173,6 +173,58 @@ impl<H: SessionHost> ClientSession<H> {
         self.run(Op::DestroyClient { client: self.client }).map(|_| ())
     }
 
+    // --- VB remap ------------------------------------------------------------
+
+    /// Promotes the VB behind `index` to the next larger size class (§4.4):
+    /// a larger VB is enabled on the same home shard, the translation state
+    /// moves, and every attached client's CVT entry is redirected — the
+    /// program's pointers (CVT indices) stay valid (§4.2.2). Returns the
+    /// new handle. Executes through the shared engine on every front end.
+    ///
+    /// # Errors
+    ///
+    /// `VbiError::RequestTooLarge` at the largest class, plus any
+    /// enable/translation error.
+    pub fn promote(&self, index: usize) -> Result<VbHandle> {
+        match self.run(Op::Promote { client: self.client, index })? {
+            OpOutput::Handle(handle) => Ok(handle),
+            other => unreachable!("promote returns a handle, got {other:?}"),
+        }
+    }
+
+    /// Clones the VB behind `index` copy-on-write (§4.4 `clone_vb`) and
+    /// attaches the clone to this client with the source entry's
+    /// permissions. Returns the clone's handle; the source VB and its other
+    /// sharers are untouched.
+    ///
+    /// # Errors
+    ///
+    /// VB exhaustion on the home shard, `VbiError::CvtFull`, or any
+    /// translation error.
+    pub fn clone_vb(&self, index: usize) -> Result<VbHandle> {
+        match self.run(Op::CloneVb { client: self.client, index })? {
+            OpOutput::Handle(handle) => Ok(handle),
+            other => unreachable!("clone_vb returns a handle, got {other:?}"),
+        }
+    }
+
+    /// Migrates the VB behind `index` to a fresh VB homed on `to_shard`
+    /// (§6.2): contents are copied under both home MTLs, every attached
+    /// client's CVT entry is redirected, and the source VB is disabled,
+    /// freeing its frames on the source shard. Returns the new handle —
+    /// same CVT index, new home.
+    ///
+    /// # Errors
+    ///
+    /// `VbiError::InvalidShard` for an out-of-range destination, plus any
+    /// enable/translation error.
+    pub fn migrate(&self, index: usize, to_shard: usize) -> Result<VbHandle> {
+        match self.run(Op::Migrate { client: self.client, index, to_shard })? {
+            OpOutput::Handle(handle) => Ok(handle),
+            other => unreachable!("migrate returns a handle, got {other:?}"),
+        }
+    }
+
     // --- data plane ----------------------------------------------------------
 
     /// The CPU-side protection check of §4.2.3, without touching memory. A

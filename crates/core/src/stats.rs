@@ -41,6 +41,11 @@ pub struct MtlStats {
     pub pages_swapped_in: u64,
     /// VBs promoted to a larger size class.
     pub promotions: u64,
+    /// VBs cloned copy-on-write (`clone_vb`, §4.4).
+    pub vbs_cloned: u64,
+    /// VBs whose contents were migrated to a VB homed elsewhere (§6.2);
+    /// counted on the source MTL.
+    pub vbs_migrated: u64,
     /// Direct-mapped VBs demoted to table-based structures (reservation
     /// stolen or contiguity broken).
     pub demotions: u64,
@@ -70,6 +75,8 @@ impl MtlStats {
             pages_swapped_out,
             pages_swapped_in,
             promotions,
+            vbs_cloned,
+            vbs_migrated,
             demotions,
         } = other;
         self.translation_requests += translation_requests;
@@ -88,6 +95,8 @@ impl MtlStats {
         self.pages_swapped_out += pages_swapped_out;
         self.pages_swapped_in += pages_swapped_in;
         self.promotions += promotions;
+        self.vbs_cloned += vbs_cloned;
+        self.vbs_migrated += vbs_migrated;
         self.demotions += demotions;
     }
 
@@ -151,13 +160,17 @@ mod tests {
             pages_swapped_out: 14,
             pages_swapped_in: 15,
             promotions: 16,
-            demotions: 17,
+            vbs_cloned: 17,
+            vbs_migrated: 18,
+            demotions: 19,
         };
         let mut merged = a;
         merged.merge(&a);
         assert_eq!(merged.translation_requests, 2);
         assert_eq!(merged.walk_table_accesses, 8);
-        assert_eq!(merged.demotions, 34);
+        assert_eq!(merged.vbs_cloned, 34);
+        assert_eq!(merged.vbs_migrated, 36);
+        assert_eq!(merged.demotions, 38);
         // Merging the zero block is the identity.
         let mut b = a;
         b.merge(&MtlStats::default());
@@ -197,12 +210,25 @@ mod tests {
                 m.write_u64(vb.address(page << 12).unwrap(), page).unwrap();
             }
         };
+        let phase_c = |m: &mut Mtl, src: crate::addr::Vbuid| {
+            // COW-clone `src`, then migrate its contents into a fresh
+            // same-class VB (the 1-MTL degenerate case) — the ops behind
+            // the `vbs_cloned` / `vbs_migrated` counters.
+            let clone = m.find_free_vb(src.size_class()).unwrap();
+            m.enable_vb(clone, VbProperties::NONE).unwrap();
+            m.clone_vb(src, clone).unwrap();
+            let dest = m.find_free_vb(src.size_class()).unwrap();
+            m.enable_vb(dest, VbProperties::NONE).unwrap();
+            Mtl::migrate_contents(m, None, src, dest).unwrap();
+            assert_eq!(m.read_u64(dest.address(3 << 12).unwrap()).unwrap(), 3);
+        };
 
-        // One MTL runs both phases back to back: the combined counters.
+        // One MTL runs all phases back to back: the combined counters.
         let mut combined = Mtl::new(config.clone());
         let (a, b) = setup(&mut combined);
         phase_a(&mut combined, a);
         phase_b(&mut combined, b);
+        phase_c(&mut combined, a);
         let total = combined.stats();
 
         // An identical MTL snapshots per phase (reset_stats clears only the
@@ -213,10 +239,16 @@ mod tests {
         let first = split.stats();
         split.reset_stats();
         phase_b(&mut split, b);
+        let second = split.stats();
+        split.reset_stats();
+        phase_c(&mut split, a);
         let mut merged = first;
+        merged.merge(&second);
         merged.merge(&split.stats());
 
         assert_eq!(merged, total);
         assert!(total.translation_requests > 0 && total.zero_line_returns > 0);
+        assert_eq!(total.vbs_cloned, 1);
+        assert_eq!(total.vbs_migrated, 1);
     }
 }

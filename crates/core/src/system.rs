@@ -104,6 +104,41 @@ impl OpEnv for SystemInner {
         self.mtl.enable_vb(vbuid, props)?;
         Ok(vbuid)
     }
+
+    fn place_vb_on(
+        &mut self,
+        shard: usize,
+        size_class: SizeClass,
+        props: VbProperties,
+    ) -> Result<Vbuid> {
+        // A System is a one-MTL machine: shard 0 is the whole space.
+        if shard != 0 {
+            return Err(VbiError::InvalidShard { shard, shards: 1 });
+        }
+        self.place_vb(size_class, props)
+    }
+
+    fn with_mtl_pair<R>(
+        &mut self,
+        _src: Vbuid,
+        _dst: Vbuid,
+        f: impl FnOnce(&mut Mtl, Option<&mut Mtl>) -> R,
+    ) -> R {
+        // One MTL homes everything: source and destination always coincide.
+        f(&mut self.mtl, None)
+    }
+
+    fn redirect_clients(&mut self, old: Vbuid, new: Vbuid) -> usize {
+        let mut moved = 0;
+        for (client, cvt) in self.cvts.iter_mut() {
+            let cache = self.cvt_caches.get_mut(client).expect("cache exists with cvt");
+            for index in cvt.redirect_all(old, new) {
+                cache.invalidate(*client, index);
+                moved += 1;
+            }
+        }
+        moved
+    }
 }
 
 /// A full VBI machine: MTL + clients + CVTs + CVT caches, behind a
@@ -248,43 +283,6 @@ impl System {
         Ok(CvtRef { guard, client })
     }
 
-    /// Promotes the VB behind `client`'s CVT index to the next larger size
-    /// class — the implementation behind [`ClientSession::promote`].
-    fn promote_for(&self, client: ClientId, index: usize) -> Result<VbHandle> {
-        let inner = &mut *self.lock();
-        let old =
-            inner.cvts.get(&client).ok_or(VbiError::InvalidClient(client))?.entry(index)?.vbuid();
-        let next = old
-            .size_class()
-            .next_larger()
-            .ok_or(VbiError::RequestTooLarge { requested: old.bytes() + 1 })?;
-        let props = inner.mtl.props(old)?;
-        let new = inner.mtl.find_free_vb(next)?;
-        inner.mtl.enable_vb(new, props)?;
-        if let Err(e) = inner.mtl.promote_vb(old, new) {
-            let _ = inner.mtl.disable_vb(new);
-            return Err(e);
-        }
-        // Redirect every CVT entry in the system pointing at the old VB and
-        // move its reference counts to the new VB.
-        let mut moved = 0;
-        for (cid, cvt) in inner.cvts.iter_mut() {
-            let indices: Vec<usize> =
-                cvt.iter().filter(|(_, e)| e.vbuid() == old).map(|(i, _)| i).collect();
-            for i in indices {
-                cvt.redirect(i, new)?;
-                inner.cvt_caches.get_mut(cid).expect("cache exists with cvt").invalidate(*cid, i);
-                moved += 1;
-            }
-        }
-        for _ in 0..moved {
-            inner.mtl.remove_ref(old)?;
-            inner.mtl.add_ref(new)?;
-        }
-        inner.mtl.disable_vb(old)?;
-        Ok(VbHandle { cvt_index: index, vbuid: new })
-    }
-
     // --- direct MTL access ---------------------------------------------------
 
     /// Direct (unchecked) MTL translation — the path taken after the cache
@@ -331,25 +329,6 @@ impl SessionHost for System {
         data: &[u8],
     ) -> Result<()> {
         ops::store_bytes(&mut *self.lock(), client, va, data)
-    }
-}
-
-impl ClientSession<System> {
-    /// Promotes the VB behind `index` to the next larger size class (§4.4):
-    /// enables a larger VB, executes `promote_vb`, redirects every CVT entry
-    /// in the system that referenced the old VB, and disables the old VB.
-    /// Returns the new handle.
-    ///
-    /// Promotion is the one operation that touches *every* client's CVT at
-    /// once, so it stays on the single-owner adapter rather than in the
-    /// engine (the sharded service will grow it as cross-shard migration).
-    ///
-    /// # Errors
-    ///
-    /// [`VbiError::RequestTooLarge`] at the largest class, plus any
-    /// attach/enable error.
-    pub fn promote(&self, index: usize) -> Result<VbHandle> {
-        self.host().promote_for(self.id(), index)
     }
 }
 

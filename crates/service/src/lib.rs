@@ -26,6 +26,12 @@
 //! * a **batched request path** ([`VbiService::submit`]) over the full
 //!   [`Op`] surface that performs protection checks first and visits each
 //!   shard once per run of data-plane ops, amortizing lock traffic;
+//! * the **VB-remap family behind the service API**: `Op::Promote`,
+//!   `Op::CloneVb`, and cross-shard `Op::Migrate` (§4.2.2/§6.2) execute
+//!   through the shared engine, taking the source and destination shard
+//!   locks in index order and bumping each affected client's seqlock
+//!   epoch, so lock-free readers never observe a torn mid-migration
+//!   entry;
 //! * an **asynchronous front end** ([`VbiQueue`], in [`queue`]): per-shard
 //!   worker threads drain submission rings and post tagged completions, so
 //!   clients pipeline requests without blocking on shard locks.
@@ -43,9 +49,11 @@
 //!
 //! Lock order is client-state → shard; no path acquires a client lock
 //! while holding a shard lock (the engine's [`OpEnv`] contract — each
-//! state callback is entered and exited before the next), and no path
-//! holds two shard locks at once. That makes deadlock impossible by
-//! construction. Shard locks count contention ([`VbiService::contention`])
+//! state callback is entered and exited before the next). The one path
+//! holding two shard locks is the VB-remap family's
+//! `OpEnv::with_mtl_pair` (a migration's source + destination), and it
+//! always acquires them in shard-index order. That makes deadlock
+//! impossible by construction. Shard locks count contention ([`VbiService::contention`])
 //! and client locks count acquisitions
 //! ([`VbiService::client_lock_acquisitions`]) — the stress suite uses the
 //! latter to *prove* the lock-free read path takes no client lock on a
@@ -83,7 +91,7 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use vbi_core::addr::{SizeClass, VbiAddress, Vbuid};
 use vbi_core::client::{ClientId, ClientIdAllocator, Cvt, CvtEntry};
 use vbi_core::config::VbiConfig;
-use vbi_core::cvt_cache::{CvtCacheStats, SeqCvtCache};
+use vbi_core::cvt_cache::{ClientCvtCache, CvtCacheStats, SeqCvtCache};
 use vbi_core::error::{Result, VbiError};
 use vbi_core::mtl::{Mtl, MtlAccess};
 use vbi_core::ops::{self, Op, OpEnv, OpResult};
@@ -328,6 +336,68 @@ impl OpEnv for ServiceEnv<'_> {
             }
         }
         Err(last_err)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.0.inner.shards.len()
+    }
+
+    fn place_vb_on(
+        &mut self,
+        shard: usize,
+        size_class: SizeClass,
+        props: VbProperties,
+    ) -> Result<Vbuid> {
+        let shards = self.0.inner.shards.len();
+        if shard >= shards {
+            return Err(VbiError::InvalidShard { shard, shards });
+        }
+        let mut mtl = self.0.lock_shard(shard);
+        let vb = mtl.find_free_vb(size_class)?;
+        mtl.enable_vb(vb, props)?;
+        Ok(vb)
+    }
+
+    fn with_mtl_pair<R>(
+        &mut self,
+        src: Vbuid,
+        dst: Vbuid,
+        f: impl FnOnce(&mut Mtl, Option<&mut Mtl>) -> R,
+    ) -> R {
+        let (a, b) = (self.0.shard_of(src), self.0.shard_of(dst));
+        if a == b {
+            return f(&mut self.0.lock_shard(a), None);
+        }
+        // Two shards: always lock in shard-index order so concurrent remaps
+        // (A→B racing B→A) can never deadlock.
+        let mut first = self.0.lock_shard(a.min(b));
+        let mut second = self.0.lock_shard(a.max(b));
+        if a < b {
+            f(&mut first, Some(&mut second))
+        } else {
+            f(&mut second, Some(&mut first))
+        }
+    }
+
+    fn redirect_clients(&mut self, old: Vbuid, new: Vbuid) -> usize {
+        // Snapshot the live client slots, then rewrite under each client's
+        // own lock in turn — no shard lock is held here, and every rewrite
+        // bumps the client's seqlock epoch (via `invalidate`), so lock-free
+        // readers can never serve a stale or torn entry for the moved VB.
+        let slots: Vec<(ClientId, Arc<ClientSlot>)> = unpoison(self.0.inner.clients.read())
+            .iter()
+            .map(|(id, slot)| (*id, Arc::clone(slot)))
+            .collect();
+        let mut moved = 0;
+        for (id, slot) in slots {
+            let mut st = slot.lock();
+            let ClientState { cvt, cache } = &mut *st;
+            for index in cvt.redirect_all(old, new) {
+                cache.invalidate(id, index);
+                moved += 1;
+            }
+        }
+        moved
     }
 }
 
@@ -898,6 +968,106 @@ mod tests {
         let c = svc.create_client().unwrap();
         let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
         c.store_u64(vb.at(0), 1).unwrap();
+    }
+
+    #[test]
+    fn migrate_moves_a_vb_between_shards() {
+        let svc = service(4);
+        let a = svc.create_client().unwrap();
+        let b = svc.create_client().unwrap();
+        let free_baseline = svc.free_frames();
+        let vb = a.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        let idx_b = b.attach(vb.vbuid, Rwx::READ).unwrap();
+        for slot in 0..8u64 {
+            a.store_u64(vb.at(slot * 8), 0x5150 + slot).unwrap();
+        }
+        let from = svc.shard_of(vb.vbuid);
+        let to = (from + 1) % svc.shards();
+
+        let moved = a.migrate(vb.cvt_index, to).unwrap();
+        assert_eq!(moved.cvt_index, vb.cvt_index, "the program's pointer survives");
+        assert_ne!(moved.vbuid, vb.vbuid);
+        assert_eq!(svc.shard_of(moved.vbuid), to, "new home is the requested shard");
+        // Data survived, through both clients' (redirected) entries.
+        for slot in 0..8u64 {
+            assert_eq!(a.load_u64(vb.at(slot * 8)).unwrap(), 0x5150 + slot);
+            assert_eq!(b.load_u64(VirtualAddress::new(idx_b, slot * 8)).unwrap(), 0x5150 + slot);
+        }
+        let per_shard = svc.shard_stats();
+        assert_eq!(per_shard.iter().map(|s| s.vbs_migrated).sum::<u64>(), 1);
+        assert_eq!(per_shard[from].vbs_migrated, 1, "counted on the source shard");
+        // Releasing through the redirected entries frees *everything* —
+        // including the drained source's frames, which finish_remap's
+        // disable returned to the source shard.
+        b.release_vb(idx_b).unwrap();
+        a.release_vb(vb.cvt_index).unwrap();
+        assert_eq!(svc.free_frames(), free_baseline, "the migration leaked frames");
+    }
+
+    #[test]
+    fn migrate_rejects_bad_shards_and_same_shard_is_allowed() {
+        let svc = service(2);
+        let c = svc.create_client().unwrap();
+        let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(0), 77).unwrap();
+        assert!(matches!(
+            c.migrate(vb.cvt_index, 9),
+            Err(VbiError::InvalidShard { shard: 9, shards: 2 })
+        ));
+        // Migrating within the home shard still re-homes to a fresh VBUID.
+        let home = svc.shard_of(vb.vbuid);
+        let moved = c.migrate(vb.cvt_index, home).unwrap();
+        assert_ne!(moved.vbuid, vb.vbuid);
+        assert_eq!(svc.shard_of(moved.vbuid), home);
+        assert_eq!(c.load_u64(vb.at(0)).unwrap(), 77);
+    }
+
+    #[test]
+    fn promote_and_clone_run_through_the_service() {
+        let svc = service(4);
+        let c = svc.create_client().unwrap();
+        let vb = c.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(64), 31337).unwrap();
+
+        // Clone first: the clone shares frames COW on the same shard.
+        let clone = c.clone_vb(vb.cvt_index).unwrap();
+        assert_eq!(svc.shard_of(clone.vbuid), svc.shard_of(vb.vbuid), "clones stay home");
+        assert_eq!(c.load_u64(clone.at(64)).unwrap(), 31337);
+        c.store_u64(clone.at(64), 1).unwrap();
+        assert_eq!(c.load_u64(vb.at(64)).unwrap(), 31337, "COW isolated the source");
+
+        // Promote: same CVT index, larger class, same home shard.
+        let promoted = c.promote(vb.cvt_index).unwrap();
+        assert_eq!(promoted.cvt_index, vb.cvt_index);
+        assert_eq!(svc.shard_of(promoted.vbuid), svc.shard_of(vb.vbuid));
+        assert_eq!(c.load_u64(vb.at(64)).unwrap(), 31337);
+        c.store_u64(vb.at(100 << 10), 2).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.promotions, 1);
+        assert_eq!(stats.vbs_cloned, 1);
+    }
+
+    #[test]
+    fn remap_ops_flow_through_submit() {
+        let svc = service(2);
+        let c = svc.create_client().unwrap();
+        let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(0), 9).unwrap();
+        let to = (svc.shard_of(vb.vbuid) + 1) % svc.shards();
+        let batch = vec![
+            Op::Migrate { client: c.id(), index: vb.cvt_index, to_shard: to },
+            Op::LoadU64 { client: c.id(), va: vb.at(0) },
+            Op::Promote { client: c.id(), index: vb.cvt_index },
+            Op::CloneVb { client: c.id(), index: vb.cvt_index },
+        ];
+        let responses = svc.submit(&batch);
+        let moved = responses[0].as_ref().unwrap().as_handle().unwrap();
+        assert_eq!(svc.shard_of(moved.vbuid), to);
+        assert_eq!(responses[1], Ok(OpOutput::U64(9)));
+        let promoted = responses[2].as_ref().unwrap().as_handle().unwrap();
+        assert_eq!(promoted.cvt_index, vb.cvt_index);
+        let clone = responses[3].as_ref().unwrap().as_handle().unwrap();
+        assert_eq!(c.load_u64(clone.at(0)).unwrap(), 9);
     }
 
     #[test]

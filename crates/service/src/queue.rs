@@ -273,6 +273,14 @@ impl VbiQueue {
         if shards == 1 {
             return 0;
         }
+        // Remaps route to the *source* shard's worker; the worker engages
+        // the destination shard through the engine's ordered two-MTL
+        // capability.
+        if let Some((client, index)) = op.remap_source() {
+            if let Some(vbuid) = self.service.peek_vbuid(client, index) {
+                return self.service.shard_of(vbuid);
+            }
+        }
         match op {
             Op::Attach { vbuid, .. } | Op::AttachAt { vbuid, .. } | Op::Detach { vbuid, .. } => {
                 return self.service.shard_of(*vbuid);
@@ -475,6 +483,30 @@ mod tests {
         q.submit(5, Op::DestroyClient { client });
         assert!(q.reap().unwrap().result.is_ok());
         assert!(!q.service().client_exists(client));
+    }
+
+    #[test]
+    fn remap_ops_complete_through_the_queue() {
+        let q = queue(4);
+        let session = q.create_client().unwrap();
+        let c = session.id();
+        let vb = session.request_vb(4 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        session.store_u64(vb.at(8), 2020).unwrap();
+        let to = (q.service().shard_of(vb.vbuid) + 1) % q.service().shards();
+        // Same source VB → same ring → FIFO: the migrate lands before the
+        // dependent load and promote.
+        q.submit(1, Op::Migrate { client: c, index: vb.cvt_index, to_shard: to });
+        q.submit(2, Op::LoadU64 { client: c, va: vb.at(8) });
+        q.submit(3, Op::Promote { client: c, index: vb.cvt_index });
+        let mut cqes = q.drain();
+        cqes.sort_by_key(|cqe| cqe.tag);
+        let moved = cqes[0].result.as_ref().unwrap().as_handle().unwrap();
+        assert_eq!(q.service().shard_of(moved.vbuid), to);
+        assert_eq!(cqes[1].result, Ok(OpOutput::U64(2020)));
+        let promoted = cqes[2].result.as_ref().unwrap().as_handle().unwrap();
+        assert_eq!(promoted.cvt_index, vb.cvt_index);
+        assert_eq!(session.load_u64(vb.at(8)).unwrap(), 2020);
+        assert_eq!(q.service().stats().vbs_migrated, 1);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Seamless VB remapping — promote, clone, and cross-shard migration —
+//! while readers keep reading.
+//!
+//! The paper's headline flexibility claim (§4.2.2) is that the OS can
+//! "seamlessly migrate/copy VBs by just updating the VBUID of the
+//! corresponding CVT entry": a program addresses memory as `{CVT index,
+//! offset}`, so the OS can move a VB's contents anywhere — a larger size
+//! class, a copy-on-write clone, another MTL's shard — without relocating
+//! a single pointer. In this reproduction the whole remap family executes
+//! once, in the shared op engine, on every front end; this walkthrough
+//! drives it through the concurrent sharded service while reader threads
+//! hammer the VB mid-migration.
+//!
+//! Run with: `cargo run --release --example migration`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+use vbi::{Rwx, VbProperties, VbiConfig, VbiError};
+use vbi_service::{ServiceConfig, VbiService};
+
+const SLOTS: u64 = 64;
+const MIGRATIONS: usize = 32;
+
+fn main() -> vbi::Result<()> {
+    let service = VbiService::new(ServiceConfig::new(4, VbiConfig::vbi_full()));
+    let session = service.create_client()?;
+
+    // A VB with a recognizable pattern. Its CVT index is the program's
+    // pointer — it will never change below, while the VBUID behind it does.
+    let vb = session.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE)?;
+    for slot in 0..SLOTS {
+        session.store_u64(vb.at(slot * 8), 0xC0DE_0000 + slot)?;
+    }
+    println!(
+        "VB {} homed on shard {}, pointer = CVT index {}",
+        vb.vbuid,
+        service.shard_of(vb.vbuid),
+        vb.cvt_index
+    );
+
+    // Promotion: same pointer, next larger size class.
+    let promoted = session.promote(vb.cvt_index)?;
+    assert_eq!(promoted.cvt_index, vb.cvt_index);
+    session.store_u64(vb.at(200 << 10), 1)?; // room the old 128 KiB class lacked
+    println!(
+        "promoted to {} ({:?}) — old data intact: {}",
+        promoted.vbuid,
+        promoted.vbuid.size_class(),
+        session.load_u64(vb.at(0))? == 0xC0DE_0000,
+    );
+
+    // Clone: a copy-on-write twin on the same shard; writes stay isolated.
+    let clone = session.clone_vb(vb.cvt_index)?;
+    session.store_u64(clone.at(0), 0xDEAD)?;
+    assert_eq!(session.load_u64(vb.at(0))?, 0xC0DE_0000);
+    println!("clone {} diverged without touching the source (COW)", clone.vbuid);
+
+    // Cross-shard migration under concurrent readers: the churn loop moves
+    // the VB shard to shard while readers verify every load byte-exact.
+    let stop = AtomicBool::new(false);
+    let mut homes = vec![service.shard_of(promoted.vbuid)];
+    thread::scope(|s| {
+        for t in 0..3 {
+            let reader = session.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let slot = reads * 13 % SLOTS;
+                    // A read that lands in the drained source's disable
+                    // window errors or misses cleanly and resolves on
+                    // retry; a value that stays wrong would be a lost
+                    // write — that's the assertion.
+                    let mut attempts = 0;
+                    loop {
+                        match reader.load_u64(vb.at(slot * 8)) {
+                            Ok(v) if v == 0xC0DE_0000 + slot => break,
+                            outcome @ (Ok(_) | Err(VbiError::VbNotEnabled(_))) => {
+                                attempts += 1;
+                                assert!(
+                                    attempts < 1_000,
+                                    "reader {t}: slot {slot} stuck at {outcome:?}"
+                                );
+                                thread::yield_now();
+                            }
+                            Err(e) => panic!("reader {t}: {e}"),
+                        }
+                    }
+                    reads += 1;
+                }
+                reads
+            });
+        }
+        for m in 0..MIGRATIONS {
+            let to = m % service.shards();
+            let moved = session.migrate(vb.cvt_index, to).expect("migration");
+            homes.push(service.shard_of(moved.vbuid));
+        }
+        stop.store(true, Ordering::Release);
+    });
+    println!("{MIGRATIONS} migrations, home shard path: {:?}...", &homes[..homes.len().min(9)]);
+
+    // The pointer never moved; the data never tore; the stats saw it all.
+    for slot in 0..SLOTS {
+        assert_eq!(session.load_u64(vb.at(slot * 8))?, 0xC0DE_0000 + slot);
+    }
+    let stats = service.stats();
+    println!(
+        "MtlStats: {} promotions, {} clones, {} migrations — all byte-exact",
+        stats.promotions, stats.vbs_cloned, stats.vbs_migrated,
+    );
+    Ok(())
+}

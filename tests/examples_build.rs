@@ -1,6 +1,6 @@
 //! Smoke check: every example in the workspace must keep compiling.
 //!
-//! The five walkthroughs under `examples/` (plus the diagnostic examples in
+//! The walkthroughs under `examples/` (plus the diagnostic examples in
 //! `crates/sim/examples/`) are documentation as much as code, and nothing
 //! else in `cargo test` would catch them bit-rotting. This test shells out
 //! to the same cargo that is running the tests and builds them all.

@@ -6,8 +6,9 @@
 //!
 //! Beyond the fixed traces, a property-based test drives *random mixed op
 //! sequences over the full [`Op`] surface* — client churn, VB
-//! request/attach/detach/release, every load/store width, and deliberate
-//! error ops — through `VbiService::submit` in one batch and through
+//! request/attach/detach/release, the remap family
+//! (promote/clone/migrate), every load/store width, and deliberate error
+//! ops — through `VbiService::submit` in one batch and through
 //! `System::execute` sequentially, asserting response-for-response and
 //! counter-for-counter identity. Both front ends route through the one
 //! engine in `vbi_core::ops`, and this is the proof nothing diverges.
@@ -109,7 +110,33 @@ fn random_mixed_ops(seed: u64, len: usize, cfg: &VbiConfig) -> Vec<Op> {
             Op::ReleaseVb { client: *client, index: vbs[rng.gen_range(0..vbs.len())].cvt_index }
         } else if roll < 22 && clients.len() > 1 {
             Op::DestroyClient { client: clients[rng.gen_range(0..clients.len())].0 }
-        } else if roll < 25 {
+        } else if roll < 26 && have_vb {
+            // The VB-remap family (engine promote/clone/migrate): same
+            // engine path on every front end, so responses and counters
+            // must stay identical through remaps too.
+            let idx = rng.gen_range(0..clients.len());
+            let (client, vbs) = &clients[idx];
+            if vbs.is_empty() {
+                continue;
+            }
+            let client = *client;
+            let handle = vbs[rng.gen_range(0..vbs.len())];
+            match rng.gen_range(0u32..3) {
+                0 => Op::Promote { client, index: handle.cvt_index },
+                1 => Op::CloneVb { client, index: handle.cvt_index },
+                _ => {
+                    // Keep migrations off the giant (promoted) classes:
+                    // the copy walks every page of the class.
+                    if handle.vbuid.size_class() > vbi_core::SizeClass::Mib4 {
+                        continue;
+                    }
+                    // A 1-shard machine has exactly one valid destination;
+                    // occasionally aim past it for the error path.
+                    let to_shard = usize::from(rng.gen_bool(0.1));
+                    Op::Migrate { client, index: handle.cvt_index, to_shard }
+                }
+            }
+        } else if roll < 29 {
             // Deliberate error ops: ghost clients and bad indices.
             let client = if rng.gen_bool(0.5) { ClientId(60_000) } else { clients[0].0 };
             Op::LoadU64 { client, va: vbi_core::VirtualAddress::new(9_999, 0) }
@@ -174,6 +201,34 @@ fn random_mixed_ops(seed: u64, len: usize, cfg: &VbiConfig) -> Vec<Op> {
             }
             (Op::DestroyClient { client }, Ok(_)) => {
                 clients.retain(|(c, _)| c != client);
+            }
+            (Op::Promote { client, index }, Ok(out))
+            | (Op::Migrate { client, index, .. }, Ok(out)) => {
+                // The remap redirected *every* CVT entry naming the old VB:
+                // mirror it across all clients' handles in the model.
+                let new = out.as_handle().expect("handle op").vbuid;
+                let old = clients
+                    .iter()
+                    .find(|(c, _)| c == client)
+                    .expect("live")
+                    .1
+                    .iter()
+                    .find(|h| h.cvt_index == *index)
+                    .map(|h| h.vbuid);
+                if let Some(old) = old {
+                    for (_, vbs) in clients.iter_mut() {
+                        for h in vbs.iter_mut() {
+                            if h.vbuid == old {
+                                h.vbuid = new;
+                            }
+                        }
+                    }
+                }
+            }
+            (Op::CloneVb { client, .. }, Ok(out)) => {
+                let handle = out.as_handle().expect("handle op");
+                let entry = clients.iter_mut().find(|(c, _)| c == client).expect("live");
+                entry.1.push(handle);
             }
             _ => {}
         }
