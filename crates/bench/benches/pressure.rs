@@ -1,0 +1,93 @@
+//! `pressure` bench: fault rate and tail latency vs oversubscription.
+//!
+//! Holds the working set fixed (threads × pages per thread) and shrinks
+//! `phys_frames` so the data footprint goes from comfortably resident to
+//! several times physical memory, measuring what the engine's pressure
+//! path — clock eviction, write-back, fault-in — costs at each ratio.
+//! Every load is byte-checked by the driver, so each row doubles as a
+//! correctness proof of the swap path at that ratio. The final line is a
+//! machine-readable JSON summary (tag `BENCH_pressure`) so future PRs can
+//! track the trajectory in `BENCH_pressure.json`.
+//!
+//! Run with `cargo bench -p vbi-bench --bench pressure`; knobs:
+//! `VBI_PRESSURE_OPS` (per-thread ops, default 20 000),
+//! `VBI_PRESSURE_THREADS` (default 4),
+//! `VBI_PRESSURE_PAGES` (pages per thread, default 64).
+
+use vbi_sim::pressure_run::{pressure_run, PressureFrontEnd, PressureRunConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let ops_per_thread = env_usize("VBI_PRESSURE_OPS", 20_000);
+    let threads = env_usize("VBI_PRESSURE_THREADS", 4);
+    let pages_per_thread = env_usize("VBI_PRESSURE_PAGES", 64) as u64;
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let working_set = threads as u64 * pages_per_thread;
+    // Sweep oversubscription from 0.5x (fully resident, the no-pressure
+    // baseline) to 8x physical memory. Frames are derived from the fixed
+    // working set so the sweep is the ratio, not the footprint.
+    let ratios: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
+
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "ratio", "frames", "ops/sec", "fault_rate", "p99_ns", "evictions", "faults_in"
+    );
+    let mut results = Vec::new();
+    for ratio in ratios {
+        let phys_frames = ((working_set as f64 / ratio).ceil() as u64).max(16);
+        let config = PressureRunConfig {
+            threads,
+            shards: 2,
+            pages_per_thread,
+            ops_per_thread,
+            phys_frames,
+            seed: 0x2020,
+            front_end: PressureFrontEnd::Service,
+        };
+        let report = pressure_run(&config);
+        println!(
+            "{:>6.1} {:>8} {:>12.0} {:>12.4} {:>12} {:>10} {:>10}",
+            report.oversubscription,
+            phys_frames,
+            report.ops_per_sec,
+            report.fault_rate,
+            report.p99_latency_ns,
+            report.evictions,
+            report.faults_in,
+        );
+        results.push(report);
+    }
+
+    // One pipelined point at the steepest ratio: same engine, queue front
+    // end — shows pressure costs are front-end-independent.
+    let queue_report = pressure_run(&PressureRunConfig {
+        threads,
+        shards: 2,
+        pages_per_thread,
+        ops_per_thread,
+        phys_frames: ((working_set as f64 / 4.0).ceil() as u64).max(16),
+        seed: 0x2020,
+        front_end: PressureFrontEnd::Queue,
+    });
+    println!(
+        "queue front end at {:.1}x: {:.0} ops/sec, fault_rate {:.4}, p99 {} ns",
+        queue_report.oversubscription,
+        queue_report.ops_per_sec,
+        queue_report.fault_rate,
+        queue_report.p99_latency_ns,
+    );
+
+    let entries: Vec<String> = results.iter().chain([&queue_report]).map(|r| r.to_json()).collect();
+    println!(
+        "BENCH_pressure {{\"bench\":\"pressure\",\"host_cpus\":{},\"threads\":{},\"pages_per_thread\":{},\"ops_per_thread\":{},\"results\":[{}]}}",
+        host_cpus,
+        threads,
+        pages_per_thread,
+        ops_per_thread,
+        entries.join(",")
+    );
+}

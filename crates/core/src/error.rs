@@ -88,6 +88,12 @@ pub enum VbiError {
         /// Human-readable reason from the backing store.
         reason: &'static str,
     },
+    /// A capacity-bounded backing store has no slot left for another
+    /// swapped-out page, so eviction cannot make progress.
+    BackingStoreFull {
+        /// Capacity of the backing store in pages.
+        capacity_pages: u64,
+    },
     /// The VM ID is outside the configured partition.
     InvalidVmId(u8),
     /// A migration named a destination shard the machine does not have.
@@ -145,6 +151,9 @@ impl fmt::Display for VbiError {
                 "promote_vb requires a larger destination (source {source}, destination {destination})"
             ),
             Self::SwapFailure { reason } => write!(f, "backing store failure: {reason}"),
+            Self::BackingStoreFull { capacity_pages } => {
+                write!(f, "backing store is full ({capacity_pages} page capacity)")
+            }
             Self::InvalidVmId(id) => write!(f, "virtual machine id {id} is out of range"),
             Self::InvalidShard { shard, shards } => {
                 write!(f, "shard {shard} is out of range for a {shards}-shard machine")
@@ -173,6 +182,7 @@ mod tests {
             VbiError::RequestTooLarge { requested: 1 << 50 },
             VbiError::OutOfClients,
             VbiError::SwapFailure { reason: "disk full" },
+            VbiError::BackingStoreFull { capacity_pages: 64 },
             VbiError::InvalidVmId(77),
             VbiError::MalformedAddress(0xdead_beef),
         ];

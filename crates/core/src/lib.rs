@@ -94,13 +94,14 @@ pub mod vm;
 
 pub use addr::{SizeClass, VbiAddress, Vbuid};
 pub use client::{ClientId, VirtualAddress};
-pub use config::VbiConfig;
+pub use config::{EvictionPolicy, VbiConfig};
 pub use error::{Result, VbiError};
 pub use mtl::Mtl;
 pub use ops::{Op, OpOutput, OpResult};
 pub use perm::{AccessKind, Rwx};
 pub use session::{ClientSession, SessionHost};
 pub use stats::MtlStats;
+pub use swap::{BackingStore, PageData, PressureBackend};
 pub use system::{System, SystemSession};
 pub use vb::VbProperties;
 

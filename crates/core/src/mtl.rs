@@ -20,15 +20,15 @@
 //!    under pressure, reserved-but-unused frames can be stolen by other VBs,
 //!    demoting the owner to a table-based structure if its contiguity breaks.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::addr::{SizeClass, VbiAddress, Vbuid};
 use crate::buddy::{BuddyAllocator, Order};
-use crate::config::VbiConfig;
+use crate::config::{EvictionPolicy, VbiConfig};
 use crate::error::{Result, VbiError};
 use crate::phys::{Frame, PhysAddr, PhysicalMemory, FRAME_BYTES};
 use crate::stats::MtlStats;
-use crate::swap::BackingStore;
+use crate::swap::{BackingStore, PressureBackend};
 use crate::tlb::Tlb;
 use crate::translate::{PageEntry, SwapSlot, TranslationKind, TranslationStructure, WalkOutcome};
 use crate::vb::VbProperties;
@@ -155,7 +155,15 @@ pub struct Mtl {
     frame_shares: HashMap<u64, u32>,
     /// Reverse map from reserved-region frames to the reservation owner.
     extent_owner: HashMap<u64, Vbuid>,
-    swap: BackingStore,
+    swap: Box<dyn PressureBackend>,
+    /// Per-page reference bits, set on every translation of a resident page
+    /// (the access information only the MTL sees, §2) and consumed by the
+    /// clock / second-chance eviction sweep. Functional state, not a
+    /// counter: `reset_stats` leaves it alone.
+    ref_bits: HashSet<(Vbuid, u64)>,
+    /// Where the last eviction sweep stopped; the next sweep resumes after
+    /// this page so victims rotate through the resident set.
+    clock_hand: Option<(Vbuid, u64)>,
     stats: MtlStats,
     /// Which slice of every size class's VBID space this MTL serves: shard
     /// `shard_index` of `2^shard_bits` (§6.2 partitions VBs among MTLs by
@@ -199,7 +207,9 @@ impl Mtl {
             reservations: HashMap::new(),
             frame_shares: HashMap::new(),
             extent_owner: HashMap::new(),
-            swap: BackingStore::new(),
+            swap: Box::new(BackingStore::new()),
+            ref_bits: HashSet::new(),
+            clock_hand: None,
             stats: MtlStats::default(),
             shard_index: shard_index as u64,
             shard_bits: shard_count.trailing_zeros(),
@@ -259,9 +269,32 @@ impl Mtl {
         self.buddy.free_frames()
     }
 
-    /// Number of pages currently in the backing store.
+    /// Number of payload-bearing pages currently in the backing store
+    /// (zero pages occupy slots but hold no data).
     pub fn swap_occupancy(&self) -> usize {
-        self.swap.occupied()
+        self.swap.len() - self.swap.zero_len()
+    }
+
+    /// The backing store behind this MTL (occupancy reporting).
+    pub fn backing(&self) -> &dyn PressureBackend {
+        self.swap.as_ref()
+    }
+
+    /// Mutable access to the backing store (administration; the MTL itself
+    /// drives it through the swap paths).
+    pub fn backing_mut(&mut self) -> &mut dyn PressureBackend {
+        self.swap.as_mut()
+    }
+
+    /// Replaces the backing store behind this MTL — how a slow-tier model
+    /// (see `vbi-hetero`) is installed. Refused once pages have been
+    /// swapped out: live slots would dangle in the old store.
+    pub fn set_backing(&mut self, backend: Box<dyn PressureBackend>) -> Result<()> {
+        if !self.swap.is_empty() {
+            return Err(VbiError::SwapFailure { reason: "backing store has live slots" });
+        }
+        self.swap = backend;
+        Ok(())
     }
 
     // --- VB lifecycle -------------------------------------------------------
@@ -313,6 +346,7 @@ impl Mtl {
             structure.release_tables(&mut self.buddy);
         }
         self.teardown_reservation(vbuid);
+        self.ref_bits.retain(|(vb, _)| *vb != vbuid);
         self.page_tlb.invalidate_matching(|(vb, _)| *vb == vbuid);
         self.direct_tlb.invalidate(&vbuid);
         self.vit_cache.invalidate(&vbuid);
@@ -441,7 +475,7 @@ impl Mtl {
             )?;
         }
         for (page, slot) in src_structure.swapped_pages() {
-            let dup = self.swap.duplicate(slot);
+            let dup = self.swap.duplicate(slot)?;
             dup_slots.push(dup);
             dst_structure.set_entry(page, PageEntry::Swapped(dup), &mut self.buddy)?;
         }
@@ -603,6 +637,7 @@ impl Mtl {
                 if !needs_cow {
                     self.stats.tlb_hits += 1;
                     events.mtl_tlb_hit = true;
+                    self.ref_bits.insert((vbuid, page));
                     return Ok(Translation {
                         result: TranslateResult::Mapped(
                             base.offset(page).base().offset(line_offset),
@@ -617,6 +652,7 @@ impl Mtl {
             if !needs_cow {
                 self.stats.tlb_hits += 1;
                 events.mtl_tlb_hit = true;
+                self.ref_bits.insert((vbuid, page));
                 return Ok(Translation {
                     result: TranslateResult::Mapped(frame.base().offset(line_offset)),
                     events,
@@ -671,6 +707,7 @@ impl Mtl {
             // copy from storage; we model the copy directly).
             (Some(WalkOutcome::Swapped(slot)), _) => {
                 let frame = self.swap_in(vbuid, page, slot)?;
+                self.stats.faults_in += 1;
                 events.swapped_in = true;
                 events.allocated = true;
                 self.fill_tlb(vbuid, page, frame);
@@ -699,6 +736,9 @@ impl Mtl {
     }
 
     fn fill_tlb(&mut self, vbuid: Vbuid, page: u64, frame: Frame) {
+        // Every resident translation marks its page referenced: the access
+        // bits the eviction policy's second-chance sweep consumes.
+        self.ref_bits.insert((vbuid, page));
         // Whole-VB entries for fully direct VBs; page-grain otherwise.
         let entry = self.vits.entry(vbuid).expect("caller verified enabled");
         match entry.translation.as_ref() {
@@ -786,10 +826,28 @@ impl Mtl {
         // Direct structures swap per-page only after demotion to tables.
         if let Some(TranslationKind::Direct) = self.vits.entry(vbuid)?.translation_kind() {
             let structure = self.vits.entry_mut(vbuid)?.translation.take().expect("kind known");
-            let demoted = self.demote_with_fallback(vbuid, &structure)?;
-            self.vits.entry_mut(vbuid)?.translation = Some(demoted);
-            self.direct_tlb.invalidate(&vbuid);
-            self.vit_cache.invalidate(&vbuid);
+            // A failed demotion (no frame anywhere for the table) must put
+            // the structure back — dropping it would silently unmap the
+            // whole VB. The page simply stays resident.
+            match self.demote_with_fallback(vbuid, &structure, None) {
+                Ok(demoted) => {
+                    self.vits.entry_mut(vbuid)?.translation = Some(demoted);
+                    self.direct_tlb.invalidate(&vbuid);
+                    self.vit_cache.invalidate(&vbuid);
+                }
+                Err(VbiError::OutOfPhysicalMemory) => {
+                    // Every frame in the machine holds data, so the demotion
+                    // table cannot be funded the normal way. Eviction must
+                    // still make progress ("need a frame to free a frame"):
+                    // swap the victim out first and let its own frame pay
+                    // for the table.
+                    return self.swap_out_direct_self_funded(vbuid, page, structure);
+                }
+                Err(e) => {
+                    self.vits.entry_mut(vbuid)?.translation = Some(structure);
+                    return Err(e);
+                }
+            }
         }
         let mut structure = self
             .vits
@@ -804,13 +862,29 @@ impl Mtl {
             if cow && self.frame_shares.get(&frame.0).copied().unwrap_or(1) > 1 {
                 return Err(VbiError::SwapFailure { reason: "page is copy-on-write shared" });
             }
+            let capacity = self.swap.capacity_pages().unwrap_or(0);
             let slot = match self.mem.take_frame(frame) {
-                Some(data) => self.swap.store(data),
-                None => self.swap.store_zero(),
+                Some(data) => match self.swap.try_store(data) {
+                    Ok(slot) => {
+                        self.stats.writebacks += 1;
+                        slot
+                    }
+                    Err(data) => {
+                        // The backend handed the page back: restore it to
+                        // its frame and leave the mapping untouched.
+                        self.mem.put_frame(frame, data);
+                        return Err(VbiError::BackingStoreFull { capacity_pages: capacity });
+                    }
+                },
+                None => self
+                    .swap
+                    .try_store_zero()
+                    .ok_or(VbiError::BackingStoreFull { capacity_pages: capacity })?,
             };
             structure.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy)?;
             self.release_data_frame(frame);
             self.page_tlb.invalidate(&(vbuid, page));
+            self.ref_bits.remove(&(vbuid, page));
             self.stats.pages_swapped_out += 1;
             Ok(())
         })();
@@ -818,47 +892,171 @@ impl Mtl {
         result
     }
 
+    /// Swaps `page` out of a direct-mapped VB when physical memory is so
+    /// exhausted that the demotion table cannot be allocated: the victim's
+    /// data goes to the backing store first, its frame is released, and the
+    /// demotion then funds its table from that very frame, recording the
+    /// victim as `Swapped` in the new table. Restricted to size classes
+    /// whose single-level table fits one frame, which makes funding — and
+    /// therefore the demotion — infallible once the frame is released, so
+    /// no rollback of the committed swap store is ever needed.
+    ///
+    /// The caller has taken `structure` out of the VIT; every exit restores
+    /// a structure (the original on error, the demoted table on success).
+    fn swap_out_direct_self_funded(
+        &mut self,
+        vbuid: Vbuid,
+        page: u64,
+        structure: TranslationStructure,
+    ) -> Result<()> {
+        let size_class = vbuid.size_class();
+        let one_frame_table = !matches!(
+            TranslationKind::static_policy(size_class),
+            TranslationKind::MultiLevel { .. }
+        ) && size_class.pages() * 8 <= FRAME_BYTES;
+        if !one_frame_table {
+            // A multi-frame demotion could still dead-end after the single
+            // freed frame; without a safe rollback the only sound answer is
+            // the original error. The page stays resident.
+            self.vits.entry_mut(vbuid)?.translation = Some(structure);
+            return Err(VbiError::OutOfPhysicalMemory);
+        }
+        let PageEntry::Mapped { frame, cow } = structure.entry(page) else {
+            self.vits.entry_mut(vbuid)?.translation = Some(structure);
+            return Err(VbiError::SwapFailure { reason: "page not mapped" });
+        };
+        if cow && self.frame_shares.get(&frame.0).copied().unwrap_or(1) > 1 {
+            self.vits.entry_mut(vbuid)?.translation = Some(structure);
+            return Err(VbiError::SwapFailure { reason: "page is copy-on-write shared" });
+        }
+        let capacity = self.swap.capacity_pages().unwrap_or(0);
+        let slot = match self.mem.take_frame(frame) {
+            Some(data) => match self.swap.try_store(data) {
+                Ok(slot) => {
+                    self.stats.writebacks += 1;
+                    slot
+                }
+                Err(data) => {
+                    self.mem.put_frame(frame, data);
+                    self.vits.entry_mut(vbuid)?.translation = Some(structure);
+                    return Err(VbiError::BackingStoreFull { capacity_pages: capacity });
+                }
+            },
+            None => match self.swap.try_store_zero() {
+                Some(slot) => slot,
+                None => {
+                    self.vits.entry_mut(vbuid)?.translation = Some(structure);
+                    return Err(VbiError::BackingStoreFull { capacity_pages: capacity });
+                }
+            },
+        };
+        // The released frame lands either as a Reserved slot (released to
+        // the pool by the demotion's funding loop) or directly in the buddy
+        // allocator — either way the one-frame table allocation succeeds.
+        self.release_data_frame(frame);
+        let demoted = self
+            .demote_with_fallback(vbuid, &structure, Some((page, slot)))
+            .expect("the victim's own frame funds a one-frame demotion table");
+        self.vits.entry_mut(vbuid)?.translation = Some(demoted);
+        self.direct_tlb.invalidate(&vbuid);
+        self.vit_cache.invalidate(&vbuid);
+        self.page_tlb.invalidate(&(vbuid, page));
+        self.ref_bits.remove(&(vbuid, page));
+        self.stats.pages_swapped_out += 1;
+        Ok(())
+    }
+
     /// Reclaims up to `count` pages by swapping out mapped pages of enabled
     /// VBs other than `exclude`, preferring non-pinned VBs. Returns how many
     /// pages were reclaimed.
     pub fn reclaim_pages(&mut self, count: usize, exclude: Vbuid) -> usize {
+        self.reclaim_policy(count, Some(exclude), None)
+    }
+
+    /// Policy-evicts up to `count` resident pages with no VB excluded — the
+    /// ballooning / quota form of §3.4's capacity management. Returns how
+    /// many pages were evicted.
+    pub fn reclaim_frames(&mut self, count: usize) -> usize {
+        self.reclaim_policy(count, None, None)
+    }
+
+    /// Policy-evicts up to `count` resident pages while protecting a single
+    /// page — the engine's evict-on-allocation-failure path, which must be
+    /// free to evict *other* pages of the faulting VB (a VB larger than
+    /// physical memory can only make progress by self-eviction) but must
+    /// never evict the page being accessed.
+    pub fn reclaim_for(&mut self, vbuid: Vbuid, page: u64, count: usize) -> usize {
+        self.reclaim_policy(count, None, Some((vbuid, page)))
+    }
+
+    /// The eviction sweep behind every reclaim entry point.
+    ///
+    /// Victim order is deterministic: candidates are the mapped pages of
+    /// enabled VBs sorted by `(vbuid, page)` and rotated to resume after
+    /// the persistent clock hand, so identically-driven MTLs (the 1-shard
+    /// service vs `System` equivalence, split-vs-combined stats runs) pick
+    /// identical victims regardless of hash-map iteration order. Under
+    /// [`EvictionPolicy::Clock`] a set reference bit buys the page one
+    /// sweep of grace (the bit is cleared and the hand moves on); under
+    /// [`EvictionPolicy::ScanOrder`] bits are ignored. Unpinned VBs are
+    /// always swept before pinned ones.
+    fn reclaim_policy(
+        &mut self,
+        count: usize,
+        exclude: Option<Vbuid>,
+        protect: Option<(Vbuid, u64)>,
+    ) -> usize {
         let mut reclaimed = 0;
         // Two passes: first unpinned VBs, then (reluctantly) pinned ones.
         for allow_pinned in [false, true] {
             if reclaimed >= count {
                 break;
             }
-            let candidates: Vec<Vbuid> = self
+            let mut candidates: Vec<(Vbuid, u64)> = Vec::new();
+            let vbs: Vec<Vbuid> = self
                 .vits
                 .enabled_vbs()
-                .filter(|vb| *vb != exclude)
+                .filter(|vb| Some(*vb) != exclude)
                 .filter(|vb| {
                     allow_pinned
-                        || !self
+                        == self
                             .vits
                             .entry(*vb)
                             .map(|e| e.props.contains(VbProperties::PINNED))
                             .unwrap_or(false)
                 })
                 .collect();
-            for vb in candidates {
+            for vb in vbs {
+                if let Some(s) = self.vits.entry(vb).ok().and_then(|e| e.translation.as_ref()) {
+                    candidates.extend(s.mapped_pages().into_iter().map(|(p, _, _)| (vb, p)));
+                }
+            }
+            candidates.retain(|c| Some(*c) != protect);
+            candidates.sort_unstable();
+            if candidates.is_empty() {
+                continue;
+            }
+            // Resume the circular sweep after the hand. Two passes bound
+            // the clock: the first clears reference bits, the second can
+            // no longer be refused by them.
+            let start = match self.clock_hand {
+                Some(hand) => candidates.partition_point(|c| *c <= hand),
+                None => 0,
+            };
+            let n = candidates.len();
+            let second_chance = self.config.eviction == EvictionPolicy::Clock;
+            for step in 0..2 * n {
                 if reclaimed >= count {
                     break;
                 }
-                let pages: Vec<u64> = self
-                    .vits
-                    .entry(vb)
-                    .ok()
-                    .and_then(|e| e.translation.as_ref())
-                    .map(|s| s.mapped_pages().into_iter().map(|(p, _, _)| p).collect())
-                    .unwrap_or_default();
-                for page in pages {
-                    if reclaimed >= count {
-                        break;
-                    }
-                    if self.swap_out_page(vb, page).is_ok() {
-                        reclaimed += 1;
-                    }
+                let (vb, page) = candidates[(start + step) % n];
+                self.clock_hand = Some((vb, page));
+                if second_chance && self.ref_bits.remove(&(vb, page)) {
+                    continue;
+                }
+                if self.swap_out_page(vb, page).is_ok() {
+                    reclaimed += 1;
+                    self.stats.evictions += 1;
                 }
             }
         }
@@ -888,7 +1086,9 @@ impl Mtl {
                 if page >= structure.pages() {
                     return Err(VbiError::OffsetOutOfRange { vbuid, offset: page * FRAME_BYTES });
                 }
-                let slot = self.swap.store(data);
+                let slot = self.swap.try_store(data).map_err(|_| VbiError::BackingStoreFull {
+                    capacity_pages: self.swap.capacity_pages().unwrap_or(0),
+                })?;
                 structure.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy)?;
             }
             Ok(())
@@ -914,21 +1114,28 @@ impl Mtl {
 
     /// Builds a table-based replacement for a structure that must give up
     /// direct mapping, preserving all entries. The caller drops the original
-    /// (direct structures own no table frames).
+    /// (direct structures own no table frames). When `replace` names a page,
+    /// that page's entry is written as `Swapped` in the new table instead of
+    /// copying its original mapping — the self-funding eviction path swaps
+    /// the victim out *before* demoting so its frame can pay for the table.
     fn demote_structure(
         &mut self,
         size_class: SizeClass,
         structure: &TranslationStructure,
+        replace: Option<(u64, SwapSlot)>,
     ) -> Result<TranslationStructure> {
         let mut table = self.table_structure_for(size_class)?;
         for (page, frame, cow) in structure.mapped_pages() {
+            if replace.is_some_and(|(victim, _)| victim == page) {
+                continue;
+            }
             if let Err(e) = table.set_entry(page, PageEntry::Mapped { frame, cow }, &mut self.buddy)
             {
                 table.release_tables(&mut self.buddy);
                 return Err(e);
             }
         }
-        for (page, slot) in structure.swapped_pages() {
+        for (page, slot) in structure.swapped_pages().into_iter().chain(replace) {
             if let Err(e) = table.set_entry(page, PageEntry::Swapped(slot), &mut self.buddy) {
                 table.release_tables(&mut self.buddy);
                 return Err(e);
@@ -1149,13 +1356,14 @@ impl Mtl {
         &mut self,
         vbuid: Vbuid,
         structure: &TranslationStructure,
+        replace: Option<(u64, SwapSlot)>,
     ) -> Result<TranslationStructure> {
         // A demotion of a densely mapped VB may need many table frames (one
         // leaf node per 512 mapped pages); keep funding the attempt from the
         // owner's — or anyone's — reserved frames until it fits or memory is
         // truly exhausted.
         for _ in 0..4096 {
-            match self.demote_structure(vbuid.size_class(), structure) {
+            match self.demote_structure(vbuid.size_class(), structure, replace) {
                 Ok(table) => return Ok(table),
                 Err(_) => {
                     if self.release_reserved_to_pool(vbuid, 64) > 0 {
@@ -1181,27 +1389,36 @@ impl Mtl {
         let mut structure = self.vits.entry_mut(vbuid)?.translation.take().expect("ensured above");
         // A direct structure can only map its own contiguous region; if the
         // frame came from elsewhere (stolen slot or pressure), demote first.
+        // On failure, restore the structure (dropping it would unmap the
+        // whole VB) and release the unused frame.
         let expects = structure.direct_base().map(|b| b.offset(page));
         if matches!(structure.kind(), TranslationKind::Direct) && expects != Some(frame) {
-            structure = self.demote_with_fallback(vbuid, &structure)?;
-            self.direct_tlb.invalidate(&vbuid);
-            self.vit_cache.invalidate(&vbuid);
+            match self.demote_with_fallback(vbuid, &structure, None) {
+                Ok(demoted) => {
+                    structure = demoted;
+                    self.direct_tlb.invalidate(&vbuid);
+                    self.vit_cache.invalidate(&vbuid);
+                }
+                Err(e) => {
+                    self.vits.entry_mut(vbuid)?.translation = Some(structure);
+                    self.release_data_frame(frame);
+                    return Err(e);
+                }
+            }
         }
         let result =
             structure.set_entry(page, PageEntry::Mapped { frame, cow: false }, &mut self.buddy);
         self.vits.entry_mut(vbuid)?.translation = Some(structure);
-        result?;
+        if let Err(e) = result {
+            self.release_data_frame(frame);
+            return Err(e);
+        }
         self.mem.zero_frame(frame);
         Ok(frame)
     }
 
     fn swap_in(&mut self, vbuid: Vbuid, page: u64, slot: SwapSlot) -> Result<Frame> {
         let frame = self.allocate_page_frame(vbuid, page)?;
-        if let Some(data) = self.swap.load(slot) {
-            self.mem.put_frame(frame, data);
-        } else {
-            self.mem.zero_frame(frame);
-        }
         let mut structure = self
             .vits
             .entry_mut(vbuid)?
@@ -1209,14 +1426,33 @@ impl Mtl {
             .take()
             .expect("swapped page implies a structure");
         if matches!(structure.kind(), TranslationKind::Direct) {
-            structure = self.demote_with_fallback(vbuid, &structure)?;
-            self.direct_tlb.invalidate(&vbuid);
-            self.vit_cache.invalidate(&vbuid);
+            match self.demote_with_fallback(vbuid, &structure, None) {
+                Ok(demoted) => {
+                    structure = demoted;
+                    self.direct_tlb.invalidate(&vbuid);
+                    self.vit_cache.invalidate(&vbuid);
+                }
+                Err(e) => {
+                    self.vits.entry_mut(vbuid)?.translation = Some(structure);
+                    self.release_data_frame(frame);
+                    return Err(e);
+                }
+            }
         }
         let result =
             structure.set_entry(page, PageEntry::Mapped { frame, cow: false }, &mut self.buddy);
         self.vits.entry_mut(vbuid)?.translation = Some(structure);
-        result?;
+        if let Err(e) = result {
+            self.release_data_frame(frame);
+            return Err(e);
+        }
+        // Only consume the swap slot once the mapping is committed: a
+        // failure above leaves the entry Swapped and the data retrievable.
+        if let Some(data) = self.swap.load(slot) {
+            self.mem.put_frame(frame, data);
+        } else {
+            self.mem.zero_frame(frame);
+        }
         self.stats.pages_swapped_in += 1;
         Ok(frame)
     }
@@ -1234,7 +1470,7 @@ impl Mtl {
             // Copying breaks a direct VB's contiguity; demote before
             // touching any shared state so failures leave the VB intact.
             let demoted = if matches!(structure.kind(), TranslationKind::Direct) {
-                match self.demote_structure(vbuid.size_class(), &structure) {
+                match self.demote_structure(vbuid.size_class(), &structure, None) {
                     Ok(table) => {
                         structure = table;
                         self.direct_tlb.invalidate(&vbuid);

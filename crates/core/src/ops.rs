@@ -49,6 +49,7 @@ use crate::cvt_cache::ClientCvtCache;
 use crate::error::{Result, VbiError};
 use crate::mtl::Mtl;
 use crate::perm::{AccessKind, Rwx};
+use crate::swap::PressureBackend;
 use crate::vb::VbProperties;
 
 /// A program's handle on an attached VB: the CVT index returned by
@@ -482,6 +483,34 @@ pub trait OpEnv {
     /// path). Returns the number of entries rewritten, i.e. the reference
     /// count to move from `old` to `new`.
     fn redirect_clients(&mut self, old: Vbuid, new: Vbuid) -> usize;
+
+    /// Runs `f` with the backing store of the MTL homing `vbuid` — the
+    /// engine's single way to reach a shard's swap device for occupancy
+    /// reporting and backend administration (§3.4).
+    fn with_backing<R>(
+        &mut self,
+        vbuid: Vbuid,
+        f: impl FnOnce(&mut dyn PressureBackend) -> R,
+    ) -> R {
+        self.with_home_mtl(vbuid, |mtl| f(mtl.backing_mut()))
+    }
+
+    /// Policy-evicts up to `count` resident pages from the shard homing
+    /// `vbuid` (no VB excluded) — the ballooning / quota hook. Returns how
+    /// many pages were evicted.
+    fn reclaim_frames(&mut self, vbuid: Vbuid, count: usize) -> usize {
+        self.with_home_mtl(vbuid, |mtl| mtl.reclaim_frames(count))
+    }
+
+    /// Tells the environment that serving a data-plane op faulted pages in
+    /// from the backing store (the accessed page changed frames).
+    /// Environments that publish translation state to lock-free readers
+    /// must invalidate what they published for (`client`, `index`) — the
+    /// service bumps the slot's seqlock epoch. Called *after* the shard
+    /// lock is released; single-owner environments need nothing.
+    fn note_fault_in(&mut self, client: ClientId, index: usize) {
+        let _ = (client, index);
+    }
 }
 
 // --- control plane ----------------------------------------------------------
@@ -932,14 +961,59 @@ pub fn run_checked(mtl: &mut Mtl, op: &Op, address: VbiAddress) -> OpResult {
     }
 }
 
+/// Runs a fallible MTL action at `address` with the engine's pressure
+/// path wrapped around it: when the action fails for lack of physical
+/// memory, the shard's eviction policy reclaims a batch of resident pages
+/// (write-back to the backing store) — protecting only the page being
+/// accessed, so a VB larger than physical memory can still make progress
+/// by self-eviction — and the action retries once. Reclaim and retry
+/// happen under the *same* MTL acquisition as the first attempt, so no
+/// concurrent allocator can steal the freed frames in between.
+///
+/// Returns the action's result plus whether serving it faulted pages in
+/// from the backing store (the caller may need to republish translation
+/// state it exposed to lock-free readers).
+pub fn with_pressure<R>(
+    mtl: &mut Mtl,
+    address: VbiAddress,
+    f: impl Fn(&mut Mtl) -> Result<R>,
+) -> (Result<R>, bool) {
+    let faults_before = mtl.stats().faults_in;
+    let mut result = f(mtl);
+    if matches!(result, Err(VbiError::OutOfPhysicalMemory)) {
+        let batch = mtl.config().pressure_reclaim_batch.max(1);
+        if mtl.reclaim_for(address.vbuid(), address.page_index(), batch) > 0 {
+            result = f(mtl);
+        }
+    }
+    (result, mtl.stats().faults_in > faults_before)
+}
+
+/// [`run_checked`] with the engine's pressure path: evict-on-allocation-
+/// failure with write-back, then one retry, all under the caller's single
+/// shard-lock hold (see [`with_pressure`]). Batching front ends call this
+/// instead of [`run_checked`] so oversubscribed batches behave exactly
+/// like the synchronous path.
+pub fn run_checked_pressured(mtl: &mut Mtl, op: &Op, address: VbiAddress) -> (OpResult, bool) {
+    with_pressure(mtl, address, |mtl| run_checked(mtl, op, address))
+}
+
 /// Executes a data-plane op end to end: protection check, then the MTL
-/// half ([`run_checked`]) under the home MTL. Empty byte spans complete
-/// without any check, like the typed bulk helpers.
+/// half ([`run_checked`]) under the home MTL — with the pressure path
+/// wrapped around it, and the environment notified afterwards when pages
+/// faulted in. Empty byte spans complete without any check, like the
+/// typed bulk helpers.
 fn data_plane<E: OpEnv>(env: &mut E, op: &Op) -> OpResult {
     match op.checked_access() {
         Some((client, va, kind)) => {
             let checked = access(env, client, va, kind)?;
-            env.with_home_mtl(checked.address.vbuid(), |mtl| run_checked(mtl, op, checked.address))
+            let (result, faulted) = env.with_home_mtl(checked.address.vbuid(), |mtl| {
+                run_checked_pressured(mtl, op, checked.address)
+            });
+            if faulted {
+                env.note_fault_in(client, va.cvt_index());
+            }
+            result
         }
         None => match op {
             Op::LoadBytes { .. } => Ok(OpOutput::Bytes(Vec::new())),
@@ -1034,7 +1108,13 @@ pub fn store_bytes<E: OpEnv>(
     // Not routed through an `Op` to spare the caller's slice a clone; the
     // span semantics still live once, in `write_span`.
     let checked = access(env, client, va, AccessKind::Write)?;
-    env.with_home_mtl(checked.address.vbuid(), |mtl| write_span(mtl, checked.address, data))
+    let (result, faulted) = env.with_home_mtl(checked.address.vbuid(), |mtl| {
+        with_pressure(mtl, checked.address, |mtl| write_span(mtl, checked.address, data))
+    });
+    if faulted {
+        env.note_fault_in(client, va.cvt_index());
+    }
+    result
 }
 
 /// Reads `len` bytes from a VB through the checked load path — one
@@ -1053,6 +1133,61 @@ pub fn load_bytes<E: OpEnv>(
         OpOutput::Bytes(bytes) => Ok(bytes),
         _ => unreachable!("load returns bytes"),
     }
+}
+
+// --- capacity management ----------------------------------------------------
+
+/// Occupancy of the backing store behind one shard, as reported by
+/// [`backing_report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackingReport {
+    /// Live slots, payload-bearing and zero alike.
+    pub slots: usize,
+    /// Live slots holding a logically zero page.
+    pub zero_slots: usize,
+    /// Payload bytes held by the store.
+    pub stored_bytes: u64,
+    /// Simulated cycles spent accessing the backing tier (0 for the free
+    /// in-memory model).
+    pub tier_cycles: u64,
+}
+
+/// Policy-evicts up to `count` resident pages from the shard homing the VB
+/// at `client`'s CVT slot `index` — the engine's ballooning / quota hook
+/// (§3.4): the environment's reclaim capability does the eviction, so every
+/// front end shrinks residency the same way. Returns pages evicted.
+///
+/// # Errors
+///
+/// [`VbiError::InvalidClient`] or [`VbiError::InvalidCvtIndex`].
+pub fn reclaim_vb_frames<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    index: usize,
+    count: usize,
+) -> Result<usize> {
+    let (entry, _) = env.with_client_read(client, index)?;
+    Ok(env.reclaim_frames(entry.vbuid(), count))
+}
+
+/// Reports the backing-store occupancy of the shard homing the VB at
+/// `client`'s CVT slot `index`.
+///
+/// # Errors
+///
+/// [`VbiError::InvalidClient`] or [`VbiError::InvalidCvtIndex`].
+pub fn backing_report<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    index: usize,
+) -> Result<BackingReport> {
+    let (entry, _) = env.with_client_read(client, index)?;
+    Ok(env.with_backing(entry.vbuid(), |b| BackingReport {
+        slots: b.len(),
+        zero_slots: b.zero_len(),
+        stored_bytes: b.stored_bytes(),
+        tier_cycles: b.tier_cycles(),
+    }))
 }
 
 // --- dispatcher -------------------------------------------------------------

@@ -49,6 +49,15 @@ pub struct MtlStats {
     /// Direct-mapped VBs demoted to table-based structures (reservation
     /// stolen or contiguity broken).
     pub demotions: u64,
+    /// Pages evicted by the reclaim policy (clock / second-chance) to
+    /// relieve memory pressure (§3.4).
+    pub evictions: u64,
+    /// Swapped-out pages whose payload had to be written back to the
+    /// backing store (all-zero pages are dropped for free).
+    pub writebacks: u64,
+    /// Translations that found the page swapped out and faulted it back
+    /// into a frame.
+    pub faults_in: u64,
 }
 
 impl MtlStats {
@@ -78,6 +87,9 @@ impl MtlStats {
             vbs_cloned,
             vbs_migrated,
             demotions,
+            evictions,
+            writebacks,
+            faults_in,
         } = other;
         self.translation_requests += translation_requests;
         self.tlb_hits += tlb_hits;
@@ -98,6 +110,9 @@ impl MtlStats {
         self.vbs_cloned += vbs_cloned;
         self.vbs_migrated += vbs_migrated;
         self.demotions += demotions;
+        self.evictions += evictions;
+        self.writebacks += writebacks;
+        self.faults_in += faults_in;
     }
 
     /// Fraction of translation requests served without a walk.
@@ -163,6 +178,9 @@ mod tests {
             vbs_cloned: 17,
             vbs_migrated: 18,
             demotions: 19,
+            evictions: 20,
+            writebacks: 21,
+            faults_in: 22,
         };
         let mut merged = a;
         merged.merge(&a);
@@ -171,6 +189,9 @@ mod tests {
         assert_eq!(merged.vbs_cloned, 34);
         assert_eq!(merged.vbs_migrated, 36);
         assert_eq!(merged.demotions, 38);
+        assert_eq!(merged.evictions, 40);
+        assert_eq!(merged.writebacks, 42);
+        assert_eq!(merged.faults_in, 44);
         // Merging the zero block is the identity.
         let mut b = a;
         b.merge(&MtlStats::default());
@@ -221,6 +242,20 @@ mod tests {
             m.enable_vb(dest, VbProperties::NONE).unwrap();
             Mtl::migrate_contents(m, None, src, dest).unwrap();
             assert_eq!(m.read_u64(dest.address(3 << 12).unwrap()).unwrap(), 3);
+            dest
+        };
+        let phase_d = |m: &mut Mtl, b: crate::addr::Vbuid, dest: crate::addr::Vbuid| {
+            // Pressure phase: policy-evict a few resident pages, then touch
+            // every page that could have been the victim so the evicted
+            // ones fault back in.
+            let evicted = m.reclaim_frames(4);
+            assert_eq!(evicted, 4);
+            for page in (0..64u64).step_by(13) {
+                assert_eq!(m.read_u64(b.address(page << 12).unwrap()).unwrap(), page);
+            }
+            for page in 1..8u64 {
+                assert_eq!(m.read_u64(dest.address(page << 12).unwrap()).unwrap(), page);
+            }
         };
 
         // One MTL runs all phases back to back: the combined counters.
@@ -228,7 +263,8 @@ mod tests {
         let (a, b) = setup(&mut combined);
         phase_a(&mut combined, a);
         phase_b(&mut combined, b);
-        phase_c(&mut combined, a);
+        let dest = phase_c(&mut combined, a);
+        phase_d(&mut combined, b, dest);
         let total = combined.stats();
 
         // An identical MTL snapshots per phase (reset_stats clears only the
@@ -241,14 +277,21 @@ mod tests {
         phase_b(&mut split, b);
         let second = split.stats();
         split.reset_stats();
-        phase_c(&mut split, a);
+        let dest = phase_c(&mut split, a);
+        let third = split.stats();
+        split.reset_stats();
+        phase_d(&mut split, b, dest);
         let mut merged = first;
         merged.merge(&second);
+        merged.merge(&third);
         merged.merge(&split.stats());
 
         assert_eq!(merged, total);
         assert!(total.translation_requests > 0 && total.zero_line_returns > 0);
         assert_eq!(total.vbs_cloned, 1);
         assert_eq!(total.vbs_migrated, 1);
+        assert_eq!(total.evictions, 4);
+        assert_eq!(total.faults_in, 4, "every evicted page was touched again");
+        assert!(total.writebacks > 0, "evicted payloads were written back");
     }
 }

@@ -307,6 +307,31 @@ impl System {
             Ok(TranslateResult::Mapped(_))
         )
     }
+
+    // --- capacity management ----------------------------------------------------
+
+    /// Reclaims up to `count` resident frames from the VB behind
+    /// (`client`, `index`) — the ballooning primitive of §3.4's capacity
+    /// management, shared with the service front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] / an invalid-CVT error when the
+    /// handle does not resolve.
+    pub fn reclaim_vb_frames(&self, client: ClientId, index: usize, count: usize) -> Result<usize> {
+        ops::reclaim_vb_frames(&mut *self.lock(), client, index, count)
+    }
+
+    /// Occupancy of the backing store serving the VB behind
+    /// (`client`, `index`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] / an invalid-CVT error when the
+    /// handle does not resolve.
+    pub fn backing_report(&self, client: ClientId, index: usize) -> Result<ops::BackingReport> {
+        ops::backing_report(&mut *self.lock(), client, index)
+    }
 }
 
 impl SessionHost for System {

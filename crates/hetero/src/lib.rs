@@ -9,7 +9,9 @@
 //! * [`hotness`] — the MTL's per-VB and per-page access counters;
 //! * [`memory`] — PCM-DRAM hybrid and TL-DRAM memories with three placement
 //!   policies: hotness-unaware (baseline), VBI hotness-driven migration,
-//!   and an IDEAL page-placement oracle.
+//!   and an IDEAL page-placement oracle;
+//! * [`backend`] — a slow-tier `PressureBackend` that prices the MTL's
+//!   eviction / fault-in traffic with the [`memory`] latency model (§3.4).
 //!
 //! ```
 //! use vbi_hetero::memory::{HeteroKind, HeteroMemory, Policy};
@@ -20,8 +22,10 @@
 //! assert!(cycles > 0);
 //! ```
 
+pub mod backend;
 pub mod hotness;
 pub mod memory;
 
+pub use backend::SlowTierBackend;
 pub use hotness::HotnessTracker;
 pub use memory::{HeteroKind, HeteroMemory, HeteroStats, Policy, PAGE_BYTES};

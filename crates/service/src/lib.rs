@@ -105,6 +105,9 @@ mod sync;
 use crate::sync::{lock_counted, unpoison};
 
 pub use queue::{Cqe, QueueDepth, Sqe, VbiQueue};
+// Re-exported so `ServiceConfig::with_backing` factories can be written
+// against this crate alone.
+pub use vbi_core::swap::{BackingStore, PressureBackend};
 
 /// A session over the sharded service — the client-facing API surface.
 pub type ServiceSession = ClientSession<VbiService>;
@@ -126,12 +129,18 @@ pub struct ServiceConfig {
     /// every check through the locked path — the baseline the `read_path`
     /// bench compares against.
     pub lockfree_reads: bool,
+    /// Factory for each shard's backing store, run once per shard at
+    /// construction (default `None` = the in-memory
+    /// [`vbi_core::swap::BackingStore`]). A plain `fn` pointer keeps the
+    /// config `Clone` + `Debug`; use it to install a slow-tier model like
+    /// `vbi_hetero::SlowTierBackend` behind every shard.
+    pub backing: Option<fn() -> Box<dyn PressureBackend>>,
 }
 
 impl ServiceConfig {
     /// A `shards`-way service over `base`.
     pub fn new(shards: usize, base: VbiConfig) -> Self {
-        Self { shards, base, lockfree_reads: true }
+        Self { shards, base, lockfree_reads: true, backing: None }
     }
 
     /// The degenerate single-shard service — byte- and stats-identical to
@@ -144,6 +153,13 @@ impl ServiceConfig {
     /// [`ServiceConfig::lockfree_reads`]).
     pub fn with_lockfree_reads(mut self, enabled: bool) -> Self {
         self.lockfree_reads = enabled;
+        self
+    }
+
+    /// Installs a per-shard backing-store factory (see
+    /// [`ServiceConfig::backing`]).
+    pub fn with_backing(mut self, factory: fn() -> Box<dyn PressureBackend>) -> Self {
+        self.backing = Some(factory);
         self
     }
 }
@@ -399,6 +415,17 @@ impl OpEnv for ServiceEnv<'_> {
         }
         moved
     }
+
+    fn note_fault_in(&mut self, client: ClientId, index: usize) {
+        // A fault-in moved the accessed page to a fresh frame. The CVT
+        // entry itself (VBUID, permissions) is still valid, but the
+        // published cache slot must not outlive the frame move unnoticed:
+        // invalidating bumps the seqlock epoch, forcing lock-free readers
+        // of this slot back onto the authoritative locked path. Called
+        // with no shard lock held (client locks only — same order as
+        // `redirect_clients`).
+        self.0.invalidate_published(client, index);
+    }
 }
 
 impl VbiService {
@@ -415,10 +442,16 @@ impl VbiService {
             ..config.base.clone()
         };
         let shards = (0..config.shards)
-            .map(|i| Shard {
-                mtl: Mutex::new(Mtl::for_shard(per_shard.clone(), i, config.shards)),
-                acquisitions: AtomicU64::new(0),
-                contended: AtomicU64::new(0),
+            .map(|i| {
+                let mut mtl = Mtl::for_shard(per_shard.clone(), i, config.shards);
+                if let Some(factory) = config.backing {
+                    mtl.set_backing(factory()).expect("a fresh MTL has an empty backing store");
+                }
+                Shard {
+                    mtl: Mutex::new(mtl),
+                    acquisitions: AtomicU64::new(0),
+                    contended: AtomicU64::new(0),
+                }
             })
             .collect();
         Self {
@@ -580,22 +613,70 @@ impl VbiService {
         responses.into_iter().map(|r| r.expect("every op answered")).collect()
     }
 
-    /// Runs every deferred MTL half, one shard lock per populated shard.
+    /// Runs every deferred MTL half, one shard lock per populated shard —
+    /// through the engine's pressure path, so an oversubscribed batch
+    /// evicts and retries exactly like the synchronous front end. Fault-in
+    /// notifications go out after each shard lock is released (client
+    /// locks only — the engine's lock order).
     fn drain_pending(
         &self,
         batch: &[Op],
         pending: &mut [Vec<(usize, VbiAddress)>],
         responses: &mut [Option<OpResult>],
     ) {
+        let mut faulted: Vec<usize> = Vec::new();
         for (shard, items) in pending.iter_mut().enumerate() {
             if items.is_empty() {
                 continue;
             }
             let mut mtl = self.lock_shard(shard);
             for (i, address) in items.drain(..) {
-                responses[i] = Some(ops::run_checked(&mut mtl, &batch[i], address));
+                let (result, fault) = ops::run_checked_pressured(&mut mtl, &batch[i], address);
+                responses[i] = Some(result);
+                if fault {
+                    faulted.push(i);
+                }
             }
         }
+        for i in faulted {
+            if let Some((client, va, _)) = batch[i].checked_access() {
+                self.invalidate_published(client, va.cvt_index());
+            }
+        }
+    }
+
+    /// Invalidates the published CVT-cache slot for (`client`, `index`),
+    /// bumping its seqlock epoch (the fault-in notification target).
+    fn invalidate_published(&self, client: ClientId, index: usize) {
+        if let Ok(slot) = self.client_slot(client) {
+            let mut st = slot.lock();
+            st.cache.invalidate(client, index);
+        }
+    }
+
+    // --- capacity management ----------------------------------------------------
+
+    /// Reclaims up to `count` resident frames from the home shard of the VB
+    /// behind (`client`, `index`) — the service face of the engine's
+    /// [`vbi_core::ops::reclaim_vb_frames`] ballooning primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] / an invalid-CVT error when the
+    /// handle does not resolve.
+    pub fn reclaim_vb_frames(&self, client: ClientId, index: usize, count: usize) -> Result<usize> {
+        ops::reclaim_vb_frames(&mut ServiceEnv(self), client, index, count)
+    }
+
+    /// Occupancy of the backing store on the home shard of the VB behind
+    /// (`client`, `index`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VbiError::InvalidClient`] / an invalid-CVT error when the
+    /// handle does not resolve.
+    pub fn backing_report(&self, client: ClientId, index: usize) -> Result<ops::BackingReport> {
+        ops::backing_report(&mut ServiceEnv(self), client, index)
     }
 
     // --- statistics -------------------------------------------------------------
@@ -632,6 +713,12 @@ impl VbiService {
     /// Frames currently free, summed across shards.
     pub fn free_frames(&self) -> u64 {
         (0..self.inner.shards.len()).map(|s| self.lock_shard(s).free_frames()).sum()
+    }
+
+    /// Payload-bearing backing-store slots, summed across shards (the
+    /// pressure-path counterpart of [`VbiService::free_frames`]).
+    pub fn swap_occupancy(&self) -> usize {
+        (0..self.inner.shards.len()).map(|s| self.lock_shard(s).swap_occupancy()).sum()
     }
 
     /// Clears every shard's statistics (warm-up boundary).
@@ -1080,5 +1167,141 @@ mod tests {
         // Mirror the owner's layout in the other client (fork-style).
         b.attach_at(vb.cvt_index, vb.vbuid, Rwx::READ).unwrap();
         assert_eq!(b.load_u64(vb.at(0)).unwrap(), 5);
+    }
+
+    // --- memory pressure -----------------------------------------------------
+
+    /// A service whose total frame budget is `frames`, split across shards.
+    fn pressured_service(shards: usize, frames: u64) -> VbiService {
+        VbiService::new(ServiceConfig::new(
+            shards,
+            VbiConfig { phys_frames: frames, ..VbiConfig::vbi_full() },
+        ))
+    }
+
+    fn page_tag(vb: usize, page: u64) -> u64 {
+        ((vb as u64) << 32) | (page + 1)
+    }
+
+    #[test]
+    fn oversubscribed_sessions_evict_fault_and_stay_byte_exact() {
+        // 8 VBs x 16 pages = 128 data pages against 96 frames (48 per
+        // shard): every shard must evict to make progress.
+        let svc = pressured_service(2, 96);
+        let c = svc.create_client().unwrap();
+        let vbs: Vec<VbHandle> = (0..8)
+            .map(|_| c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
+            .collect();
+        for (v, vb) in vbs.iter().enumerate() {
+            for page in 0..16u64 {
+                c.store_u64(vb.at(page << 12), page_tag(v, page)).unwrap();
+            }
+        }
+        for (v, vb) in vbs.iter().enumerate() {
+            for page in 0..16u64 {
+                assert_eq!(c.load_u64(vb.at(page << 12)).unwrap(), page_tag(v, page));
+            }
+        }
+        let stats = svc.stats();
+        assert!(stats.evictions > 0, "the working set exceeded the frame budget: {stats:?}");
+        assert!(stats.writebacks > 0, "dirty pages must be written back: {stats:?}");
+        assert!(stats.faults_in > 0, "re-reads must fault pages back in: {stats:?}");
+    }
+
+    #[test]
+    fn oversubscribed_batches_take_the_pressure_path() {
+        let svc = pressured_service(2, 96);
+        let c = svc.create_client().unwrap();
+        let client = c.id();
+        let vbs: Vec<VbHandle> = (0..8)
+            .map(|_| c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
+            .collect();
+        let stores: Vec<Op> = vbs
+            .iter()
+            .enumerate()
+            .flat_map(|(v, vb)| {
+                (0..16u64).map(move |page| Op::StoreU64 {
+                    client,
+                    va: vb.at(page << 12),
+                    value: page_tag(v, page),
+                })
+            })
+            .collect();
+        for response in svc.submit(&stores) {
+            response.unwrap();
+        }
+        let loads: Vec<Op> = vbs
+            .iter()
+            .flat_map(|vb| {
+                (0..16u64).map(move |page| Op::LoadU64 { client, va: vb.at(page << 12) })
+            })
+            .collect();
+        let responses = svc.submit(&loads);
+        for (i, response) in responses.into_iter().enumerate() {
+            let (v, page) = (i / 16, (i % 16) as u64);
+            assert_eq!(response.unwrap(), OpOutput::U64(page_tag(v, page)), "vb {v} page {page}");
+        }
+        let stats = svc.stats();
+        assert!(stats.evictions > 0, "drain_pending must evict under pressure: {stats:?}");
+        assert!(stats.faults_in > 0, "drain_pending must fault pages back in: {stats:?}");
+    }
+
+    fn fresh_backing() -> Box<dyn PressureBackend> {
+        Box::new(vbi_core::swap::BackingStore::new())
+    }
+
+    #[test]
+    fn reclaim_and_backing_report_expose_the_pressure_state() {
+        let svc = VbiService::new(
+            ServiceConfig::new(1, VbiConfig { phys_frames: 4096, ..VbiConfig::vbi_full() })
+                .with_backing(fresh_backing),
+        );
+        let c = svc.create_client().unwrap();
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        for page in 0..16u64 {
+            c.store_u64(vb.at(page << 12), page + 1).unwrap();
+        }
+        // Balloon the VB down: 8 frames move to the configured backing store.
+        assert_eq!(svc.reclaim_vb_frames(c.id(), vb.cvt_index, 8).unwrap(), 8);
+        let report = svc.backing_report(c.id(), vb.cvt_index).unwrap();
+        assert_eq!(report.slots + report.zero_slots, 8);
+        assert_eq!(report.stored_bytes, report.slots as u64 * 4096);
+        // Touching everything faults the pages back; the store drains.
+        for page in 0..16u64 {
+            assert_eq!(c.load_u64(vb.at(page << 12)).unwrap(), page + 1);
+        }
+        let report = svc.backing_report(c.id(), vb.cvt_index).unwrap();
+        assert_eq!(report.slots + report.zero_slots, 0);
+        assert!(svc.stats().faults_in >= 8);
+    }
+
+    #[test]
+    fn fault_in_bumps_the_published_cache_epoch() {
+        let svc = pressured_service(1, 4096);
+        let c = svc.create_client().unwrap();
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(0), 77).unwrap();
+        // Warm the published cache, then force the page out. The reclaim
+        // itself leaves the cache alone: the CVT entry is still valid.
+        assert_eq!(c.load_u64(vb.at(0)).unwrap(), 77);
+        assert_eq!(svc.reclaim_vb_frames(c.id(), vb.cvt_index, 1).unwrap(), 1);
+        // The faulting read still answers correctly, and its fault-in
+        // notification invalidates the published slot...
+        assert_eq!(c.load_u64(vb.at(0)).unwrap(), 77);
+        let stats_before = c.cvt_cache_stats().unwrap();
+        // ...so the next read cannot ride the old snapshot: it misses and
+        // refills under the client lock instead of hitting lock-free.
+        assert_eq!(c.load_u64(vb.at(0)).unwrap(), 77);
+        let stats_after = c.cvt_cache_stats().unwrap();
+        assert_eq!(
+            stats_after.misses,
+            stats_before.misses + 1,
+            "the post-fault read must refill the invalidated slot"
+        );
+        assert_eq!(stats_after.lockfree_hits, stats_before.lockfree_hits);
+        // The refill republishes: reads are lock-free again.
+        assert_eq!(c.load_u64(vb.at(0)).unwrap(), 77);
+        let stats_final = c.cvt_cache_stats().unwrap();
+        assert_eq!(stats_final.lockfree_hits, stats_after.lockfree_hits + 1);
     }
 }

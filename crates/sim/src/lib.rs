@@ -13,6 +13,8 @@
 //! * [`mod@service_run`] — the multi-threaded traffic harness for the
 //!   concurrent `vbi-service` (host ops/sec, shard contention, and the
 //!   deterministic replay used by the equivalence suite);
+//! * [`mod@pressure_run`] — the oversubscribed-memory harness (fault rate
+//!   and p50/p99 op latency while the engine evicts and faults in);
 //! * [`report`] — speedup tables with `AVG` / `AVG-no-mcf` rows.
 //!
 //! ```no_run
@@ -30,6 +32,7 @@
 pub mod engine;
 pub mod hetero_run;
 pub mod multicore;
+pub mod pressure_run;
 pub mod report;
 pub mod service_run;
 pub mod systems;
@@ -37,6 +40,7 @@ pub mod systems;
 pub use engine::{run, EngineConfig, RunResult};
 pub use hetero_run::{run_hetero, HeteroRunResult};
 pub use multicore::{run_alone_native, run_bundle, BundleResult};
+pub use pressure_run::{pressure_run, PressureFrontEnd, PressureRunConfig, PressureRunReport};
 pub use report::{geomean, mean, SpeedupTable};
 pub use service_run::{service_run, ServiceRunConfig, ServiceRunReport};
 pub use systems::{build_system, AccessCost, MemorySystem, SystemKind};

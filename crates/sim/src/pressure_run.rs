@@ -1,0 +1,469 @@
+//! Memory-pressure harness: oversubscribed traffic with per-op latency.
+//!
+//! Where [`mod@crate::service_run`] measures throughput with the working set
+//! comfortably resident, this driver deliberately sizes the footprint
+//! *past* physical memory (the paper's §3.4 capacity-management case) so
+//! every thread's traffic runs the engine's pressure path — clock
+//! eviction, write-back to the shard's backing store, fault-in on next
+//! touch — and reports what that costs: the fault rate and the p50/p99
+//! per-operation latency at a given oversubscription ratio. The
+//! `BENCH_pressure` bench in `vbi-bench` sweeps that ratio by shrinking
+//! `phys_frames` under a fixed working set.
+//!
+//! Every operation is byte-checked: stores write a pure function of
+//! `(thread, page)` and loads assert it, so a run that completes proves
+//! the swap path lost nothing while it was evicting. Both the synchronous
+//! [`VbiService`] front end and the pipelined [`VbiQueue`] front end are
+//! supported ([`PressureFrontEnd`]) — the same engine code serves both, so
+//! the comparison isolates front-end overhead under pressure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use vbi_core::config::VbiConfig;
+use vbi_core::ops::Op;
+use vbi_core::perm::Rwx;
+use vbi_core::stats::MtlStats;
+use vbi_core::system::VbHandle;
+use vbi_core::vb::VbProperties;
+use vbi_service::{ServiceConfig, ServiceSession, VbiQueue, VbiService};
+
+/// Which front end carries the oversubscribed traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PressureFrontEnd {
+    /// Synchronous per-op calls through [`VbiService`] sessions.
+    Service,
+    /// Tagged submission/completion pipelining through [`VbiQueue`].
+    Queue,
+}
+
+impl PressureFrontEnd {
+    fn label(self) -> &'static str {
+        match self {
+            PressureFrontEnd::Service => "service",
+            PressureFrontEnd::Queue => "queue",
+        }
+    }
+}
+
+/// Configuration of one pressure run ([`pressure_run`]).
+#[derive(Debug, Clone)]
+pub struct PressureRunConfig {
+    /// Worker threads, one client + one private VB each.
+    pub threads: usize,
+    /// MTL shards.
+    pub shards: usize,
+    /// Pages in each thread's VB — all of them are pre-written, so the
+    /// working set is exactly `threads * pages_per_thread` pages.
+    pub pages_per_thread: u64,
+    /// Mixed store/load operations per thread after the pre-write phase
+    /// (a final byte-exact sweep of every page adds `pages_per_thread`
+    /// more loads per thread).
+    pub ops_per_thread: usize,
+    /// Physical frames in the machine. Set below the working set to
+    /// oversubscribe; see [`PressureRunReport::oversubscription`].
+    pub phys_frames: u64,
+    /// Seed for the per-thread op streams.
+    pub seed: u64,
+    /// Which front end carries the traffic.
+    pub front_end: PressureFrontEnd,
+}
+
+impl Default for PressureRunConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            shards: 2,
+            pages_per_thread: 64,
+            ops_per_thread: 4_000,
+            phys_frames: 128,
+            seed: 0x2020,
+            front_end: PressureFrontEnd::Service,
+        }
+    }
+}
+
+/// Report of one pressure run.
+#[derive(Debug, Clone)]
+pub struct PressureRunReport {
+    /// Worker threads.
+    pub threads: usize,
+    /// MTL shards.
+    pub shards: usize,
+    /// Front end that carried the traffic (`"service"` or `"queue"`).
+    pub front_end: &'static str,
+    /// Operations completed across all threads (mixed phase plus the
+    /// final verification sweep; the pre-write phase is not counted).
+    pub total_ops: u64,
+    /// Pages the run keeps live: `threads * pages_per_thread`.
+    pub working_set_pages: u64,
+    /// Physical frames in the machine.
+    pub phys_frames: u64,
+    /// `working_set_pages / phys_frames` — above 1.0 the data alone
+    /// cannot be resident, and translation structures push the true
+    /// pressure higher still.
+    pub oversubscription: f64,
+    /// Wall-clock seconds of the measured phases.
+    pub elapsed_secs: f64,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Faults served per operation: `faults_in / total_ops`.
+    pub fault_rate: f64,
+    /// Median per-operation latency in nanoseconds.
+    pub p50_latency_ns: u64,
+    /// 99th-percentile per-operation latency in nanoseconds.
+    pub p99_latency_ns: u64,
+    /// Pages swapped back in while the run executed.
+    pub faults_in: u64,
+    /// Pages reclaimed by the eviction policy.
+    pub evictions: u64,
+    /// Dirty pages written back to the backing store.
+    pub writebacks: u64,
+    /// Pages resident in the backing stores when the run finished (the
+    /// part of the working set that ended its life swapped out).
+    pub swap_occupancy_pages: usize,
+    /// Merged MTL counters across shards.
+    pub mtl: MtlStats,
+}
+
+impl PressureRunReport {
+    /// One-line JSON rendering (no external serializer in this workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"front_end\":\"{}\",\"threads\":{},\"shards\":{},",
+                "\"working_set_pages\":{},\"phys_frames\":{},",
+                "\"oversubscription\":{:.3},\"total_ops\":{},",
+                "\"elapsed_secs\":{:.6},\"ops_per_sec\":{:.0},",
+                "\"fault_rate\":{:.6},\"p50_latency_ns\":{},",
+                "\"p99_latency_ns\":{},\"faults_in\":{},\"evictions\":{},",
+                "\"writebacks\":{},\"pages_swapped_out\":{},",
+                "\"pages_swapped_in\":{},\"swap_occupancy_pages\":{}}}"
+            ),
+            self.front_end,
+            self.threads,
+            self.shards,
+            self.working_set_pages,
+            self.phys_frames,
+            self.oversubscription,
+            self.total_ops,
+            self.elapsed_secs,
+            self.ops_per_sec,
+            self.fault_rate,
+            self.p50_latency_ns,
+            self.p99_latency_ns,
+            self.faults_in,
+            self.evictions,
+            self.writebacks,
+            self.mtl.pages_swapped_out,
+            self.mtl.pages_swapped_in,
+            self.swap_occupancy_pages,
+        )
+    }
+}
+
+/// The byte pattern for `(thread, page)` — a pure function, so stores are
+/// idempotent and any load can be checked without tracking history.
+fn pattern(thread: u64, page: u64) -> u64 {
+    (0xC0DE_0000 + thread) << 32 | page
+}
+
+/// Runs `config.threads` workers against a fresh oversubscribed service:
+/// each pre-writes its whole VB, then issues `config.ops_per_thread`
+/// mixed stores/loads over it (uniform page choice, idempotent values,
+/// every load asserted), then sweeps every page once more to prove the
+/// final bytes survived the churn. Per-operation latency is captured for
+/// the measured phases and summarized as p50/p99.
+///
+/// # Panics
+///
+/// Panics if any operation fails or any load returns a value other than
+/// its page's pattern — under pressure that would mean the swap path lost
+/// or corrupted a page.
+pub fn pressure_run(config: &PressureRunConfig) -> PressureRunReport {
+    let service_config = ServiceConfig::new(
+        config.shards,
+        VbiConfig { phys_frames: config.phys_frames, ..VbiConfig::vbi_full() },
+    );
+    let (latencies, elapsed, stats, swap_occupancy) = match config.front_end {
+        PressureFrontEnd::Service => run_service(config, service_config),
+        PressureFrontEnd::Queue => run_queue(config, service_config),
+    };
+    let total_ops = latencies.len() as u64;
+    let working_set_pages = config.threads as u64 * config.pages_per_thread;
+    let (p50, p99) = percentiles(latencies);
+    PressureRunReport {
+        threads: config.threads,
+        shards: config.shards,
+        front_end: config.front_end.label(),
+        total_ops,
+        working_set_pages,
+        phys_frames: config.phys_frames,
+        oversubscription: working_set_pages as f64 / config.phys_frames.max(1) as f64,
+        elapsed_secs: elapsed,
+        ops_per_sec: if elapsed > 0.0 { total_ops as f64 / elapsed } else { 0.0 },
+        fault_rate: if total_ops > 0 { stats.faults_in as f64 / total_ops as f64 } else { 0.0 },
+        p50_latency_ns: p50,
+        p99_latency_ns: p99,
+        faults_in: stats.faults_in,
+        evictions: stats.evictions,
+        writebacks: stats.writebacks,
+        swap_occupancy_pages: swap_occupancy,
+        mtl: stats,
+    }
+}
+
+fn percentiles(mut latencies: Vec<u64>) -> (u64, u64) {
+    if latencies.is_empty() {
+        return (0, 0);
+    }
+    latencies.sort_unstable();
+    let at = |q: usize| latencies[(latencies.len() - 1) * q / 100];
+    (at(50), at(99))
+}
+
+/// Creates this thread's client and VB and writes every page's pattern.
+/// Setup is synchronous on both front ends; the measured phases start
+/// after it.
+fn setup_worker(session: &ServiceSession, config: &PressureRunConfig, thread: u64) -> VbHandle {
+    let vb = session
+        .request_vb(config.pages_per_thread * 4096, VbProperties::NONE, Rwx::READ_WRITE)
+        .expect("VB request allocates nothing up front");
+    for page in 0..config.pages_per_thread {
+        session.store_u64(vb.at(page << 12), pattern(thread, page)).expect("pre-write");
+    }
+    vb
+}
+
+fn run_service(
+    config: &PressureRunConfig,
+    service_config: ServiceConfig,
+) -> (Vec<u64>, f64, MtlStats, usize) {
+    let service = VbiService::new(service_config);
+    let started = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.threads)
+            .map(|thread| {
+                let service = service.clone();
+                scope.spawn(move || service_worker(&service, config, thread as u64))
+            })
+            .collect();
+        workers.into_iter().flat_map(|w| w.join().expect("pressure worker panicked")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let occupancy = service.swap_occupancy();
+    (latencies, elapsed, service.stats(), occupancy)
+}
+
+fn service_worker(service: &VbiService, config: &PressureRunConfig, thread: u64) -> Vec<u64> {
+    let session = service.create_client().expect("service has client IDs");
+    let vb = setup_worker(&session, config, thread);
+    let mut rng = SmallRng::stream(config.seed, thread);
+    let mut latencies =
+        Vec::with_capacity(config.ops_per_thread + config.pages_per_thread as usize);
+    for _ in 0..config.ops_per_thread {
+        let page = rng.gen::<u64>() % config.pages_per_thread;
+        let is_write = rng.gen::<u64>() & 1 == 0;
+        let va = vb.at(page << 12);
+        let start = Instant::now();
+        if is_write {
+            session.store_u64(va, pattern(thread, page)).expect("in-bounds store");
+        } else {
+            let value = session.load_u64(va).expect("in-bounds load");
+            assert_eq!(value, pattern(thread, page), "swap path corrupted page {page}");
+        }
+        latencies.push(start.elapsed().as_nanos() as u64);
+    }
+    // Final sweep: every page must still hold its pattern, resident or not.
+    for page in 0..config.pages_per_thread {
+        let start = Instant::now();
+        let value = session.load_u64(vb.at(page << 12)).expect("in-bounds load");
+        latencies.push(start.elapsed().as_nanos() as u64);
+        assert_eq!(value, pattern(thread, page), "final sweep lost page {page}");
+    }
+    latencies
+}
+
+fn run_queue(
+    config: &PressureRunConfig,
+    service_config: ServiceConfig,
+) -> (Vec<u64>, f64, MtlStats, usize) {
+    let queue = VbiQueue::new(service_config);
+    let ops_total = config.ops_per_thread + config.pages_per_thread as usize;
+    // The completion queue is shared, so a CQE may be reaped by any
+    // thread. Submit time and the expected load value are published per
+    // tag through these arrays (indexed `thread * ops_total + seq`) so
+    // whoever reaps a completion can time it and byte-check it.
+    let epoch = Instant::now();
+    let submit_ns: Vec<AtomicU64> =
+        (0..config.threads * ops_total).map(|_| AtomicU64::new(0)).collect();
+    let expected: Vec<AtomicU64> =
+        (0..config.threads * ops_total).map(|_| AtomicU64::new(STORE_SENTINEL)).collect();
+    let started = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.threads)
+            .map(|thread| {
+                let queue = &queue;
+                let (submit_ns, expected) = (&submit_ns, &expected);
+                scope.spawn(move || {
+                    queue_worker(queue, config, thread as u64, epoch, submit_ns, expected)
+                })
+            })
+            .collect();
+        let mut latencies: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("pressure submitter panicked"))
+            .collect();
+        // Reap whatever the submitters left in flight.
+        for cqe in queue.drain() {
+            latencies.push(check_cqe(&cqe, epoch, &submit_ns, &expected));
+        }
+        latencies
+    });
+    let total = (config.threads * ops_total) as u64;
+    assert_eq!(latencies.len() as u64, total, "a completion was lost");
+    let elapsed = started.elapsed().as_secs_f64();
+    let service = queue.service();
+    let occupancy = service.swap_occupancy();
+    (latencies, elapsed, service.stats(), occupancy)
+}
+
+/// `expected[tag]` value meaning "a store: assert success, no value check".
+const STORE_SENTINEL: u64 = u64::MAX;
+
+fn check_cqe(
+    cqe: &vbi_service::Cqe,
+    epoch: Instant,
+    submit_ns: &[AtomicU64],
+    expected: &[AtomicU64],
+) -> u64 {
+    let output = cqe.result.as_ref().expect("in-bounds op under pressure");
+    let want = expected[cqe.tag as usize].load(Ordering::Acquire);
+    if want != STORE_SENTINEL {
+        let got = output.as_u64().expect("load completion carries a value");
+        assert_eq!(got, want, "swap path corrupted a queued load (tag {})", cqe.tag);
+    }
+    let submitted = submit_ns[cqe.tag as usize].load(Ordering::Acquire);
+    (epoch.elapsed().as_nanos() as u64).saturating_sub(submitted)
+}
+
+fn queue_worker(
+    queue: &VbiQueue,
+    config: &PressureRunConfig,
+    thread: u64,
+    epoch: Instant,
+    submit_ns: &[AtomicU64],
+    expected: &[AtomicU64],
+) -> Vec<u64> {
+    // Setup is synchronous: the client and VB exist (and the pre-write
+    // pattern is in place) before the first pipelined access.
+    let session = queue.create_client().expect("service has client IDs");
+    let client = session.id();
+    let vb = setup_worker(&session, config, thread);
+    let mut rng = SmallRng::stream(config.seed, thread);
+    let ops_total = config.ops_per_thread + config.pages_per_thread as usize;
+    let window = 32 * config.threads as u64;
+    let mut latencies = Vec::with_capacity(ops_total);
+    let submit = |seq: usize, page: u64, is_write: bool, latencies: &mut Vec<u64>| {
+        let tag = thread * ops_total as u64 + seq as u64;
+        let va = vb.at(page << 12);
+        let op = if is_write {
+            Op::StoreU64 { client, va, value: pattern(thread, page) }
+        } else {
+            expected[tag as usize].store(pattern(thread, page), Ordering::Release);
+            Op::LoadU64 { client, va }
+        };
+        submit_ns[tag as usize].store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
+        queue.submit(tag, op);
+        // Bound global in-flight work; a reaped CQE may belong to any
+        // submitter, so check it against the shared tag tables.
+        while queue.in_flight() > window {
+            match queue.reap() {
+                Some(cqe) => latencies.push(check_cqe(&cqe, epoch, submit_ns, expected)),
+                None => break, // another thread reaped the queue idle
+            }
+        }
+    };
+    for seq in 0..config.ops_per_thread {
+        let page = rng.gen::<u64>() % config.pages_per_thread;
+        let is_write = rng.gen::<u64>() & 1 == 0;
+        submit(seq, page, is_write, &mut latencies);
+    }
+    // Final sweep, pipelined like the rest: same-VB ops execute in
+    // submission order, so these see every prior store's bytes.
+    for page in 0..config.pages_per_thread {
+        submit(config.ops_per_thread + page as usize, page, false, &mut latencies);
+    }
+    latencies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(front_end: PressureFrontEnd) -> PressureRunConfig {
+        PressureRunConfig {
+            threads: 2,
+            shards: 2,
+            pages_per_thread: 48,
+            ops_per_thread: 400,
+            phys_frames: 64,
+            seed: 7,
+            front_end,
+        }
+    }
+
+    #[test]
+    fn service_pressure_run_faults_and_stays_byte_exact() {
+        let config = small(PressureFrontEnd::Service);
+        let report = pressure_run(&config);
+        assert_eq!(report.total_ops, 2 * (400 + 48));
+        assert!(report.oversubscription > 1.0, "config must oversubscribe");
+        assert!(report.evictions > 0, "no eviction at {:.2}x", report.oversubscription);
+        assert!(report.faults_in > 0, "no fault-in at {:.2}x", report.oversubscription);
+        assert!(report.fault_rate > 0.0);
+        assert!(report.p99_latency_ns >= report.p50_latency_ns);
+        assert_eq!(report.mtl.faults_in, report.mtl.pages_swapped_in);
+    }
+
+    #[test]
+    fn queue_pressure_run_faults_and_stays_byte_exact() {
+        let report = pressure_run(&small(PressureFrontEnd::Queue));
+        assert_eq!(report.total_ops, 2 * (400 + 48));
+        assert!(report.evictions > 0);
+        assert!(report.faults_in > 0);
+        assert_eq!(report.front_end, "queue");
+    }
+
+    #[test]
+    fn resident_working_set_never_faults() {
+        let config = PressureRunConfig { phys_frames: 1024, ..small(PressureFrontEnd::Service) };
+        let report = pressure_run(&config);
+        assert!(report.oversubscription < 1.0);
+        assert_eq!(report.faults_in, 0);
+        assert_eq!(report.fault_rate, 0.0);
+        assert_eq!(report.swap_occupancy_pages, 0);
+    }
+
+    #[test]
+    fn report_renders_single_line_json() {
+        let report = pressure_run(&small(PressureFrontEnd::Service));
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'));
+        for key in [
+            "\"front_end\"",
+            "\"oversubscription\"",
+            "\"fault_rate\"",
+            "\"p99_latency_ns\"",
+            "\"evictions\"",
+            "\"writebacks\"",
+            "\"swap_occupancy_pages\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -2,6 +2,8 @@
 //! degrades with clean errors and intact data, never corruption.
 
 use vbi::core::os::{BinaryImage, Os, Section, SectionKind};
+use vbi::hetero::memory::HeteroKind;
+use vbi::hetero::SlowTierBackend;
 use vbi::{Rwx, SizeClass, System, VbProperties, VbiConfig, VbiError};
 
 #[test]
@@ -33,7 +35,13 @@ fn client_id_exhaustion_and_recycling() {
 
 #[test]
 fn oom_during_write_leaves_prior_data_intact() {
+    // With a zero-capacity backing store the pressure path cannot spill, so
+    // exhausting physical memory must still surface a clean OOM.
     let system = System::new(VbiConfig { phys_frames: 24, ..VbiConfig::vbi_1() });
+    system
+        .mtl_mut()
+        .set_backing(SlowTierBackend::new(HeteroKind::PcmDram, Some(0)).boxed())
+        .unwrap();
     let client = system.create_client().unwrap();
     let vb = client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
     let mut written = Vec::new();
@@ -49,6 +57,25 @@ fn oom_during_write_leaves_prior_data_intact() {
     for page in written {
         assert_eq!(client.load_u64(vb.at(page << 12)).unwrap(), page + 1);
     }
+}
+
+#[test]
+fn same_workload_succeeds_when_the_backing_store_can_absorb_it() {
+    // The counterpart of `oom_during_write_leaves_prior_data_intact`: with
+    // the default (unbounded) backing store, the engine's pressure path
+    // self-evicts and the oversubscribed working set completes byte-exactly.
+    let system = System::new(VbiConfig { phys_frames: 24, ..VbiConfig::vbi_1() });
+    let client = system.create_client().unwrap();
+    let vb = client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    for page in 0..32u64 {
+        client.store_u64(vb.at(page << 12), page + 1).unwrap();
+    }
+    for page in 0..32u64 {
+        assert_eq!(client.load_u64(vb.at(page << 12)).unwrap(), page + 1);
+    }
+    let stats = system.mtl().stats();
+    assert!(stats.evictions > 0, "32 pages cannot fit 24 frames: {stats:?}");
+    assert!(stats.faults_in > 0, "{stats:?}");
 }
 
 #[test]

@@ -281,6 +281,98 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full-surface equivalence again, but with physical memory capped
+    /// far below the traffic's working set so the sequences continuously
+    /// run the evict/write-back/fault-in engine path. The pressure logic
+    /// lives once in `vbi_core::ops`, so responses AND `MtlStats` —
+    /// including `evictions`, `writebacks`, and `faults_in` — must stay
+    /// identical between `System` and a 1-shard service.
+    #[test]
+    fn submit_under_pressure_matches_system(seed in any::<u64>(), len in 1usize..120) {
+        let cfg = VbiConfig { phys_frames: 64, ..VbiConfig::vbi_full() };
+        let ops = random_mixed_ops(seed, len, &cfg);
+
+        let system = System::new(cfg.clone());
+        let system_responses: Vec<OpResult> =
+            ops.iter().map(|op| system.execute(op.clone())).collect();
+
+        let service = VbiService::new(ServiceConfig::single(cfg));
+        let service_responses = service.submit(&ops);
+
+        prop_assert_eq!(&system_responses, &service_responses,
+            "responses diverged under pressure (seed {})", seed);
+        prop_assert_eq!(system.mtl().stats(), service.stats(),
+            "pressure counters diverged (seed {})", seed);
+    }
+}
+
+#[test]
+fn oversubscribed_sequence_evicts_identically_on_both_engines() {
+    // A fixed sequence that demonstrably overruns the frame budget — four
+    // VBs, 256 touched pages against 160 frames — must engage the
+    // evict/fault-in machinery on both engines, return the exact values
+    // written (ground truth, not just mutual agreement), and keep every
+    // counter identical. An equivalence test that never evicts would prove
+    // nothing about the pressure path.
+    let cfg = VbiConfig { phys_frames: 160, ..VbiConfig::vbi_full() };
+    let scratch = System::new(cfg.clone());
+    let client = scratch.create_client().unwrap().id();
+
+    let value = |round: u64, vb: u64, page: u64| (round << 32) | (vb << 16) | page;
+    let mut ops = vec![Op::CreateClient];
+    for _ in 0..4 {
+        ops.push(Op::RequestVb {
+            client,
+            bytes: 256 << 10,
+            props: VbProperties::NONE,
+            perms: Rwx::READ_WRITE,
+        });
+    }
+    for round in 0..2u64 {
+        for vb in 0..4u64 {
+            for page in 0..64u64 {
+                ops.push(Op::StoreU64 {
+                    client,
+                    va: vbi_core::VirtualAddress::new(vb as usize, page << 12),
+                    value: value(round, vb, page),
+                });
+            }
+        }
+    }
+    let verify_from = ops.len();
+    for vb in 0..4u64 {
+        for page in 0..64u64 {
+            ops.push(Op::LoadU64 {
+                client,
+                va: vbi_core::VirtualAddress::new(vb as usize, page << 12),
+            });
+        }
+    }
+
+    let system = System::new(cfg.clone());
+    let system_responses: Vec<OpResult> = ops.iter().map(|op| system.execute(op.clone())).collect();
+
+    let service = VbiService::new(ServiceConfig::single(cfg));
+    let service_responses = service.submit(&ops);
+
+    assert_eq!(system_responses, service_responses);
+    for (i, response) in system_responses[verify_from..].iter().enumerate() {
+        let (vb, page) = (i as u64 / 64, i as u64 % 64);
+        assert_eq!(
+            response.as_ref().ok().and_then(|out| out.as_u64()),
+            Some(value(1, vb, page)),
+            "vb {vb} page {page} lost its final write"
+        );
+    }
+    let stats = system.mtl().stats();
+    assert_eq!(stats, service.stats());
+    assert!(stats.evictions > 0, "sequence must engage the pressure path: {stats:?}");
+    assert!(stats.faults_in > 0, "swapped pages must fault back in: {stats:?}");
+}
+
 #[test]
 fn sharding_changes_counters_but_never_bytes() {
     // A 4-shard service partitions VBs differently (per-shard VBID slices,

@@ -570,3 +570,116 @@ fn warm_cache_hit_reads_take_zero_client_locks() {
         "every read must be a lock-free hit"
     );
 }
+
+/// Memory pressure under concurrent lock-free readers, byte-exact: the
+/// combined working set is several times the frame budget, so every shard
+/// must continuously evict and fault pages while 8 threads write their own
+/// VBs and read a shared one through the seqlock path. No write may be
+/// lost, the fault counters must be consistent, and tearing everything
+/// down must leak neither frames nor backing-store slots.
+#[test]
+fn pressure_under_lockfree_readers_is_byte_exact() {
+    // 8 x 32 private pages + 16 shared pages ≈ 272 data pages against
+    // 192 frames (96 per shard): sustained oversubscription.
+    let svc = VbiService::new(ServiceConfig::new(
+        2,
+        VbiConfig { phys_frames: 192, ..VbiConfig::vbi_full() },
+    ));
+    let baseline = svc.free_frames();
+
+    let owner = svc.create_client().unwrap();
+    let shared = owner.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+    for page in 0..16u64 {
+        owner.store_u64(shared.at(page << 12), 0xbeef_0000 + page).unwrap();
+    }
+
+    const ROUNDS: u64 = 6;
+    // Workers hand their live sessions back instead of destroying them:
+    // were each client torn down as its thread finished, a fully
+    // serialized schedule would free every VB before the next one filled,
+    // the footprint would never exceed the frame budget, and the eviction
+    // assertions below would be timing-dependent. Keeping all 8 VBs alive
+    // makes the oversubscription — and therefore the eviction — certain.
+    let workers: Vec<_> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS as u64)
+            .map(|t| {
+                let svc = svc.clone();
+                let shared_vbuid = shared.vbuid;
+                s.spawn(move || {
+                    let client = svc.create_client().unwrap();
+                    let vb =
+                        client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+                    let shared_idx = client.attach(shared_vbuid, Rwx::READ).unwrap();
+                    for round in 0..ROUNDS {
+                        for page in 0..32u64 {
+                            let value = (t << 32) | (round << 16) | page;
+                            client.store_u64(vb.at(page << 12), value).unwrap();
+                        }
+                        // Lock-free reads of the shared VB interleave with the
+                        // pressure traffic; its pages may be swapped at any
+                        // moment, so these reads exercise fault-in + the
+                        // published-cache invalidation path.
+                        for page in 0..16u64 {
+                            assert_eq!(
+                                client
+                                    .load_u64(VirtualAddress::new(shared_idx, page << 12))
+                                    .unwrap(),
+                                0xbeef_0000 + page,
+                                "thread {t} round {round} saw torn shared data"
+                            );
+                        }
+                        for page in 0..32u64 {
+                            let want = (t << 32) | (round << 16) | page;
+                            assert_eq!(
+                                client.load_u64(vb.at(page << 12)).unwrap(),
+                                want,
+                                "thread {t} round {round} lost page {page}"
+                            );
+                        }
+                    }
+                    (client, vb)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Shared data survived the storm.
+    for page in 0..16u64 {
+        assert_eq!(owner.load_u64(shared.at(page << 12)).unwrap(), 0xbeef_0000 + page);
+    }
+    // Every worker's final round is still byte-exact with the whole
+    // 272-page working set alive against 192 frames.
+    for (t, (client, vb)) in workers.iter().enumerate() {
+        for page in 0..32u64 {
+            let want = ((t as u64) << 32) | ((ROUNDS - 1) << 16) | page;
+            assert_eq!(
+                client.load_u64(vb.at(page << 12)).unwrap(),
+                want,
+                "thread {t} final state lost page {page}"
+            );
+        }
+    }
+
+    let stats = svc.stats();
+    assert!(stats.evictions > 0, "oversubscription must evict: {stats:?}");
+    assert!(stats.writebacks > 0, "dirty evictions must write back: {stats:?}");
+    assert!(stats.faults_in > 0, "swapped pages must fault back in: {stats:?}");
+    assert_eq!(
+        stats.faults_in, stats.pages_swapped_in,
+        "every fault-in is a swap-in and vice versa: {stats:?}"
+    );
+    assert!(
+        stats.evictions <= stats.pages_swapped_out,
+        "policy evictions are a subset of swap-outs: {stats:?}"
+    );
+
+    // Teardown leaks nothing: all frames return and the backing store holds
+    // only the owner's possibly-swapped shared pages until it too goes.
+    for (client, _) in workers {
+        client.destroy().unwrap();
+    }
+    owner.destroy().unwrap();
+    assert_eq!(svc.free_frames(), baseline, "pressure traffic leaked frames");
+    assert_eq!(svc.swap_occupancy(), 0, "teardown left orphan backing-store slots");
+}
