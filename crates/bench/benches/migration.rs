@@ -15,6 +15,7 @@
 //! migrations/sec column and the epoch-fallback (cache-miss) counter are
 //! the signal there.
 
+use vbi_core::telemetry::{bench_line, JsonValue as J};
 use vbi_sim::service_run::{migration_run, MigrationRunConfig};
 
 fn main() {
@@ -59,9 +60,14 @@ fn main() {
 
     let entries: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     println!(
-        "BENCH_migration {{\"bench\":\"migration\",\"host_cpus\":{},\"reads_per_thread\":{},\"results\":[{}]}}",
-        host_cpus,
-        reads_per_thread,
-        entries.join(",")
+        "{}",
+        bench_line(
+            "migration",
+            &[
+                ("host_cpus", J::U(host_cpus as u64)),
+                ("reads_per_thread", J::U(reads_per_thread as u64)),
+                ("results", J::Raw(format!("[{}]", entries.join(",")))),
+            ],
+        )
     );
 }

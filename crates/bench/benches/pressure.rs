@@ -14,6 +14,7 @@
 //! `VBI_PRESSURE_THREADS` (default 4),
 //! `VBI_PRESSURE_PAGES` (pages per thread, default 64).
 
+use vbi_core::telemetry::{bench_line, JsonValue as J};
 use vbi_sim::pressure_run::{pressure_run, PressureFrontEnd, PressureRunConfig};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -83,11 +84,16 @@ fn main() {
 
     let entries: Vec<String> = results.iter().chain([&queue_report]).map(|r| r.to_json()).collect();
     println!(
-        "BENCH_pressure {{\"bench\":\"pressure\",\"host_cpus\":{},\"threads\":{},\"pages_per_thread\":{},\"ops_per_thread\":{},\"results\":[{}]}}",
-        host_cpus,
-        threads,
-        pages_per_thread,
-        ops_per_thread,
-        entries.join(",")
+        "{}",
+        bench_line(
+            "pressure",
+            &[
+                ("host_cpus", J::U(host_cpus as u64)),
+                ("threads", J::U(threads as u64)),
+                ("pages_per_thread", J::U(pages_per_thread)),
+                ("ops_per_thread", J::U(ops_per_thread as u64)),
+                ("results", J::Raw(format!("[{}]", entries.join(",")))),
+            ],
+        )
     );
 }

@@ -13,6 +13,7 @@
 //! host the wall-clock diagonal is flat (submitters and workers share one
 //! core); the queue-depth column still shows the pipeline working.
 
+use vbi_core::telemetry::{bench_line, json_object, JsonValue as J};
 use vbi_sim::service_run::{queue_run, ServiceRunConfig};
 
 fn main() {
@@ -55,16 +56,25 @@ fn main() {
     let entries: Vec<String> = results
         .iter()
         .map(|r| {
-            format!(
-                "{{\"threads\":{},\"shards\":{},\"window\":{},\"ops_per_sec\":{:.0},\"max_queue_depth\":{}}}",
-                r.threads, r.shards, r.window, r.ops_per_sec, r.max_queue_depth
-            )
+            json_object(&[
+                ("threads", J::U(r.threads as u64)),
+                ("shards", J::U(r.shards as u64)),
+                ("window", J::U(r.window as u64)),
+                ("ops_per_sec", J::F(r.ops_per_sec, 0)),
+                ("max_queue_depth", J::U(r.max_queue_depth as u64)),
+            ])
         })
         .collect();
     println!(
-        "BENCH_queue {{\"bench\":\"queue\",\"benchmark\":\"mcf\",\"host_cpus\":{},\"ops_per_thread\":{},\"results\":[{}]}}",
-        host_cpus,
-        ops_per_thread,
-        entries.join(",")
+        "{}",
+        bench_line(
+            "queue",
+            &[
+                ("benchmark", J::S("mcf".to_string())),
+                ("host_cpus", J::U(host_cpus as u64)),
+                ("ops_per_thread", J::U(ops_per_thread as u64)),
+                ("results", J::Raw(format!("[{}]", entries.join(",")))),
+            ],
+        )
     );
 }

@@ -15,6 +15,7 @@
 //! the structural signal — 0 on the lock-free rows, one per read on the
 //! locked rows.
 
+use vbi_core::telemetry::{bench_line, JsonValue as J};
 use vbi_sim::service_run::{read_path_run, ReadPathConfig};
 
 fn main() {
@@ -70,9 +71,14 @@ fn main() {
 
     let entries: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     println!(
-        "BENCH_read_path {{\"bench\":\"read_path\",\"host_cpus\":{},\"ops_per_thread\":{},\"results\":[{}]}}",
-        host_cpus,
-        ops_per_thread,
-        entries.join(",")
+        "{}",
+        bench_line(
+            "read_path",
+            &[
+                ("host_cpus", J::U(host_cpus as u64)),
+                ("ops_per_thread", J::U(ops_per_thread as u64)),
+                ("results", J::Raw(format!("[{}]", entries.join(",")))),
+            ],
+        )
     );
 }

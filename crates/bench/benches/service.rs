@@ -10,6 +10,7 @@
 //! Run with `cargo bench -p vbi-bench --bench service`; set
 //! `VBI_SERVICE_OPS` to change the per-thread op count (default 50 000).
 
+use vbi_core::telemetry::{bench_line, json_object, JsonValue as J};
 use vbi_sim::service_run::{service_run, ServiceRunConfig};
 
 fn main() {
@@ -71,18 +72,26 @@ fn main() {
     let entries: Vec<String> = results
         .iter()
         .map(|(t, s, b, r)| {
-            format!(
-                "{{\"threads\":{t},\"shards\":{s},\"batch\":{b},\"ops_per_sec\":{:.0},\"contended\":{}}}",
-                r.ops_per_sec,
-                r.total_contended()
-            )
+            json_object(&[
+                ("threads", J::U(*t as u64)),
+                ("shards", J::U(*s as u64)),
+                ("batch", J::U(*b as u64)),
+                ("ops_per_sec", J::F(r.ops_per_sec, 0)),
+                ("contended", J::U(r.total_contended())),
+            ])
         })
         .collect();
     println!(
-        "BENCH_service {{\"bench\":\"service\",\"benchmark\":\"mcf\",\"host_cpus\":{},\"ops_per_thread\":{},\"speedup_4x4_vs_1x1\":{:.2},\"results\":[{}]}}",
-        host_cpus,
-        ops_per_thread,
-        scaling,
-        entries.join(",")
+        "{}",
+        bench_line(
+            "service",
+            &[
+                ("benchmark", J::S("mcf".to_string())),
+                ("host_cpus", J::U(host_cpus as u64)),
+                ("ops_per_thread", J::U(ops_per_thread as u64)),
+                ("speedup_4x4_vs_1x1", J::F(scaling, 2)),
+                ("results", J::Raw(format!("[{}]", entries.join(",")))),
+            ],
+        )
     );
 }

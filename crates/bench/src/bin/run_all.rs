@@ -49,17 +49,25 @@ fn main() {
     // full evaluation's cost is trackable across PRs.
     let config = vbi_bench::figure_config();
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    use vbi_core::telemetry::{bench_line, json_object, JsonValue as J};
     let figures: Vec<String> = timings
         .iter()
-        .map(|(name, secs)| format!("{{\"name\":\"{name}\",\"secs\":{secs:.3}}}"))
+        .map(|(name, secs)| {
+            json_object(&[("name", J::S((*name).to_string())), ("secs", J::F(*secs, 3))])
+        })
         .collect();
     println!(
-        "BENCH_run_all {{\"bench\":\"run_all\",\"host_cpus\":{},\"accesses\":{},\"warmup\":{},\"phys_frames\":{},\"total_secs\":{:.3},\"figures\":[{}]}}",
-        host_cpus,
-        config.accesses,
-        config.warmup,
-        config.phys_frames,
-        started.elapsed().as_secs_f64(),
-        figures.join(",")
+        "{}",
+        bench_line(
+            "run_all",
+            &[
+                ("host_cpus", J::U(host_cpus as u64)),
+                ("accesses", J::U(config.accesses as u64)),
+                ("warmup", J::U(config.warmup as u64)),
+                ("phys_frames", J::U(config.phys_frames)),
+                ("total_secs", J::F(started.elapsed().as_secs_f64(), 3)),
+                ("figures", J::Raw(format!("[{}]", figures.join(",")))),
+            ],
+        )
     );
 }

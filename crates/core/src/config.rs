@@ -44,6 +44,18 @@ pub struct VbiConfig {
     /// Pages the engine reclaims per pressure event (the batch evicted when
     /// an op fails for lack of physical memory, before the op retries).
     pub pressure_reclaim_batch: usize,
+    /// Record per-op counters and latency histograms at `execute`
+    /// boundaries (the [`crate::telemetry`] metrics registry). Cheap —
+    /// a few relaxed atomics per op — and togglable at runtime through
+    /// [`crate::Telemetry::set_metrics`].
+    pub telemetry_metrics: bool,
+    /// Record compact [`crate::TraceEvent`]s into the per-shard trace
+    /// rings. Off by default; togglable at runtime through
+    /// [`crate::Telemetry::set_tracing`].
+    pub telemetry_tracing: bool,
+    /// Capacity of each per-shard trace ring, in events (oldest events are
+    /// overwritten once full).
+    pub trace_capacity: usize,
 }
 
 /// How a shard's MTL picks eviction victims under memory pressure (§3.4,
@@ -106,6 +118,9 @@ impl Default for VbiConfig {
             vm_id_bits: 0,
             eviction: EvictionPolicy::Clock,
             pressure_reclaim_batch: 8,
+            telemetry_metrics: true,
+            telemetry_tracing: false,
+            trace_capacity: 4096,
         }
     }
 }

@@ -86,6 +86,7 @@ pub mod stats;
 pub mod swap;
 pub mod sync;
 pub mod system;
+pub mod telemetry;
 pub mod tlb;
 pub mod translate;
 pub mod vb;
@@ -103,6 +104,10 @@ pub use session::{ClientSession, SessionHost};
 pub use stats::MtlStats;
 pub use swap::{BackingStore, PageData, PressureBackend};
 pub use system::{System, SystemSession};
+pub use telemetry::{
+    bench_line, chrome_trace, json_object, Histogram, JsonValue, OpKind, OpLatency, OpSample,
+    QueueActivity, ShardActivity, Snapshot, Telemetry, TraceEvent, TraceRing,
+};
 pub use vb::VbProperties;
 
 // The `vbi-service` crate shares MTL shards and CVTs across threads; these
@@ -120,4 +125,7 @@ const _: () = {
     assert_send_sync::<multinode::MultiNodeSystem>();
     assert_send_sync::<MtlStats>();
     assert_send_sync::<VbiError>();
+    assert_send_sync::<Telemetry>();
+    assert_send_sync::<TraceRing>();
+    assert_send_sync::<Snapshot>();
 };

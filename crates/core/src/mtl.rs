@@ -256,6 +256,14 @@ impl Mtl {
         self.stats
     }
 
+    /// Translation TLB counters (page-granularity + whole-VB direct TLBs,
+    /// merged) — the structure-level view behind [`MtlStats::tlb_hits`].
+    pub fn tlb_stats(&self) -> crate::tlb::TlbStats {
+        let mut t = self.page_tlb.stats();
+        t.merge(&self.direct_tlb.stats());
+        t
+    }
+
     /// Clears statistics (simulation warm-up boundary).
     pub fn reset_stats(&mut self) {
         self.stats = MtlStats::default();

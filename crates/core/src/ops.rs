@@ -50,6 +50,7 @@ use crate::error::{Result, VbiError};
 use crate::mtl::Mtl;
 use crate::perm::{AccessKind, Rwx};
 use crate::swap::PressureBackend;
+use crate::telemetry::{OpKind, OpSample, Telemetry, TraceEvent};
 use crate::vb::VbProperties;
 
 /// A program's handle on an attached VB: the CVT index returned by
@@ -288,6 +289,44 @@ impl Op {
             _ => None,
         }
     }
+
+    /// The client the op runs for ([`Op::CreateClient`] alone has none;
+    /// [`Op::CreateClientWithId`] names the client being created).
+    pub fn client(&self) -> Option<ClientId> {
+        match *self {
+            Op::CreateClient => None,
+            Op::CreateClientWithId { id } => Some(id),
+            Op::DestroyClient { client }
+            | Op::RequestVb { client, .. }
+            | Op::Attach { client, .. }
+            | Op::AttachAt { client, .. }
+            | Op::Detach { client, .. }
+            | Op::ReleaseVb { client, .. }
+            | Op::Access { client, .. }
+            | Op::Fetch { client, .. }
+            | Op::LoadU64 { client, .. }
+            | Op::StoreU64 { client, .. }
+            | Op::LoadU8 { client, .. }
+            | Op::StoreU8 { client, .. }
+            | Op::LoadBytes { client, .. }
+            | Op::StoreBytes { client, .. }
+            | Op::Promote { client, .. }
+            | Op::CloneVb { client, .. }
+            | Op::Migrate { client, .. } => Some(client),
+        }
+    }
+
+    /// The VB the op names *directly* (attach/detach carry a VBUID in the
+    /// op itself; data-plane and index-based ops resolve theirs through the
+    /// CVT during execution).
+    pub fn vbuid(&self) -> Option<Vbuid> {
+        match *self {
+            Op::Attach { vbuid, .. } | Op::AttachAt { vbuid, .. } | Op::Detach { vbuid, .. } => {
+                Some(vbuid)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// The successful outcome of an [`Op`], typed per operation.
@@ -510,6 +549,14 @@ pub trait OpEnv {
     /// lock is released; single-owner environments need nothing.
     fn note_fault_in(&mut self, client: ClientId, index: usize) {
         let _ = (client, index);
+    }
+
+    /// The environment's telemetry plane, if it has one. When present (and
+    /// armed), [`execute`] records one [`OpSample`] — count, latency
+    /// histogram, optional trace event — per op at its boundaries; `None`
+    /// (the default) costs nothing.
+    fn telemetry(&self) -> Option<&Telemetry> {
+        None
     }
 }
 
@@ -998,20 +1045,47 @@ pub fn run_checked_pressured(mtl: &mut Mtl, op: &Op, address: VbiAddress) -> (Op
     with_pressure(mtl, address, |mtl| run_checked(mtl, op, address))
 }
 
+/// Stack-local scratch the engine fills while an op runs so the telemetry
+/// plane can label the op's trace event after the fact: which VB it
+/// resolved to, and its outcome flags. Costs a few stack stores; nothing
+/// when the caller discards it.
+#[derive(Debug, Default)]
+struct TraceScratch {
+    /// The VB the op resolved to (data plane: from the protection check).
+    vbuid: Option<Vbuid>,
+    /// [`TraceEvent`] flag bits accumulated so far.
+    flags: u8,
+    /// Whether to measure the eviction delta (only worth an extra stats
+    /// read when tracing is on).
+    trace_evictions: bool,
+}
+
 /// Executes a data-plane op end to end: protection check, then the MTL
 /// half ([`run_checked`]) under the home MTL — with the pressure path
 /// wrapped around it, and the environment notified afterwards when pages
 /// faulted in. Empty byte spans complete without any check, like the
 /// typed bulk helpers.
-fn data_plane<E: OpEnv>(env: &mut E, op: &Op) -> OpResult {
+fn data_plane<E: OpEnv>(env: &mut E, op: &Op, scratch: &mut TraceScratch) -> OpResult {
     match op.checked_access() {
         Some((client, va, kind)) => {
             let checked = access(env, client, va, kind)?;
-            let (result, faulted) = env.with_home_mtl(checked.address.vbuid(), |mtl| {
-                run_checked_pressured(mtl, op, checked.address)
+            scratch.vbuid = Some(checked.address.vbuid());
+            if !checked.cvt_cache_hit {
+                scratch.flags |= TraceEvent::FLAG_CVT_FALLBACK;
+            }
+            let want_evictions = scratch.trace_evictions;
+            let (result, faulted, evicted) = env.with_home_mtl(checked.address.vbuid(), |mtl| {
+                let evictions_before = if want_evictions { mtl.stats().evictions } else { 0 };
+                let (result, faulted) = run_checked_pressured(mtl, op, checked.address);
+                let evicted = want_evictions && mtl.stats().evictions > evictions_before;
+                (result, faulted, evicted)
             });
             if faulted {
+                scratch.flags |= TraceEvent::FLAG_FAULT_IN;
                 env.note_fault_in(client, va.cvt_index());
+            }
+            if evicted {
+                scratch.flags |= TraceEvent::FLAG_EVICT;
             }
             result
         }
@@ -1029,7 +1103,7 @@ fn data_plane<E: OpEnv>(env: &mut E, op: &Op) -> OpResult {
 ///
 /// Any protection or translation error.
 pub fn load_u64<E: OpEnv>(env: &mut E, client: ClientId, va: VirtualAddress) -> Result<u64> {
-    match data_plane(env, &Op::LoadU64 { client, va })? {
+    match data_plane(env, &Op::LoadU64 { client, va }, &mut TraceScratch::default())? {
         OpOutput::U64(v) => Ok(v),
         _ => unreachable!("load returns a u64"),
     }
@@ -1046,7 +1120,7 @@ pub fn store_u64<E: OpEnv>(
     va: VirtualAddress,
     value: u64,
 ) -> Result<()> {
-    data_plane(env, &Op::StoreU64 { client, va, value }).map(|_| ())
+    data_plane(env, &Op::StoreU64 { client, va, value }, &mut TraceScratch::default()).map(|_| ())
 }
 
 /// Protection-checked functional load of one byte.
@@ -1055,7 +1129,7 @@ pub fn store_u64<E: OpEnv>(
 ///
 /// Any protection or translation error.
 pub fn load_u8<E: OpEnv>(env: &mut E, client: ClientId, va: VirtualAddress) -> Result<u8> {
-    match data_plane(env, &Op::LoadU8 { client, va })? {
+    match data_plane(env, &Op::LoadU8 { client, va }, &mut TraceScratch::default())? {
         OpOutput::U8(v) => Ok(v),
         _ => unreachable!("load returns a byte"),
     }
@@ -1072,7 +1146,7 @@ pub fn store_u8<E: OpEnv>(
     va: VirtualAddress,
     value: u8,
 ) -> Result<()> {
-    data_plane(env, &Op::StoreU8 { client, va, value }).map(|_| ())
+    data_plane(env, &Op::StoreU8 { client, va, value }, &mut TraceScratch::default()).map(|_| ())
 }
 
 /// Protection-checked instruction fetch (returns the byte; fetch width is
@@ -1082,7 +1156,7 @@ pub fn store_u8<E: OpEnv>(
 ///
 /// Any protection or translation error.
 pub fn fetch<E: OpEnv>(env: &mut E, client: ClientId, va: VirtualAddress) -> Result<u8> {
-    match data_plane(env, &Op::Fetch { client, va })? {
+    match data_plane(env, &Op::Fetch { client, va }, &mut TraceScratch::default())? {
         OpOutput::U8(v) => Ok(v),
         _ => unreachable!("fetch returns a byte"),
     }
@@ -1105,13 +1179,44 @@ pub fn store_bytes<E: OpEnv>(
     if data.is_empty() {
         return Ok(());
     }
+    // This is the one op-shaped path that bypasses `execute` (to spare the
+    // caller's slice a clone), so it carries the same telemetry boundary.
+    let armed = env.telemetry().is_some_and(Telemetry::armed);
+    let mut scratch = TraceScratch {
+        trace_evictions: armed && env.telemetry().is_some_and(Telemetry::tracing_enabled),
+        ..TraceScratch::default()
+    };
+    let timed = armed && env.telemetry().is_some_and(Telemetry::should_time);
+    let start = timed.then(std::time::Instant::now);
+    let result = store_bytes_inner(env, client, va, data, &mut scratch);
+    if armed {
+        if result.is_err() {
+            scratch.flags |= TraceEvent::FLAG_ERROR;
+        }
+        record_sample(env, OpKind::StoreBytes, Some(client), &scratch, start);
+    }
+    result
+}
+
+fn store_bytes_inner<E: OpEnv>(
+    env: &mut E,
+    client: ClientId,
+    va: VirtualAddress,
+    data: &[u8],
+    scratch: &mut TraceScratch,
+) -> Result<()> {
     // Not routed through an `Op` to spare the caller's slice a clone; the
     // span semantics still live once, in `write_span`.
     let checked = access(env, client, va, AccessKind::Write)?;
+    scratch.vbuid = Some(checked.address.vbuid());
+    if !checked.cvt_cache_hit {
+        scratch.flags |= TraceEvent::FLAG_CVT_FALLBACK;
+    }
     let (result, faulted) = env.with_home_mtl(checked.address.vbuid(), |mtl| {
         with_pressure(mtl, checked.address, |mtl| write_span(mtl, checked.address, data))
     });
     if faulted {
+        scratch.flags |= TraceEvent::FLAG_FAULT_IN;
         env.note_fault_in(client, va.cvt_index());
     }
     result
@@ -1129,7 +1234,7 @@ pub fn load_bytes<E: OpEnv>(
     va: VirtualAddress,
     len: usize,
 ) -> Result<Vec<u8>> {
-    match data_plane(env, &Op::LoadBytes { client, va, len })? {
+    match data_plane(env, &Op::LoadBytes { client, va, len }, &mut TraceScratch::default())? {
         OpOutput::Bytes(bytes) => Ok(bytes),
         _ => unreachable!("load returns bytes"),
     }
@@ -1192,9 +1297,74 @@ pub fn backing_report<E: OpEnv>(
 
 // --- dispatcher -------------------------------------------------------------
 
+/// Records one finished op into the environment's telemetry plane: the
+/// engine-side half of the [`OpEnv::telemetry`] capability. `start` is
+/// `Some` only for ops [`Telemetry::should_time`] elected to clock; untimed
+/// ops still land in the exact per-op counters but skip the clock reads and
+/// the histogram (see the sampling note on [`Telemetry`]).
+fn record_sample<E: OpEnv>(
+    env: &E,
+    kind: OpKind,
+    client: Option<ClientId>,
+    scratch: &TraceScratch,
+    start: Option<std::time::Instant>,
+) {
+    let duration_ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+    let shards = env.shard_count();
+    if let Some(telemetry) = env.telemetry() {
+        let start_ns =
+            if start.is_some() { telemetry.now_ns().saturating_sub(duration_ns) } else { 0 };
+        telemetry.record(OpSample {
+            kind,
+            client: client.map_or(u32::MAX, |c| u32::from(c.0)),
+            vbid: scratch.vbuid.map_or(0, |v| v.vbid()),
+            shard: scratch.vbuid.map_or(0, |v| Mtl::shard_of(v, shards) as u16),
+            start_ns,
+            duration_ns,
+            flags: scratch.flags,
+            timed: start.is_some(),
+        });
+    }
+}
+
 /// Executes one [`Op`] against an environment — the single entry point
 /// every front end (synchronous, batched, queued) funnels through.
+///
+/// When the environment exposes an armed [`Telemetry`] plane, the op's
+/// kind, latency, and outcome are recorded here, at the one boundary every
+/// front end shares; with telemetry off (or absent) the only cost is one
+/// relaxed atomic load.
 pub fn execute<E: OpEnv>(env: &mut E, op: Op) -> OpResult {
+    if env.telemetry().is_some_and(Telemetry::armed) {
+        execute_recorded(env, op)
+    } else {
+        dispatch(env, op, &mut TraceScratch::default())
+    }
+}
+
+fn execute_recorded<E: OpEnv>(env: &mut E, op: Op) -> OpResult {
+    let kind = OpKind::of(&op);
+    let client = op.client();
+    let mut scratch = TraceScratch {
+        vbuid: op.vbuid(),
+        trace_evictions: env.telemetry().is_some_and(Telemetry::tracing_enabled),
+        ..TraceScratch::default()
+    };
+    let timed = env.telemetry().is_some_and(Telemetry::should_time);
+    let start = timed.then(std::time::Instant::now);
+    let result = dispatch(env, op, &mut scratch);
+    // Remaps and requests name their VB in the result, not the op.
+    if let Ok(OpOutput::Handle(handle)) = &result {
+        scratch.vbuid = Some(handle.vbuid);
+    }
+    if result.is_err() {
+        scratch.flags |= TraceEvent::FLAG_ERROR;
+    }
+    record_sample(env, kind, client, &scratch, start);
+    result
+}
+
+fn dispatch<E: OpEnv>(env: &mut E, op: Op, scratch: &mut TraceScratch) -> OpResult {
     match op {
         Op::CreateClient => create_client(env).map(OpOutput::Client),
         Op::CreateClientWithId { id } => create_client_with_id(env, id).map(OpOutput::Client),
@@ -1222,6 +1392,6 @@ pub fn execute<E: OpEnv>(env: &mut E, op: Op) -> OpResult {
         | Op::LoadU8 { .. }
         | Op::StoreU8 { .. }
         | Op::LoadBytes { .. }
-        | Op::StoreBytes { .. } => data_plane(env, &op),
+        | Op::StoreBytes { .. } => data_plane(env, &op, scratch),
     }
 }

@@ -33,6 +33,7 @@ use crate::mtl::{Mtl, MtlAccess, TranslateResult};
 use crate::ops::{self, Op, OpEnv, OpResult};
 use crate::session::{ClientSession, SessionHost};
 use crate::sync::unpoison;
+use crate::telemetry::{ShardActivity, Snapshot, Telemetry};
 use crate::vb::VbProperties;
 
 pub use crate::ops::{CheckedAccess, VbHandle};
@@ -47,6 +48,7 @@ struct SystemInner {
     cvt_caches: HashMap<ClientId, CvtCache>,
     client_ids: ClientIdAllocator,
     config: VbiConfig,
+    telemetry: Arc<Telemetry>,
 }
 
 impl OpEnv for SystemInner {
@@ -139,6 +141,10 @@ impl OpEnv for SystemInner {
         }
         moved
     }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.telemetry)
+    }
 }
 
 /// A full VBI machine: MTL + clients + CVTs + CVT caches, behind a
@@ -150,6 +156,9 @@ pub struct System {
     inner: Arc<Mutex<SystemInner>>,
     /// The (immutable) configuration, readable without the inner lock.
     config: Arc<VbiConfig>,
+    /// The telemetry plane, shared with the engine; readable without the
+    /// inner lock (all-atomic).
+    telemetry: Arc<Telemetry>,
 }
 
 /// A guard giving read access to a [`System`]'s MTL; dereferences to
@@ -200,6 +209,12 @@ impl Deref for CvtRef<'_> {
 impl System {
     /// Creates a system with the given configuration.
     pub fn new(config: VbiConfig) -> Self {
+        let telemetry = Arc::new(Telemetry::new(
+            1,
+            config.trace_capacity,
+            config.telemetry_metrics,
+            config.telemetry_tracing,
+        ));
         Self {
             inner: Arc::new(Mutex::new(SystemInner {
                 mtl: Mtl::new(config.clone()),
@@ -207,8 +222,10 @@ impl System {
                 cvt_caches: HashMap::new(),
                 client_ids: ClientIdAllocator::new(),
                 config: config.clone(),
+                telemetry: Arc::clone(&telemetry),
             })),
             config: Arc::new(config),
+            telemetry,
         }
     }
 
@@ -331,6 +348,48 @@ impl System {
     /// handle does not resolve.
     pub fn backing_report(&self, client: ClientId, index: usize) -> Result<ops::BackingReport> {
         ops::backing_report(&mut *self.lock(), client, index)
+    }
+
+    // --- observability -------------------------------------------------------
+
+    /// The machine's telemetry plane: per-op counters, latency histograms,
+    /// and the trace ring. Toggle recording at runtime with
+    /// [`Telemetry::set_metrics`] / [`Telemetry::set_tracing`]; drain
+    /// traces with [`Telemetry::drain_trace`]. Lock-free to read.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// One unified, serializable view of the machine: MTL/TLB/CVT-cache
+    /// counters, pressure counters, and the per-op metrics registry — the
+    /// same [`Snapshot`] shape the service and queue front ends produce.
+    pub fn snapshot(&self) -> Snapshot {
+        let guard = self.lock();
+        let mtl_stats = guard.mtl.stats();
+        let mut cvt_cache = CvtCacheStats::default();
+        for cache in guard.cvt_caches.values() {
+            cvt_cache.merge(&cache.stats());
+        }
+        Snapshot {
+            front_end: "system",
+            shards: 1,
+            mtl: mtl_stats,
+            per_shard_mtl: vec![mtl_stats],
+            tlb: guard.mtl.tlb_stats(),
+            cvt_cache,
+            // A System takes no shard locks; its one "shard" just reports
+            // the ops the engine ran.
+            shard_activity: vec![ShardActivity {
+                acquisitions: 0,
+                contended: 0,
+                ops_executed: self.telemetry.total_ops(),
+            }],
+            ops: self.telemetry.op_latencies(),
+            ops_per_stripe: self.telemetry.ops_per_stripe(),
+            free_frames: guard.mtl.free_frames(),
+            swap_occupancy: guard.mtl.swap_occupancy() as u64,
+            queue: None,
+        }
     }
 }
 
@@ -526,6 +585,62 @@ mod tests {
             c.request_vb(u64::MAX, VbProperties::NONE, Rwx::READ),
             Err(VbiError::RequestTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn snapshot_unifies_counters_and_op_metrics() {
+        use crate::telemetry::OpKind;
+        let s = system();
+        let c = s.create_client().unwrap();
+        let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        for i in 0..10 {
+            c.store_u64(vb.at(8 * i), i).unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.front_end, "system");
+        assert_eq!(snap.shards, 1);
+        assert_eq!(snap.mtl, s.mtl().stats(), "snapshot mirrors MtlStats");
+        assert_eq!(snap.op(OpKind::StoreU64).unwrap().count, 10);
+        assert_eq!(snap.op(OpKind::RequestVb).unwrap().count, 1);
+        assert_eq!(
+            snap.ops_per_stripe.iter().sum::<u64>(),
+            snap.total_ops(),
+            "stripe counts sum to the total"
+        );
+        assert!(snap.to_json().contains("\"front_end\":\"system\""));
+        assert!(snap.to_prometheus().contains("vbi_op_count"));
+    }
+
+    #[test]
+    fn telemetry_toggles_off_at_runtime() {
+        let s = system();
+        let c = s.create_client().unwrap();
+        let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        s.telemetry().set_metrics(false);
+        c.store_u64(vb.at(0), 1).unwrap();
+        assert_eq!(s.snapshot().total_ops(), 1, "only the request_vb was recorded");
+        s.telemetry().set_metrics(true);
+        c.store_u64(vb.at(0), 2).unwrap();
+        assert_eq!(s.snapshot().total_ops(), 2);
+    }
+
+    #[test]
+    fn tracing_captures_data_plane_events() {
+        let s = System::new(VbiConfig {
+            phys_frames: 4096,
+            telemetry_tracing: true,
+            trace_capacity: 64,
+            ..VbiConfig::vbi_full()
+        });
+        let c = s.create_client().unwrap();
+        let vb = c.request_vb(4096, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        c.store_u64(vb.at(0), 7).unwrap();
+        c.load_u64(vb.at(0)).unwrap();
+        let events = s.telemetry().drain_trace();
+        assert!(events.iter().any(|e| e.kind == crate::telemetry::OpKind::StoreU64));
+        let load = events.iter().find(|e| e.kind == crate::telemetry::OpKind::LoadU64).unwrap();
+        assert_eq!(load.vbid, vb.vbuid.vbid(), "trace names the VB it touched");
+        assert_eq!(load.shard, 0);
     }
 
     #[test]

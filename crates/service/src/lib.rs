@@ -97,6 +97,8 @@ use vbi_core::mtl::{Mtl, MtlAccess};
 use vbi_core::ops::{self, Op, OpEnv, OpResult};
 use vbi_core::session::{ClientSession, SessionHost};
 use vbi_core::stats::MtlStats;
+use vbi_core::telemetry::{OpKind, OpSample, Snapshot, Telemetry, TraceEvent};
+use vbi_core::tlb::TlbStats;
 use vbi_core::vb::VbProperties;
 
 pub mod queue;
@@ -164,13 +166,18 @@ impl ServiceConfig {
     }
 }
 
-/// Lock traffic observed on one shard.
+/// Lock and work traffic observed on one shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardLoad {
     /// Shard-lock acquisitions.
     pub acquisitions: u64,
     /// Acquisitions that found the lock held and had to block.
     pub contended: u64,
+    /// Engine ops whose MTL work ran on this shard (a cross-shard remap
+    /// counts on both its shards; batched data ops count on their home
+    /// shard). The denominator that lets contention be compared *per op*
+    /// across shards with different traffic.
+    pub ops_executed: u64,
 }
 
 impl ShardLoad {
@@ -180,6 +187,18 @@ impl ShardLoad {
             0.0
         } else {
             self.contended as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Blocked acquisitions per op executed on the shard (0.0 for an idle
+    /// shard) — the load-normalized contention signal a rebalancer wants:
+    /// a shard doing 10x the ops is allowed 10x the blocking before it
+    /// looks worse than its neighbors.
+    pub fn contended_per_op(&self) -> f64 {
+        if self.ops_executed == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.ops_executed as f64
         }
     }
 }
@@ -224,12 +243,14 @@ impl ClientSlot {
     }
 }
 
-/// One MTL shard plus its lock-traffic counters.
+/// One MTL shard plus its lock- and work-traffic counters.
 #[derive(Debug)]
 struct Shard {
     mtl: Mutex<Mtl>,
     acquisitions: AtomicU64,
     contended: AtomicU64,
+    /// Engine ops whose MTL work ran here (see [`ShardLoad::ops_executed`]).
+    ops: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -240,6 +261,8 @@ struct Inner {
     ids: Mutex<ClientIdAllocator>,
     /// Round-robin cursor for placing newly requested VBs on shards.
     placement: AtomicUsize,
+    /// The telemetry plane the engine records into (one stripe per shard).
+    telemetry: Arc<Telemetry>,
 }
 
 /// A concurrent, sharded VBI memory service.
@@ -331,7 +354,9 @@ impl OpEnv for ServiceEnv<'_> {
     }
 
     fn with_home_mtl<R>(&mut self, vbuid: Vbuid, f: impl FnOnce(&mut Mtl) -> R) -> R {
-        f(&mut self.0.lock_home(vbuid))
+        let shard = self.0.shard_of(vbuid);
+        self.0.inner.shards[shard].ops.fetch_add(1, Ordering::Relaxed);
+        f(&mut self.0.lock_shard(shard))
     }
 
     fn place_vb(&mut self, size_class: SizeClass, props: VbProperties) -> Result<Vbuid> {
@@ -381,9 +406,14 @@ impl OpEnv for ServiceEnv<'_> {
         f: impl FnOnce(&mut Mtl, Option<&mut Mtl>) -> R,
     ) -> R {
         let (a, b) = (self.0.shard_of(src), self.0.shard_of(dst));
+        // A remap is MTL work on every shard it touches: count it on both
+        // sides (once when they coincide) so `ShardLoad::ops_executed`
+        // reflects where the work actually ran.
+        self.0.inner.shards[a].ops.fetch_add(1, Ordering::Relaxed);
         if a == b {
             return f(&mut self.0.lock_shard(a), None);
         }
+        self.0.inner.shards[b].ops.fetch_add(1, Ordering::Relaxed);
         // Two shards: always lock in shard-index order so concurrent remaps
         // (A→B racing B→A) can never deadlock.
         let mut first = self.0.lock_shard(a.min(b));
@@ -426,6 +456,10 @@ impl OpEnv for ServiceEnv<'_> {
         // `redirect_clients`).
         self.0.invalidate_published(client, index);
     }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.0.inner.telemetry)
+    }
 }
 
 impl VbiService {
@@ -451,9 +485,16 @@ impl VbiService {
                     mtl: Mutex::new(mtl),
                     acquisitions: AtomicU64::new(0),
                     contended: AtomicU64::new(0),
+                    ops: AtomicU64::new(0),
                 }
             })
             .collect();
+        let telemetry = Arc::new(Telemetry::new(
+            config.shards,
+            config.base.trace_capacity,
+            config.base.telemetry_metrics,
+            config.base.telemetry_tracing,
+        ));
         Self {
             inner: Arc::new(Inner {
                 config,
@@ -461,6 +502,7 @@ impl VbiService {
                 clients: RwLock::new(HashMap::new()),
                 ids: Mutex::new(ClientIdAllocator::new()),
                 placement: AtomicUsize::new(0),
+                telemetry,
             }),
         }
     }
@@ -593,7 +635,25 @@ impl VbiService {
                         let shard = Mtl::shard_of(checked.address.vbuid(), shard_count);
                         pending[shard].push((i, checked.address));
                     }
-                    Err(e) => responses[i] = Some(Err(e)),
+                    Err(e) => {
+                        // A failed check never reaches the drain; record it
+                        // here so every submitted op shows up in telemetry
+                        // exactly once.
+                        let telemetry = &self.inner.telemetry;
+                        if telemetry.armed() {
+                            telemetry.record(OpSample {
+                                kind: OpKind::of(op),
+                                client: u32::from(client.0),
+                                vbid: 0,
+                                shard: 0,
+                                start_ns: 0,
+                                duration_ns: 0,
+                                flags: TraceEvent::FLAG_ERROR,
+                                timed: false,
+                            });
+                        }
+                        responses[i] = Some(Err(e));
+                    }
                 }
             } else {
                 // MTL-free ops (Access, empty byte spans) touch only
@@ -625,13 +685,50 @@ impl VbiService {
         responses: &mut [Option<OpResult>],
     ) {
         let mut faulted: Vec<usize> = Vec::new();
+        let telemetry = &self.inner.telemetry;
+        let armed = telemetry.armed();
+        let trace_evictions = telemetry.tracing_enabled();
         for (shard, items) in pending.iter_mut().enumerate() {
             if items.is_empty() {
                 continue;
             }
+            self.inner.shards[shard].ops.fetch_add(items.len() as u64, Ordering::Relaxed);
             let mut mtl = self.lock_shard(shard);
             for (i, address) in items.drain(..) {
+                let timed = armed && telemetry.should_time();
+                let start = if timed { telemetry.now_ns() } else { 0 };
+                let evictions_before = if trace_evictions { mtl.stats().evictions } else { 0 };
                 let (result, fault) = ops::run_checked_pressured(&mut mtl, &batch[i], address);
+                if armed {
+                    // The drain bypasses `ops::execute`, so the batched
+                    // data plane records its own samples — the MTL half is
+                    // the op's latency here (checks were amortized up
+                    // front).
+                    let mut flags = 0u8;
+                    if result.is_err() {
+                        flags |= TraceEvent::FLAG_ERROR;
+                    }
+                    if fault {
+                        flags |= TraceEvent::FLAG_FAULT_IN;
+                    }
+                    if trace_evictions && mtl.stats().evictions > evictions_before {
+                        flags |= TraceEvent::FLAG_EVICT;
+                    }
+                    telemetry.record(OpSample {
+                        kind: OpKind::of(&batch[i]),
+                        client: batch[i].client().map_or(u32::MAX, |c| u32::from(c.0)),
+                        vbid: address.vbuid().vbid(),
+                        shard: shard as u16,
+                        start_ns: start,
+                        duration_ns: if timed {
+                            telemetry.now_ns().saturating_sub(start)
+                        } else {
+                            0
+                        },
+                        flags,
+                        timed,
+                    });
+                }
                 responses[i] = Some(result);
                 if fault {
                     faulted.push(i);
@@ -696,9 +793,10 @@ impl VbiService {
         (0..self.inner.shards.len()).map(|s| self.lock_shard(s).stats()).collect()
     }
 
-    /// Per-shard lock traffic (acquisitions and blocked acquisitions).
-    /// These counters include the acquisitions made by the stats readers
-    /// themselves.
+    /// Per-shard lock traffic (acquisitions and blocked acquisitions) and
+    /// ops executed, so contention can be normalized per op
+    /// ([`ShardLoad::contended_per_op`]). The lock counters include the
+    /// acquisitions made by the stats readers themselves.
     pub fn contention(&self) -> Vec<ShardLoad> {
         self.inner
             .shards
@@ -706,6 +804,7 @@ impl VbiService {
             .map(|s| ShardLoad {
                 acquisitions: s.acquisitions.load(Ordering::Relaxed),
                 contended: s.contended.load(Ordering::Relaxed),
+                ops_executed: s.ops.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -721,7 +820,9 @@ impl VbiService {
         (0..self.inner.shards.len()).map(|s| self.lock_shard(s).swap_occupancy()).sum()
     }
 
-    /// Clears every shard's statistics (warm-up boundary).
+    /// Clears every shard's statistics and the telemetry metrics registry
+    /// (warm-up boundary). The trace ring is left alone — it is a window,
+    /// not an accumulator.
     pub fn reset_stats(&self) {
         for shard in 0..self.inner.shards.len() {
             self.lock_shard(shard).reset_stats();
@@ -729,6 +830,59 @@ impl VbiService {
         for slot in &self.inner.shards {
             slot.acquisitions.store(0, Ordering::Relaxed);
             slot.contended.store(0, Ordering::Relaxed);
+            slot.ops.store(0, Ordering::Relaxed);
+        }
+        self.inner.telemetry.reset_metrics();
+    }
+
+    // --- telemetry --------------------------------------------------------------
+
+    /// The telemetry plane: per-stripe op counters and latency histograms,
+    /// runtime toggles, and the structured trace ring.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// One unified observability snapshot: merged and per-shard
+    /// [`MtlStats`], TLB and CVT-cache counters, shard lock/work traffic,
+    /// per-op latency histograms, and capacity gauges — the same shape
+    /// every front end exports (see [`Snapshot`]).
+    pub fn snapshot(&self) -> Snapshot {
+        let per_shard_mtl = self.shard_stats();
+        let mut mtl = MtlStats::default();
+        for stats in &per_shard_mtl {
+            mtl.merge(stats);
+        }
+        let mut tlb = TlbStats::default();
+        for shard in 0..self.inner.shards.len() {
+            tlb.merge(&self.lock_shard(shard).tlb_stats());
+        }
+        let mut cvt_cache = CvtCacheStats::default();
+        for slot in unpoison(self.inner.clients.read()).values() {
+            cvt_cache.merge(&slot.reads.stats());
+        }
+        let telemetry = &self.inner.telemetry;
+        Snapshot {
+            front_end: "service",
+            shards: self.inner.shards.len(),
+            mtl,
+            per_shard_mtl,
+            tlb,
+            cvt_cache,
+            shard_activity: self
+                .contention()
+                .iter()
+                .map(|load| vbi_core::telemetry::ShardActivity {
+                    acquisitions: load.acquisitions,
+                    contended: load.contended,
+                    ops_executed: load.ops_executed,
+                })
+                .collect(),
+            ops: telemetry.op_latencies(),
+            ops_per_stripe: telemetry.ops_per_stripe(),
+            free_frames: self.free_frames(),
+            swap_occupancy: self.swap_occupancy() as u64,
+            queue: None,
         }
     }
 
@@ -1303,5 +1457,103 @@ mod tests {
         assert_eq!(c.load_u64(vb.at(0)).unwrap(), 77);
         let stats_final = c.cvt_cache_stats().unwrap();
         assert_eq!(stats_final.lockfree_hits, stats_after.lockfree_hits + 1);
+    }
+
+    #[test]
+    fn snapshot_unifies_shard_and_op_telemetry() {
+        let svc = service(4);
+        let c = svc.create_client().unwrap();
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        for i in 0..10u64 {
+            c.store_u64(vb.at(i * 8), i).unwrap();
+        }
+        for i in 0..10u64 {
+            assert_eq!(c.load_u64(vb.at(i * 8)).unwrap(), i);
+        }
+        let snap = svc.snapshot();
+        assert_eq!(snap.front_end, "service");
+        assert_eq!(snap.shards, 4);
+        assert_eq!(snap.per_shard_mtl.len(), 4);
+        assert_eq!(snap.shard_activity.len(), 4);
+        assert_eq!(snap.op(vbi_core::telemetry::OpKind::StoreU64).unwrap().count, 10);
+        assert_eq!(snap.op(vbi_core::telemetry::OpKind::LoadU64).unwrap().count, 10);
+        // The per-shard MTL rows merge to the unified row.
+        let mut merged = MtlStats::default();
+        for s in &snap.per_shard_mtl {
+            merged.merge(s);
+        }
+        assert_eq!(merged, snap.mtl);
+        // Every recorded op lives on some stripe.
+        assert_eq!(snap.ops_per_stripe.iter().sum::<u64>(), snap.total_ops());
+        // Shards did MTL work for the 20 data ops + the VB request.
+        let work: u64 = snap.shard_activity.iter().map(|a| a.ops_executed).sum();
+        assert!(work >= 21, "expected >= 21 shard ops, saw {work}");
+        // Both export surfaces render.
+        assert!(snap.to_json().contains("\"front_end\":\"service\""));
+        assert!(snap.to_prometheus().contains("vbi_op_count"));
+    }
+
+    #[test]
+    fn batched_submit_records_every_op_once() {
+        let svc = service(2);
+        let c = svc.create_client().unwrap();
+        let vb = c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        svc.telemetry().reset_metrics();
+        let mut batch: Vec<Op> = (0..16u64)
+            .map(|i| Op::StoreU64 { client: c.id(), va: vb.at(i * 8), value: i })
+            .collect();
+        // One op that fails its protection check: unknown client.
+        batch.push(Op::LoadU64 { client: ClientId(999), va: vb.at(0) });
+        let responses = svc.submit(&batch);
+        assert!(responses[16].as_ref().unwrap_err() == &VbiError::InvalidClient(ClientId(999)));
+        let snap = svc.snapshot();
+        assert_eq!(snap.total_ops(), 17, "each submitted op recorded exactly once");
+        assert_eq!(snap.op(vbi_core::telemetry::OpKind::StoreU64).unwrap().count, 16);
+        let load = snap.op(vbi_core::telemetry::OpKind::LoadU64).unwrap();
+        assert_eq!((load.count, load.errors), (1, 1));
+    }
+
+    #[test]
+    fn contention_reports_ops_executed_per_shard() {
+        let svc = service(2);
+        let c = svc.create_client().unwrap();
+        let handles: Vec<VbHandle> = (0..4)
+            .map(|_| c.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap())
+            .collect();
+        for vb in &handles {
+            c.store_u64(vb.at(0), 1).unwrap();
+        }
+        let loads = svc.contention();
+        let total: u64 = loads.iter().map(|l| l.ops_executed).sum();
+        // 4 requests + 4 stores did MTL work; round-robin placement lands
+        // work on both shards.
+        assert!(total >= 8, "expected >= 8 shard ops, saw {total}");
+        assert!(loads.iter().all(|l| l.ops_executed > 0));
+        assert!(loads.iter().all(|l| l.contended_per_op() >= 0.0));
+        svc.reset_stats();
+        assert!(svc.contention().iter().all(|l| l.ops_executed == 0));
+        assert_eq!(svc.snapshot().total_ops(), 0, "reset clears the metrics registry");
+    }
+
+    #[test]
+    fn queue_snapshot_carries_queue_activity() {
+        let q = VbiQueue::new(ServiceConfig::new(
+            2,
+            VbiConfig { phys_frames: 8192, ..VbiConfig::vbi_full() },
+        ));
+        let session = q.create_client().unwrap();
+        let vb = session.request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+        for i in 0..32u64 {
+            q.submit(i, Op::StoreU64 { client: session.id(), va: vb.at(i * 8), value: i });
+        }
+        q.drain();
+        let snap = q.snapshot();
+        assert_eq!(snap.front_end, "queue");
+        let queue = snap.queue.expect("queue front end exposes queue activity");
+        assert_eq!(queue.completed, 32);
+        assert_eq!(queue.queued, 0);
+        assert!(queue.high_water >= 1);
+        assert_eq!(snap.op(vbi_core::telemetry::OpKind::StoreU64).unwrap().count, 32);
+        assert!(snap.to_json().contains("\"front_end\":\"queue\""));
     }
 }

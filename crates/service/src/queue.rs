@@ -343,6 +343,24 @@ impl VbiQueue {
         }
     }
 
+    /// The unified observability snapshot — the service's
+    /// [`VbiService::snapshot`] plus this queue's occupancy counters, with
+    /// `front_end` relabeled `"queue"`. The ops the workers execute all
+    /// funnel through the shared engine, so the op histograms here *are*
+    /// the queue's op histograms.
+    pub fn snapshot(&self) -> vbi_core::telemetry::Snapshot {
+        let depth = self.depth();
+        let mut snapshot = self.service.snapshot();
+        snapshot.front_end = "queue";
+        snapshot.queue = Some(vbi_core::telemetry::QueueActivity {
+            queued: depth.queued as u64,
+            in_flight: depth.in_flight,
+            high_water: depth.high_water as u64,
+            completed: self.completed(),
+        });
+        snapshot
+    }
+
     /// Closes the rings, lets the workers finish everything already
     /// submitted, joins them, and returns the unreaped completions.
     pub fn shutdown(mut self) -> Vec<Cqe> {

@@ -130,38 +130,31 @@ pub struct PressureRunReport {
 }
 
 impl PressureRunReport {
-    /// One-line JSON rendering (no external serializer in this workspace).
+    /// One-line JSON rendering via the shared
+    /// [`json_object`](vbi_core::telemetry::json_object) emitter: sorted
+    /// keys, schema-stable.
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"front_end\":\"{}\",\"threads\":{},\"shards\":{},",
-                "\"working_set_pages\":{},\"phys_frames\":{},",
-                "\"oversubscription\":{:.3},\"total_ops\":{},",
-                "\"elapsed_secs\":{:.6},\"ops_per_sec\":{:.0},",
-                "\"fault_rate\":{:.6},\"p50_latency_ns\":{},",
-                "\"p99_latency_ns\":{},\"faults_in\":{},\"evictions\":{},",
-                "\"writebacks\":{},\"pages_swapped_out\":{},",
-                "\"pages_swapped_in\":{},\"swap_occupancy_pages\":{}}}"
-            ),
-            self.front_end,
-            self.threads,
-            self.shards,
-            self.working_set_pages,
-            self.phys_frames,
-            self.oversubscription,
-            self.total_ops,
-            self.elapsed_secs,
-            self.ops_per_sec,
-            self.fault_rate,
-            self.p50_latency_ns,
-            self.p99_latency_ns,
-            self.faults_in,
-            self.evictions,
-            self.writebacks,
-            self.mtl.pages_swapped_out,
-            self.mtl.pages_swapped_in,
-            self.swap_occupancy_pages,
-        )
+        use vbi_core::telemetry::JsonValue as J;
+        vbi_core::telemetry::json_object(&[
+            ("front_end", J::S(self.front_end.to_string())),
+            ("threads", J::U(self.threads as u64)),
+            ("shards", J::U(self.shards as u64)),
+            ("working_set_pages", J::U(self.working_set_pages)),
+            ("phys_frames", J::U(self.phys_frames)),
+            ("oversubscription", J::F(self.oversubscription, 3)),
+            ("total_ops", J::U(self.total_ops)),
+            ("elapsed_secs", J::F(self.elapsed_secs, 6)),
+            ("ops_per_sec", J::F(self.ops_per_sec, 0)),
+            ("fault_rate", J::F(self.fault_rate, 6)),
+            ("p50_latency_ns", J::U(self.p50_latency_ns)),
+            ("p99_latency_ns", J::U(self.p99_latency_ns)),
+            ("faults_in", J::U(self.faults_in)),
+            ("evictions", J::U(self.evictions)),
+            ("writebacks", J::U(self.writebacks)),
+            ("pages_swapped_out", J::U(self.mtl.pages_swapped_out)),
+            ("pages_swapped_in", J::U(self.mtl.pages_swapped_in)),
+            ("swap_occupancy_pages", J::U(self.swap_occupancy_pages as u64)),
+        ])
     }
 }
 

@@ -179,24 +179,21 @@ impl ServiceRunReport {
         self.shard_loads.iter().map(|l| l.contended).sum()
     }
 
-    /// One-line JSON rendering (no external serializer in this workspace).
+    /// One-line JSON rendering via the shared
+    /// [`json_object`](vbi_core::telemetry::json_object) emitter: sorted
+    /// keys, schema-stable.
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"threads\":{},\"shards\":{},\"total_ops\":{},",
-                "\"elapsed_secs\":{:.6},\"ops_per_sec\":{:.0},",
-                "\"translation_requests\":{},\"tlb_hits\":{},",
-                "\"contended_lock_acquisitions\":{}}}"
-            ),
-            self.threads,
-            self.shards,
-            self.total_ops,
-            self.elapsed_secs,
-            self.ops_per_sec,
-            self.mtl.translation_requests,
-            self.mtl.tlb_hits,
-            self.total_contended(),
-        )
+        use vbi_core::telemetry::JsonValue as J;
+        vbi_core::telemetry::json_object(&[
+            ("threads", J::U(self.threads as u64)),
+            ("shards", J::U(self.shards as u64)),
+            ("total_ops", J::U(self.total_ops)),
+            ("elapsed_secs", J::F(self.elapsed_secs, 6)),
+            ("ops_per_sec", J::F(self.ops_per_sec, 0)),
+            ("translation_requests", J::U(self.mtl.translation_requests)),
+            ("tlb_hits", J::U(self.mtl.tlb_hits)),
+            ("contended_lock_acquisitions", J::U(self.total_contended())),
+        ])
     }
 }
 
@@ -328,25 +325,23 @@ pub struct QueueRunReport {
 }
 
 impl QueueRunReport {
-    /// One-line JSON rendering (no external serializer in this workspace).
+    /// One-line JSON rendering via the shared
+    /// [`json_object`](vbi_core::telemetry::json_object) emitter: sorted
+    /// keys, schema-stable.
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"threads\":{},\"shards\":{},\"window\":{},\"total_ops\":{},",
-                "\"completions\":{},\"elapsed_secs\":{:.6},\"ops_per_sec\":{:.0},",
-                "\"max_queue_depth\":{},\"translation_requests\":{},\"tlb_hits\":{}}}"
-            ),
-            self.threads,
-            self.shards,
-            self.window,
-            self.total_ops,
-            self.completions,
-            self.elapsed_secs,
-            self.ops_per_sec,
-            self.max_queue_depth,
-            self.mtl.translation_requests,
-            self.mtl.tlb_hits,
-        )
+        use vbi_core::telemetry::JsonValue as J;
+        vbi_core::telemetry::json_object(&[
+            ("threads", J::U(self.threads as u64)),
+            ("shards", J::U(self.shards as u64)),
+            ("window", J::U(self.window as u64)),
+            ("total_ops", J::U(self.total_ops)),
+            ("completions", J::U(self.completions)),
+            ("elapsed_secs", J::F(self.elapsed_secs, 6)),
+            ("ops_per_sec", J::F(self.ops_per_sec, 0)),
+            ("max_queue_depth", J::U(self.max_queue_depth as u64)),
+            ("translation_requests", J::U(self.mtl.translation_requests)),
+            ("tlb_hits", J::U(self.mtl.tlb_hits)),
+        ])
     }
 }
 
@@ -476,6 +471,11 @@ pub struct ReadPathConfig {
     pub vbs: usize,
     /// `true` = seqlock fast path enabled; `false` = locked baseline.
     pub lockfree: bool,
+    /// Whether the telemetry metrics registry is armed (per-op counters and
+    /// latency histograms at the engine's execute boundary). `false` is the
+    /// uninstrumented baseline the `BENCH_telemetry` overhead bench
+    /// compares against.
+    pub telemetry: bool,
     /// Total physical frames of the machine.
     pub phys_frames: u64,
 }
@@ -488,6 +488,7 @@ impl Default for ReadPathConfig {
             ops_per_thread: 50_000,
             vbs: 16,
             lockfree: true,
+            telemetry: true,
             phys_frames: 1 << 16,
         }
     }
@@ -515,24 +516,22 @@ pub struct ReadPathReport {
 }
 
 impl ReadPathReport {
-    /// One-line JSON rendering (no external serializer in this workspace).
+    /// One-line JSON rendering via the shared
+    /// [`json_object`](vbi_core::telemetry::json_object) emitter: sorted
+    /// keys, schema-stable.
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"threads\":{},\"lockfree\":{},\"total_ops\":{},",
-                "\"elapsed_secs\":{:.6},\"ops_per_sec\":{:.0},\"client_locks\":{},",
-                "\"lockfree_hits\":{},\"locked_hits\":{},\"torn_retries\":{}}}"
-            ),
-            self.threads,
-            self.lockfree,
-            self.total_ops,
-            self.elapsed_secs,
-            self.ops_per_sec,
-            self.client_locks,
-            self.cache.lockfree_hits,
-            self.cache.locked_hits,
-            self.cache.torn_retries,
-        )
+        use vbi_core::telemetry::JsonValue as J;
+        vbi_core::telemetry::json_object(&[
+            ("threads", J::U(self.threads as u64)),
+            ("lockfree", J::B(self.lockfree)),
+            ("total_ops", J::U(self.total_ops)),
+            ("elapsed_secs", J::F(self.elapsed_secs, 6)),
+            ("ops_per_sec", J::F(self.ops_per_sec, 0)),
+            ("client_locks", J::U(self.client_locks)),
+            ("lockfree_hits", J::U(self.cache.lockfree_hits)),
+            ("locked_hits", J::U(self.cache.locked_hits)),
+            ("torn_retries", J::U(self.cache.torn_retries)),
+        ])
     }
 }
 
@@ -549,7 +548,11 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
     let service = VbiService::new(
         ServiceConfig::new(
             config.shards,
-            VbiConfig { phys_frames: config.phys_frames, ..VbiConfig::vbi_full() },
+            VbiConfig {
+                phys_frames: config.phys_frames,
+                telemetry_metrics: config.telemetry,
+                ..VbiConfig::vbi_full()
+            },
         )
         .with_lockfree_reads(config.lockfree),
     );
@@ -675,27 +678,24 @@ pub struct MigrationRunReport {
 }
 
 impl MigrationRunReport {
-    /// One-line JSON rendering (no external serializer in this workspace).
+    /// One-line JSON rendering via the shared
+    /// [`json_object`](vbi_core::telemetry::json_object) emitter: sorted
+    /// keys, schema-stable.
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"readers\":{},\"shards\":{},\"total_reads\":{},",
-                "\"migrations\":{},\"elapsed_secs\":{:.6},\"reads_per_sec\":{:.0},",
-                "\"migrations_per_sec\":{:.1},\"vbs_migrated\":{},",
-                "\"stale_retries\":{},\"cache_misses\":{},\"torn_retries\":{}}}"
-            ),
-            self.readers,
-            self.shards,
-            self.total_reads,
-            self.migrations,
-            self.elapsed_secs,
-            self.reads_per_sec,
-            self.migrations_per_sec,
-            self.vbs_migrated,
-            self.stale_retries,
-            self.cache.misses,
-            self.cache.torn_retries,
-        )
+        use vbi_core::telemetry::JsonValue as J;
+        vbi_core::telemetry::json_object(&[
+            ("readers", J::U(self.readers as u64)),
+            ("shards", J::U(self.shards as u64)),
+            ("total_reads", J::U(self.total_reads)),
+            ("migrations", J::U(self.migrations)),
+            ("elapsed_secs", J::F(self.elapsed_secs, 6)),
+            ("reads_per_sec", J::F(self.reads_per_sec, 0)),
+            ("migrations_per_sec", J::F(self.migrations_per_sec, 1)),
+            ("vbs_migrated", J::U(self.vbs_migrated)),
+            ("stale_retries", J::U(self.stale_retries)),
+            ("cache_misses", J::U(self.cache.misses)),
+            ("torn_retries", J::U(self.cache.torn_retries)),
+        ])
     }
 }
 

@@ -387,3 +387,53 @@ fn sharding_changes_counters_but_never_bytes() {
     assert_eq!(system_loads, service_loads, "sharding must not change data");
     assert!(stats.translation_requests > 0);
 }
+
+/// The unified snapshot reports identical op accounting no matter which
+/// front end carried the traffic: the same mixed sequence run through
+/// `System::execute`, one `VbiService::submit` batch, and tag-at-a-time
+/// submissions on a `VbiQueue` yields the same per-kind op counts and
+/// error counts and the same merged MTL counters — only the front-end
+/// label (and the sampled latency distributions) may differ.
+#[test]
+fn snapshot_agrees_across_all_three_front_ends() {
+    use vbi_core::telemetry::{OpKind, Snapshot};
+    use vbi_service::VbiQueue;
+
+    fn op_counts(snap: &Snapshot) -> Vec<(OpKind, u64, u64)> {
+        snap.ops.iter().filter(|o| o.count > 0).map(|o| (o.kind, o.count, o.errors)).collect()
+    }
+
+    let cfg = config();
+    let ops = random_mixed_ops(4242, 400, &cfg);
+
+    let system = System::new(cfg.clone());
+    for op in &ops {
+        let _ = system.execute(op.clone());
+    }
+
+    let service = VbiService::new(ServiceConfig::single(cfg.clone()));
+    let _ = service.submit(&ops);
+
+    // One op in flight at a time keeps the async front end's execution
+    // order — and therefore its error accounting — identical to the
+    // sequential replays above.
+    let queue = VbiQueue::new(ServiceConfig::single(cfg));
+    for (tag, op) in ops.iter().enumerate() {
+        queue.submit(tag as u64, op.clone());
+        assert!(queue.reap().is_some(), "queue dropped a completion");
+    }
+
+    let sys = system.snapshot();
+    let svc = service.snapshot();
+    let q = queue.snapshot();
+    assert_eq!(sys.front_end, "system");
+    assert_eq!(svc.front_end, "service");
+    assert_eq!(q.front_end, "queue");
+    assert_eq!(sys.total_ops(), ops.len() as u64, "system records every op exactly once");
+    assert_eq!(op_counts(&sys), op_counts(&svc), "system vs service snapshot accounting");
+    assert_eq!(op_counts(&sys), op_counts(&q), "system vs queue snapshot accounting");
+    assert_eq!(sys.mtl, svc.mtl, "merged MTL views diverged");
+    assert_eq!(sys.mtl, q.mtl, "merged MTL views diverged");
+    let activity = q.queue.expect("queue snapshot carries queue activity");
+    assert_eq!(activity.completed, ops.len() as u64);
+}

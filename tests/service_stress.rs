@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::thread;
 
+use vbi::core::telemetry::OpKind;
 use vbi::{Op, OpOutput, Rwx, VbProperties, VbiConfig, VbiError, VirtualAddress};
 use vbi_service::{Cqe, ServiceConfig, VbiQueue, VbiService};
 
@@ -518,6 +519,21 @@ fn migration_under_lockfree_readers_is_byte_exact() {
     );
     assert!(cache_after.lockfree_hits > cache_before.lockfree_hits, "readers ran lock-free");
     assert!(cache_after.torn_retries >= cache_before.torn_retries);
+
+    // The unified snapshot agrees with the surfaces it unifies: per-kind op
+    // counts are exact (latency is sampled; counters are not), the stripe
+    // counts partition the op total, and the snapshot's merged MTL view
+    // matches `stats()`.
+    let snap = svc.snapshot();
+    assert_eq!(snap.op(OpKind::Migrate).unwrap().count, MIGRATIONS as u64);
+    assert_eq!(snap.op(OpKind::Promote).unwrap().count, PROMOTIONS as u64);
+    assert_eq!(
+        snap.ops_per_stripe.iter().sum::<u64>(),
+        snap.total_ops(),
+        "stripe counts must partition the op total"
+    );
+    assert_eq!(snap.mtl.vbs_migrated, stats.vbs_migrated);
+    assert_eq!(snap.mtl.promotions, stats.promotions);
 }
 
 /// The acceptance-criterion proof: once the CVT cache is warm, reads
@@ -673,6 +689,24 @@ fn pressure_under_lockfree_readers_is_byte_exact() {
         stats.evictions <= stats.pages_swapped_out,
         "policy evictions are a subset of swap-outs: {stats:?}"
     );
+
+    // Snapshot invariants under the storm: the unified snapshot's MTL view
+    // matches `stats()`, the stripes partition the exact op total, and the
+    // deterministic data-plane schedule is fully accounted — every store
+    // (owner 16 + 8 workers x 6 rounds x 32 pages) and every load (in-round
+    // 16 shared + 32 private per worker round, plus the 16 + 8 x 32
+    // verification reads above) lands in the registry exactly once.
+    let snap = svc.snapshot();
+    assert_eq!(snap.mtl.faults_in, stats.faults_in, "snapshot MTL view must match stats()");
+    assert_eq!(
+        snap.ops_per_stripe.iter().sum::<u64>(),
+        snap.total_ops(),
+        "stripe counts must partition the op total"
+    );
+    let stores = 16 + (THREADS as u64) * ROUNDS * 32;
+    let loads = (THREADS as u64) * ROUNDS * (16 + 32) + 16 + (THREADS as u64) * 32;
+    assert_eq!(snap.op(OpKind::StoreU64).unwrap().count, stores, "stores under-counted");
+    assert_eq!(snap.op(OpKind::LoadU64).unwrap().count, loads, "loads under-counted");
 
     // Teardown leaks nothing: all frames return and the backing store holds
     // only the owner's possibly-swapped shared pages until it too goes.
