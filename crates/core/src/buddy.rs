@@ -198,6 +198,43 @@ impl BuddyAllocator {
         self.allocated.get(&frame.0) == Some(&order)
     }
 
+    /// Permanently removes up to `count` free frames from circulation and
+    /// returns how many were actually retired.
+    ///
+    /// Retired frames stay registered as allocated order-0 blocks forever, so
+    /// the managed range and the buddy-merge bounds are unchanged — the
+    /// capacity simply migrates to whichever allocator [`BuddyAllocator::grow`]s
+    /// by the same amount. This is the donor half of cross-shard frame
+    /// borrowing.
+    pub fn retire_free(&mut self, count: u64) -> u64 {
+        let mut retired = 0;
+        while retired < count {
+            match self.allocate(0) {
+                Some(_) => retired += 1,
+                None => break,
+            }
+        }
+        retired
+    }
+
+    /// Extends the managed range by `count` fresh frames, all immediately
+    /// free. The adoptee half of cross-shard frame borrowing: new frame
+    /// indices are minted at the end of the existing range.
+    pub fn grow(&mut self, count: u64) {
+        for _ in 0..count {
+            let idx = self.total_frames;
+            self.total_frames = idx + 1;
+            if self.free_lists.len() < (64 - self.total_frames.leading_zeros()) as usize + 1 {
+                self.free_lists.push(BTreeSet::new());
+            }
+            // Reuse the free/merge path: register the new frame as a live
+            // order-0 allocation, then free it so it coalesces with any
+            // neighbouring free blocks.
+            self.allocated.insert(idx, 0);
+            self.free(Frame(idx), 0);
+        }
+    }
+
     /// External fragmentation measure: fraction of free memory *not* usable
     /// for a block of `order` (0.0 = can satisfy entirely with such blocks).
     pub fn fragmentation(&self, order: Order) -> f64 {
@@ -324,6 +361,44 @@ mod tests {
         }
         assert_eq!(buddy.free_frames(), 64);
         assert_eq!(buddy.largest_free_order(), Some(6));
+    }
+
+    #[test]
+    fn retire_free_takes_frames_out_of_circulation() {
+        let mut buddy = BuddyAllocator::new(16);
+        assert_eq!(buddy.retire_free(4), 4);
+        assert_eq!(buddy.free_frames(), 12);
+        assert_eq!(buddy.total_frames(), 16, "retired frames stay in the managed range");
+        // Retiring more than is free retires only what exists.
+        assert_eq!(buddy.retire_free(100), 12);
+        assert_eq!(buddy.free_frames(), 0);
+    }
+
+    #[test]
+    fn grow_mints_new_free_frames_at_the_end() {
+        let mut buddy = BuddyAllocator::new(8);
+        let a = buddy.allocate(3).unwrap();
+        assert_eq!(buddy.free_frames(), 0);
+        buddy.grow(8);
+        assert_eq!(buddy.total_frames(), 16);
+        assert_eq!(buddy.free_frames(), 8);
+        let b = buddy.allocate(3).expect("grown capacity is allocatable");
+        assert_eq!(b, Frame(8), "fresh indices are minted after the old range");
+        buddy.free(a, 3);
+        buddy.free(b, 3);
+        assert_eq!(buddy.free_frames(), 16);
+        assert_eq!(buddy.largest_free_order(), Some(4), "grown frames merge with old ones");
+    }
+
+    #[test]
+    fn retire_then_grow_transfers_capacity() {
+        let mut donor = BuddyAllocator::new(32);
+        let mut adoptee = BuddyAllocator::new(8);
+        let moved = donor.retire_free(8);
+        adoptee.grow(moved);
+        assert_eq!(donor.free_frames(), 24);
+        assert_eq!(adoptee.free_frames(), 16);
+        assert_eq!(donor.free_frames() + adoptee.free_frames(), 40, "net capacity is conserved");
     }
 
     #[test]

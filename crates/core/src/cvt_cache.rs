@@ -360,6 +360,20 @@ impl SeqCvtCache {
         self.shared.misses.store(0, Ordering::Relaxed);
         self.shared.torn_retries.store(0, Ordering::Relaxed);
     }
+
+    /// Clears every published slot and resets statistics, in place, under
+    /// the seqlock protocol. Used when a client slot is recycled for a new
+    /// client: the cache *handle* must survive (concurrent readers may still
+    /// hold references to the shared image), so the image is wiped rather
+    /// than replaced.
+    pub fn reset_for_reuse(&self) {
+        self.begin_write();
+        for slot in &self.shared.slots {
+            slot.tag.store(EMPTY, Ordering::Release);
+        }
+        self.end_write();
+        self.reset_stats();
+    }
 }
 
 impl ClientCvtCache for SeqCvtCache {
@@ -589,6 +603,24 @@ mod tests {
         assert_eq!(read_side.lookup_lockfree(6).unwrap().vbuid().vbid(), 11);
         // Stats are shared too: the hit above is visible on both handles.
         assert_eq!(write_side.stats().lockfree_hits, 1);
+    }
+
+    #[test]
+    fn seq_cache_reset_for_reuse_wipes_image_and_stats() {
+        let mut cache = SeqCvtCache::new(8);
+        cache.fill(ClientId(0), 1, entry_for(4));
+        cache.fill(ClientId(0), 5, entry_for(9));
+        assert!(cache.lookup_lockfree(1).is_some());
+        cache.reset_for_reuse();
+        assert!(cache.lookup_lockfree(1).is_none());
+        assert!(cache.peek(5).is_none());
+        // Stats were reset *after* the wipe, so the post-reset miss above is
+        // the only trace; the pre-reset hit is gone.
+        assert_eq!(cache.stats().lockfree_hits, 0);
+        // The shared image survives: a pre-reset reader handle sees the wipe.
+        let reader = cache.clone();
+        cache.fill(ClientId(0), 1, entry_for(2));
+        assert_eq!(reader.peek(1).unwrap().vbuid().vbid(), 2);
     }
 
     #[test]

@@ -997,6 +997,31 @@ impl Mtl {
         self.reclaim_policy(count, None, Some((vbuid, page)))
     }
 
+    /// Donor half of cross-shard frame borrowing: permanently cedes up to
+    /// `count` frames of this shard's capacity, evicting resident pages
+    /// first if the free pool is short. Returns how many frames were ceded
+    /// (the adoptee must [`Mtl::adopt_frames`] exactly that many to conserve
+    /// global capacity).
+    ///
+    /// The ceded frames stay registered inside this shard's buddy allocator
+    /// as permanently allocated blocks; frame indices are shard-local, so
+    /// capacity moves as a *count*, never as addresses.
+    pub fn donate_frames(&mut self, count: usize) -> u64 {
+        let free = self.buddy.free_frames() as usize;
+        if free < count {
+            self.reclaim_frames(count - free);
+        }
+        self.buddy.retire_free(count as u64)
+    }
+
+    /// Adoptee half of cross-shard frame borrowing: grows this shard's
+    /// physical capacity by `count` fresh frames (minted at the end of the
+    /// shard-local frame range), all immediately free.
+    pub fn adopt_frames(&mut self, count: u64) {
+        self.buddy.grow(count);
+        self.mem.grow(count);
+    }
+
     /// The eviction sweep behind every reclaim entry point.
     ///
     /// Victim order is deterministic: candidates are the mapped pages of
@@ -1610,6 +1635,41 @@ mod tests {
         let mut m = mtl(VbiConfig::vbi_full);
         let vb = enabled_vb(&mut m, SizeClass::Mib4);
         assert_eq!(m.read_u64(vb.address(123_456).unwrap()).unwrap(), 0);
+    }
+
+    #[test]
+    fn donate_and_adopt_transfer_capacity_between_mtls() {
+        let mut donor = mtl(VbiConfig::vbi_1);
+        let mut adoptee = mtl(VbiConfig::vbi_1);
+        let total_before = donor.free_frames() + adoptee.free_frames();
+
+        let moved = donor.donate_frames(64);
+        assert_eq!(moved, 64);
+        adoptee.adopt_frames(moved);
+        assert_eq!(donor.free_frames() + adoptee.free_frames(), total_before);
+
+        // The adopted capacity is genuinely usable for data.
+        let vb = enabled_vb(&mut adoptee, SizeClass::Kib128);
+        let addr = vb.address(0).unwrap();
+        adoptee.write_u64(addr, 0xabc).unwrap();
+        assert_eq!(adoptee.read_u64(addr).unwrap(), 0xabc);
+    }
+
+    #[test]
+    fn donation_reclaims_resident_pages_when_the_free_pool_is_short() {
+        let mut donor = Mtl::new(VbiConfig { phys_frames: 16, ..VbiConfig::vbi_1() });
+        let vb = enabled_vb(&mut donor, SizeClass::Kib128);
+        // Fill most of the pool with mapped data pages.
+        for page in 0..12u64 {
+            donor.write_u64(vb.address(page * 4096).unwrap(), page).unwrap();
+        }
+        let free = donor.free_frames();
+        let want = free as usize + 4; // more than is free: forces eviction
+        let moved = donor.donate_frames(want);
+        assert_eq!(moved, want as u64, "eviction funds the shortfall");
+        assert!(donor.stats().evictions >= 4);
+        // Evicted payloads went to the backing store, not into the void.
+        assert!(donor.swap_occupancy() >= 3);
     }
 
     #[test]

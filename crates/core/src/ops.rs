@@ -541,6 +541,21 @@ pub trait OpEnv {
         self.with_home_mtl(vbuid, |mtl| mtl.reclaim_frames(count))
     }
 
+    /// Transfers up to `count` frames of free capacity from sibling shards
+    /// to the shard homing `vbuid`, returning how many frames actually
+    /// moved. The engine calls this only after the home shard failed an op
+    /// with [`VbiError::OutOfPhysicalMemory`] *and* its own eviction policy
+    /// could not fund the allocation (a shard whose frames all hold
+    /// translation structures has nothing reclaimable) — the last resort
+    /// before surfacing the error. Called with no shard lock held, so
+    /// sharded environments are free to visit siblings one at a time.
+    /// Single-shard environments have no siblings: the default moves
+    /// nothing, keeping them byte-identical to the pre-borrowing engine.
+    fn borrow_frames(&mut self, vbuid: Vbuid, count: usize) -> usize {
+        let _ = (vbuid, count);
+        0
+    }
+
     /// Tells the environment that serving a data-plane op faulted pages in
     /// from the backing store (the accessed page changed frames).
     /// Environments that publish translation state to lock-free readers
@@ -1060,10 +1075,31 @@ struct TraceScratch {
     trace_evictions: bool,
 }
 
+/// Runs the MTL half of a checked data-plane op under one home-MTL
+/// acquisition, with the pressure path wrapped around it. Returns the
+/// result plus whether the attempt faulted pages in and (when measured)
+/// evicted any.
+fn mtl_half<E: OpEnv>(
+    env: &mut E,
+    op: &Op,
+    address: VbiAddress,
+    want_evictions: bool,
+) -> (OpResult, bool, bool) {
+    env.with_home_mtl(address.vbuid(), |mtl| {
+        let evictions_before = if want_evictions { mtl.stats().evictions } else { 0 };
+        let (result, faulted) = run_checked_pressured(mtl, op, address);
+        let evicted = want_evictions && mtl.stats().evictions > evictions_before;
+        (result, faulted, evicted)
+    })
+}
+
 /// Executes a data-plane op end to end: protection check, then the MTL
 /// half ([`run_checked`]) under the home MTL — with the pressure path
 /// wrapped around it, and the environment notified afterwards when pages
-/// faulted in. Empty byte spans complete without any check, like the
+/// faulted in. When the home shard is out of memory even after its own
+/// eviction sweep, the environment may borrow free capacity from sibling
+/// shards ([`OpEnv::borrow_frames`], taken with no lock held) and the op
+/// retries once. Empty byte spans complete without any check, like the
 /// typed bulk helpers.
 fn data_plane<E: OpEnv>(env: &mut E, op: &Op, scratch: &mut TraceScratch) -> OpResult {
     match op.checked_access() {
@@ -1074,12 +1110,17 @@ fn data_plane<E: OpEnv>(env: &mut E, op: &Op, scratch: &mut TraceScratch) -> OpR
                 scratch.flags |= TraceEvent::FLAG_CVT_FALLBACK;
             }
             let want_evictions = scratch.trace_evictions;
-            let (result, faulted, evicted) = env.with_home_mtl(checked.address.vbuid(), |mtl| {
-                let evictions_before = if want_evictions { mtl.stats().evictions } else { 0 };
-                let (result, faulted) = run_checked_pressured(mtl, op, checked.address);
-                let evicted = want_evictions && mtl.stats().evictions > evictions_before;
-                (result, faulted, evicted)
-            });
+            let (mut result, mut faulted, mut evicted) =
+                mtl_half(env, op, checked.address, want_evictions);
+            if matches!(result, Err(VbiError::OutOfPhysicalMemory)) {
+                let batch = env.config().pressure_reclaim_batch.max(1);
+                if env.borrow_frames(checked.address.vbuid(), batch) > 0 {
+                    let (r, f, e) = mtl_half(env, op, checked.address, want_evictions);
+                    result = r;
+                    faulted |= f;
+                    evicted |= e;
+                }
+            }
             if faulted {
                 scratch.flags |= TraceEvent::FLAG_FAULT_IN;
                 env.note_fault_in(client, va.cvt_index());
@@ -1212,9 +1253,20 @@ fn store_bytes_inner<E: OpEnv>(
     if !checked.cvt_cache_hit {
         scratch.flags |= TraceEvent::FLAG_CVT_FALLBACK;
     }
-    let (result, faulted) = env.with_home_mtl(checked.address.vbuid(), |mtl| {
-        with_pressure(mtl, checked.address, |mtl| write_span(mtl, checked.address, data))
-    });
+    let attempt = |env: &mut E| {
+        env.with_home_mtl(checked.address.vbuid(), |mtl| {
+            with_pressure(mtl, checked.address, |mtl| write_span(mtl, checked.address, data))
+        })
+    };
+    let (mut result, mut faulted) = attempt(env);
+    if matches!(result, Err(VbiError::OutOfPhysicalMemory)) {
+        let batch = env.config().pressure_reclaim_batch.max(1);
+        if env.borrow_frames(checked.address.vbuid(), batch) > 0 {
+            let (r, f) = attempt(env);
+            result = r;
+            faulted |= f;
+        }
+    }
     if faulted {
         scratch.flags |= TraceEvent::FLAG_FAULT_IN;
         env.note_fault_in(client, va.cvt_index());

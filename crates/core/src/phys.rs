@@ -131,6 +131,13 @@ impl PhysicalMemory {
         frame.0 < self.total_frames
     }
 
+    /// Extends the memory by `count` frames (cross-shard frame adoption).
+    /// The store is sparse, so growth is free until the new frames are
+    /// written.
+    pub fn grow(&mut self, count: u64) {
+        self.total_frames += count;
+    }
+
     fn check(&self, addr: PhysAddr) {
         assert!(
             addr.0 < self.total_bytes(),

@@ -33,7 +33,7 @@ use crate::mtl::{Mtl, MtlAccess, TranslateResult};
 use crate::ops::{self, Op, OpEnv, OpResult};
 use crate::session::{ClientSession, SessionHost};
 use crate::sync::unpoison;
-use crate::telemetry::{ShardActivity, Snapshot, Telemetry};
+use crate::telemetry::{ClientMapStats, ShardActivity, Snapshot, Telemetry};
 use crate::vb::VbProperties;
 
 pub use crate::ops::{CheckedAccess, VbHandle};
@@ -377,6 +377,8 @@ impl System {
             per_shard_mtl: vec![mtl_stats],
             tlb: guard.mtl.tlb_stats(),
             cvt_cache,
+            // No client map either: state is reached through one lock.
+            client_map: ClientMapStats::default(),
             // A System takes no shard locks; its one "shard" just reports
             // the ops the engine ran.
             shard_activity: vec![ShardActivity {

@@ -825,6 +825,43 @@ pub struct ShardActivity {
     pub ops_executed: u64,
 }
 
+/// Client-map lookup counters, split by path ([`Snapshot::client_map`]).
+///
+/// Produced by the service's epoch-validated sharded client map:
+/// `lockfree_hits` counts slot resolutions served entirely from the
+/// published table (zero shared locks); `generation_retries` counts
+/// re-reads forced by a concurrent create/destroy bumping the map shard's
+/// generation mid-snapshot; `locked_fallbacks` counts resolutions that went
+/// through the authoritative per-shard mutex (misses, publish-table
+/// overflow, or environments running with the lock-free map disabled).
+/// All zero on the single-owner `System`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientMapStats {
+    /// Slot resolutions served lock-free from the published table.
+    pub lockfree_hits: u64,
+    /// Lock-free snapshots retried because the shard generation moved.
+    pub generation_retries: u64,
+    /// Resolutions that took the authoritative map-shard mutex.
+    pub locked_fallbacks: u64,
+}
+
+impl ClientMapStats {
+    /// Total slot resolutions (each resolves exactly once, lock-free or
+    /// locked; generation retries are extra attempts, not extra lookups).
+    pub fn lookups(&self) -> u64 {
+        self.lockfree_hits + self.locked_fallbacks
+    }
+
+    /// Accumulates another map's counters into this one (front ends built
+    /// on top of the service aggregate into one report).
+    pub fn merge(&mut self, other: &ClientMapStats) {
+        let ClientMapStats { lockfree_hits, generation_retries, locked_fallbacks } = other;
+        self.lockfree_hits += lockfree_hits;
+        self.generation_retries += generation_retries;
+        self.locked_fallbacks += locked_fallbacks;
+    }
+}
+
 /// Queue front-end depth counters ([`Snapshot::queue`], present only for
 /// `VbiQueue`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -857,6 +894,9 @@ pub struct Snapshot {
     pub tlb: TlbStats,
     /// CVT-cache counters merged across clients.
     pub cvt_cache: CvtCacheStats,
+    /// Client-map lookup counters (zero for front ends without a sharded
+    /// client map).
+    pub client_map: ClientMapStats,
     /// Per-shard lock/work counters, shard-index order.
     pub shard_activity: Vec<ShardActivity>,
     /// Per-op counts and latency histograms, [`OpKind::ALL`] order.
@@ -959,6 +999,14 @@ impl Snapshot {
                     ("torn_retries", J::U(self.cvt_cache.torn_retries)),
                 ])),
             ),
+            (
+                "client_map",
+                J::Raw(json_object(&[
+                    ("lockfree_hits", J::U(self.client_map.lockfree_hits)),
+                    ("generation_retries", J::U(self.client_map.generation_retries)),
+                    ("locked_fallbacks", J::U(self.client_map.locked_fallbacks)),
+                ])),
+            ),
             ("shard_activity", J::Raw(format!("[{}]", shard_json.join(",")))),
             ("ops", J::Raw(format!("[{}]", ops_json.join(",")))),
             (
@@ -1016,6 +1064,9 @@ impl Snapshot {
         line("cvt_cache_locked_hits", &fe, self.cvt_cache.locked_hits.to_string());
         line("cvt_cache_misses", &fe, self.cvt_cache.misses.to_string());
         line("cvt_cache_torn_retries", &fe, self.cvt_cache.torn_retries.to_string());
+        line("client_map_lockfree_hits", &fe, self.client_map.lockfree_hits.to_string());
+        line("client_map_generation_retries", &fe, self.client_map.generation_retries.to_string());
+        line("client_map_locked_fallbacks", &fe, self.client_map.locked_fallbacks.to_string());
         line("free_frames", &fe, self.free_frames.to_string());
         line("swap_occupancy_pages", &fe, self.swap_occupancy.to_string());
         for (i, s) in self.shard_activity.iter().enumerate() {
@@ -1481,6 +1532,17 @@ mod tests {
     }
 
     #[test]
+    fn client_map_stats_merge_sums_every_field() {
+        let mut a = ClientMapStats { lockfree_hits: 5, generation_retries: 1, locked_fallbacks: 2 };
+        a.merge(&ClientMapStats { lockfree_hits: 3, generation_retries: 4, locked_fallbacks: 6 });
+        assert_eq!(
+            a,
+            ClientMapStats { lockfree_hits: 8, generation_retries: 5, locked_fallbacks: 8 }
+        );
+        assert_eq!(a.lookups(), 16, "retries are attempts, not lookups");
+    }
+
+    #[test]
     fn snapshot_renders_valid_json_and_prometheus() {
         let t = Telemetry::new(2, 8, true, false);
         for i in 0..50u64 {
@@ -1498,6 +1560,11 @@ mod tests {
             per_shard_mtl: vec![MtlStats::default(), MtlStats::default()],
             tlb: TlbStats { hits: 10, misses: 3, evictions: 1 },
             cvt_cache: CvtCacheStats::default(),
+            client_map: ClientMapStats {
+                lockfree_hits: 40,
+                generation_retries: 2,
+                locked_fallbacks: 10,
+            },
             shard_activity: vec![
                 ShardActivity { acquisitions: 5, contended: 1, ops_executed: 25 },
                 ShardActivity { acquisitions: 5, contended: 0, ops_executed: 25 },
@@ -1514,6 +1581,9 @@ mod tests {
         assert!(json.contains("\"faults_in\":7"));
         assert!(json.contains("\"high_water\":9"));
         assert!(json.contains("\"ops_executed\":25"));
+        assert!(json.contains(
+            "\"client_map\":{\"generation_retries\":2,\"locked_fallbacks\":10,\"lockfree_hits\":40}"
+        ));
         assert_eq!(snap.total_ops(), 50);
 
         let prom = snap.to_prometheus();
@@ -1522,6 +1592,9 @@ mod tests {
         assert!(prom.contains("quantile=\"0.99\""));
         assert!(prom.contains("vbi_queue_depth_high_water{front_end=\"service\"} 9"));
         assert!(prom.contains("vbi_shard_ops_executed{front_end=\"service\",shard=\"1\"} 25"));
+        assert!(prom.contains("vbi_client_map_lockfree_hits{front_end=\"service\"} 40"));
+        assert!(prom.contains("vbi_client_map_generation_retries{front_end=\"service\"} 2"));
+        assert!(prom.contains("vbi_client_map_locked_fallbacks{front_end=\"service\"} 10"));
         for l in prom.lines() {
             assert!(l.starts_with("vbi_"), "unprefixed line {l:?}");
             assert!(l.rsplit(' ').next().unwrap().parse::<f64>().is_ok(), "bad value in {l:?}");

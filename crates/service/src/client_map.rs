@@ -1,0 +1,658 @@
+//! The epoch-validated sharded client map — the structure that makes the
+//! service's read path *zero-shared-lock* end to end.
+//!
+//! The service used to resolve `ClientId -> ClientSlot` through one global
+//! `RwLock<HashMap>`: read-mostly, but still a shared lock on every
+//! data-plane op. This module replaces it with the [`SeqCvtCache`] seqlock
+//! trick generalized to the map itself:
+//!
+//! * **Map shards**: a `ClientId` hashes to one of [`MAP_SHARDS`] shards
+//!   (low bits — consecutive IDs spread). Each shard owns an authoritative
+//!   `Mutex<HashMap<ClientId, index>>`, a *published* lock-free lookup
+//!   table, and a generation counter.
+//! * **Published table**: fixed-capacity open-addressed `AtomicU64` slots,
+//!   each packing `(arena index << 16) | client id`. Readers probe a short
+//!   window ([`PROBE_WINDOW`]) with plain atomic loads.
+//! * **Generation validation**: the shard's generation is a seqlock epoch —
+//!   even = stable, odd = a writer is mid-update. A reader snapshots the
+//!   generation, probes, reads *through* the resolved slot (including the
+//!   CVT-cache lookup), and re-validates the generation afterwards. A
+//!   moved generation means a create/destroy raced the read: the reader
+//!   retries the window (a handful of loads) rather than taking a lock, so
+//!   churn on *other* clients can never force a lock onto a live client's
+//!   read path. Only a miss at a *stable* generation falls back to the
+//!   authoritative mutex.
+//! * **Slot arena**: slots live in an append-only chunked arena sized for
+//!   the whole 2^16 `ClientId` space and are never deallocated, so a
+//!   `&ClientSlot` resolved lock-free can never dangle. Destroyed clients'
+//!   slots are recycled through a free list; the generation protocol makes
+//!   reuse safe (any destroy bumps the departed client's map-shard
+//!   generation, invalidating every in-flight lock-free read of its slot),
+//!   and mutation paths re-verify ownership (`Cvt::client`) under the slot
+//!   lock before touching state.
+//!
+//! Create and destroy take the shard's mutex and bump the generation
+//! around their published-table edits. With the map disabled
+//! ([`crate::ServiceConfig::lockfree_client_map`] = `false`) every
+//! resolution goes through the authoritative mutex — the locked baseline
+//! the `read_path` bench A/Bs against.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use vbi_core::client::{ClientId, Cvt};
+use vbi_core::cvt_cache::SeqCvtCache;
+use vbi_core::error::{Result, VbiError};
+use vbi_core::telemetry::ClientMapStats;
+
+use crate::sync::lock_counted;
+
+/// Map shards; `ClientId` low bits select one.
+const MAP_SHARDS: usize = 16;
+
+/// Published-table slots per map shard (atomic words, not clients — a
+/// shard can always hold more clients than this in its authoritative map).
+const PUBLISHED_SLOTS: usize = 64;
+
+/// Linear-probe window: how many published slots a lookup scans from the
+/// hash point before declaring the client unpublished.
+const PROBE_WINDOW: usize = 8;
+
+/// An unoccupied published slot. Distinguishable from every packed entry:
+/// arena indices are < 2^16, so packed values are < 2^32.
+const EMPTY: u64 = u64::MAX;
+
+/// Slots per arena chunk.
+const ARENA_CHUNK: usize = 256;
+
+/// Chunks in the arena: `ARENA_CHUNK * ARENA_CHUNKS` = 2^16 slots, one per
+/// possible live `ClientId`.
+const ARENA_CHUNKS: usize = 256;
+
+/// The lockable half of a client's state. The CVT is authoritative; the
+/// cache handle inside is the *write side* of the seqlock-published image
+/// (its clone in [`ClientSlot::reads`] serves the lock-free path).
+#[derive(Debug)]
+pub(crate) struct ClientState {
+    pub(crate) cvt: Cvt,
+    pub(crate) cache: SeqCvtCache,
+}
+
+/// One client: the locked state, the lock-free read image, and the
+/// client-lock traffic counters. Slots live in the map's arena for the
+/// life of the service and are recycled across clients.
+#[derive(Debug)]
+pub(crate) struct ClientSlot {
+    pub(crate) state: Mutex<ClientState>,
+    /// Clone of `state.cache` (same shared image) for lock-free readers.
+    pub(crate) reads: SeqCvtCache,
+    /// Client-lock acquisitions — the counter that proves cache-hit reads
+    /// take zero client locks.
+    pub(crate) lock_acquisitions: AtomicU64,
+    /// Client-lock acquisitions that had to block.
+    pub(crate) lock_contended: AtomicU64,
+}
+
+impl ClientSlot {
+    fn new(cvt: Cvt, cache_slots: usize) -> Self {
+        let cache = SeqCvtCache::new(cache_slots);
+        Self {
+            reads: cache.clone(),
+            state: Mutex::new(ClientState { cvt, cache }),
+            lock_acquisitions: AtomicU64::new(0),
+            lock_contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the client state, counting the acquisition.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ClientState> {
+        lock_counted(&self.state, &self.lock_acquisitions, &self.lock_contended)
+    }
+}
+
+/// Append-only chunked slot storage. Chunks materialize on first touch and
+/// are never freed, so any `&ClientSlot` handed out stays valid for the
+/// service's lifetime — the property that lets readers resolve slots with
+/// no reference counting at all.
+#[derive(Debug)]
+struct SlotArena {
+    cvt_capacity: usize,
+    cache_slots: usize,
+    chunks: Vec<OnceLock<Box<[ClientSlot]>>>,
+}
+
+impl SlotArena {
+    fn new(cvt_capacity: usize, cache_slots: usize) -> Self {
+        Self {
+            cvt_capacity,
+            cache_slots,
+            chunks: (0..ARENA_CHUNKS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn get(&self, index: u32) -> &ClientSlot {
+        let chunk = index as usize / ARENA_CHUNK;
+        let slots = self.chunks[chunk].get_or_init(|| {
+            (0..ARENA_CHUNK)
+                // Placeholder owner; every slot is reinitialized under its
+                // state lock when claimed for a real client.
+                .map(|_| {
+                    ClientSlot::new(Cvt::new(ClientId(0), self.cvt_capacity), self.cache_slots)
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        &slots[index as usize % ARENA_CHUNK]
+    }
+}
+
+/// Recycling allocator for arena indices. Bounded by the `ClientId` space:
+/// a live client holds exactly one index, so `next` can never run past the
+/// arena.
+#[derive(Debug)]
+struct IndexAllocator {
+    next: u32,
+    free: Vec<u32>,
+}
+
+/// One map shard: generation-guarded published table over the
+/// authoritative mutex-protected map.
+#[derive(Debug)]
+struct MapShard {
+    /// Seqlock generation: even = stable, odd = a writer is editing the
+    /// published table. Every create/destroy on this shard bumps it twice.
+    generation: AtomicU64,
+    /// Open-addressed `(arena index << 16) | client id` entries,
+    /// [`EMPTY`] when unoccupied.
+    published: Vec<AtomicU64>,
+    authoritative: Mutex<HashMap<ClientId, u32>>,
+    lock_acquisitions: AtomicU64,
+    lock_contended: AtomicU64,
+}
+
+impl MapShard {
+    fn new() -> Self {
+        Self {
+            generation: AtomicU64::new(0),
+            published: (0..PUBLISHED_SLOTS).map(|_| AtomicU64::new(EMPTY)).collect(),
+            authoritative: Mutex::new(HashMap::new()),
+            lock_acquisitions: AtomicU64::new(0),
+            lock_contended: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<ClientId, u32>> {
+        lock_counted(&self.authoritative, &self.lock_acquisitions, &self.lock_contended)
+    }
+
+    /// Where `id`'s probe window starts (Fibonacci hash of the ID — the
+    /// low bits already picked the shard, so spread by the whole word).
+    fn probe_base(id: ClientId) -> usize {
+        ((u64::from(id.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize) % PUBLISHED_SLOTS
+    }
+
+    /// Probes the published table for `id`. Scans the whole window (never
+    /// stops early at an empty slot: deletions punch holes that later
+    /// inserts may sit behind). Plain atomic loads; the caller's
+    /// generation check decides whether the answer can be trusted.
+    fn find_published(&self, id: ClientId) -> Option<u32> {
+        let base = Self::probe_base(id);
+        for i in 0..PROBE_WINDOW {
+            let entry = self.published[(base + i) % PUBLISHED_SLOTS].load(Ordering::Acquire);
+            if entry != EMPTY && entry & 0xFFFF == u64::from(id.0) {
+                return Some((entry >> 16) as u32);
+            }
+        }
+        None
+    }
+
+    /// Publishes `id -> index` in the first free window slot. Caller holds
+    /// the authoritative mutex with the generation odd. `false` = window
+    /// full; the client stays authoritative-only (readers fall back).
+    fn publish(&self, id: ClientId, index: u32) -> bool {
+        let base = Self::probe_base(id);
+        for i in 0..PROBE_WINDOW {
+            let slot = &self.published[(base + i) % PUBLISHED_SLOTS];
+            if slot.load(Ordering::Acquire) == EMPTY {
+                slot.store(u64::from(index) << 16 | u64::from(id.0), Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clears `id`'s published entry, if any. Caller holds the
+    /// authoritative mutex with the generation odd.
+    fn unpublish(&self, id: ClientId) {
+        let base = Self::probe_base(id);
+        for i in 0..PROBE_WINDOW {
+            let slot = &self.published[(base + i) % PUBLISHED_SLOTS];
+            let entry = slot.load(Ordering::Acquire);
+            if entry != EMPTY && entry & 0xFFFF == u64::from(id.0) {
+                slot.store(EMPTY, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+/// The sharded, epoch-validated client map. See the [module docs](self)
+/// for the protocol.
+#[derive(Debug)]
+pub(crate) struct ClientMap {
+    /// Whether readers may use the published tables at all (`false` = the
+    /// locked A/B baseline: every resolution takes a map-shard mutex).
+    lockfree: bool,
+    shards: Vec<MapShard>,
+    arena: SlotArena,
+    allocator: Mutex<IndexAllocator>,
+    alloc_acquisitions: AtomicU64,
+    alloc_contended: AtomicU64,
+    lockfree_hits: AtomicU64,
+    generation_retries: AtomicU64,
+    locked_fallbacks: AtomicU64,
+}
+
+impl ClientMap {
+    pub(crate) fn new(lockfree: bool, cvt_capacity: usize, cache_slots: usize) -> Self {
+        Self {
+            lockfree,
+            shards: (0..MAP_SHARDS).map(|_| MapShard::new()).collect(),
+            arena: SlotArena::new(cvt_capacity, cache_slots),
+            allocator: Mutex::new(IndexAllocator { next: 0, free: Vec::new() }),
+            alloc_acquisitions: AtomicU64::new(0),
+            alloc_contended: AtomicU64::new(0),
+            lockfree_hits: AtomicU64::new(0),
+            generation_retries: AtomicU64::new(0),
+            locked_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: ClientId) -> &MapShard {
+        &self.shards[id.0 as usize % MAP_SHARDS]
+    }
+
+    /// The zero-shared-lock read window: resolves `id`'s slot from the
+    /// published table and runs `f` against it *inside* one generation
+    /// window, returning `f`'s answer only if the window was stable (no
+    /// create/destroy on this map shard raced the whole read — slot
+    /// resolution *and* whatever `f` read through it). On a moved
+    /// generation the window retries; only a miss at a stable generation
+    /// returns `None`, sending the caller to the authoritative path.
+    ///
+    /// `Some(None)` from `f` (slot valid but `f` declined, e.g. a CVT-cache
+    /// miss) also returns `None` — the caller's locked fallback is the
+    /// authoritative answer either way.
+    pub(crate) fn read_published<R>(
+        &self,
+        id: ClientId,
+        f: impl Fn(&ClientSlot) -> Option<R>,
+    ) -> Option<R> {
+        if !self.lockfree {
+            return None;
+        }
+        let shard = self.shard(id);
+        loop {
+            let generation = shard.generation.load(Ordering::Acquire);
+            if generation & 1 == 1 {
+                self.generation_retries.fetch_add(1, Ordering::Relaxed);
+                std::hint::spin_loop();
+                continue;
+            }
+            let answer = shard.find_published(id).map(|index| f(self.arena.get(index)));
+            if shard.generation.load(Ordering::Acquire) == generation {
+                return match answer {
+                    Some(Some(result)) => {
+                        self.lockfree_hits.fetch_add(1, Ordering::Relaxed);
+                        Some(result)
+                    }
+                    Some(None) | None => None,
+                };
+            }
+            self.generation_retries.fetch_add(1, Ordering::Relaxed);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Lock-free slot resolution for paths that go on to *lock* the slot:
+    /// returns the slot if `id` is published at a stable generation. The
+    /// slot may be recycled for another client between resolution and the
+    /// caller's lock, so mutation paths MUST re-verify ownership
+    /// (`state.cvt.client() == id`) under the slot lock — exactly the
+    /// check [`crate::VbiService`] performs.
+    fn resolve_published(&self, id: ClientId) -> Option<&ClientSlot> {
+        if !self.lockfree {
+            return None;
+        }
+        let shard = self.shard(id);
+        loop {
+            let generation = shard.generation.load(Ordering::Acquire);
+            if generation & 1 == 1 {
+                self.generation_retries.fetch_add(1, Ordering::Relaxed);
+                std::hint::spin_loop();
+                continue;
+            }
+            let found = shard.find_published(id);
+            if shard.generation.load(Ordering::Acquire) == generation {
+                return found.map(|index| {
+                    self.lockfree_hits.fetch_add(1, Ordering::Relaxed);
+                    self.arena.get(index)
+                });
+            }
+            self.generation_retries.fetch_add(1, Ordering::Relaxed);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Authoritative resolution under the map-shard mutex — the fallback
+    /// for misses, unpublished clients, and the lock-free map disabled.
+    pub(crate) fn get_locked(&self, id: ClientId) -> Result<&ClientSlot> {
+        self.locked_fallbacks.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(id);
+        let auth = shard.lock();
+        let index = *auth.get(&id).ok_or(VbiError::InvalidClient(id))?;
+        Ok(self.arena.get(index))
+    }
+
+    /// Resolves `id`'s slot by any means: published table first,
+    /// authoritative mutex on a stable miss.
+    pub(crate) fn resolve(&self, id: ClientId) -> Result<&ClientSlot> {
+        match self.resolve_published(id) {
+            Some(slot) => Ok(slot),
+            None => self.get_locked(id),
+        }
+    }
+
+    /// Resolves `id` under the map-shard mutex and runs `f` on its slot
+    /// *while the mutex is held*. Removal needs the same mutex, so holding
+    /// it pins the slot against recycling — which lets `f` probe the
+    /// slot's published CVT cache (whose tags are index-only) without
+    /// generation cover. This is the locked-map baseline's read path.
+    pub(crate) fn with_locked<R>(
+        &self,
+        id: ClientId,
+        f: impl FnOnce(&ClientSlot) -> R,
+    ) -> Result<R> {
+        self.locked_fallbacks.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(id);
+        let auth = shard.lock();
+        let index = *auth.get(&id).ok_or(VbiError::InvalidClient(id))?;
+        Ok(f(self.arena.get(index)))
+    }
+
+    /// Inserts fresh client state for `id` unless `id` is already live.
+    /// Claims an arena slot, reinitializes it under its state lock (CVT
+    /// replaced, shared cache image wiped, traffic counters zeroed), then
+    /// publishes under an odd generation.
+    pub(crate) fn insert(&self, id: ClientId, cvt: Cvt) -> bool {
+        let shard = self.shard(id);
+        let mut auth = shard.lock();
+        if auth.contains_key(&id) {
+            return false;
+        }
+        let index = {
+            let mut alloc =
+                lock_counted(&self.allocator, &self.alloc_acquisitions, &self.alloc_contended);
+            alloc.free.pop().unwrap_or_else(|| {
+                let fresh = alloc.next;
+                assert!(
+                    (fresh as usize) < ARENA_CHUNK * ARENA_CHUNKS,
+                    "arena exhausted: more live slots than ClientIds"
+                );
+                alloc.next += 1;
+                fresh
+            })
+        };
+        let slot = self.arena.get(index);
+        {
+            // Reinitialize the (possibly recycled) slot for its new owner.
+            // Concurrent lock-free readers cannot be fooled: `id` is not
+            // published yet, and any reader still inside a window on the
+            // slot's previous owner fails its generation validation (that
+            // owner's destroy bumped its shard generation before the index
+            // reached the free list). Counters reset last, inside the
+            // guard, so this claim acquisition is not charged to the new
+            // client.
+            let mut state = slot.lock();
+            state.cvt = cvt;
+            state.cache.reset_for_reuse();
+            slot.lock_acquisitions.store(0, Ordering::Relaxed);
+            slot.lock_contended.store(0, Ordering::Relaxed);
+        }
+        auth.insert(id, index);
+        shard.generation.fetch_add(1, Ordering::AcqRel);
+        // Window full is fine: the client stays authoritative-only and
+        // readers fall back to the mutex for it.
+        let _ = shard.publish(id, index);
+        shard.generation.fetch_add(1, Ordering::Release);
+        true
+    }
+
+    /// Removes `id`, returning its arena index and slot. The caller reads
+    /// what it needs from the slot (under the slot lock) and then MUST
+    /// [`ClientMap::recycle`] the index — recycling is deferred so the slot
+    /// cannot be re-claimed while the caller is still reading it.
+    pub(crate) fn remove(&self, id: ClientId) -> Result<(u32, &ClientSlot)> {
+        let shard = self.shard(id);
+        let mut auth = shard.lock();
+        let index = auth.remove(&id).ok_or(VbiError::InvalidClient(id))?;
+        // The generation bump is what invalidates every in-flight
+        // lock-free read of this client — including reads that already
+        // resolved the slot and are touching its published CVT cache.
+        shard.generation.fetch_add(1, Ordering::AcqRel);
+        shard.unpublish(id);
+        shard.generation.fetch_add(1, Ordering::Release);
+        drop(auth);
+        Ok((index, self.arena.get(index)))
+    }
+
+    /// Returns a removed slot's index to the free list (see
+    /// [`ClientMap::remove`]).
+    pub(crate) fn recycle(&self, index: u32) {
+        lock_counted(&self.allocator, &self.alloc_acquisitions, &self.alloc_contended)
+            .free
+            .push(index);
+    }
+
+    /// Whether `id` is live. Advisory: true the instant the authoritative
+    /// map says so.
+    pub(crate) fn contains(&self, id: ClientId) -> bool {
+        self.shard(id).lock().contains_key(&id)
+    }
+
+    /// Every live client and its slot, snapshotted shard by shard. Clients
+    /// created or destroyed while this runs may or may not appear; callers
+    /// re-verify ownership under each slot lock before mutating.
+    pub(crate) fn live(&self) -> Vec<(ClientId, &ClientSlot)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let auth = shard.lock();
+            out.extend(auth.iter().map(|(&id, &index)| (id, self.arena.get(index))));
+        }
+        out
+    }
+
+    /// Accumulated lookup counters.
+    pub(crate) fn stats(&self) -> ClientMapStats {
+        ClientMapStats {
+            lockfree_hits: self.lockfree_hits.load(Ordering::Relaxed),
+            generation_retries: self.generation_retries.load(Ordering::Relaxed),
+            locked_fallbacks: self.locked_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbi_core::addr::{SizeClass, Vbuid};
+    use vbi_core::perm::Rwx;
+
+    fn map(lockfree: bool) -> ClientMap {
+        ClientMap::new(lockfree, 16, 8)
+    }
+
+    fn cvt_for(id: ClientId) -> Cvt {
+        Cvt::new(id, 16)
+    }
+
+    #[test]
+    fn insert_resolve_remove_roundtrip() {
+        let m = map(true);
+        let id = ClientId(7);
+        assert!(m.insert(id, cvt_for(id)));
+        assert!(!m.insert(id, cvt_for(id)), "double insert refused");
+        assert!(m.contains(id));
+        let slot = m.resolve(id).unwrap();
+        assert_eq!(slot.lock().cvt.client(), id);
+        assert_eq!(m.stats().lockfree_hits, 1, "live client resolves lock-free");
+        let (index, _) = m.remove(id).unwrap();
+        m.recycle(index);
+        assert!(!m.contains(id));
+        assert!(matches!(m.resolve(id), Err(VbiError::InvalidClient(c)) if c == id));
+        assert!(matches!(m.remove(id), Err(VbiError::InvalidClient(_))));
+    }
+
+    #[test]
+    fn locked_map_never_uses_the_published_table() {
+        let m = map(false);
+        let id = ClientId(3);
+        assert!(m.insert(id, cvt_for(id)));
+        for _ in 0..5 {
+            m.resolve(id).unwrap();
+        }
+        let stats = m.stats();
+        assert_eq!(stats.lockfree_hits, 0);
+        assert_eq!(stats.locked_fallbacks, 5);
+        assert_eq!(stats.generation_retries, 0);
+    }
+
+    #[test]
+    fn read_published_serves_through_the_slot() {
+        let m = map(true);
+        let id = ClientId(21);
+        let mut cvt = cvt_for(id);
+        let index = cvt.attach(Vbuid::new(SizeClass::Kib4, 9), Rwx::READ).unwrap();
+        let entry = *cvt.entry(index).unwrap();
+        assert!(m.insert(id, cvt));
+        // Nothing published in the CVT cache yet: valid window, f declines.
+        assert!(m.read_published(id, |slot| slot.reads.lookup_lockfree(index)).is_none());
+        // Fill the cache through the locked side, like a miss would.
+        {
+            let slot = m.resolve(id).unwrap();
+            let mut state = slot.lock();
+            use vbi_core::cvt_cache::ClientCvtCache;
+            state.cache.fill(id, index, entry);
+        }
+        let got = m.read_published(id, |slot| slot.reads.lookup_lockfree(index)).unwrap();
+        assert_eq!(got.vbuid().vbid(), 9);
+        // Unknown clients miss at a stable generation (no retry storm).
+        assert!(m.read_published(ClientId(500), |_| Some(())).is_none());
+    }
+
+    #[test]
+    fn recycled_slots_serve_their_new_owner() {
+        let m = map(true);
+        let old = ClientId(5);
+        assert!(m.insert(old, cvt_for(old)));
+        let (index, slot) = m.remove(old).unwrap();
+        let vbuids: Vec<Vbuid> = slot.lock().cvt.iter().map(|(_, entry)| entry.vbuid()).collect();
+        assert!(vbuids.is_empty());
+        m.recycle(index);
+        // A different ID on a different map shard reuses the same slot.
+        let new = ClientId(6);
+        assert!(m.insert(new, cvt_for(new)));
+        let slot = m.resolve(new).unwrap();
+        assert_eq!(slot.lock_acquisitions.load(Ordering::Relaxed), 0, "claim not charged");
+        assert_eq!(slot.lock().cvt.client(), new, "slot reinitialized for the new owner");
+        assert!(m.resolve(old).is_err(), "the departed owner does not resolve");
+    }
+
+    #[test]
+    fn overflowed_publish_windows_fall_back_to_the_mutex() {
+        let m = map(true);
+        // 80 clients on one map shard (IDs ≡ 1 mod 16) against 64
+        // published slots in windows of 8: some cannot publish.
+        let ids: Vec<ClientId> = (0..80u16).map(|i| ClientId(1 + i * 16)).collect();
+        for &id in &ids {
+            assert!(m.insert(id, cvt_for(id)));
+        }
+        for &id in &ids {
+            let slot = m.resolve(id).unwrap();
+            assert_eq!(slot.lock().cvt.client(), id);
+        }
+        let stats = m.stats();
+        assert!(stats.locked_fallbacks > 0, "overflowed clients resolve via the mutex");
+        assert!(stats.lockfree_hits > 0, "published clients resolve lock-free");
+        assert_eq!(
+            stats.lockfree_hits + stats.locked_fallbacks,
+            ids.len() as u64,
+            "every resolution lands on exactly one path"
+        );
+        // Tear them all down and rebuild: holes in the probe windows must
+        // not hide later inserts.
+        for &id in &ids {
+            let (index, _) = m.remove(id).unwrap();
+            m.recycle(index);
+        }
+        for &id in &ids {
+            assert!(m.insert(id, cvt_for(id)));
+            assert_eq!(m.resolve(id).unwrap().lock().cvt.client(), id);
+        }
+    }
+
+    #[test]
+    fn stats_merge_equals_a_combined_runs_counters() {
+        // Two maps process two workload halves; merging their counters
+        // must equal one map that processed both halves — the property the
+        // aggregating front ends (snapshot merges across services) rely
+        // on. Single-threaded runs are deterministic: no generation ever
+        // moves mid-read, so retries stay zero and the hit/fallback split
+        // depends only on the op sequence.
+        let run = |m: &ClientMap, base: u16, clients: u16, reads: usize| {
+            for i in 0..clients {
+                let id = ClientId(base + i);
+                assert!(m.insert(id, cvt_for(id)));
+            }
+            for i in 0..clients {
+                let id = ClientId(base + i);
+                for _ in 0..reads {
+                    m.resolve(id).unwrap();
+                }
+                let _ = m.resolve(ClientId(60_000 + i)); // stable miss
+            }
+            for i in 0..clients {
+                let (index, _) = m.remove(ClientId(base + i)).unwrap();
+                m.recycle(index);
+            }
+        };
+        let first = map(true);
+        run(&first, 0, 12, 3);
+        let second = map(true);
+        run(&second, 300, 7, 5);
+
+        let combined = map(true);
+        run(&combined, 0, 12, 3);
+        run(&combined, 300, 7, 5);
+
+        let mut merged = first.stats();
+        merged.merge(&second.stats());
+        assert_eq!(merged, combined.stats());
+        assert_eq!(merged.lockfree_hits, 12 * 3 + 7 * 5, "live reads resolve lock-free");
+        assert_eq!(merged.generation_retries, 0, "nothing races a single thread");
+        assert!(merged.locked_fallbacks >= 12 + 7, "stable misses take the mutex");
+    }
+
+    #[test]
+    fn live_lists_every_client() {
+        let m = map(true);
+        let ids: Vec<ClientId> = (0..40u16).map(ClientId).collect();
+        for &id in &ids {
+            assert!(m.insert(id, cvt_for(id)));
+        }
+        let mut live: Vec<u16> = m.live().into_iter().map(|(id, _)| id.0).collect();
+        live.sort_unstable();
+        assert_eq!(live, (0..40u16).collect::<Vec<_>>());
+    }
+}

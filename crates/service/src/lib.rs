@@ -12,13 +12,17 @@
 //!   disjoint slice of the VBID space and its own physical frames — a
 //!   VBI address names its home shard deterministically, so independent
 //!   VBs never contend on a lock;
-//! * **seqlock client state**: each client's CVT sits behind a mutex, but
-//!   its CVT cache is *published* through an epoch-validated
-//!   [`SeqCvtCache`], so the common-case read — a protection check that
-//!   hits the CVT cache — takes **zero** client-lock acquisitions (the
-//!   paper's central claim: cached translations need no MTL or OS
-//!   involvement). Control-plane ops take the mutex and bump the epoch;
-//!   readers that observe a torn epoch fall back to the locked path;
+//! * **seqlock client state, behind a seqlock client map**: each client's
+//!   CVT sits behind a mutex, but its CVT cache is *published* through an
+//!   epoch-validated [`vbi_core::cvt_cache::SeqCvtCache`] — and the
+//!   `ClientId -> slot` map itself is sharded with per-shard
+//!   generation-validated published tables (the `client_map` module), so the
+//!   common-case read — a protection check that hits the CVT cache —
+//!   takes **zero** shared-lock acquisitions end to end: no map lock, no
+//!   client lock, no shard lock (the paper's central claim: cached
+//!   translations need no MTL or OS involvement). Control-plane ops take
+//!   the mutexes and bump the epochs; readers that observe a torn epoch
+//!   retry or fall back to the locked path;
 //! * **sessions**: [`VbiService::create_client`] returns a
 //!   [`ClientSession`] that owns the client's whole API surface
 //!   (`session.load_u64(va)`, `session.request_vb(..)`), shareable across
@@ -47,17 +51,46 @@
 //!
 //! ## Locking protocol
 //!
-//! Lock order is client-state → shard; no path acquires a client lock
-//! while holding a shard lock (the engine's [`OpEnv`] contract — each
-//! state callback is entered and exited before the next). The one path
-//! holding two shard locks is the VB-remap family's
-//! `OpEnv::with_mtl_pair` (a migration's source + destination), and it
-//! always acquires them in shard-index order. That makes deadlock
-//! impossible by construction. Shard locks count contention ([`VbiService::contention`])
-//! and client locks count acquisitions
-//! ([`VbiService::client_lock_acquisitions`]) — the stress suite uses the
-//! latter to *prove* the lock-free read path takes no client lock on a
-//! CVT-cache hit.
+//! The shared-lock surface is four lock families — map-shard, client-state,
+//! MTL-shard, and the arena-index allocator — every one acquired through
+//! the counted path in the `sync` module, so
+//! [`thread_shared_lock_acquisitions`]
+//! is a complete per-thread census of it.
+//!
+//! **The read path takes none of them.** A read-kind protection check
+//! resolves its client through the map shard's published table and probes
+//! the published CVT cache *inside one generation window*, validated
+//! after the fact (`client_map`): a stable window is proof the client was
+//! live with exactly that cached translation, so slot recycling and
+//! destroy races are invisible. A moved generation means churn on the
+//! same map shard — the reader retries the window (a few atomic loads)
+//! rather than taking a lock; only a *stable* miss (cold cache,
+//! invalidated slot, unpublished client) falls back to the locked path.
+//! The stress suite asserts the census delta over a run of CVT-cache-hit
+//! reads under create/destroy churn is **exactly zero**.
+//!
+//! Lock order for everyone else:
+//!
+//! * map-shard → {allocator, client-state}: create claims and
+//!   reinitializes its slot while holding the map-shard mutex; destroy
+//!   removes under the map-shard mutex and locks the slot after release.
+//!   No path acquires a map lock while holding a client or shard lock.
+//! * client-state → MTL-shard: no path acquires a client lock while
+//!   holding a shard lock (the engine's [`OpEnv`] contract — each state
+//!   callback is entered and exited before the next).
+//! * The one path holding two MTL-shard locks is the VB-remap family's
+//!   `OpEnv::with_mtl_pair` (a migration's source + destination), always
+//!   in shard-index order; the frame-borrowing fallback
+//!   (`OpEnv::borrow_frames`) instead takes donor and adoptee locks one
+//!   at a time, never together.
+//!
+//! That makes deadlock impossible by construction. Every family counts
+//! acquisitions and contention (map traffic in
+//! [`VbiService::client_map_stats`], shard traffic in
+//! [`VbiService::contention`], client traffic in
+//! [`VbiService::client_lock_acquisitions`]); mutation paths that resolve
+//! a slot lock-free re-verify ownership under the slot lock before
+//! touching state, since slots are recycled across clients.
 //!
 //! ## Example
 //!
@@ -84,14 +117,13 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use vbi_core::addr::{SizeClass, VbiAddress, Vbuid};
 use vbi_core::client::{ClientId, ClientIdAllocator, Cvt, CvtEntry};
 use vbi_core::config::VbiConfig;
-use vbi_core::cvt_cache::{ClientCvtCache, CvtCacheStats, SeqCvtCache};
+use vbi_core::cvt_cache::{ClientCvtCache, CvtCacheStats};
 use vbi_core::error::{Result, VbiError};
 use vbi_core::mtl::{Mtl, MtlAccess};
 use vbi_core::ops::{self, Op, OpEnv, OpResult};
@@ -101,12 +133,15 @@ use vbi_core::telemetry::{OpKind, OpSample, Snapshot, Telemetry, TraceEvent};
 use vbi_core::tlb::TlbStats;
 use vbi_core::vb::VbProperties;
 
+mod client_map;
 pub mod queue;
 mod sync;
 
+use crate::client_map::{ClientMap, ClientState};
 use crate::sync::{lock_counted, unpoison};
 
 pub use queue::{Cqe, QueueDepth, Sqe, VbiQueue};
+pub use sync::thread_shared_lock_acquisitions;
 // Re-exported so `ServiceConfig::with_backing` factories can be written
 // against this crate alone.
 pub use vbi_core::swap::{BackingStore, PressureBackend};
@@ -131,6 +166,13 @@ pub struct ServiceConfig {
     /// every check through the locked path — the baseline the `read_path`
     /// bench compares against.
     pub lockfree_reads: bool,
+    /// Whether `ClientId -> ClientSlot` resolution may go through the
+    /// epoch-validated published tables of the sharded client map (default
+    /// `true`). `false` sends every resolution through a map-shard mutex —
+    /// the locked-map baseline the `read_path` bench A/Bs against. With
+    /// both this and [`ServiceConfig::lockfree_reads`] on, a CVT-cache-hit
+    /// read acquires **zero** shared locks end to end.
+    pub lockfree_client_map: bool,
     /// Factory for each shard's backing store, run once per shard at
     /// construction (default `None` = the in-memory
     /// [`vbi_core::swap::BackingStore`]). A plain `fn` pointer keeps the
@@ -142,7 +184,7 @@ pub struct ServiceConfig {
 impl ServiceConfig {
     /// A `shards`-way service over `base`.
     pub fn new(shards: usize, base: VbiConfig) -> Self {
-        Self { shards, base, lockfree_reads: true, backing: None }
+        Self { shards, base, lockfree_reads: true, lockfree_client_map: true, backing: None }
     }
 
     /// The degenerate single-shard service — byte- and stats-identical to
@@ -155,6 +197,13 @@ impl ServiceConfig {
     /// [`ServiceConfig::lockfree_reads`]).
     pub fn with_lockfree_reads(mut self, enabled: bool) -> Self {
         self.lockfree_reads = enabled;
+        self
+    }
+
+    /// Selects whether client resolution may use the lock-free published
+    /// map (see [`ServiceConfig::lockfree_client_map`]).
+    pub fn with_lockfree_client_map(mut self, enabled: bool) -> Self {
+        self.lockfree_client_map = enabled;
         self
     }
 
@@ -203,46 +252,6 @@ impl ShardLoad {
     }
 }
 
-/// The lockable half of a client's state. The CVT is authoritative; the
-/// cache handle inside is the *write side* of the seqlock-published image
-/// (its clone in [`ClientSlot::reads`] serves the lock-free path).
-#[derive(Debug)]
-struct ClientState {
-    cvt: Cvt,
-    cache: SeqCvtCache,
-}
-
-/// One client: the locked state, the lock-free read image, and the
-/// client-lock traffic counters.
-#[derive(Debug)]
-struct ClientSlot {
-    state: Mutex<ClientState>,
-    /// Clone of `state.cache` (same shared image) for lock-free readers.
-    reads: SeqCvtCache,
-    /// Client-lock acquisitions — the counter that proves cache-hit reads
-    /// take zero client locks.
-    lock_acquisitions: AtomicU64,
-    /// Client-lock acquisitions that had to block.
-    lock_contended: AtomicU64,
-}
-
-impl ClientSlot {
-    fn new(cvt: Cvt, cache_slots: usize) -> Self {
-        let cache = SeqCvtCache::new(cache_slots);
-        Self {
-            reads: cache.clone(),
-            state: Mutex::new(ClientState { cvt, cache }),
-            lock_acquisitions: AtomicU64::new(0),
-            lock_contended: AtomicU64::new(0),
-        }
-    }
-
-    /// Locks the client state, counting the acquisition.
-    fn lock(&self) -> MutexGuard<'_, ClientState> {
-        lock_counted(&self.state, &self.lock_acquisitions, &self.lock_contended)
-    }
-}
-
 /// One MTL shard plus its lock- and work-traffic counters.
 #[derive(Debug)]
 struct Shard {
@@ -257,10 +266,16 @@ struct Shard {
 struct Inner {
     config: ServiceConfig,
     shards: Vec<Shard>,
-    clients: RwLock<HashMap<ClientId, Arc<ClientSlot>>>,
+    /// The sharded, epoch-validated client map (see [`client_map`]) — the
+    /// structure that lets a CVT-cache-hit read resolve its client with
+    /// zero shared-lock acquisitions.
+    clients: ClientMap,
     ids: Mutex<ClientIdAllocator>,
     /// Round-robin cursor for placing newly requested VBs on shards.
     placement: AtomicUsize,
+    /// Frames of physical capacity moved between shards by the borrow
+    /// path ([`VbiService::frames_borrowed`]).
+    frames_borrowed: AtomicU64,
     /// The telemetry plane the engine records into (one stripe per shard).
     telemetry: Arc<Telemetry>,
 }
@@ -305,25 +320,19 @@ impl OpEnv for ServiceEnv<'_> {
     }
 
     fn try_insert_client(&mut self, id: ClientId, cvt: Cvt) -> bool {
-        let mut clients = unpoison(self.0.inner.clients.write());
-        match clients.entry(id) {
-            std::collections::hash_map::Entry::Occupied(_) => false,
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(Arc::new(ClientSlot::new(
-                    cvt,
-                    self.0.inner.config.base.cvt_cache_slots,
-                )));
-                true
-            }
-        }
+        self.0.inner.clients.insert(id, cvt)
     }
 
     fn take_client_vbuids(&mut self, id: ClientId) -> Result<Vec<Vbuid>> {
-        let slot = unpoison(self.0.inner.clients.write())
-            .remove(&id)
-            .ok_or(VbiError::InvalidClient(id))?;
-        let st = slot.lock();
-        Ok(st.cvt.iter().map(|(_, entry)| entry.vbuid()).collect())
+        let (index, slot) = self.0.inner.clients.remove(id)?;
+        let vbuids = {
+            let st = slot.lock();
+            st.cvt.iter().map(|(_, entry)| entry.vbuid()).collect()
+        };
+        // Only now may the slot be re-claimed: recycling before the CVT
+        // read could hand the arena index to a racing create.
+        self.0.inner.clients.recycle(index);
+        Ok(vbuids)
     }
 
     fn with_client<R>(
@@ -331,24 +340,52 @@ impl OpEnv for ServiceEnv<'_> {
         id: ClientId,
         f: impl FnOnce(&mut Cvt, &mut dyn vbi_core::cvt_cache::ClientCvtCache) -> R,
     ) -> Result<R> {
-        let slot = self.0.client_slot(id)?;
+        let slot = self.0.inner.clients.resolve(id)?;
         let mut st = slot.lock();
+        // The slot may have been recycled for another client between the
+        // lock-free resolution and the lock: mutate only on proof of
+        // ownership, else the caller's client is gone.
+        if st.cvt.client() != id {
+            return Err(VbiError::InvalidClient(id));
+        }
         let ClientState { cvt, cache } = &mut *st;
         Ok(f(cvt, cache))
     }
 
     fn with_client_read(&mut self, id: ClientId, index: usize) -> Result<(CvtEntry, bool)> {
-        let slot = self.0.client_slot(id)?;
-        // Fast path: an epoch-validated hit on the published CVT cache —
-        // no client lock taken, nothing mutated but atomic stat counters.
-        if self.0.inner.config.lockfree_reads {
-            if let Some(entry) = slot.reads.lookup_lockfree(index) {
+        let inner = &self.0.inner;
+        if inner.config.lockfree_reads {
+            // Fast path: map resolution *and* the published CVT-cache
+            // probe inside one epoch-validated window — zero shared locks,
+            // nothing mutated but atomic stat counters. Validating the map
+            // generation after the cache probe makes slot recycling
+            // invisible: destroying the read client bumps its map shard's
+            // generation, so a hit here is proof the client was live with
+            // this exact published entry.
+            if let Some(entry) =
+                inner.clients.read_published(id, |slot| slot.reads.lookup_lockfree(index))
+            {
                 return Ok((entry, true));
             }
+            // Locked-map baseline (`lockfree_client_map = false`): the
+            // map-shard mutex pins the slot for the probe, so the CVT
+            // cache itself still answers without a client lock.
+            if !inner.config.lockfree_client_map {
+                if let Some(entry) =
+                    inner.clients.with_locked(id, |slot| slot.reads.lookup_lockfree(index))?
+                {
+                    return Ok((entry, true));
+                }
+            }
         }
-        // Slow path (miss, torn read, or lock-free reads disabled): the
-        // locked authoritative lookup, identical to every other front end.
+        // Slow path (miss, torn read, unpublished client, or lock-free
+        // reads disabled): the locked authoritative lookup, identical to
+        // every other front end.
+        let slot = inner.clients.resolve(id)?;
         let mut st = slot.lock();
+        if st.cvt.client() != id {
+            return Err(VbiError::InvalidClient(id));
+        }
         let ClientState { cvt, cache } = &mut *st;
         ops::cvt_lookup(cvt, cache, id, index)
     }
@@ -430,13 +467,15 @@ impl OpEnv for ServiceEnv<'_> {
         // own lock in turn — no shard lock is held here, and every rewrite
         // bumps the client's seqlock epoch (via `invalidate`), so lock-free
         // readers can never serve a stale or torn entry for the moved VB.
-        let slots: Vec<(ClientId, Arc<ClientSlot>)> = unpoison(self.0.inner.clients.read())
-            .iter()
-            .map(|(id, slot)| (*id, Arc::clone(slot)))
-            .collect();
         let mut moved = 0;
-        for (id, slot) in slots {
+        for (id, slot) in self.0.inner.clients.live() {
             let mut st = slot.lock();
+            // A client destroyed (and its slot possibly recycled) since the
+            // snapshot has no entries to redirect; skip rather than touch a
+            // new owner's CVT.
+            if st.cvt.client() != id {
+                continue;
+            }
             let ClientState { cvt, cache } = &mut *st;
             for index in cvt.redirect_all(old, new) {
                 cache.invalidate(id, index);
@@ -455,6 +494,14 @@ impl OpEnv for ServiceEnv<'_> {
         // with no shard lock held (client locks only — same order as
         // `redirect_clients`).
         self.0.invalidate_published(client, index);
+    }
+
+    fn borrow_frames(&mut self, vbuid: Vbuid, count: usize) -> usize {
+        // Called by the engine after an op hit OutOfPhysicalMemory *and*
+        // eviction on the home shard came up empty (the residents are
+        // structures, not reclaimable data pages). No lock is held here;
+        // capacity moves from sibling shards one lock at a time.
+        self.0.borrow_frames_for_shard(self.0.shard_of(vbuid), count)
     }
 
     fn telemetry(&self) -> Option<&Telemetry> {
@@ -495,13 +542,19 @@ impl VbiService {
             config.base.telemetry_metrics,
             config.base.telemetry_tracing,
         ));
+        let clients = ClientMap::new(
+            config.lockfree_client_map,
+            config.base.cvt_capacity,
+            config.base.cvt_cache_slots,
+        );
         Self {
             inner: Arc::new(Inner {
                 config,
                 shards,
-                clients: RwLock::new(HashMap::new()),
+                clients,
                 ids: Mutex::new(ClientIdAllocator::new()),
                 placement: AtomicUsize::new(0),
+                frames_borrowed: AtomicU64::new(0),
                 telemetry,
             }),
         }
@@ -534,22 +587,23 @@ impl VbiService {
         self.lock_shard(self.shard_of(vbuid))
     }
 
-    fn client_slot(&self, client: ClientId) -> Result<Arc<ClientSlot>> {
-        unpoison(self.inner.clients.read())
-            .get(&client)
-            .cloned()
-            .ok_or(VbiError::InvalidClient(client))
-    }
-
     /// Reads the VB a client's CVT index points at, without touching any
     /// stats — the routing peek used by [`VbiQueue`] to pick a submission
-    /// ring. Served lock-free from the published CVT cache when possible.
+    /// ring. Served lock-free from the published map and CVT cache when
+    /// possible.
     pub(crate) fn peek_vbuid(&self, client: ClientId, cvt_index: usize) -> Option<Vbuid> {
-        let slot = self.client_slot(client).ok()?;
-        if let Some(entry) = slot.reads.peek(cvt_index) {
-            return Some(entry.vbuid());
+        if let Some(vbuid) = self
+            .inner
+            .clients
+            .read_published(client, |slot| slot.reads.peek(cvt_index).map(|entry| entry.vbuid()))
+        {
+            return Some(vbuid);
         }
+        let slot = self.inner.clients.resolve(client).ok()?;
         let st = slot.lock();
+        if st.cvt.client() != client {
+            return None;
+        }
         st.cvt.entry(cvt_index).ok().map(|entry| entry.vbuid())
     }
 
@@ -586,7 +640,7 @@ impl VbiService {
 
     /// Whether `client` is live.
     pub fn client_exists(&self, client: ClientId) -> bool {
-        unpoison(self.inner.clients.read()).contains_key(&client)
+        self.inner.clients.contains(client)
     }
 
     /// Client-lock acquisitions performed on behalf of `client` so far —
@@ -597,7 +651,7 @@ impl VbiService {
     ///
     /// Returns [`VbiError::InvalidClient`] for unknown clients.
     pub fn client_lock_acquisitions(&self, client: ClientId) -> Result<u64> {
-        Ok(self.client_slot(client)?.lock_acquisitions.load(Ordering::Relaxed))
+        Ok(self.inner.clients.resolve(client)?.lock_acquisitions.load(Ordering::Relaxed))
     }
 
     // --- batched path ----------------------------------------------------------
@@ -688,50 +742,64 @@ impl VbiService {
         let telemetry = &self.inner.telemetry;
         let armed = telemetry.armed();
         let trace_evictions = telemetry.tracing_enabled();
+        // A multi-shard drain may borrow sibling capacity for items the
+        // home shard cannot serve even after eviction; a single-shard
+        // service has no sibling, keeping it op-for-op identical to
+        // `System` (one pressure attempt per op).
+        let can_borrow = self.inner.shards.len() > 1;
         for (shard, items) in pending.iter_mut().enumerate() {
             if items.is_empty() {
                 continue;
             }
             self.inner.shards[shard].ops.fetch_add(items.len() as u64, Ordering::Relaxed);
-            let mut mtl = self.lock_shard(shard);
-            for (i, address) in items.drain(..) {
-                let timed = armed && telemetry.should_time();
-                let start = if timed { telemetry.now_ns() } else { 0 };
-                let evictions_before = if trace_evictions { mtl.stats().evictions } else { 0 };
-                let (result, fault) = ops::run_checked_pressured(&mut mtl, &batch[i], address);
-                if armed {
-                    // The drain bypasses `ops::execute`, so the batched
-                    // data plane records its own samples — the MTL half is
-                    // the op's latency here (checks were amortized up
-                    // front).
-                    let mut flags = 0u8;
-                    if result.is_err() {
-                        flags |= TraceEvent::FLAG_ERROR;
+            // (batch index, address) of items deferred to the borrow retry.
+            let mut starved: Vec<(usize, VbiAddress)> = Vec::new();
+            {
+                let mut mtl = self.lock_shard(shard);
+                for (i, address) in items.drain(..) {
+                    let timed = armed && telemetry.should_time();
+                    let start = if timed { telemetry.now_ns() } else { 0 };
+                    let evictions_before = if trace_evictions { mtl.stats().evictions } else { 0 };
+                    let (result, fault) = ops::run_checked_pressured(&mut mtl, &batch[i], address);
+                    if can_borrow && matches!(result, Err(VbiError::OutOfPhysicalMemory)) {
+                        // Defer: recorded (exactly once) by the retry pass.
+                        starved.push((i, address));
+                        continue;
                     }
+                    if armed {
+                        let evicted = trace_evictions && mtl.stats().evictions > evictions_before;
+                        self.record_drained(
+                            &batch[i], address, shard, start, timed, &result, fault, evicted,
+                        );
+                    }
+                    responses[i] = Some(result);
                     if fault {
-                        flags |= TraceEvent::FLAG_FAULT_IN;
+                        faulted.push(i);
                     }
-                    if trace_evictions && mtl.stats().evictions > evictions_before {
-                        flags |= TraceEvent::FLAG_EVICT;
-                    }
-                    telemetry.record(OpSample {
-                        kind: OpKind::of(&batch[i]),
-                        client: batch[i].client().map_or(u32::MAX, |c| u32::from(c.0)),
-                        vbid: address.vbuid().vbid(),
-                        shard: shard as u16,
-                        start_ns: start,
-                        duration_ns: if timed {
-                            telemetry.now_ns().saturating_sub(start)
-                        } else {
-                            0
-                        },
-                        flags,
-                        timed,
-                    });
                 }
-                responses[i] = Some(result);
-                if fault {
-                    faulted.push(i);
+            }
+            if !starved.is_empty() {
+                // The shard lock is released: pull capacity over, then run
+                // the starved items once more (still OOM if nothing could
+                // be borrowed — that final result is the recorded one).
+                let want = self.inner.config.base.pressure_reclaim_batch.max(starved.len());
+                self.borrow_frames_for_shard(shard, want);
+                let mut mtl = self.lock_shard(shard);
+                for (i, address) in starved {
+                    let timed = armed && telemetry.should_time();
+                    let start = if timed { telemetry.now_ns() } else { 0 };
+                    let evictions_before = if trace_evictions { mtl.stats().evictions } else { 0 };
+                    let (result, fault) = ops::run_checked_pressured(&mut mtl, &batch[i], address);
+                    if armed {
+                        let evicted = trace_evictions && mtl.stats().evictions > evictions_before;
+                        self.record_drained(
+                            &batch[i], address, shard, start, timed, &result, fault, evicted,
+                        );
+                    }
+                    responses[i] = Some(result);
+                    if fault {
+                        faulted.push(i);
+                    }
                 }
             }
         }
@@ -742,16 +810,93 @@ impl VbiService {
         }
     }
 
+    /// Records one drained data op's sample. The drain bypasses
+    /// `ops::execute`, so the batched data plane records its own samples —
+    /// the MTL half is the op's latency here (checks were amortized up
+    /// front).
+    #[allow(clippy::too_many_arguments)]
+    fn record_drained(
+        &self,
+        op: &Op,
+        address: VbiAddress,
+        shard: usize,
+        start: u64,
+        timed: bool,
+        result: &OpResult,
+        fault: bool,
+        evicted: bool,
+    ) {
+        let telemetry = &self.inner.telemetry;
+        let mut flags = 0u8;
+        if result.is_err() {
+            flags |= TraceEvent::FLAG_ERROR;
+        }
+        if fault {
+            flags |= TraceEvent::FLAG_FAULT_IN;
+        }
+        if evicted {
+            flags |= TraceEvent::FLAG_EVICT;
+        }
+        telemetry.record(OpSample {
+            kind: OpKind::of(op),
+            client: op.client().map_or(u32::MAX, |c| u32::from(c.0)),
+            vbid: address.vbuid().vbid(),
+            shard: shard as u16,
+            start_ns: start,
+            duration_ns: if timed { telemetry.now_ns().saturating_sub(start) } else { 0 },
+            flags,
+            timed,
+        });
+    }
+
     /// Invalidates the published CVT-cache slot for (`client`, `index`),
     /// bumping its seqlock epoch (the fault-in notification target).
     fn invalidate_published(&self, client: ClientId, index: usize) {
-        if let Ok(slot) = self.client_slot(client) {
+        if let Ok(slot) = self.inner.clients.resolve(client) {
             let mut st = slot.lock();
-            st.cache.invalidate(client, index);
+            // A recycled slot belongs to someone else now; the departed
+            // client has nothing published to invalidate.
+            if st.cvt.client() == client {
+                st.cache.invalidate(client, index);
+            }
         }
     }
 
     // --- capacity management ----------------------------------------------------
+
+    /// Moves up to `count` frames of physical capacity from sibling shards
+    /// to `shard` — the engine's last resort when an op hit
+    /// `OutOfPhysicalMemory` and the home shard's own eviction came up
+    /// empty (every resident frame is a translation structure or pinned).
+    /// Donors are drained in shard-index order, one lock at a time, then
+    /// the adoptee absorbs the total; no two shard locks are ever held
+    /// together here. Returns the frames actually moved.
+    fn borrow_frames_for_shard(&self, shard: usize, count: usize) -> usize {
+        let shards = self.inner.shards.len();
+        if shards <= 1 || count == 0 {
+            return 0;
+        }
+        let mut gathered: u64 = 0;
+        for donor in (0..shards).filter(|&d| d != shard) {
+            if gathered >= count as u64 {
+                break;
+            }
+            let want = (count as u64 - gathered) as usize;
+            gathered += self.lock_shard(donor).donate_frames(want);
+        }
+        if gathered > 0 {
+            self.lock_shard(shard).adopt_frames(gathered);
+            self.inner.frames_borrowed.fetch_add(gathered, Ordering::Relaxed);
+        }
+        gathered as usize
+    }
+
+    /// Total frames of physical capacity moved between shards by the
+    /// borrow path so far (see [`ServiceConfig`] and the stress suite's
+    /// structure-stranded regression test).
+    pub fn frames_borrowed(&self) -> u64 {
+        self.inner.frames_borrowed.load(Ordering::Relaxed)
+    }
 
     /// Reclaims up to `count` resident frames from the home shard of the VB
     /// behind (`client`, `index`) — the service face of the engine's
@@ -843,6 +988,13 @@ impl VbiService {
         &self.inner.telemetry
     }
 
+    /// Accumulated client-map lookup counters: lock-free published-table
+    /// hits, generation-validation retries, and authoritative (locked)
+    /// fallbacks. Also carried in [`VbiService::snapshot`].
+    pub fn client_map_stats(&self) -> vbi_core::telemetry::ClientMapStats {
+        self.inner.clients.stats()
+    }
+
     /// One unified observability snapshot: merged and per-shard
     /// [`MtlStats`], TLB and CVT-cache counters, shard lock/work traffic,
     /// per-op latency histograms, and capacity gauges — the same shape
@@ -858,7 +1010,7 @@ impl VbiService {
             tlb.merge(&self.lock_shard(shard).tlb_stats());
         }
         let mut cvt_cache = CvtCacheStats::default();
-        for slot in unpoison(self.inner.clients.read()).values() {
+        for (_, slot) in self.inner.clients.live() {
             cvt_cache.merge(&slot.reads.stats());
         }
         let telemetry = &self.inner.telemetry;
@@ -869,6 +1021,7 @@ impl VbiService {
             per_shard_mtl,
             tlb,
             cvt_cache,
+            client_map: self.inner.clients.stats(),
             shard_activity: self
                 .contention()
                 .iter()
@@ -907,7 +1060,7 @@ impl SessionHost for VbiService {
     }
 
     fn client_cvt_cache_stats(&self, client: ClientId) -> Result<CvtCacheStats> {
-        Ok(self.client_slot(client)?.reads.stats())
+        Ok(self.inner.clients.resolve(client)?.reads.stats())
     }
 
     fn store_bytes_for(

@@ -1,20 +1,41 @@
 //! Shared lock plumbing for the service crate: poisoning recovery and
-//! counted lock acquisition, defined once for the shard and client locks of
-//! [`crate::VbiService`] and the rings of [`crate::VbiQueue`].
+//! counted lock acquisition, defined once for the map, shard, and client
+//! locks of [`crate::VbiService`] and the rings of [`crate::VbiQueue`].
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, TryLockError};
 
 pub(crate) use vbi_core::sync::unpoison;
 
+thread_local! {
+    /// Shared-lock acquisitions made *by this thread* through
+    /// [`lock_counted`] — every map-shard, client-state, MTL-shard, and
+    /// allocator mutex in the service funnels through that one function,
+    /// so this counter is a per-thread census of the service's entire
+    /// shared-lock surface. The stress suite snapshots it around a run of
+    /// CVT-cache-hit reads to prove the read path takes exactly zero
+    /// shared locks end to end.
+    static SHARED_LOCK_ACQUISITIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Shared-lock acquisitions the calling thread has made through the
+/// service's counted locks since it started. Monotonic per thread; take a
+/// before/after delta around the region of interest.
+pub fn thread_shared_lock_acquisitions() -> u64 {
+    SHARED_LOCK_ACQUISITIONS.with(Cell::get)
+}
+
 /// Locks `mutex`, incrementing `acquisitions` always and `contended` when
 /// the lock was held and the caller had to block — the instrumented
-/// acquisition every counted lock in the service goes through.
+/// acquisition every counted lock in the service goes through. Also bumps
+/// the calling thread's [`thread_shared_lock_acquisitions`] census.
 pub(crate) fn lock_counted<'a, T>(
     mutex: &'a Mutex<T>,
     acquisitions: &AtomicU64,
     contended: &AtomicU64,
 ) -> MutexGuard<'a, T> {
+    SHARED_LOCK_ACQUISITIONS.with(|c| c.set(c.get() + 1));
     acquisitions.fetch_add(1, Ordering::Relaxed);
     match mutex.try_lock() {
         Ok(guard) => guard,

@@ -471,6 +471,11 @@ pub struct ReadPathConfig {
     pub vbs: usize,
     /// `true` = seqlock fast path enabled; `false` = locked baseline.
     pub lockfree: bool,
+    /// `true` = epoch-validated sharded client map (reads resolve the
+    /// client without any shared lock); `false` = authoritative-mutex
+    /// client map — the pre-redesign baseline the A/B gate compares
+    /// against.
+    pub lockfree_map: bool,
     /// Whether the telemetry metrics registry is armed (per-op counters and
     /// latency histograms at the engine's execute boundary). `false` is the
     /// uninstrumented baseline the `BENCH_telemetry` overhead bench
@@ -488,6 +493,7 @@ impl Default for ReadPathConfig {
             ops_per_thread: 50_000,
             vbs: 16,
             lockfree: true,
+            lockfree_map: true,
             telemetry: true,
             phys_frames: 1 << 16,
         }
@@ -501,6 +507,8 @@ pub struct ReadPathReport {
     pub threads: usize,
     /// Whether the lock-free fast path was enabled.
     pub lockfree: bool,
+    /// Whether the epoch-validated sharded client map was enabled.
+    pub lockfree_map: bool,
     /// Loads completed across all readers.
     pub total_ops: u64,
     /// Wall-clock seconds of the read phase only (setup and warm-up are
@@ -513,6 +521,10 @@ pub struct ReadPathReport {
     pub client_locks: u64,
     /// CVT-cache stats delta of the read phase.
     pub cache: vbi_core::cvt_cache::CvtCacheStats,
+    /// Client-map stats delta of the read phase: with the lock-free map
+    /// every read resolves as a `lockfree_hits`; with the locked baseline
+    /// every read is a `locked_fallbacks`.
+    pub map: vbi_core::telemetry::ClientMapStats,
 }
 
 impl ReadPathReport {
@@ -524,6 +536,7 @@ impl ReadPathReport {
         vbi_core::telemetry::json_object(&[
             ("threads", J::U(self.threads as u64)),
             ("lockfree", J::B(self.lockfree)),
+            ("lockfree_map", J::B(self.lockfree_map)),
             ("total_ops", J::U(self.total_ops)),
             ("elapsed_secs", J::F(self.elapsed_secs, 6)),
             ("ops_per_sec", J::F(self.ops_per_sec, 0)),
@@ -531,6 +544,9 @@ impl ReadPathReport {
             ("lockfree_hits", J::U(self.cache.lockfree_hits)),
             ("locked_hits", J::U(self.cache.locked_hits)),
             ("torn_retries", J::U(self.cache.torn_retries)),
+            ("map_lockfree_hits", J::U(self.map.lockfree_hits)),
+            ("map_generation_retries", J::U(self.map.generation_retries)),
+            ("map_locked_fallbacks", J::U(self.map.locked_fallbacks)),
         ])
     }
 }
@@ -554,7 +570,8 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
                 ..VbiConfig::vbi_full()
             },
         )
-        .with_lockfree_reads(config.lockfree),
+        .with_lockfree_reads(config.lockfree)
+        .with_lockfree_client_map(config.lockfree_map),
     );
     let session = service.create_client().expect("fresh service");
     let handles: Vec<VbHandle> = (0..config.vbs)
@@ -571,6 +588,7 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
     }
     let locks_before = service.client_lock_acquisitions(session.id()).expect("live client");
     let cache_before = session.cvt_cache_stats().expect("live client");
+    let map_before = service.client_map_stats();
 
     let started = Instant::now();
     std::thread::scope(|scope| {
@@ -588,6 +606,9 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
     });
     let elapsed = started.elapsed().as_secs_f64();
 
+    // Snap the map delta first: the stats accessors below resolve the
+    // client through the map themselves and would pollute the count.
+    let map_after = service.client_map_stats();
     let client_locks =
         service.client_lock_acquisitions(session.id()).expect("live client") - locks_before;
     let cache_after = session.cvt_cache_stats().expect("live client");
@@ -595,6 +616,7 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
     ReadPathReport {
         threads: config.threads,
         lockfree: config.lockfree,
+        lockfree_map: config.lockfree_map,
         total_ops,
         elapsed_secs: elapsed,
         ops_per_sec: if elapsed > 0.0 { total_ops as f64 / elapsed } else { 0.0 },
@@ -604,6 +626,11 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
             locked_hits: cache_after.locked_hits - cache_before.locked_hits,
             misses: cache_after.misses - cache_before.misses,
             torn_retries: cache_after.torn_retries - cache_before.torn_retries,
+        },
+        map: vbi_core::telemetry::ClientMapStats {
+            lockfree_hits: map_after.lockfree_hits - map_before.lockfree_hits,
+            generation_retries: map_after.generation_retries - map_before.generation_retries,
+            locked_fallbacks: map_after.locked_fallbacks - map_before.locked_fallbacks,
         },
     }
 }
@@ -895,6 +922,24 @@ mod tests {
         assert_eq!(locked.client_locks, 1_000, "baseline locks once per read");
         assert_eq!(locked.cache.lockfree_hits, 0);
         assert_eq!(locked.cache.locked_hits, 1_000);
+    }
+
+    #[test]
+    fn read_path_run_counts_the_client_map_variants() {
+        let base =
+            ReadPathConfig { threads: 2, shards: 2, ops_per_thread: 500, ..Default::default() };
+        let fast = read_path_run(&ReadPathConfig { lockfree_map: true, ..base.clone() });
+        assert_eq!(fast.map.lockfree_hits, 1_000, "every read resolves through the published map");
+        assert_eq!(fast.map.locked_fallbacks, 0, "warm readers never touch the map mutex");
+        let json = fast.to_json();
+        assert!(json.contains("\"lockfree_map\":true"), "{json}");
+        assert!(json.contains("\"map_lockfree_hits\":1000"), "{json}");
+
+        let locked = read_path_run(&ReadPathConfig { lockfree_map: false, ..base });
+        assert_eq!(locked.map.lockfree_hits, 0, "the locked map never serves published reads");
+        assert_eq!(locked.map.locked_fallbacks, 1_000, "baseline resolves through the mutex");
+        assert_eq!(locked.map.generation_retries, 0);
+        assert_eq!(locked.client_locks, 0, "the map baseline still spares the client mutex");
     }
 
     #[test]
