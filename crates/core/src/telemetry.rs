@@ -843,6 +843,15 @@ pub struct ClientMapStats {
     pub generation_retries: u64,
     /// Resolutions that took the authoritative map-shard mutex.
     pub locked_fallbacks: u64,
+    /// Slot-arena chunks materialized so far. Chunks are never freed, so
+    /// this is the map's permanent memory footprint in chunk units — a
+    /// long-lived service watches it to see client-churn fragmentation.
+    pub arena_chunks: u64,
+    /// Arena slots currently owned by a live client.
+    pub slots_live: u64,
+    /// Arena slots whose client was destroyed, parked on the free list
+    /// awaiting reuse (dead weight until the next create claims them).
+    pub slots_dead: u64,
 }
 
 impl ClientMapStats {
@@ -853,12 +862,25 @@ impl ClientMapStats {
     }
 
     /// Accumulates another map's counters into this one (front ends built
-    /// on top of the service aggregate into one report).
+    /// on top of the service aggregate into one report). The arena gauges
+    /// sum too: merged maps report the combined footprint, matching a
+    /// combined run when the workloads touch disjoint slot ranges (the
+    /// merge test pins this with chunk-filling runs).
     pub fn merge(&mut self, other: &ClientMapStats) {
-        let ClientMapStats { lockfree_hits, generation_retries, locked_fallbacks } = other;
+        let ClientMapStats {
+            lockfree_hits,
+            generation_retries,
+            locked_fallbacks,
+            arena_chunks,
+            slots_live,
+            slots_dead,
+        } = other;
         self.lockfree_hits += lockfree_hits;
         self.generation_retries += generation_retries;
         self.locked_fallbacks += locked_fallbacks;
+        self.arena_chunks += arena_chunks;
+        self.slots_live += slots_live;
+        self.slots_dead += slots_dead;
     }
 }
 
@@ -874,6 +896,14 @@ pub struct QueueActivity {
     pub high_water: u64,
     /// Completions ever produced.
     pub completed: u64,
+    /// High-water mark of ops in flight at once (submitted, completion not
+    /// yet posted) — how deep the pipeline actually got.
+    pub inflight_high_water: u64,
+    /// Async submissions that had to *wait* for an in-flight budget slot
+    /// before entering the rings (the backpressure that keeps slow
+    /// completion consumers from growing the completion state without
+    /// bound). Zero for purely synchronous use.
+    pub backpressure_waits: u64,
 }
 
 /// One serializable view of a whole front end: MTL/TLB/CVT-cache counters,
@@ -1005,6 +1035,9 @@ impl Snapshot {
                     ("lockfree_hits", J::U(self.client_map.lockfree_hits)),
                     ("generation_retries", J::U(self.client_map.generation_retries)),
                     ("locked_fallbacks", J::U(self.client_map.locked_fallbacks)),
+                    ("arena_chunks", J::U(self.client_map.arena_chunks)),
+                    ("slots_live", J::U(self.client_map.slots_live)),
+                    ("slots_dead", J::U(self.client_map.slots_dead)),
                 ])),
             ),
             ("shard_activity", J::Raw(format!("[{}]", shard_json.join(",")))),
@@ -1027,6 +1060,8 @@ impl Snapshot {
                     ("in_flight", J::U(q.in_flight)),
                     ("high_water", J::U(q.high_water)),
                     ("completed", J::U(q.completed)),
+                    ("inflight_high_water", J::U(q.inflight_high_water)),
+                    ("backpressure_waits", J::U(q.backpressure_waits)),
                 ])),
             ));
         }
@@ -1067,6 +1102,9 @@ impl Snapshot {
         line("client_map_lockfree_hits", &fe, self.client_map.lockfree_hits.to_string());
         line("client_map_generation_retries", &fe, self.client_map.generation_retries.to_string());
         line("client_map_locked_fallbacks", &fe, self.client_map.locked_fallbacks.to_string());
+        line("client_map_arena_chunks", &fe, self.client_map.arena_chunks.to_string());
+        line("client_map_slots_live", &fe, self.client_map.slots_live.to_string());
+        line("client_map_slots_dead", &fe, self.client_map.slots_dead.to_string());
         line("free_frames", &fe, self.free_frames.to_string());
         line("swap_occupancy_pages", &fe, self.swap_occupancy.to_string());
         for (i, s) in self.shard_activity.iter().enumerate() {
@@ -1089,6 +1127,8 @@ impl Snapshot {
             line("queue_in_flight", &fe, q.in_flight.to_string());
             line("queue_depth_high_water", &fe, q.high_water.to_string());
             line("queue_completed", &fe, q.completed.to_string());
+            line("queue_inflight_high_water", &fe, q.inflight_high_water.to_string());
+            line("queue_backpressure_waits", &fe, q.backpressure_waits.to_string());
         }
         out
     }
@@ -1533,11 +1573,32 @@ mod tests {
 
     #[test]
     fn client_map_stats_merge_sums_every_field() {
-        let mut a = ClientMapStats { lockfree_hits: 5, generation_retries: 1, locked_fallbacks: 2 };
-        a.merge(&ClientMapStats { lockfree_hits: 3, generation_retries: 4, locked_fallbacks: 6 });
+        let mut a = ClientMapStats {
+            lockfree_hits: 5,
+            generation_retries: 1,
+            locked_fallbacks: 2,
+            arena_chunks: 1,
+            slots_live: 10,
+            slots_dead: 3,
+        };
+        a.merge(&ClientMapStats {
+            lockfree_hits: 3,
+            generation_retries: 4,
+            locked_fallbacks: 6,
+            arena_chunks: 2,
+            slots_live: 7,
+            slots_dead: 1,
+        });
         assert_eq!(
             a,
-            ClientMapStats { lockfree_hits: 8, generation_retries: 5, locked_fallbacks: 8 }
+            ClientMapStats {
+                lockfree_hits: 8,
+                generation_retries: 5,
+                locked_fallbacks: 8,
+                arena_chunks: 3,
+                slots_live: 17,
+                slots_dead: 4,
+            }
         );
         assert_eq!(a.lookups(), 16, "retries are attempts, not lookups");
     }
@@ -1564,6 +1625,9 @@ mod tests {
                 lockfree_hits: 40,
                 generation_retries: 2,
                 locked_fallbacks: 10,
+                arena_chunks: 1,
+                slots_live: 4,
+                slots_dead: 0,
             },
             shard_activity: vec![
                 ShardActivity { acquisitions: 5, contended: 1, ops_executed: 25 },
@@ -1573,7 +1637,14 @@ mod tests {
             ops_per_stripe: t.ops_per_stripe(),
             free_frames: 1024,
             swap_occupancy: 3,
-            queue: Some(QueueActivity { queued: 0, in_flight: 2, high_water: 9, completed: 48 }),
+            queue: Some(QueueActivity {
+                queued: 0,
+                in_flight: 2,
+                high_water: 9,
+                completed: 48,
+                inflight_high_water: 6,
+                backpressure_waits: 11,
+            }),
         };
         let json = snap.to_json();
         check_json(&json);
@@ -1582,8 +1653,11 @@ mod tests {
         assert!(json.contains("\"high_water\":9"));
         assert!(json.contains("\"ops_executed\":25"));
         assert!(json.contains(
-            "\"client_map\":{\"generation_retries\":2,\"locked_fallbacks\":10,\"lockfree_hits\":40}"
+            "\"client_map\":{\"arena_chunks\":1,\"generation_retries\":2,\"locked_fallbacks\":10,\
+             \"lockfree_hits\":40,\"slots_dead\":0,\"slots_live\":4}"
         ));
+        assert!(json.contains("\"inflight_high_water\":6"));
+        assert!(json.contains("\"backpressure_waits\":11"));
         assert_eq!(snap.total_ops(), 50);
 
         let prom = snap.to_prometheus();
@@ -1595,6 +1669,11 @@ mod tests {
         assert!(prom.contains("vbi_client_map_lockfree_hits{front_end=\"service\"} 40"));
         assert!(prom.contains("vbi_client_map_generation_retries{front_end=\"service\"} 2"));
         assert!(prom.contains("vbi_client_map_locked_fallbacks{front_end=\"service\"} 10"));
+        assert!(prom.contains("vbi_client_map_arena_chunks{front_end=\"service\"} 1"));
+        assert!(prom.contains("vbi_client_map_slots_live{front_end=\"service\"} 4"));
+        assert!(prom.contains("vbi_client_map_slots_dead{front_end=\"service\"} 0"));
+        assert!(prom.contains("vbi_queue_inflight_high_water{front_end=\"service\"} 6"));
+        assert!(prom.contains("vbi_queue_backpressure_waits{front_end=\"service\"} 11"));
         for l in prom.lines() {
             assert!(l.starts_with("vbi_"), "unprefixed line {l:?}");
             assert!(l.rsplit(' ').next().unwrap().parse::<f64>().is_ok(), "bad value in {l:?}");

@@ -473,12 +473,25 @@ impl ClientMap {
         out
     }
 
-    /// Accumulated lookup counters.
+    /// Accumulated lookup counters plus arena-occupancy gauges. The gauges
+    /// come from the index allocator: every live client holds exactly one
+    /// arena index, so `next - free` is the live population and the free
+    /// list is the dead (recycled-but-reusable) population. An index
+    /// between [`ClientMap::remove`] and [`ClientMap::recycle`] still
+    /// counts as live — the gauge is advisory, not a barrier.
     pub(crate) fn stats(&self) -> ClientMapStats {
+        let (slots_live, slots_dead) = {
+            let alloc =
+                lock_counted(&self.allocator, &self.alloc_acquisitions, &self.alloc_contended);
+            (u64::from(alloc.next) - alloc.free.len() as u64, alloc.free.len() as u64)
+        };
         ClientMapStats {
             lockfree_hits: self.lockfree_hits.load(Ordering::Relaxed),
             generation_retries: self.generation_retries.load(Ordering::Relaxed),
             locked_fallbacks: self.locked_fallbacks.load(Ordering::Relaxed),
+            arena_chunks: self.arena.chunks.iter().filter(|c| c.get().is_some()).count() as u64,
+            slots_live,
+            slots_dead,
         }
     }
 }
@@ -638,10 +651,51 @@ mod tests {
 
         let mut merged = first.stats();
         merged.merge(&second.stats());
-        assert_eq!(merged, combined.stats());
+        let both = combined.stats();
+        // Lookup *counters* compose across runs. The arena gauges do not
+        // here — the combined run recycles the first half's freed slots —
+        // so they get their own chunk-aligned test below.
+        assert_eq!(merged.lockfree_hits, both.lockfree_hits);
+        assert_eq!(merged.generation_retries, both.generation_retries);
+        assert_eq!(merged.locked_fallbacks, both.locked_fallbacks);
         assert_eq!(merged.lockfree_hits, 12 * 3 + 7 * 5, "live reads resolve lock-free");
         assert_eq!(merged.generation_retries, 0, "nothing races a single thread");
         assert!(merged.locked_fallbacks >= 12 + 7, "stable misses take the mutex");
+    }
+
+    #[test]
+    fn arena_gauges_merge_equals_a_combined_run() {
+        // Gauges sum across *distinct* maps (two services aggregated into
+        // one snapshot report the combined footprint). Construct halves
+        // whose combined run allocates the same slots the halves allocate
+        // separately: whole chunks per half, destruction only in the last
+        // half so the combined run's later inserts cannot recycle earlier
+        // frees.
+        let fill = |m: &ClientMap, base: u16, clients: u16, destroy: u16| {
+            for i in 0..clients {
+                let id = ClientId(base + i);
+                assert!(m.insert(id, cvt_for(id)));
+            }
+            for i in 0..destroy {
+                let (index, _) = m.remove(ClientId(base + i)).unwrap();
+                m.recycle(index);
+            }
+        };
+        let first = map(true);
+        fill(&first, 0, ARENA_CHUNK as u16, 0);
+        let second = map(true);
+        fill(&second, ARENA_CHUNK as u16, ARENA_CHUNK as u16, 48);
+
+        let combined = map(true);
+        fill(&combined, 0, ARENA_CHUNK as u16, 0);
+        fill(&combined, ARENA_CHUNK as u16, ARENA_CHUNK as u16, 48);
+
+        let mut merged = first.stats();
+        merged.merge(&second.stats());
+        assert_eq!(merged, combined.stats());
+        assert_eq!(merged.arena_chunks, 2, "each half filled exactly one chunk");
+        assert_eq!(merged.slots_live, 2 * ARENA_CHUNK as u64 - 48);
+        assert_eq!(merged.slots_dead, 48, "destroyed slots park on the free list");
     }
 
     #[test]

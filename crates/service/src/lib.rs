@@ -38,7 +38,12 @@
 //!   entry;
 //! * an **asynchronous front end** ([`VbiQueue`], in [`queue`]): per-shard
 //!   worker threads drain submission rings and post tagged completions, so
-//!   clients pipeline requests without blocking on shard locks.
+//!   clients pipeline requests without blocking on shard locks;
+//! * a **waker-driven async surface** ([`AsyncSession`], in
+//!   [`async_session`]): `async fn` verbs over the queue whose completions
+//!   wake parked futures directly (no polling reaper), with per-session
+//!   in-flight budgets for backpressure and a std-only executor — tens of
+//!   thousands of concurrent logical clients on a handful of OS threads.
 //!
 //! Every request executes through the one op engine in [`vbi_core::ops`] —
 //! the service holds **no** permission, CVT-cache, or stat logic of its
@@ -133,6 +138,7 @@ use vbi_core::telemetry::{OpKind, OpSample, Snapshot, Telemetry, TraceEvent};
 use vbi_core::tlb::TlbStats;
 use vbi_core::vb::VbProperties;
 
+pub mod async_session;
 mod client_map;
 pub mod queue;
 mod sync;
@@ -140,6 +146,7 @@ mod sync;
 use crate::client_map::{ClientMap, ClientState};
 use crate::sync::{lock_counted, unpoison};
 
+pub use async_session::{block_on, AsyncFront, AsyncSession, Executor, DEFAULT_SESSION_BUDGET};
 pub use queue::{Cqe, QueueDepth, Sqe, VbiQueue};
 pub use sync::thread_shared_lock_acquisitions;
 // Re-exported so `ServiceConfig::with_backing` factories can be written

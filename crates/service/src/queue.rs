@@ -45,6 +45,21 @@ use vbi_core::ops::{Op, OpResult};
 use crate::sync::unpoison;
 use crate::{ServiceConfig, ServiceSession, VbiService};
 
+/// Tag bit reserved for the async front end
+/// ([`crate::async_session::AsyncFront`]): completions whose tag carries it
+/// are dispatched to the installed [`CompletionHook`] (waking the awaiting
+/// future) instead of being posted to the shared completion queue. Callers
+/// reaping by hand should not mint tags with this bit set.
+pub(crate) const ASYNC_TAG_BIT: u64 = 1 << 63;
+
+/// Where async completions go: installed once by the async front end, then
+/// invoked by every shard worker for tags carrying [`ASYNC_TAG_BIT`]. The
+/// hook runs on the worker thread, so implementations must be short — take
+/// a waker out of a registry and wake it, nothing more.
+pub(crate) trait CompletionHook: Send + Sync + std::fmt::Debug {
+    fn complete(&self, tag: u64, result: OpResult);
+}
+
 /// A submission-queue entry: one operation plus the caller's tag, echoed
 /// verbatim on the completion so pipelined requests can be told apart.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,11 +148,17 @@ struct CqState {
     ready: VecDeque<Cqe>,
     /// Submitted ops whose completion has not been posted yet.
     in_flight: u64,
+    /// High-water mark of `in_flight` — how deep the synchronous pipeline
+    /// actually got (async submissions are metered separately, outside
+    /// this mutex — see `Shared::async_in_flight`).
+    inflight_high_water: u64,
 }
 
 impl CompletionQueue {
     fn begin(&self) {
-        unpoison(self.state.lock()).in_flight += 1;
+        let mut state = unpoison(self.state.lock());
+        state.in_flight += 1;
+        state.inflight_high_water = state.inflight_high_water.max(state.in_flight);
     }
 
     fn post(&self, cqe: Cqe) {
@@ -174,6 +195,10 @@ impl CompletionQueue {
     fn in_flight(&self) -> u64 {
         unpoison(self.state.lock()).in_flight
     }
+
+    fn inflight_high_water(&self) -> u64 {
+        unpoison(self.state.lock()).inflight_high_water
+    }
 }
 
 #[derive(Debug)]
@@ -186,6 +211,21 @@ struct Shared {
     high_water: AtomicUsize,
     /// Completions posted over the queue's lifetime.
     completed: AtomicU64,
+    /// In-flight async (hook-dispatched) ops, metered outside the CQ
+    /// mutex: their completions never enter the shared completion queue,
+    /// so their accounting must not serialize on it either — with the
+    /// rings per-shard and the registry striped, this keeps the async hot
+    /// path free of *any* shared lock. Reapers ignore them by
+    /// construction (nothing will ever be posted for these tags).
+    async_in_flight: AtomicU64,
+    /// High-water mark of `async_in_flight`.
+    async_inflight_high_water: AtomicU64,
+    /// Async submissions that parked waiting for an in-flight budget slot
+    /// (bumped by the async front end's backpressure gate).
+    backpressure_waits: AtomicU64,
+    /// Async completion dispatch, installed at most once (see
+    /// [`CompletionHook`]).
+    hook: std::sync::OnceLock<Arc<dyn CompletionHook>>,
 }
 
 /// The io_uring-style front end over a [`VbiService`]. See the [module
@@ -216,6 +256,10 @@ impl VbiQueue {
             queued: AtomicUsize::new(0),
             high_water: AtomicUsize::new(0),
             completed: AtomicU64::new(0),
+            async_in_flight: AtomicU64::new(0),
+            async_inflight_high_water: AtomicU64::new(0),
+            backpressure_waits: AtomicU64::new(0),
+            hook: std::sync::OnceLock::new(),
         });
         let workers = (0..shards)
             .map(|ring| {
@@ -251,7 +295,12 @@ impl VbiQueue {
     /// routing costs at most a client-state peek.
     pub fn submit(&self, tag: u64, op: Op) {
         let ring = self.route(&op);
-        self.shared.cq.begin();
+        if tag & ASYNC_TAG_BIT != 0 && self.shared.hook.get().is_some() {
+            let depth = self.shared.async_in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.shared.async_inflight_high_water.fetch_max(depth, Ordering::Relaxed);
+        } else {
+            self.shared.cq.begin();
+        }
         let depth = self.shared.queued.fetch_add(1, Ordering::Relaxed) + 1;
         self.shared.high_water.fetch_max(depth, Ordering::Relaxed);
         self.shared.rings[ring].push(Sqe { tag, op });
@@ -323,14 +372,51 @@ impl VbiQueue {
         out
     }
 
-    /// Ops submitted whose completions have not been *posted* yet.
+    /// Ops submitted whose completions have not been *posted* yet
+    /// (synchronous pipeline plus async ops not yet dispatched).
     pub fn in_flight(&self) -> u64 {
-        self.shared.cq.in_flight()
+        self.shared.cq.in_flight() + self.shared.async_in_flight.load(Ordering::SeqCst)
     }
 
-    /// Completions posted over the queue's lifetime (reaped or not).
+    /// Completions posted over the queue's lifetime (reaped or not),
+    /// including async completions dispatched to futures.
     pub fn completed(&self) -> u64 {
         self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of ops in flight at once (submitted, completion not
+    /// yet posted or consumed) over the queue's lifetime. The synchronous
+    /// and async pipelines are metered independently (the async side never
+    /// touches the CQ mutex); this reports the deeper of the two.
+    pub fn inflight_high_water(&self) -> u64 {
+        self.shared
+            .cq
+            .inflight_high_water()
+            .max(self.shared.async_inflight_high_water.load(Ordering::Relaxed))
+    }
+
+    /// Async submissions that parked waiting for an in-flight budget slot
+    /// — nonzero means backpressure actually engaged.
+    pub fn backpressure_waits(&self) -> u64 {
+        self.shared.backpressure_waits.load(Ordering::Relaxed)
+    }
+
+    /// Counts one async submission that had to wait for budget.
+    pub(crate) fn note_backpressure_wait(&self) {
+        self.shared.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Installs the async completion hook. At most one front end may own
+    /// the async tag space of a queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hook is already installed.
+    pub(crate) fn install_hook(&self, hook: Arc<dyn CompletionHook>) {
+        assert!(
+            self.shared.hook.set(hook).is_ok(),
+            "async completion hook already installed: one AsyncFront per VbiQueue"
+        );
     }
 
     /// A snapshot of the queue occupancy (ring depth, in-flight count,
@@ -357,6 +443,8 @@ impl VbiQueue {
             in_flight: depth.in_flight,
             high_water: depth.high_water as u64,
             completed: self.completed(),
+            inflight_high_water: self.inflight_high_water(),
+            backpressure_waits: self.backpressure_waits(),
         });
         snapshot
     }
@@ -410,7 +498,17 @@ fn worker_loop(ring: usize, service: &VbiService, shared: &Shared) {
                 Err(VbiError::EngineFault(message))
             });
         shared.completed.fetch_add(1, Ordering::Relaxed);
-        shared.cq.post(Cqe { tag, result });
+        // Async completions bypass the shared CQ entirely: the hook wakes
+        // the awaiting future directly, and the in-flight count retires on
+        // its own atomic — no entry accumulates for a reaper that will
+        // never come, and no shared mutex sits on the dispatch path.
+        match shared.hook.get() {
+            Some(hook) if tag & ASYNC_TAG_BIT != 0 => {
+                shared.async_in_flight.fetch_sub(1, Ordering::SeqCst);
+                hook.complete(tag, result);
+            }
+            _ => shared.cq.post(Cqe { tag, result }),
+        }
     }
 }
 

@@ -9,9 +9,12 @@
 //! in queue mode, the submission-ring high-water depth). A fourth driver,
 //! [`migration_run`], hammers VBs with readers while a churn thread
 //! migrates them between shards through the engine's `Op::Migrate`,
-//! asserting byte-exactness throughout. These are the drivers behind the
-//! `service`, `queue`, `read_path`, and `migration` benches in `vbi-bench`
-//! and the equivalence/stress suites at the workspace root.
+//! asserting byte-exactness throughout; a fifth, [`async_run`], multiplexes
+//! thousands of awaited [`AsyncSession`](vbi_service::AsyncSession) tasks
+//! on one executor thread and reports wake-to-complete latency and
+//! backpressure engagement. These are the drivers behind the `service`,
+//! `queue`, `read_path`, `migration`, and `async_sessions` benches in
+//! `vbi-bench` and the equivalence/stress suites at the workspace root.
 //!
 //! The same replay is exposed in deterministic single-threaded form
 //! ([`replay_on_system`] / [`replay_on_service`]) so a fixed trace can be
@@ -631,6 +634,10 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
             lockfree_hits: map_after.lockfree_hits - map_before.lockfree_hits,
             generation_retries: map_after.generation_retries - map_before.generation_retries,
             locked_fallbacks: map_after.locked_fallbacks - map_before.locked_fallbacks,
+            // Gauges are end-of-run occupancy, not deltas.
+            arena_chunks: map_after.arena_chunks,
+            slots_live: map_after.slots_live,
+            slots_dead: map_after.slots_dead,
         },
     }
 }
@@ -857,6 +864,213 @@ pub fn migration_run(config: &MigrationRunConfig) -> MigrationRunReport {
     }
 }
 
+/// Configuration of one async-session run ([`async_run`]): N cooperative
+/// tasks, each awaiting its ops through an
+/// [`AsyncSession`](vbi_service::AsyncSession), all multiplexed on **one**
+/// executor thread while the queue's per-shard workers execute — the
+/// "many concurrent clients on a handful of threads" scenario.
+#[derive(Debug, Clone)]
+pub struct AsyncRunConfig {
+    /// Concurrent async tasks (each a logical client session).
+    pub tasks: usize,
+    /// Ops each task awaits (alternating store / load-check of its slot).
+    pub ops_per_task: usize,
+    /// MTL shards (= queue worker threads).
+    pub shards: usize,
+    /// In-flight budget per session (the backpressure bound).
+    pub inflight_per_session: usize,
+    /// Cap on distinct clients: tasks share sessions round-robin above it
+    /// (the `ClientId` space is 2^16, the task space is not).
+    pub clients: usize,
+    /// Total physical frames of the machine.
+    pub phys_frames: u64,
+    /// Record per-op await latency (two clock reads + a histogram record
+    /// per op). Off for pure-throughput comparisons — the gate in
+    /// `BENCH_async` must not charge the async side for instrumentation
+    /// its baseline doesn't pay; the percentile fields report 0 then.
+    pub measure_latency: bool,
+}
+
+impl Default for AsyncRunConfig {
+    fn default() -> Self {
+        Self {
+            tasks: 1_000,
+            ops_per_task: 20,
+            shards: 2,
+            inflight_per_session: 4,
+            clients: 256,
+            phys_frames: 1 << 16,
+            measure_latency: true,
+        }
+    }
+}
+
+/// Report of one async-session run.
+#[derive(Debug, Clone)]
+pub struct AsyncRunReport {
+    /// Concurrent tasks of the run.
+    pub tasks: usize,
+    /// Distinct clients the tasks shared.
+    pub clients: usize,
+    /// Shard count (= queue worker threads).
+    pub shards: usize,
+    /// Per-session in-flight budget.
+    pub inflight_per_session: usize,
+    /// Ops awaited across all tasks.
+    pub total_ops: u64,
+    /// Completions the queue produced for them (must equal `total_ops` —
+    /// asserted by the run).
+    pub completions: u64,
+    /// Wall-clock seconds of the executor's whole run.
+    pub elapsed_secs: f64,
+    /// Throughput in awaited operations per second.
+    pub ops_per_sec: f64,
+    /// Median wake-to-complete latency of one awaited op (submit → future
+    /// resolved, budget wait included), in nanoseconds.
+    pub p50_await_ns: u64,
+    /// 99th-percentile wake-to-complete latency, in nanoseconds.
+    pub p99_await_ns: u64,
+    /// High-water mark of SQEs queued at once.
+    pub max_queue_depth: usize,
+    /// High-water mark of ops in flight at once.
+    pub inflight_high_water: u64,
+    /// Submissions that parked for budget (backpressure engagements).
+    pub backpressure_waits: u64,
+}
+
+impl AsyncRunReport {
+    /// One-line JSON rendering via the shared
+    /// [`json_object`](vbi_core::telemetry::json_object) emitter: sorted
+    /// keys, schema-stable.
+    pub fn to_json(&self) -> String {
+        use vbi_core::telemetry::JsonValue as J;
+        vbi_core::telemetry::json_object(&[
+            ("tasks", J::U(self.tasks as u64)),
+            ("clients", J::U(self.clients as u64)),
+            ("shards", J::U(self.shards as u64)),
+            ("inflight_per_session", J::U(self.inflight_per_session as u64)),
+            ("total_ops", J::U(self.total_ops)),
+            ("completions", J::U(self.completions)),
+            ("elapsed_secs", J::F(self.elapsed_secs, 6)),
+            ("ops_per_sec", J::F(self.ops_per_sec, 0)),
+            ("p50_await_ns", J::U(self.p50_await_ns)),
+            ("p99_await_ns", J::U(self.p99_await_ns)),
+            ("max_queue_depth", J::U(self.max_queue_depth as u64)),
+            ("inflight_high_water", J::U(self.inflight_high_water)),
+            ("backpressure_waits", J::U(self.backpressure_waits)),
+        ])
+    }
+}
+
+/// The value async-run task `task` stores on its `i`-th store — checked
+/// back on the following load, so a lost wakeup, a cross-wired tag, or a
+/// double-completion all surface as a data mismatch, not just a hang.
+fn async_pattern(task: u64, i: u64) -> u64 {
+    0xA5C_0000_0000_0000 | (task << 24) | i
+}
+
+/// Runs `config.tasks` async tasks on **one** executor thread over a fresh
+/// [`AsyncFront`](vbi_service::AsyncFront), `config.shards` queue workers
+/// underneath. Tasks share
+/// `min(tasks, clients)` sessions round-robin (clones share the session's
+/// in-flight budget), each task owning a private 8-byte slot of its
+/// session's VB. Every op is awaited and every loaded value checked
+/// against the last store, and the run asserts exactly-once completion:
+/// queue completions == awaited ops, no outstanding tags, nothing left in
+/// flight.
+///
+/// # Panics
+///
+/// Panics if any op fails, any load observes a wrong value, or any
+/// completion is lost or duplicated.
+pub fn async_run(config: &AsyncRunConfig) -> AsyncRunReport {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use vbi_core::telemetry::Histogram;
+    use vbi_service::{AsyncFront, Executor};
+
+    // Leave headroom in the 2^16 ClientId space.
+    let clients = config.tasks.min(config.clients).clamp(1, 60_000);
+    let tasks_per_client = config.tasks.div_ceil(clients);
+    let front = AsyncFront::new(ServiceConfig::new(
+        config.shards,
+        VbiConfig { phys_frames: config.phys_frames, ..VbiConfig::vbi_full() },
+    ));
+    // Setup is synchronous through the service: clients and VBs exist
+    // before the first awaited op, so the measured phase is pure
+    // submit/await traffic.
+    let sessions: Vec<_> = (0..clients)
+        .map(|_| {
+            let owner = front.service().create_client().expect("service has client IDs");
+            let vb = owner
+                .request_vb(
+                    (tasks_per_client as u64 * 8).max(4096),
+                    VbProperties::NONE,
+                    Rwx::READ_WRITE,
+                )
+                .expect("footprint fits");
+            (front.session_for(owner.id(), config.inflight_per_session), vb)
+        })
+        .collect();
+
+    let latency = Rc::new(RefCell::new(Histogram::new()));
+    let mut executor = Executor::new();
+    for task in 0..config.tasks {
+        let (session, vb) = &sessions[task % clients];
+        let session = session.clone();
+        let va = vb.at((task / clients) as u64 * 8);
+        let latency = Rc::clone(&latency);
+        let ops = config.ops_per_task;
+        let measure = config.measure_latency;
+        let task = task as u64;
+        executor.spawn(async move {
+            let mut last = 0u64;
+            for i in 0..ops as u64 {
+                let started = measure.then(Instant::now);
+                if i % 2 == 0 {
+                    last = async_pattern(task, i);
+                    session.store_u64(va, last).await.expect("in-bounds store");
+                } else {
+                    let got = session.load_u64(va).await.expect("in-bounds load");
+                    assert_eq!(got, last, "task {task}: completion cross-wired or lost");
+                }
+                if let Some(started) = started {
+                    latency.borrow_mut().record(started.elapsed().as_nanos() as u64);
+                }
+            }
+        });
+    }
+
+    let started = Instant::now();
+    executor.run();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let total_ops = (config.tasks * config.ops_per_task) as u64;
+    let completions = front.queue().completed();
+    assert_eq!(completions, total_ops, "every awaited op completes exactly once");
+    assert_eq!(front.outstanding(), 0, "no tag left behind");
+    assert_eq!(front.queue().in_flight(), 0, "nothing still in flight");
+    let latency = latency.borrow();
+    if config.measure_latency {
+        assert_eq!(latency.count(), total_ops);
+    }
+    AsyncRunReport {
+        tasks: config.tasks,
+        clients,
+        shards: config.shards,
+        inflight_per_session: config.inflight_per_session,
+        total_ops,
+        completions,
+        elapsed_secs: elapsed,
+        ops_per_sec: if elapsed > 0.0 { total_ops as f64 / elapsed } else { 0.0 },
+        p50_await_ns: latency.percentile(50.0),
+        p99_await_ns: latency.percentile(99.0),
+        max_queue_depth: front.queue().depth().high_water,
+        inflight_high_water: front.queue().inflight_high_water(),
+        backpressure_waits: front.queue().backpressure_waits(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -962,6 +1176,31 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"vbs_migrated\":40"), "{json}");
+    }
+
+    #[test]
+    fn async_run_completes_exactly_once_and_reports() {
+        // 96 tasks over 16 sessions with budget 2: tasks outnumber permits
+        // per session threefold, so backpressure must engage.
+        let report = async_run(&AsyncRunConfig {
+            tasks: 96,
+            ops_per_task: 10,
+            shards: 2,
+            inflight_per_session: 2,
+            clients: 16,
+            ..Default::default()
+        });
+        assert_eq!(report.total_ops, 960);
+        assert_eq!(report.completions, 960);
+        assert_eq!(report.clients, 16);
+        assert!(report.ops_per_sec > 0.0);
+        assert!(report.backpressure_waits > 0, "budget 2 under 6 tasks/session must park");
+        assert!(report.inflight_high_water >= 1);
+        assert!(report.p99_await_ns >= report.p50_await_ns);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"backpressure_waits\""), "{json}");
+        assert!(json.contains("\"p99_await_ns\""), "{json}");
     }
 
     #[test]

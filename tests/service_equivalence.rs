@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use vbi_core::ops::{Op, OpResult};
 use vbi_core::system::VbHandle;
 use vbi_core::{ClientId, Rwx, System, VbProperties, VbiConfig};
-use vbi_service::{ServiceConfig, VbiService};
+use vbi_service::{block_on, AsyncFront, AsyncSession, ServiceConfig, VbiService};
 use vbi_sim::service_run::{replay_on_service, replay_on_system, trace_ops};
 use vbi_workloads::spec::benchmark;
 
@@ -294,6 +294,46 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The same random full-surface sequences, this time *awaited* through
+    /// the waker-driven front end: every op carrying a client runs on that
+    /// client's [`AsyncSession`] (minted on first use), the rest go through
+    /// [`AsyncFront::execute`] — all sequentially under [`block_on`], so
+    /// execution order matches the System replay. Responses and `MtlStats`
+    /// must be identical: the async tag space, the waker registry, and the
+    /// per-session budget add no observable behavior of their own.
+    #[test]
+    fn async_sessions_match_system(seed in any::<u64>(), len in 1usize..100) {
+        use std::collections::HashMap;
+
+        let cfg = VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() };
+        let ops = random_mixed_ops(seed, len, &cfg);
+
+        let system = System::new(cfg.clone());
+        let front = AsyncFront::new(ServiceConfig::single(cfg));
+        let mut sessions: HashMap<ClientId, AsyncSession> = HashMap::new();
+        for op in &ops {
+            let want = system.execute(op.clone());
+            let got = match op.client() {
+                // A tiny budget (2) on every session: the equivalence must
+                // hold regardless of how tightly submissions are throttled.
+                Some(client) => {
+                    let session =
+                        sessions.entry(client).or_insert_with(|| front.session_for(client, 2));
+                    block_on(session.run(op.clone()))
+                }
+                None => block_on(front.execute(op.clone())),
+            };
+            prop_assert_eq!(&want, &got,
+                "op {:?} diverged on the async front end (seed {})", op, seed);
+        }
+        prop_assert_eq!(system.mtl().stats(), front.service().stats(),
+            "MTL counters diverged through AsyncSession (seed {})", seed);
+        prop_assert_eq!(front.outstanding(), 0usize, "a waker entry leaked");
+        prop_assert_eq!(front.queue().in_flight(), 0u64);
+        prop_assert!(front.queue().try_reap().is_none(),
+            "async completions must never reach the synchronous CQ");
+    }
 
     /// The full-surface equivalence again, but with physical memory capped
     /// far below the traffic's working set so the sequences continuously
