@@ -1,0 +1,145 @@
+//! `alloc_churn` bench: the magazine frame cache vs the buddy-only
+//! allocation path, under multi-threaded VB request/release churn.
+//!
+//! **Sweep**: thread counts {1, 2, 4, 8} × the cache toggle, each cell
+//! running `VBI_ALLOC_OPS` request → store → load → release cycles per
+//! thread over `VBI_ALLOC_VBS`-byte VBs, with a persistent VB per worker
+//! kept under store traffic so allocation races ordinary data ops (the
+//! [`vbi_sim::service_run::alloc_churn_run`] driver).
+//!
+//! **Gate**: the 4-thread cell is re-run best-of-5 with rounds
+//! interleaved (cached, buddy-only, cached, ...) so both sides see the
+//! same machine state; the run *asserts* the cached side reaches
+//! `VBI_ALLOC_FLOOR` (default 0.95 — parity within scheduler noise on a
+//! shared single-CPU host) of buddy-only throughput — a magazine hit is
+//! two `Vec` pops where the buddy pays split/coalesce bookkeeping, so
+//! the cache must never lose. It also asserts `cache_hits` dominate
+//! `cache_misses` (steady-state churn lives in the magazines) and that
+//! neither variant leaks a single frame.
+//!
+//! Run with `cargo bench -p vbi-bench --bench alloc_churn`; knobs:
+//! `VBI_ALLOC_OPS` (cycles per thread, default 10 000),
+//! `VBI_ALLOC_THREADS` (gate-cell thread count, default 4),
+//! `VBI_ALLOC_VBS` (churned-VB bytes, default 4096 = one frame),
+//! `VBI_ALLOC_FLOOR` (gate, default 0.95). On a single-CPU host the
+//! wall-clock spread is modest (workers share one core); the hit/miss and
+//! refill columns are the structural signal either way.
+
+use vbi_core::telemetry::{bench_line, JsonValue as J};
+use vbi_sim::service_run::{alloc_churn_run, AllocChurnConfig, AllocChurnReport};
+
+fn main() {
+    let churns_per_thread =
+        std::env::var("VBI_ALLOC_OPS").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(10_000);
+    let gate_threads =
+        std::env::var("VBI_ALLOC_THREADS").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(4);
+    let vb_bytes =
+        std::env::var("VBI_ALLOC_VBS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(4 << 10);
+    let floor =
+        std::env::var("VBI_ALLOC_FLOOR").ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(0.95);
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let config = |threads: usize, frame_cache: bool| AllocChurnConfig {
+        threads,
+        shards: 4,
+        churns_per_thread,
+        vb_bytes,
+        frame_cache,
+        ..AllocChurnConfig::default()
+    };
+
+    // (threads, frame_cache) sweep: each thread count runs the buddy-only
+    // baseline and the cached path back to back.
+    let sweep: Vec<(usize, bool)> =
+        [1usize, 2, 4, 8].iter().flat_map(|&t| [(t, false), (t, true)]).collect();
+
+    println!(
+        "{:>7} {:>6} {:>12} {:>10} {:>10} {:>9} {:>8} {:>7}",
+        "threads", "cache", "churns/sec", "hits", "misses", "refills", "flushes", "leaked"
+    );
+    let mut results: Vec<AllocChurnReport> = Vec::new();
+    for &(threads, frame_cache) in &sweep {
+        let report = alloc_churn_run(&config(threads, frame_cache));
+        println!(
+            "{:>7} {:>6} {:>12.0} {:>10} {:>10} {:>9} {:>8} {:>7}",
+            report.threads,
+            report.frame_cache,
+            report.churns_per_sec,
+            report.cache_hits,
+            report.cache_misses,
+            report.cache_refills,
+            report.cache_flushes,
+            report.frames_leaked,
+        );
+        // The conservation claim every cell must uphold, cache or not.
+        assert_eq!(
+            report.frames_leaked, 0,
+            "allocation churn leaked frames (threads {threads}, cache {frame_cache})"
+        );
+        if frame_cache {
+            assert!(
+                report.cache_hits > report.cache_misses,
+                "steady-state churn must be served from the magazines \
+                 (hits {}, misses {})",
+                report.cache_hits,
+                report.cache_misses
+            );
+        }
+        results.push(report);
+    }
+
+    // Gate: interleave buddy-only/cached rounds and keep each side's best
+    // — best-vs-best cancels scheduler noise on shared hosts (the async
+    // bench's pattern).
+    let rounds = 5;
+    let mut best_buddy = 0.0f64;
+    let mut best_cached = 0.0f64;
+    let mut gate_cached: Option<AllocChurnReport> = None;
+    for _ in 0..rounds {
+        best_buddy = best_buddy.max(alloc_churn_run(&config(gate_threads, false)).churns_per_sec);
+        let cached = alloc_churn_run(&config(gate_threads, true));
+        if cached.churns_per_sec > best_cached {
+            best_cached = cached.churns_per_sec;
+            gate_cached = Some(cached);
+        }
+    }
+    let gate_cached = gate_cached.expect("at least one cached round");
+    let ratio = best_cached / best_buddy.max(1.0);
+    println!(
+        "gate ({gate_threads} threads, best of {rounds}): cached {best_cached:.0} churns/sec vs \
+         buddy-only {best_buddy:.0} churns/sec = {ratio:.2}x (floor {floor:.2})"
+    );
+    assert!(
+        ratio >= floor,
+        "frame-cache regression: cached churn runs at {ratio:.2}x buddy-only throughput \
+         (floor {floor:.2}). A magazine hit must stay cheaper than buddy split/coalesce."
+    );
+    assert!(
+        gate_cached.cache_hits > gate_cached.cache_misses,
+        "gate cell must be magazine-served (hits {}, misses {})",
+        gate_cached.cache_hits,
+        gate_cached.cache_misses
+    );
+
+    let entries: Vec<String> = results.iter().map(|r| r.to_json()).collect();
+    println!(
+        "{}",
+        bench_line(
+            "alloc_churn",
+            &[
+                ("host_cpus", J::U(host_cpus as u64)),
+                ("churns_per_thread", J::U(churns_per_thread as u64)),
+                ("vb_bytes", J::U(vb_bytes)),
+                ("gate_threads", J::U(gate_threads as u64)),
+                ("rounds", J::U(rounds)),
+                ("churns_per_sec_buddy", J::F(best_buddy, 0)),
+                ("churns_per_sec_cached", J::F(best_cached, 0)),
+                ("cached_ratio", J::F(ratio, 3)),
+                ("floor", J::F(floor, 2)),
+                ("gate_cache_hits", J::U(gate_cached.cache_hits)),
+                ("gate_cache_misses", J::U(gate_cached.cache_misses)),
+                ("results", J::Raw(format!("[{}]", entries.join(",")))),
+            ],
+        )
+    );
+}

@@ -8,17 +8,12 @@
 //! pre-redesign behavior) and once enabled (zero client locks). The final
 //! line is a machine-readable JSON summary (tag `BENCH_read_path`).
 //!
-//! A second sweep A/Bs the *client map*: the same warm read workload with
-//! the epoch-validated sharded map (reads resolve the client with zero
-//! shared locks) vs the authoritative-mutex baseline, best-of-3 per
-//! variant on the same run, gated so the lock-free map is never slower.
-//!
 //! Run with `cargo bench -p vbi-bench --bench read_path`; set
 //! `VBI_READ_OPS` to change the per-thread load count (default 50 000).
 //! On a single-CPU host the wall-clock columns are flat (readers share one
-//! core and uncontended mutexes are cheap); the `client_locks` and
-//! `map_locked_fallbacks` columns are the structural signal — 0 on the
-//! lock-free rows, one per read on the locked rows.
+//! core and uncontended mutexes are cheap); the `client_locks` column is
+//! the structural signal — 0 on the lock-free rows, one per read on the
+//! locked rows.
 
 use vbi_core::telemetry::{bench_line, JsonValue as J};
 use vbi_sim::service_run::{read_path_run, ReadPathConfig};
@@ -74,53 +69,6 @@ fn main() {
         results.push(report);
     }
 
-    // Client-map A/B: identical warm read workload, both variants
-    // best-of-3 on this same run, so the comparison sees the same machine
-    // state. The lock-free sweep above already runs with the sharded map;
-    // here only the map implementation varies.
-    let map_ab = |lockfree_map: bool| {
-        (0..3)
-            .map(|_| {
-                read_path_run(&ReadPathConfig {
-                    threads: 8,
-                    shards: 4,
-                    ops_per_thread,
-                    lockfree_map,
-                    ..ReadPathConfig::default()
-                })
-            })
-            .max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec))
-            .expect("three runs")
-    };
-    let locked_map = map_ab(false);
-    let lockfree_map = map_ab(true);
-    println!(
-        "map A/B (8 threads, best of 3): locked {:.0} ops/sec ({} map-lock fallbacks) vs \
-         lock-free {:.0} ops/sec ({} published hits)",
-        locked_map.ops_per_sec,
-        locked_map.map.locked_fallbacks,
-        lockfree_map.ops_per_sec,
-        lockfree_map.map.lockfree_hits,
-    );
-    // Structural half of the gate: the lock-free variant resolves every
-    // read through the published table, the locked one through the mutex.
-    assert_eq!(
-        lockfree_map.map.locked_fallbacks, 0,
-        "lock-free-map warm reads must never fall back to the map mutex"
-    );
-    assert_eq!(
-        locked_map.map.locked_fallbacks, locked_map.total_ops,
-        "locked-map baseline resolves once per read through the mutex"
-    );
-    // Performance half: best-of-3 lock-free throughput must meet the
-    // locked baseline measured on the same run.
-    assert!(
-        lockfree_map.ops_per_sec >= locked_map.ops_per_sec,
-        "lock-free client map regressed below the locked baseline: {:.0} < {:.0} ops/sec",
-        lockfree_map.ops_per_sec,
-        locked_map.ops_per_sec
-    );
-
     let entries: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     println!(
         "{}",
@@ -130,8 +78,6 @@ fn main() {
                 ("host_cpus", J::U(host_cpus as u64)),
                 ("ops_per_thread", J::U(ops_per_thread as u64)),
                 ("results", J::Raw(format!("[{}]", entries.join(",")))),
-                ("map_locked", J::Raw(locked_map.to_json())),
-                ("map_lockfree", J::Raw(lockfree_map.to_json())),
             ],
         )
     );

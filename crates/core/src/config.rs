@@ -56,6 +56,16 @@ pub struct VbiConfig {
     /// Capacity of each per-shard trace ring, in events (oldest events are
     /// overwritten once full).
     pub trace_capacity: usize,
+    /// Front the buddy allocator with the per-MTL magazine frame cache
+    /// (see [`crate::frame_cache`]) so order-0 allocate/free churn skips
+    /// the buddy's split/coalesce bookkeeping. `false` is the buddy-only
+    /// baseline the `alloc_churn` bench A/Bs against.
+    pub frame_cache: bool,
+    /// Capacity of each of the frame cache's two magazines, in frames.
+    pub frame_cache_magazine: usize,
+    /// Upper bound on frames pulled from the buddy per cache refill
+    /// (clamped to the magazine size).
+    pub frame_cache_refill: usize,
 }
 
 /// How a shard's MTL picks eviction victims under memory pressure (§3.4,
@@ -121,6 +131,9 @@ impl Default for VbiConfig {
             telemetry_metrics: true,
             telemetry_tracing: false,
             trace_capacity: 4096,
+            frame_cache: true,
+            frame_cache_magazine: 32,
+            frame_cache_refill: 8,
         }
     }
 }

@@ -1,0 +1,328 @@
+//! Magazine-style order-0 frame cache fronting the buddy allocator.
+//!
+//! Every allocating data-plane operation — first-touch stores, fault-ins,
+//! copy-on-write resolutions, and the constant request/release churn of a
+//! service under load — asks the buddy allocator for exactly one 4 KiB
+//! frame. The buddy pays split/coalesce bookkeeping (ordered-set inserts
+//! and removals across order lists) for what is overwhelmingly a
+//! fixed-size workload, and it does so under the shard lock, so every
+//! cycle spent there lengthens the critical section of the whole shard.
+//!
+//! [`FrameCache`] keeps that common cycle out of the buddy entirely. It is
+//! the classic magazine design (Bonwick's slab/magazine allocator): two
+//! bounded LIFO stacks of order-0 frames — the *loaded* magazine served
+//! first and a *previous* magazine swapped in depot-style when the loaded
+//! one runs empty or full — refilled in contiguous batches via
+//! [`BuddyAllocator::allocate_split`] and drained back with bulk frees.
+//! An allocate/free churn cycle that stays within the magazines touches
+//! two `Vec` push/pops and nothing else.
+//!
+//! Cached frames remain registered as *allocated* order-0 blocks inside
+//! the buddy, so the buddy's own invariants (double-free panics, merge
+//! bounds) keep holding; the MTL's `free_frames()` gauge stays exact by
+//! summing `buddy free + cache len`.
+//!
+//! # The headroom rule
+//!
+//! The cache must never make the system fail an allocation that the bare
+//! buddy would have satisfied. Translation-table frames are allocated
+//! *inside* the buddy (by `TranslationStructure::set_entry` and friends),
+//! below the cache, so the cache only holds frames while the buddy keeps
+//! a cushion of `headroom` free frames of its own: refills never pull the
+//! buddy below the cushion, and frees route straight to the buddy
+//! whenever it is short. Under memory pressure the cache therefore drains
+//! and becomes inert — pressure, ballooning, and cross-shard donation see
+//! every free frame (the MTL additionally flushes the cache outright at
+//! those entry points).
+
+use crate::buddy::{BuddyAllocator, Order};
+use crate::phys::Frame;
+
+/// Counters for one [`FrameCache`] (folded into
+/// [`crate::stats::MtlStats`] by the MTL).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameCacheStats {
+    /// Allocations served from a magazine (no buddy order-list work).
+    pub cache_hits: u64,
+    /// Allocations that had to go to the buddy (magazines empty and the
+    /// headroom rule forbade — or the buddy could not fund — a refill).
+    pub cache_misses: u64,
+    /// Batch refills pulled from the buddy into the loaded magazine.
+    pub refills: u64,
+    /// Times the cache was flushed back into the buddy by policy
+    /// (pressure, donation, control-plane ops needing exact occupancy).
+    pub flushes: u64,
+    /// Full magazines returned to the buddy in bulk on the free path.
+    pub batch_frees: u64,
+}
+
+/// A per-MTL magazine cache of order-0 frames in front of the buddy.
+#[derive(Debug)]
+pub struct FrameCache {
+    enabled: bool,
+    /// Capacity of each magazine, in frames.
+    magazine: usize,
+    /// Upper bound on frames pulled from the buddy per refill.
+    refill_batch: usize,
+    /// The magazine currently served. LIFO: the most recently freed frame
+    /// is handed out next (warmest frame, tightest reuse).
+    loaded: Vec<Frame>,
+    /// The depot magazine swapped in when `loaded` runs dry or full.
+    previous: Vec<Frame>,
+    stats: FrameCacheStats,
+}
+
+impl FrameCache {
+    /// A cache with the given magazine capacity and refill batch;
+    /// `enabled = false` turns every call into a buddy pass-through (the
+    /// A/B baseline — no counters move).
+    pub fn new(enabled: bool, magazine: usize, refill_batch: usize) -> Self {
+        let magazine = magazine.max(1);
+        Self {
+            enabled,
+            magazine,
+            refill_batch: refill_batch.clamp(1, magazine),
+            loaded: Vec::with_capacity(magazine),
+            previous: Vec::with_capacity(magazine),
+            stats: FrameCacheStats::default(),
+        }
+    }
+
+    /// Whether the cache fronts the buddy at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Frames currently held across both magazines.
+    pub fn len(&self) -> u64 {
+        (self.loaded.len() + self.previous.len()) as u64
+    }
+
+    /// Whether both magazines are empty.
+    pub fn is_empty(&self) -> bool {
+        self.loaded.is_empty() && self.previous.is_empty()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> FrameCacheStats {
+        self.stats
+    }
+
+    /// Clears the counters (simulation warm-up boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = FrameCacheStats::default();
+    }
+
+    /// Allocates one order-0 frame: loaded magazine, then depot swap, then
+    /// a batch refill from the buddy (only while the buddy keeps
+    /// `headroom` frames of its own), then the bare buddy.
+    pub fn allocate(&mut self, buddy: &mut BuddyAllocator, headroom: u64) -> Option<Frame> {
+        if !self.enabled {
+            return buddy.allocate(0);
+        }
+        if let Some(frame) = self.loaded.pop() {
+            self.stats.cache_hits += 1;
+            return Some(frame);
+        }
+        if !self.previous.is_empty() {
+            std::mem::swap(&mut self.loaded, &mut self.previous);
+            self.stats.cache_hits += 1;
+            return self.loaded.pop();
+        }
+        self.stats.cache_misses += 1;
+        let free = buddy.free_frames();
+        if free > headroom {
+            let batch = (self.refill_batch as u64).min(free - headroom).max(1);
+            self.refill(buddy, batch);
+            self.stats.refills += 1;
+            if let Some(frame) = self.loaded.pop() {
+                return Some(frame);
+            }
+        }
+        buddy.allocate(0)
+    }
+
+    /// Pulls up to `batch` frames from the buddy into the loaded magazine,
+    /// preferring one contiguous power-of-two grab (`allocate_split`
+    /// registers each frame as an individual order-0 allocation, so the
+    /// cache can hand them back one at a time).
+    fn refill(&mut self, buddy: &mut BuddyAllocator, batch: u64) {
+        let mut remaining = batch;
+        let order = 63 - batch.leading_zeros().min(63);
+        if order > 0 {
+            if let Some(base) = buddy.allocate_split(order as Order) {
+                // LIFO pops hand out ascending addresses this way.
+                for i in (0..(1u64 << order)).rev() {
+                    self.loaded.push(Frame(base.0 + i));
+                }
+                remaining -= 1u64 << order;
+            }
+        }
+        for _ in 0..remaining {
+            match buddy.allocate(0) {
+                Some(frame) => self.loaded.push(frame),
+                None => break,
+            }
+        }
+    }
+
+    /// Frees one order-0 frame into the cache — unless the buddy is below
+    /// its headroom cushion (the frame then goes straight back) or the
+    /// cache is disabled. A full loaded magazine swaps with the depot; if
+    /// both are full the depot magazine is bulk-freed to the buddy first.
+    pub fn free(&mut self, buddy: &mut BuddyAllocator, frame: Frame, headroom: u64) {
+        if !self.enabled || buddy.free_frames() < headroom {
+            buddy.free(frame, 0);
+            return;
+        }
+        if self.loaded.len() >= self.magazine {
+            if self.previous.len() >= self.magazine {
+                for f in self.previous.drain(..) {
+                    buddy.free(f, 0);
+                }
+                self.stats.batch_frees += 1;
+            }
+            std::mem::swap(&mut self.loaded, &mut self.previous);
+        }
+        self.loaded.push(frame);
+    }
+
+    /// Returns every cached frame to the buddy. Called before any
+    /// operation that must see exact buddy occupancy (pressure reclaim,
+    /// cross-shard donation, control-plane ops allocating table frames in
+    /// bulk). Returns how many frames moved.
+    pub fn flush(&mut self, buddy: &mut BuddyAllocator) -> u64 {
+        let moved = self.len();
+        if moved == 0 {
+            return 0;
+        }
+        for f in self.loaded.drain(..).chain(self.previous.drain(..)) {
+            buddy.free(f, 0);
+        }
+        self.stats.flushes += 1;
+        moved
+    }
+
+    /// Moves cached frames into the buddy until its free pool reaches
+    /// `target` or the cache empties — the cheapest replenishment source,
+    /// tried before anyone's reservation is raided. Returns frames moved.
+    pub fn drain_to(&mut self, buddy: &mut BuddyAllocator, target: u64) -> u64 {
+        let mut moved = 0;
+        while buddy.free_frames() < target {
+            let Some(frame) = self.loaded.pop().or_else(|| self.previous.pop()) else { break };
+            buddy.free(frame, 0);
+            moved += 1;
+        }
+        if moved > 0 {
+            self.stats.flushes += 1;
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> FrameCache {
+        FrameCache::new(true, 8, 4)
+    }
+
+    #[test]
+    fn churn_cycle_stays_inside_the_magazines() {
+        let mut buddy = BuddyAllocator::new(256);
+        let mut c = cache();
+        let f = c.allocate(&mut buddy, 16).unwrap();
+        // First allocation missed and refilled a batch.
+        assert_eq!(c.stats().cache_misses, 1);
+        assert_eq!(c.stats().refills, 1);
+        let buddy_free = buddy.free_frames();
+        for _ in 0..100 {
+            c.free(&mut buddy, f, 16);
+            assert_eq!(c.allocate(&mut buddy, 16), Some(f), "LIFO returns the warmest frame");
+        }
+        assert_eq!(buddy.free_frames(), buddy_free, "churn never touched the buddy");
+        assert_eq!(c.stats().cache_hits, 100);
+        assert_eq!(c.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn conservation_across_refill_and_flush() {
+        let mut buddy = BuddyAllocator::new(256);
+        let mut c = cache();
+        let frames: Vec<Frame> = (0..20).map(|_| c.allocate(&mut buddy, 16).unwrap()).collect();
+        assert_eq!(buddy.free_frames() + c.len(), 256 - 20);
+        for f in frames {
+            c.free(&mut buddy, f, 16);
+        }
+        assert_eq!(buddy.free_frames() + c.len(), 256);
+        c.flush(&mut buddy);
+        assert!(c.is_empty());
+        assert_eq!(buddy.free_frames(), 256, "every frame merged back");
+        assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn overflowing_both_magazines_bulk_frees_the_depot() {
+        let mut buddy = BuddyAllocator::new(256);
+        let mut c = cache();
+        let frames: Vec<Frame> = (0..24).map(|_| buddy.allocate(0).unwrap()).collect();
+        for f in frames {
+            c.free(&mut buddy, f, 16);
+        }
+        // 24 frees into 2×8 magazines: one depot bulk-free of 8 frames.
+        assert_eq!(c.stats().batch_frees, 1);
+        assert_eq!(c.len(), 16);
+        assert_eq!(buddy.free_frames(), 256 - 24 + 8);
+    }
+
+    #[test]
+    fn headroom_keeps_the_cache_inert_under_pressure() {
+        let mut buddy = BuddyAllocator::new(20);
+        let mut c = cache();
+        // Only 20 frames with headroom 16: refills may pull at most down
+        // to the cushion, and frees below the cushion bypass the cache.
+        let a = c.allocate(&mut buddy, 16).unwrap();
+        assert!(buddy.free_frames() >= 16, "refill respected the cushion");
+        while !c.is_empty() {
+            c.allocate(&mut buddy, 16).unwrap();
+        }
+        while buddy.free_frames() > 10 {
+            buddy.allocate(0).unwrap();
+        }
+        c.free(&mut buddy, a, 16);
+        assert_eq!(c.len(), 0, "free below headroom went straight to the buddy");
+        // With the buddy short and the cache empty, allocation falls
+        // through to the bare buddy.
+        let before = c.stats().refills;
+        assert!(c.allocate(&mut buddy, 16).is_some());
+        assert_eq!(c.stats().refills, before, "no refill below the cushion");
+    }
+
+    #[test]
+    fn drain_to_stops_at_the_target() {
+        let mut buddy = BuddyAllocator::new(256);
+        let mut c = cache();
+        let held: Vec<Frame> = (0..240).map(|_| buddy.allocate(0).unwrap()).collect();
+        for f in held.iter().take(12) {
+            c.free(&mut buddy, *f, 16);
+        }
+        assert_eq!(c.len(), 12);
+        let free = buddy.free_frames();
+        assert_eq!(c.drain_to(&mut buddy, free + 5), 5);
+        assert_eq!(c.len(), 7);
+        assert_eq!(buddy.free_frames(), free + 5);
+    }
+
+    #[test]
+    fn disabled_cache_is_a_pass_through() {
+        let mut buddy = BuddyAllocator::new(64);
+        let mut c = FrameCache::new(false, 8, 4);
+        let f = c.allocate(&mut buddy, 16).unwrap();
+        assert_eq!(buddy.free_frames(), 63);
+        c.free(&mut buddy, f, 16);
+        assert_eq!(buddy.free_frames(), 64);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats(), FrameCacheStats::default(), "baseline moves no counters");
+    }
+}

@@ -74,6 +74,7 @@ pub mod client;
 pub mod config;
 pub mod cvt_cache;
 pub mod error;
+pub mod frame_cache;
 pub mod isa;
 pub mod mtl;
 pub mod multinode;
@@ -97,6 +98,7 @@ pub use addr::{SizeClass, VbiAddress, Vbuid};
 pub use client::{ClientId, VirtualAddress};
 pub use config::{EvictionPolicy, VbiConfig};
 pub use error::{Result, VbiError};
+pub use frame_cache::{FrameCache, FrameCacheStats};
 pub use mtl::Mtl;
 pub use ops::{Op, OpOutput, OpResult};
 pub use perm::{AccessKind, Rwx};

@@ -26,6 +26,7 @@ use crate::addr::{SizeClass, VbiAddress, Vbuid};
 use crate::buddy::{BuddyAllocator, Order};
 use crate::config::{EvictionPolicy, VbiConfig};
 use crate::error::{Result, VbiError};
+use crate::frame_cache::FrameCache;
 use crate::phys::{Frame, PhysAddr, PhysicalMemory, FRAME_BYTES};
 use crate::stats::MtlStats;
 use crate::swap::{BackingStore, PressureBackend};
@@ -124,6 +125,15 @@ struct Reservation {
     attempted: bool,
 }
 
+/// Cushion of unreserved free frames the MTL keeps inside the buddy
+/// allocator proper. [`Mtl::translate`] replenishes the pool to this level
+/// so internal allocations (table nodes, COW copies) never dead-end while
+/// reservations hold free memory hostage, and the [`FrameCache`] honours
+/// the same level: it never refills below the cushion and routes frees
+/// straight to the buddy while the buddy is short, so table-frame
+/// allocations that bypass the cache cannot starve behind cached frames.
+const FREE_POOL_HEADROOM: u64 = 16;
+
 /// The Memory Translation Layer.
 ///
 /// # Examples
@@ -145,6 +155,10 @@ struct Reservation {
 pub struct Mtl {
     config: VbiConfig,
     buddy: BuddyAllocator,
+    /// Magazine-style order-0 cache fronting `buddy` on the data-plane
+    /// allocate/free paths (see [`crate::frame_cache`]). Flushed before any
+    /// operation that must see exact buddy occupancy.
+    frame_cache: FrameCache,
     mem: PhysicalMemory,
     vits: VbInfoTables,
     vit_cache: Tlb<Vbuid, TranslationKind>,
@@ -199,6 +213,11 @@ impl Mtl {
         assert!(shard_index < shard_count, "shard index {shard_index} of {shard_count}");
         Self {
             buddy: BuddyAllocator::new(config.phys_frames),
+            frame_cache: FrameCache::new(
+                config.frame_cache,
+                config.frame_cache_magazine,
+                config.frame_cache_refill,
+            ),
             mem: PhysicalMemory::new(config.phys_frames),
             vits: VbInfoTables::new(),
             vit_cache: Tlb::fully_associative(config.vit_cache_entries),
@@ -251,9 +270,16 @@ impl Mtl {
         &self.config
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics, with the frame cache's counters folded in.
     pub fn stats(&self) -> MtlStats {
-        self.stats
+        let mut stats = self.stats;
+        let cache = self.frame_cache.stats();
+        stats.frame_cache_hits = cache.cache_hits;
+        stats.frame_cache_misses = cache.cache_misses;
+        stats.frame_cache_refills = cache.refills;
+        stats.frame_cache_flushes = cache.flushes;
+        stats.frame_cache_batch_frees = cache.batch_frees;
+        stats
     }
 
     /// Translation TLB counters (page-granularity + whole-VB direct TLBs,
@@ -267,14 +293,33 @@ impl Mtl {
     /// Clears statistics (simulation warm-up boundary).
     pub fn reset_stats(&mut self) {
         self.stats = MtlStats::default();
+        self.frame_cache.reset_stats();
         self.vit_cache.reset_stats();
         self.page_tlb.reset_stats();
         self.direct_tlb.reset_stats();
     }
 
-    /// Frames currently free in the allocator.
+    /// Frames currently free: the buddy's free pool plus the frames parked
+    /// in the magazine cache (cached frames are instantly allocatable, so
+    /// the gauge stays exact with the cache on or off).
     pub fn free_frames(&self) -> u64 {
-        self.buddy.free_frames()
+        self.buddy.free_frames() + self.frame_cache.len()
+    }
+
+    /// Returns every cached frame to the buddy allocator and reports how
+    /// many moved — the hook benches and tests use to compare buddy-level
+    /// occupancy with a cache-disabled run.
+    pub fn flush_frame_cache(&mut self) -> u64 {
+        self.frame_cache.flush(&mut self.buddy)
+    }
+
+    /// External fragmentation of the buddy allocator at `order`: the
+    /// fraction of its free memory not usable for a contiguous block of
+    /// `2^order` frames (see [`BuddyAllocator::fragmentation`]). Cached
+    /// frames count as allocated — they are scattered order-0 blocks by
+    /// construction, so including them would only restate the cache size.
+    pub fn fragmentation(&self, order: Order) -> f64 {
+        self.buddy.fragmentation(order)
     }
 
     /// Number of payload-bearing pages currently in the backing store
@@ -421,6 +466,9 @@ impl Mtl {
             return Err(VbiError::CloneSizeMismatch { source: src, destination: dst });
         }
         self.vits.entry(dst)?; // dst must be enabled
+                               // A clone allocates table frames in bulk straight from the buddy;
+                               // give it every free frame so it cannot starve behind the cache.
+        self.frame_cache.flush(&mut self.buddy);
 
         // Take the source structure, mark it COW, rebuild a structure for dst.
         let Some(mut src_structure) = self.vits.entry_mut(src)?.translation.take() else {
@@ -557,6 +605,8 @@ impl Mtl {
             return Err(VbiError::PromoteNotLarger { source: src, destination: dst });
         }
         self.vits.entry(dst)?;
+        // Table frames for the larger VB come straight from the buddy.
+        self.frame_cache.flush(&mut self.buddy);
         let Some(src_structure) = self.vits.entry_mut(src)?.translation.take() else {
             self.stats.promotions += 1;
             return Ok(()); // nothing to move
@@ -627,7 +677,7 @@ impl Mtl {
         // Keep a small cushion of unreserved frames so internal allocations
         // (table nodes, COW copies) never dead-end while reservations hold
         // free memory hostage (priority 3 of §5.3 applied to the pool).
-        self.replenish_pool(16);
+        self.replenish_pool(FREE_POOL_HEADROOM);
         let vbuid = addr.vbuid();
         let page = addr.page_index();
         let line_offset = addr.offset() & (FRAME_BYTES - 1);
@@ -1007,6 +1057,9 @@ impl Mtl {
     /// as permanently allocated blocks; frame indices are shard-local, so
     /// capacity moves as a *count*, never as addresses.
     pub fn donate_frames(&mut self, count: usize) -> u64 {
+        // Donors hand over *buddy* frames; parked cache frames must be
+        // visible to the transfer or capacity would be stranded.
+        self.frame_cache.flush(&mut self.buddy);
         let free = self.buddy.free_frames() as usize;
         if free < count {
             self.reclaim_frames(count - free);
@@ -1039,6 +1092,11 @@ impl Mtl {
         exclude: Option<Vbuid>,
         protect: Option<(Vbuid, u64)>,
     ) -> usize {
+        // Pressure must see every free frame before paying for evictions:
+        // return the magazines to the buddy first. (On the engine's
+        // allocation-failure path the cache is already empty — a failed
+        // cache allocate drains the magazines — so this is free there.)
+        self.frame_cache.flush(&mut self.buddy);
         let mut reclaimed = 0;
         // Two passes: first unpinned VBs, then (reluctantly) pinned ones.
         for allow_pinned in [false, true] {
@@ -1110,6 +1168,8 @@ impl Mtl {
         pages: impl IntoIterator<Item = (u64, Box<[u8; FRAME_BYTES as usize]>)>,
     ) -> Result<()> {
         self.vits.entry(vbuid)?;
+        // Binding allocates table frames straight from the buddy.
+        self.frame_cache.flush(&mut self.buddy);
         let mut structure = match self.vits.entry_mut(vbuid)?.translation.take() {
             Some(s) => s,
             None => self.table_structure_for(vbuid.size_class())?,
@@ -1191,7 +1251,18 @@ impl Mtl {
             let reservation = self.reservations.entry(vbuid).or_default();
             reservation.attempted = true;
             if pages <= self.buddy.total_frames() {
-                if let Some(base) = self.buddy.allocate_split(order) {
+                // A one-frame reservation is an ordinary order-0 allocation:
+                // serve it from the magazine cache (this is the hot path of
+                // 4 KiB VB request/release churn). Larger reservations need
+                // contiguity the cache's scattered frames can only hurt, so
+                // flush them back to the buddy first.
+                let grabbed = if order == 0 {
+                    self.frame_cache.allocate(&mut self.buddy, FREE_POOL_HEADROOM)
+                } else {
+                    self.frame_cache.flush(&mut self.buddy);
+                    self.buddy.allocate_split(order)
+                };
+                if let Some(base) = grabbed {
                     // Full contiguous reservation: direct mapping.
                     let extent = Extent {
                         page_start: 0,
@@ -1267,9 +1338,11 @@ impl Mtl {
     }
 
     /// Priorities 2 (unreserved free frame) and 3 (steal from another VB's
-    /// reservation), with a final attempt to reclaim by swapping.
+    /// reservation), with a final attempt to reclaim by swapping. The
+    /// magazine cache fronts the free pool on both attempts, so the common
+    /// allocate/free churn cycle never touches the buddy order lists.
     fn allocate_raw_frame(&mut self, vbuid: Vbuid) -> Result<Frame> {
-        if let Some(frame) = self.buddy.allocate(0) {
+        if let Some(frame) = self.frame_cache.allocate(&mut self.buddy, FREE_POOL_HEADROOM) {
             return Ok(frame);
         }
         if let Some(frame) = self.steal_reserved_frame(vbuid) {
@@ -1277,7 +1350,7 @@ impl Mtl {
         }
         // Last resort: swap something out and retry once.
         if self.reclaim_pages(1, vbuid) > 0 {
-            if let Some(frame) = self.buddy.allocate(0) {
+            if let Some(frame) = self.frame_cache.allocate(&mut self.buddy, FREE_POOL_HEADROOM) {
                 return Ok(frame);
             }
             if let Some(frame) = self.steal_reserved_frame(vbuid) {
@@ -1323,6 +1396,9 @@ impl Mtl {
     /// direct-mapped (their allocated memory is untouched); they demote
     /// lazily if they ever need the released slots.
     fn replenish_pool(&mut self, target: u64) {
+        // Cached frames are the cheapest source — return them before
+        // raiding anyone's reservation.
+        self.frame_cache.drain_to(&mut self.buddy, target);
         while self.buddy.free_frames() < target {
             if !self.release_one_reserved_frame() {
                 break;
@@ -1399,6 +1475,11 @@ impl Mtl {
             match self.demote_structure(vbuid.size_class(), structure, replace) {
                 Ok(table) => return Ok(table),
                 Err(_) => {
+                    // Cheapest funding first: frames parked in the magazine
+                    // cache, then the owner's (or anyone's) reservation.
+                    if self.frame_cache.flush(&mut self.buddy) > 0 {
+                        continue;
+                    }
                     if self.release_reserved_to_pool(vbuid, 64) > 0 {
                         continue;
                     }
@@ -1555,7 +1636,7 @@ impl Mtl {
             }
             self.extent_owner.remove(&frame.0);
         }
-        self.buddy.free(frame, 0);
+        self.frame_cache.free(&mut self.buddy, frame, FREE_POOL_HEADROOM);
     }
 
     /// Frees all still-reserved frames of a VB's reservation and orphans the
@@ -1569,7 +1650,9 @@ impl Mtl {
                 match slot {
                     SlotState::Reserved => {
                         self.extent_owner.remove(&frame.0);
-                        self.buddy.free(frame, 0);
+                        // Through the cache: the request/release churn of a
+                        // one-frame direct VB frees its frame right here.
+                        self.frame_cache.free(&mut self.buddy, frame, FREE_POOL_HEADROOM);
                     }
                     SlotState::Used | SlotState::Stolen => {
                         // Orphan: freed via frame_shares when its VB lets go.
@@ -1590,7 +1673,7 @@ impl Mtl {
                 match slot {
                     SlotState::Reserved => {
                         self.extent_owner.remove(&frame.0);
-                        self.buddy.free(frame, 0);
+                        self.frame_cache.free(&mut self.buddy, frame, FREE_POOL_HEADROOM);
                     }
                     SlotState::Used | SlotState::Stolen => {
                         self.extent_owner.remove(&frame.0);

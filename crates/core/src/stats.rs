@@ -58,6 +58,18 @@ pub struct MtlStats {
     /// Translations that found the page swapped out and faulted it back
     /// into a frame.
     pub faults_in: u64,
+    /// Order-0 allocations served from the magazine frame cache without
+    /// touching the buddy allocator (see [`crate::frame_cache`]).
+    pub frame_cache_hits: u64,
+    /// Order-0 allocations the frame cache had to send to the buddy.
+    pub frame_cache_misses: u64,
+    /// Batch refills the frame cache pulled from the buddy.
+    pub frame_cache_refills: u64,
+    /// Times the frame cache was flushed back into the buddy by policy
+    /// (pressure, donation, control-plane table allocation).
+    pub frame_cache_flushes: u64,
+    /// Full magazines the frame cache returned to the buddy in bulk.
+    pub frame_cache_batch_frees: u64,
 }
 
 impl MtlStats {
@@ -90,6 +102,11 @@ impl MtlStats {
             evictions,
             writebacks,
             faults_in,
+            frame_cache_hits,
+            frame_cache_misses,
+            frame_cache_refills,
+            frame_cache_flushes,
+            frame_cache_batch_frees,
         } = other;
         self.translation_requests += translation_requests;
         self.tlb_hits += tlb_hits;
@@ -113,6 +130,11 @@ impl MtlStats {
         self.evictions += evictions;
         self.writebacks += writebacks;
         self.faults_in += faults_in;
+        self.frame_cache_hits += frame_cache_hits;
+        self.frame_cache_misses += frame_cache_misses;
+        self.frame_cache_refills += frame_cache_refills;
+        self.frame_cache_flushes += frame_cache_flushes;
+        self.frame_cache_batch_frees += frame_cache_batch_frees;
     }
 
     /// Fraction of translation requests served without a walk.
@@ -181,6 +203,11 @@ mod tests {
             evictions: 20,
             writebacks: 21,
             faults_in: 22,
+            frame_cache_hits: 23,
+            frame_cache_misses: 24,
+            frame_cache_refills: 25,
+            frame_cache_flushes: 26,
+            frame_cache_batch_frees: 27,
         };
         let mut merged = a;
         merged.merge(&a);
@@ -192,6 +219,11 @@ mod tests {
         assert_eq!(merged.evictions, 40);
         assert_eq!(merged.writebacks, 42);
         assert_eq!(merged.faults_in, 44);
+        assert_eq!(merged.frame_cache_hits, 46);
+        assert_eq!(merged.frame_cache_misses, 48);
+        assert_eq!(merged.frame_cache_refills, 50);
+        assert_eq!(merged.frame_cache_flushes, 52);
+        assert_eq!(merged.frame_cache_batch_frees, 54);
         // Merging the zero block is the identity.
         let mut b = a;
         b.merge(&MtlStats::default());

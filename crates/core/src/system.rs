@@ -386,6 +386,7 @@ impl System {
                 contended: 0,
                 ops_executed: self.telemetry.total_ops(),
             }],
+            per_shard_fragmentation: vec![guard.mtl.fragmentation(Snapshot::FRAGMENTATION_ORDER)],
             ops: self.telemetry.op_latencies(),
             ops_per_stripe: self.telemetry.ops_per_stripe(),
             free_frames: guard.mtl.free_frames(),

@@ -832,9 +832,8 @@ pub struct ShardActivity {
 /// published table (zero shared locks); `generation_retries` counts
 /// re-reads forced by a concurrent create/destroy bumping the map shard's
 /// generation mid-snapshot; `locked_fallbacks` counts resolutions that went
-/// through the authoritative per-shard mutex (misses, publish-table
-/// overflow, or environments running with the lock-free map disabled).
-/// All zero on the single-owner `System`.
+/// through the authoritative per-shard mutex (misses or publish-table
+/// overflow). All zero on the single-owner `System`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClientMapStats {
     /// Slot resolutions served lock-free from the published table.
@@ -929,6 +928,13 @@ pub struct Snapshot {
     pub client_map: ClientMapStats,
     /// Per-shard lock/work counters, shard-index order.
     pub shard_activity: Vec<ShardActivity>,
+    /// Per-shard external fragmentation of the buddy allocator at
+    /// [`Snapshot::FRAGMENTATION_ORDER`], shard-index order: the fraction
+    /// of each shard's free memory not usable for a contiguous block of
+    /// that order (0.0 = fully defragmented). Long-lived services watch
+    /// this alongside the frame-cache counters to see churn-driven
+    /// fragmentation build up.
+    pub per_shard_fragmentation: Vec<f64>,
     /// Per-op counts and latency histograms, [`OpKind::ALL`] order.
     pub ops: Vec<OpLatency>,
     /// Recorded ops per telemetry stripe.
@@ -942,6 +948,11 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// The block order [`Snapshot::per_shard_fragmentation`] is reported
+    /// at: order 5 = 32 contiguous frames = 128 KiB, the smallest VB size
+    /// class — the block a whole-VB early reservation needs.
+    pub const FRAGMENTATION_ORDER: u32 = 5;
+
     /// Total ops recorded across all kinds.
     pub fn total_ops(&self) -> u64 {
         self.ops.iter().map(|o| o.count).sum()
@@ -970,6 +981,11 @@ impl Snapshot {
                 ("promotions", J::U(m.promotions)),
                 ("vbs_cloned", J::U(m.vbs_cloned)),
                 ("vbs_migrated", J::U(m.vbs_migrated)),
+                ("frame_cache_hits", J::U(m.frame_cache_hits)),
+                ("frame_cache_misses", J::U(m.frame_cache_misses)),
+                ("frame_cache_refills", J::U(m.frame_cache_refills)),
+                ("frame_cache_flushes", J::U(m.frame_cache_flushes)),
+                ("frame_cache_batch_frees", J::U(m.frame_cache_batch_frees)),
             ])
         };
         let ops_json: Vec<String> = self
@@ -1041,6 +1057,17 @@ impl Snapshot {
                 ])),
             ),
             ("shard_activity", J::Raw(format!("[{}]", shard_json.join(",")))),
+            (
+                "per_shard_fragmentation",
+                J::Raw(format!(
+                    "[{}]",
+                    self.per_shard_fragmentation
+                        .iter()
+                        .map(|f| format!("{f:.4}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )),
+            ),
             ("ops", J::Raw(format!("[{}]", ops_json.join(",")))),
             (
                 "ops_per_stripe",
@@ -1093,6 +1120,11 @@ impl Snapshot {
         line("mtl_faults_in", &fe, self.mtl.faults_in.to_string());
         line("mtl_evictions", &fe, self.mtl.evictions.to_string());
         line("mtl_writebacks", &fe, self.mtl.writebacks.to_string());
+        line("mtl_frame_cache_hits", &fe, self.mtl.frame_cache_hits.to_string());
+        line("mtl_frame_cache_misses", &fe, self.mtl.frame_cache_misses.to_string());
+        line("mtl_frame_cache_refills", &fe, self.mtl.frame_cache_refills.to_string());
+        line("mtl_frame_cache_flushes", &fe, self.mtl.frame_cache_flushes.to_string());
+        line("mtl_frame_cache_batch_frees", &fe, self.mtl.frame_cache_batch_frees.to_string());
         line("tlb_hits", &fe, self.tlb.hits.to_string());
         line("tlb_misses", &fe, self.tlb.misses.to_string());
         line("cvt_cache_lockfree_hits", &fe, self.cvt_cache.lockfree_hits.to_string());
@@ -1112,6 +1144,10 @@ impl Snapshot {
             line("shard_lock_acquisitions", &labels, s.acquisitions.to_string());
             line("shard_lock_contended", &labels, s.contended.to_string());
             line("shard_ops_executed", &labels, s.ops_executed.to_string());
+        }
+        for (i, f) in self.per_shard_fragmentation.iter().enumerate() {
+            let labels = format!("{fe},shard=\"{i}\",order=\"{}\"", Snapshot::FRAGMENTATION_ORDER);
+            line("fragmentation", &labels, format!("{f:.4}"));
         }
         for o in self.ops.iter().filter(|o| o.count > 0) {
             let op = format!("{fe},op=\"{}\"", o.kind.name());
@@ -1633,6 +1669,7 @@ mod tests {
                 ShardActivity { acquisitions: 5, contended: 1, ops_executed: 25 },
                 ShardActivity { acquisitions: 5, contended: 0, ops_executed: 25 },
             ],
+            per_shard_fragmentation: vec![0.0, 0.25],
             ops: t.op_latencies(),
             ops_per_stripe: t.ops_per_stripe(),
             free_frames: 1024,
@@ -1658,6 +1695,8 @@ mod tests {
         ));
         assert!(json.contains("\"inflight_high_water\":6"));
         assert!(json.contains("\"backpressure_waits\":11"));
+        assert!(json.contains("\"per_shard_fragmentation\":[0.0000,0.2500]"));
+        assert!(json.contains("\"frame_cache_hits\":0"));
         assert_eq!(snap.total_ops(), 50);
 
         let prom = snap.to_prometheus();
@@ -1674,6 +1713,9 @@ mod tests {
         assert!(prom.contains("vbi_client_map_slots_dead{front_end=\"service\"} 0"));
         assert!(prom.contains("vbi_queue_inflight_high_water{front_end=\"service\"} 6"));
         assert!(prom.contains("vbi_queue_backpressure_waits{front_end=\"service\"} 11"));
+        assert!(prom.contains("vbi_mtl_frame_cache_hits{front_end=\"service\"} 0"));
+        assert!(prom
+            .contains("vbi_fragmentation{front_end=\"service\",shard=\"1\",order=\"5\"} 0.2500"));
         for l in prom.lines() {
             assert!(l.starts_with("vbi_"), "unprefixed line {l:?}");
             assert!(l.rsplit(' ').next().unwrap().parse::<f64>().is_ok(), "bad value in {l:?}");

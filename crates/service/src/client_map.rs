@@ -32,10 +32,8 @@
 //!   lock before touching state.
 //!
 //! Create and destroy take the shard's mutex and bump the generation
-//! around their published-table edits. With the map disabled
-//! ([`crate::ServiceConfig::lockfree_client_map`] = `false`) every
-//! resolution goes through the authoritative mutex — the locked baseline
-//! the `read_path` bench A/Bs against.
+//! around their published-table edits. Misses and publish-table overflow
+//! fall back to the authoritative mutex.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -241,9 +239,6 @@ impl MapShard {
 /// for the protocol.
 #[derive(Debug)]
 pub(crate) struct ClientMap {
-    /// Whether readers may use the published tables at all (`false` = the
-    /// locked A/B baseline: every resolution takes a map-shard mutex).
-    lockfree: bool,
     shards: Vec<MapShard>,
     arena: SlotArena,
     allocator: Mutex<IndexAllocator>,
@@ -255,9 +250,8 @@ pub(crate) struct ClientMap {
 }
 
 impl ClientMap {
-    pub(crate) fn new(lockfree: bool, cvt_capacity: usize, cache_slots: usize) -> Self {
+    pub(crate) fn new(cvt_capacity: usize, cache_slots: usize) -> Self {
         Self {
-            lockfree,
             shards: (0..MAP_SHARDS).map(|_| MapShard::new()).collect(),
             arena: SlotArena::new(cvt_capacity, cache_slots),
             allocator: Mutex::new(IndexAllocator { next: 0, free: Vec::new() }),
@@ -289,9 +283,6 @@ impl ClientMap {
         id: ClientId,
         f: impl Fn(&ClientSlot) -> Option<R>,
     ) -> Option<R> {
-        if !self.lockfree {
-            return None;
-        }
         let shard = self.shard(id);
         loop {
             let generation = shard.generation.load(Ordering::Acquire);
@@ -322,9 +313,6 @@ impl ClientMap {
     /// (`state.cvt.client() == id`) under the slot lock — exactly the
     /// check [`crate::VbiService`] performs.
     fn resolve_published(&self, id: ClientId) -> Option<&ClientSlot> {
-        if !self.lockfree {
-            return None;
-        }
         let shard = self.shard(id);
         loop {
             let generation = shard.generation.load(Ordering::Acquire);
@@ -346,7 +334,7 @@ impl ClientMap {
     }
 
     /// Authoritative resolution under the map-shard mutex — the fallback
-    /// for misses, unpublished clients, and the lock-free map disabled.
+    /// for misses and unpublished clients.
     pub(crate) fn get_locked(&self, id: ClientId) -> Result<&ClientSlot> {
         self.locked_fallbacks.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard(id);
@@ -362,23 +350,6 @@ impl ClientMap {
             Some(slot) => Ok(slot),
             None => self.get_locked(id),
         }
-    }
-
-    /// Resolves `id` under the map-shard mutex and runs `f` on its slot
-    /// *while the mutex is held*. Removal needs the same mutex, so holding
-    /// it pins the slot against recycling — which lets `f` probe the
-    /// slot's published CVT cache (whose tags are index-only) without
-    /// generation cover. This is the locked-map baseline's read path.
-    pub(crate) fn with_locked<R>(
-        &self,
-        id: ClientId,
-        f: impl FnOnce(&ClientSlot) -> R,
-    ) -> Result<R> {
-        self.locked_fallbacks.fetch_add(1, Ordering::Relaxed);
-        let shard = self.shard(id);
-        let auth = shard.lock();
-        let index = *auth.get(&id).ok_or(VbiError::InvalidClient(id))?;
-        Ok(f(self.arena.get(index)))
     }
 
     /// Inserts fresh client state for `id` unless `id` is already live.
@@ -502,8 +473,8 @@ mod tests {
     use vbi_core::addr::{SizeClass, Vbuid};
     use vbi_core::perm::Rwx;
 
-    fn map(lockfree: bool) -> ClientMap {
-        ClientMap::new(lockfree, 16, 8)
+    fn map() -> ClientMap {
+        ClientMap::new(16, 8)
     }
 
     fn cvt_for(id: ClientId) -> Cvt {
@@ -512,7 +483,7 @@ mod tests {
 
     #[test]
     fn insert_resolve_remove_roundtrip() {
-        let m = map(true);
+        let m = map();
         let id = ClientId(7);
         assert!(m.insert(id, cvt_for(id)));
         assert!(!m.insert(id, cvt_for(id)), "double insert refused");
@@ -528,22 +499,8 @@ mod tests {
     }
 
     #[test]
-    fn locked_map_never_uses_the_published_table() {
-        let m = map(false);
-        let id = ClientId(3);
-        assert!(m.insert(id, cvt_for(id)));
-        for _ in 0..5 {
-            m.resolve(id).unwrap();
-        }
-        let stats = m.stats();
-        assert_eq!(stats.lockfree_hits, 0);
-        assert_eq!(stats.locked_fallbacks, 5);
-        assert_eq!(stats.generation_retries, 0);
-    }
-
-    #[test]
     fn read_published_serves_through_the_slot() {
-        let m = map(true);
+        let m = map();
         let id = ClientId(21);
         let mut cvt = cvt_for(id);
         let index = cvt.attach(Vbuid::new(SizeClass::Kib4, 9), Rwx::READ).unwrap();
@@ -566,7 +523,7 @@ mod tests {
 
     #[test]
     fn recycled_slots_serve_their_new_owner() {
-        let m = map(true);
+        let m = map();
         let old = ClientId(5);
         assert!(m.insert(old, cvt_for(old)));
         let (index, slot) = m.remove(old).unwrap();
@@ -584,7 +541,7 @@ mod tests {
 
     #[test]
     fn overflowed_publish_windows_fall_back_to_the_mutex() {
-        let m = map(true);
+        let m = map();
         // 80 clients on one map shard (IDs ≡ 1 mod 16) against 64
         // published slots in windows of 8: some cannot publish.
         let ids: Vec<ClientId> = (0..80u16).map(|i| ClientId(1 + i * 16)).collect();
@@ -640,12 +597,12 @@ mod tests {
                 m.recycle(index);
             }
         };
-        let first = map(true);
+        let first = map();
         run(&first, 0, 12, 3);
-        let second = map(true);
+        let second = map();
         run(&second, 300, 7, 5);
 
-        let combined = map(true);
+        let combined = map();
         run(&combined, 0, 12, 3);
         run(&combined, 300, 7, 5);
 
@@ -681,12 +638,12 @@ mod tests {
                 m.recycle(index);
             }
         };
-        let first = map(true);
+        let first = map();
         fill(&first, 0, ARENA_CHUNK as u16, 0);
-        let second = map(true);
+        let second = map();
         fill(&second, ARENA_CHUNK as u16, ARENA_CHUNK as u16, 48);
 
-        let combined = map(true);
+        let combined = map();
         fill(&combined, 0, ARENA_CHUNK as u16, 0);
         fill(&combined, ARENA_CHUNK as u16, ARENA_CHUNK as u16, 48);
 
@@ -700,7 +657,7 @@ mod tests {
 
     #[test]
     fn live_lists_every_client() {
-        let m = map(true);
+        let m = map();
         let ids: Vec<ClientId> = (0..40u16).map(ClientId).collect();
         for &id in &ids {
             assert!(m.insert(id, cvt_for(id)));

@@ -171,15 +171,11 @@ pub struct ServiceConfig {
     /// Whether read-kind protection checks may be answered lock-free from
     /// the seqlock-published CVT cache (default `true`). `false` forces
     /// every check through the locked path — the baseline the `read_path`
-    /// bench compares against.
+    /// bench compares against. Client resolution always goes through the
+    /// epoch-validated published tables of the sharded client map, so with
+    /// this on, a CVT-cache-hit read acquires **zero** shared locks end to
+    /// end.
     pub lockfree_reads: bool,
-    /// Whether `ClientId -> ClientSlot` resolution may go through the
-    /// epoch-validated published tables of the sharded client map (default
-    /// `true`). `false` sends every resolution through a map-shard mutex —
-    /// the locked-map baseline the `read_path` bench A/Bs against. With
-    /// both this and [`ServiceConfig::lockfree_reads`] on, a CVT-cache-hit
-    /// read acquires **zero** shared locks end to end.
-    pub lockfree_client_map: bool,
     /// Factory for each shard's backing store, run once per shard at
     /// construction (default `None` = the in-memory
     /// [`vbi_core::swap::BackingStore`]). A plain `fn` pointer keeps the
@@ -191,7 +187,7 @@ pub struct ServiceConfig {
 impl ServiceConfig {
     /// A `shards`-way service over `base`.
     pub fn new(shards: usize, base: VbiConfig) -> Self {
-        Self { shards, base, lockfree_reads: true, lockfree_client_map: true, backing: None }
+        Self { shards, base, lockfree_reads: true, backing: None }
     }
 
     /// The degenerate single-shard service — byte- and stats-identical to
@@ -204,13 +200,6 @@ impl ServiceConfig {
     /// [`ServiceConfig::lockfree_reads`]).
     pub fn with_lockfree_reads(mut self, enabled: bool) -> Self {
         self.lockfree_reads = enabled;
-        self
-    }
-
-    /// Selects whether client resolution may use the lock-free published
-    /// map (see [`ServiceConfig::lockfree_client_map`]).
-    pub fn with_lockfree_client_map(mut self, enabled: bool) -> Self {
-        self.lockfree_client_map = enabled;
         self
     }
 
@@ -373,16 +362,6 @@ impl OpEnv for ServiceEnv<'_> {
                 inner.clients.read_published(id, |slot| slot.reads.lookup_lockfree(index))
             {
                 return Ok((entry, true));
-            }
-            // Locked-map baseline (`lockfree_client_map = false`): the
-            // map-shard mutex pins the slot for the probe, so the CVT
-            // cache itself still answers without a client lock.
-            if !inner.config.lockfree_client_map {
-                if let Some(entry) =
-                    inner.clients.with_locked(id, |slot| slot.reads.lookup_lockfree(index))?
-                {
-                    return Ok((entry, true));
-                }
             }
         }
         // Slow path (miss, torn read, unpublished client, or lock-free
@@ -549,11 +528,7 @@ impl VbiService {
             config.base.telemetry_metrics,
             config.base.telemetry_tracing,
         ));
-        let clients = ClientMap::new(
-            config.lockfree_client_map,
-            config.base.cvt_capacity,
-            config.base.cvt_cache_slots,
-        );
+        let clients = ClientMap::new(config.base.cvt_capacity, config.base.cvt_cache_slots);
         Self {
             inner: Arc::new(Inner {
                 config,
@@ -1013,8 +988,11 @@ impl VbiService {
             mtl.merge(stats);
         }
         let mut tlb = TlbStats::default();
+        let mut per_shard_fragmentation = Vec::with_capacity(self.inner.shards.len());
         for shard in 0..self.inner.shards.len() {
-            tlb.merge(&self.lock_shard(shard).tlb_stats());
+            let guard = self.lock_shard(shard);
+            tlb.merge(&guard.tlb_stats());
+            per_shard_fragmentation.push(guard.fragmentation(Snapshot::FRAGMENTATION_ORDER));
         }
         let mut cvt_cache = CvtCacheStats::default();
         for (_, slot) in self.inner.clients.live() {
@@ -1038,6 +1016,7 @@ impl VbiService {
                     ops_executed: load.ops_executed,
                 })
                 .collect(),
+            per_shard_fragmentation,
             ops: telemetry.op_latencies(),
             ops_per_stripe: telemetry.ops_per_stripe(),
             free_frames: self.free_frames(),

@@ -12,9 +12,12 @@
 //! asserting byte-exactness throughout; a fifth, [`async_run`], multiplexes
 //! thousands of awaited [`AsyncSession`](vbi_service::AsyncSession) tasks
 //! on one executor thread and reports wake-to-complete latency and
-//! backpressure engagement. These are the drivers behind the `service`,
-//! `queue`, `read_path`, `migration`, and `async_sessions` benches in
-//! `vbi-bench` and the equivalence/stress suites at the workspace root.
+//! backpressure engagement; a sixth, [`alloc_churn_run`], loops
+//! request/touch/release cycles over short-lived VBs across threads — the
+//! frame allocate/free hot path the per-shard magazine cache fronts.
+//! These are the drivers behind the `service`, `queue`, `read_path`,
+//! `migration`, `async_sessions`, and `alloc_churn` benches in `vbi-bench`
+//! and the equivalence/stress suites at the workspace root.
 //!
 //! The same replay is exposed in deterministic single-threaded form
 //! ([`replay_on_system`] / [`replay_on_service`]) so a fixed trace can be
@@ -474,11 +477,6 @@ pub struct ReadPathConfig {
     pub vbs: usize,
     /// `true` = seqlock fast path enabled; `false` = locked baseline.
     pub lockfree: bool,
-    /// `true` = epoch-validated sharded client map (reads resolve the
-    /// client without any shared lock); `false` = authoritative-mutex
-    /// client map — the pre-redesign baseline the A/B gate compares
-    /// against.
-    pub lockfree_map: bool,
     /// Whether the telemetry metrics registry is armed (per-op counters and
     /// latency histograms at the engine's execute boundary). `false` is the
     /// uninstrumented baseline the `BENCH_telemetry` overhead bench
@@ -496,7 +494,6 @@ impl Default for ReadPathConfig {
             ops_per_thread: 50_000,
             vbs: 16,
             lockfree: true,
-            lockfree_map: true,
             telemetry: true,
             phys_frames: 1 << 16,
         }
@@ -510,8 +507,6 @@ pub struct ReadPathReport {
     pub threads: usize,
     /// Whether the lock-free fast path was enabled.
     pub lockfree: bool,
-    /// Whether the epoch-validated sharded client map was enabled.
-    pub lockfree_map: bool,
     /// Loads completed across all readers.
     pub total_ops: u64,
     /// Wall-clock seconds of the read phase only (setup and warm-up are
@@ -524,9 +519,8 @@ pub struct ReadPathReport {
     pub client_locks: u64,
     /// CVT-cache stats delta of the read phase.
     pub cache: vbi_core::cvt_cache::CvtCacheStats,
-    /// Client-map stats delta of the read phase: with the lock-free map
-    /// every read resolves as a `lockfree_hits`; with the locked baseline
-    /// every read is a `locked_fallbacks`.
+    /// Client-map stats delta of the read phase: published-table hits,
+    /// generation retries, and authoritative-mutex fallbacks.
     pub map: vbi_core::telemetry::ClientMapStats,
 }
 
@@ -539,7 +533,6 @@ impl ReadPathReport {
         vbi_core::telemetry::json_object(&[
             ("threads", J::U(self.threads as u64)),
             ("lockfree", J::B(self.lockfree)),
-            ("lockfree_map", J::B(self.lockfree_map)),
             ("total_ops", J::U(self.total_ops)),
             ("elapsed_secs", J::F(self.elapsed_secs, 6)),
             ("ops_per_sec", J::F(self.ops_per_sec, 0)),
@@ -573,8 +566,7 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
                 ..VbiConfig::vbi_full()
             },
         )
-        .with_lockfree_reads(config.lockfree)
-        .with_lockfree_client_map(config.lockfree_map),
+        .with_lockfree_reads(config.lockfree),
     );
     let session = service.create_client().expect("fresh service");
     let handles: Vec<VbHandle> = (0..config.vbs)
@@ -619,7 +611,6 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
     ReadPathReport {
         threads: config.threads,
         lockfree: config.lockfree,
-        lockfree_map: config.lockfree_map,
         total_ops,
         elapsed_secs: elapsed,
         ops_per_sec: if elapsed > 0.0 { total_ops as f64 / elapsed } else { 0.0 },
@@ -639,6 +630,193 @@ pub fn read_path_run(config: &ReadPathConfig) -> ReadPathReport {
             slots_live: map_after.slots_live,
             slots_dead: map_after.slots_dead,
         },
+    }
+}
+
+/// Configuration of one allocation-churn run ([`alloc_churn_run`]): N
+/// worker threads, each on its **own** client, looping request → touch →
+/// release over short-lived VBs while also keeping a persistent VB under
+/// data traffic. Every churn cycle allocates and frees physical frames on
+/// the worker's home shard — the order-0 hot path the magazine frame
+/// cache takes the buddy's split/coalesce bookkeeping off.
+#[derive(Debug, Clone)]
+pub struct AllocChurnConfig {
+    /// Worker threads, one client each.
+    pub threads: usize,
+    /// MTL shards (workers land on shards via round-robin VB placement).
+    pub shards: usize,
+    /// Request → touch → release cycles each worker performs.
+    pub churns_per_thread: usize,
+    /// Bytes of each short-lived VB (4 KiB = one frame per cycle, the
+    /// pure order-0 churn the cache is built for).
+    pub vb_bytes: u64,
+    /// `true` = magazine frame cache in front of each shard's buddy;
+    /// `false` = buddy-only baseline the A/B gate compares against.
+    pub frame_cache: bool,
+    /// Total physical frames of the machine (keep it ample: this driver
+    /// measures allocator churn, not eviction).
+    pub phys_frames: u64,
+}
+
+impl Default for AllocChurnConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            shards: 4,
+            churns_per_thread: 10_000,
+            vb_bytes: 4 << 10,
+            frame_cache: true,
+            phys_frames: 1 << 16,
+        }
+    }
+}
+
+/// Report of one allocation-churn run.
+#[derive(Debug, Clone)]
+pub struct AllocChurnReport {
+    /// Worker threads of the run.
+    pub threads: usize,
+    /// Whether the magazine frame cache was enabled.
+    pub frame_cache: bool,
+    /// Request → touch → release cycles completed across all workers.
+    pub total_churns: u64,
+    /// Engine ops executed across all workers (5 per cycle: request,
+    /// store, load, persistent store, release).
+    pub total_ops: u64,
+    /// Wall-clock seconds of the churn phase only (setup and warm-up are
+    /// excluded).
+    pub elapsed_secs: f64,
+    /// Churn cycles per second.
+    pub churns_per_sec: f64,
+    /// Engine ops per second.
+    pub ops_per_sec: f64,
+    /// Frame-cache counter deltas of the churn phase, summed across
+    /// shards. All zero with the cache disabled.
+    pub cache_hits: u64,
+    /// Cache misses (order-0 allocations that had to refill or fall
+    /// through to the buddy).
+    pub cache_misses: u64,
+    /// Batch refills pulled from the buddy.
+    pub cache_refills: u64,
+    /// Whole-cache flushes back to the buddy.
+    pub cache_flushes: u64,
+    /// Depot-overflow bulk frees back to the buddy.
+    pub cache_batch_frees: u64,
+    /// Absolute free-frame drift across the churn phase: every churned VB
+    /// is released, so any nonzero value is a leaked (or conjured) frame.
+    pub frames_leaked: u64,
+}
+
+impl AllocChurnReport {
+    /// One-line JSON rendering via the shared
+    /// [`json_object`](vbi_core::telemetry::json_object) emitter: sorted
+    /// keys, schema-stable.
+    pub fn to_json(&self) -> String {
+        use vbi_core::telemetry::JsonValue as J;
+        vbi_core::telemetry::json_object(&[
+            ("threads", J::U(self.threads as u64)),
+            ("frame_cache", J::B(self.frame_cache)),
+            ("total_churns", J::U(self.total_churns)),
+            ("total_ops", J::U(self.total_ops)),
+            ("elapsed_secs", J::F(self.elapsed_secs, 6)),
+            ("churns_per_sec", J::F(self.churns_per_sec, 0)),
+            ("ops_per_sec", J::F(self.ops_per_sec, 0)),
+            ("cache_hits", J::U(self.cache_hits)),
+            ("cache_misses", J::U(self.cache_misses)),
+            ("cache_refills", J::U(self.cache_refills)),
+            ("cache_flushes", J::U(self.cache_flushes)),
+            ("cache_batch_frees", J::U(self.cache_batch_frees)),
+            ("frames_leaked", J::U(self.frames_leaked)),
+        ])
+    }
+}
+
+/// Runs `config.threads` workers, each on its own client, through
+/// request → store → load → release cycles over `vb_bytes` VBs while a
+/// persistent per-worker VB stays under store traffic. Ample physical
+/// memory keeps eviction out of the picture: the measured work is the
+/// engine's frame allocate/free path, so the cached-vs-buddy-only A/B in
+/// `vbi-bench` isolates exactly the magazine layer.
+///
+/// # Panics
+///
+/// Panics if the footprint does not fit the machine or any op fails.
+pub fn alloc_churn_run(config: &AllocChurnConfig) -> AllocChurnReport {
+    let service = VbiService::new(ServiceConfig::new(
+        config.shards,
+        VbiConfig {
+            phys_frames: config.phys_frames,
+            frame_cache: config.frame_cache,
+            ..VbiConfig::vbi_full()
+        },
+    ));
+    let sessions: Vec<_> =
+        (0..config.threads).map(|_| service.create_client().expect("fresh service")).collect();
+    let persistent: Vec<VbHandle> = sessions
+        .iter()
+        .map(|session| {
+            let vb = session
+                .request_vb(64 << 10, VbProperties::NONE, Rwx::READ_WRITE)
+                .expect("footprint fits");
+            session.store_u64(vb.at(0), 1).expect("warm-up store");
+            vb
+        })
+        .collect();
+    // One unmeasured churn cycle per worker: first-touch translation
+    // structures and TLB compulsory misses land here, not on the clock.
+    for (worker, session) in sessions.iter().enumerate() {
+        let vb = session
+            .request_vb(config.vb_bytes, VbProperties::NONE, Rwx::READ_WRITE)
+            .expect("warm-up request fits");
+        session.store_u64(vb.at(0), worker as u64).expect("warm-up store");
+        session.release_vb(vb.cvt_index).expect("warm-up release");
+    }
+    let stats_before = service.stats();
+    let free_before = service.free_frames();
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (worker, session) in sessions.iter().enumerate() {
+            let persistent = &persistent[worker];
+            scope.spawn(move || {
+                for i in 0..config.churns_per_thread {
+                    let value = (worker * config.churns_per_thread + i) as u64;
+                    let vb = session
+                        .request_vb(config.vb_bytes, VbProperties::NONE, Rwx::READ_WRITE)
+                        .expect("churn request fits");
+                    session.store_u64(vb.at(0), value).expect("in-bounds store");
+                    assert_eq!(
+                        session.load_u64(vb.at(0)).expect("in-bounds load"),
+                        value,
+                        "stale read on a churned VB"
+                    );
+                    session.store_u64(persistent.at(0), value).expect("persistent store");
+                    session.release_vb(vb.cvt_index).expect("release churned VB");
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let stats_after = service.stats();
+    let frames_leaked = free_before.abs_diff(service.free_frames());
+    let total_churns = (config.threads * config.churns_per_thread) as u64;
+    let total_ops = total_churns * 5;
+    AllocChurnReport {
+        threads: config.threads,
+        frame_cache: config.frame_cache,
+        total_churns,
+        total_ops,
+        elapsed_secs: elapsed,
+        churns_per_sec: if elapsed > 0.0 { total_churns as f64 / elapsed } else { 0.0 },
+        ops_per_sec: if elapsed > 0.0 { total_ops as f64 / elapsed } else { 0.0 },
+        cache_hits: stats_after.frame_cache_hits - stats_before.frame_cache_hits,
+        cache_misses: stats_after.frame_cache_misses - stats_before.frame_cache_misses,
+        cache_refills: stats_after.frame_cache_refills - stats_before.frame_cache_refills,
+        cache_flushes: stats_after.frame_cache_flushes - stats_before.frame_cache_flushes,
+        cache_batch_frees: stats_after.frame_cache_batch_frees
+            - stats_before.frame_cache_batch_frees,
+        frames_leaked,
     }
 }
 
@@ -1139,21 +1317,43 @@ mod tests {
     }
 
     #[test]
-    fn read_path_run_counts_the_client_map_variants() {
+    fn read_path_run_resolves_clients_through_the_published_map() {
         let base =
             ReadPathConfig { threads: 2, shards: 2, ops_per_thread: 500, ..Default::default() };
-        let fast = read_path_run(&ReadPathConfig { lockfree_map: true, ..base.clone() });
+        let fast = read_path_run(&base);
         assert_eq!(fast.map.lockfree_hits, 1_000, "every read resolves through the published map");
         assert_eq!(fast.map.locked_fallbacks, 0, "warm readers never touch the map mutex");
         let json = fast.to_json();
-        assert!(json.contains("\"lockfree_map\":true"), "{json}");
         assert!(json.contains("\"map_lockfree_hits\":1000"), "{json}");
+    }
 
-        let locked = read_path_run(&ReadPathConfig { lockfree_map: false, ..base });
-        assert_eq!(locked.map.lockfree_hits, 0, "the locked map never serves published reads");
-        assert_eq!(locked.map.locked_fallbacks, 1_000, "baseline resolves through the mutex");
-        assert_eq!(locked.map.generation_retries, 0);
-        assert_eq!(locked.client_locks, 0, "the map baseline still spares the client mutex");
+    #[test]
+    fn alloc_churn_run_leaks_nothing_and_hits_the_cache() {
+        let base = AllocChurnConfig {
+            threads: 2,
+            shards: 2,
+            churns_per_thread: 500,
+            ..Default::default()
+        };
+        let cached = alloc_churn_run(&base);
+        assert_eq!(cached.total_churns, 1_000);
+        assert_eq!(cached.total_ops, 5_000);
+        assert_eq!(cached.frames_leaked, 0, "every churned frame must come back");
+        assert!(
+            cached.cache_hits > cached.cache_misses,
+            "steady-state churn must be served from the magazines \
+             (hits {}, misses {})",
+            cached.cache_hits,
+            cached.cache_misses
+        );
+        let json = cached.to_json();
+        assert!(json.contains("\"frame_cache\":true"), "{json}");
+        assert!(json.contains("\"frames_leaked\":0"), "{json}");
+
+        let buddy_only = alloc_churn_run(&AllocChurnConfig { frame_cache: false, ..base });
+        assert_eq!(buddy_only.frames_leaked, 0);
+        assert_eq!(buddy_only.cache_hits, 0, "a disabled cache must count nothing");
+        assert_eq!(buddy_only.cache_refills, 0);
     }
 
     #[test]

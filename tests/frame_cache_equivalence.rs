@@ -1,0 +1,105 @@
+//! Equivalence proof for the magazine frame cache: a cache-fronted MTL
+//! and a buddy-only MTL driven with the same random allocate/free/reclaim
+//! traffic agree on *every* outcome — op-for-op success/failure, the
+//! `free_frames()` gauge after every single op (the cache is part of the
+//! free pool, not a leak of it), and every MTL counter except the cache's
+//! own bookkeeping. The cache may only change *where* free frames wait
+//! and how fast they turn around, never what the machine does.
+//!
+//! The workload runs the paper's VBI-2 variant (delayed allocation, no
+//! early reservation) over 128 KiB VBs against a deliberately small
+//! machine, so the sequences continuously cross the
+//! allocate → evict → reclaim boundary where a stale gauge or a stranded
+//! cached frame would change an outcome.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use vbi_core::client::VirtualAddress;
+use vbi_core::ops::{Op, OpOutput, VbHandle};
+use vbi_core::{MtlStats, Rwx, System, VbProperties, VbiConfig};
+
+/// Pages of one 128 KiB VB.
+const VB_PAGES: u64 = 32;
+
+/// Zeroes the frame-cache counters so the *allocation behavior* of the
+/// two variants can be compared exactly: the cache is allowed its own
+/// bookkeeping and nothing else.
+fn scrub(mut stats: MtlStats) -> MtlStats {
+    stats.frame_cache_hits = 0;
+    stats.frame_cache_misses = 0;
+    stats.frame_cache_refills = 0;
+    stats.frame_cache_flushes = 0;
+    stats.frame_cache_batch_frees = 0;
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_fronted_mtl_matches_buddy_only(seed in any::<u64>(), len in 1usize..250) {
+        // 256 frames against 32-page VBs: a handful of live VBs exhausts
+        // the machine, so reclaim runs constantly.
+        let base = VbiConfig { phys_frames: 256, ..VbiConfig::vbi_2() };
+        let cached = System::new(VbiConfig { frame_cache: true, ..base.clone() });
+        let buddy = System::new(VbiConfig { frame_cache: false, ..base });
+
+        let client = match cached.execute(Op::CreateClient) {
+            Ok(OpOutput::Client(id)) => id,
+            other => panic!("create failed: {other:?}"),
+        };
+        prop_assert_eq!(buddy.execute(Op::CreateClient), Ok(OpOutput::Client(client)));
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut live: Vec<VbHandle> = Vec::new();
+        for step in 0..len {
+            let roll: u32 = rng.gen_range(0..10);
+            let op = if live.is_empty() || roll <= 2 {
+                Op::RequestVb {
+                    client,
+                    bytes: 128 << 10,
+                    props: VbProperties::NONE,
+                    perms: Rwx::READ_WRITE,
+                }
+            } else {
+                let vb = live[rng.gen_range(0..live.len())];
+                let va = VirtualAddress::new(vb.cvt_index, rng.gen_range(0..VB_PAGES) * 4096);
+                match roll {
+                    3..=6 => Op::StoreU64 { client, va, value: rng.gen() },
+                    7..=8 => Op::LoadU64 { client, va },
+                    _ => {
+                        let index = rng.gen_range(0..live.len());
+                        let vb = live.swap_remove(index);
+                        Op::ReleaseVb { client, index: vb.cvt_index }
+                    }
+                }
+            };
+
+            let want = buddy.execute(op.clone());
+            let got = cached.execute(op.clone());
+            prop_assert_eq!(&want, &got,
+                "outcome diverged at step {} (seed {}, op {:?})", step, seed, op);
+            if let Ok(OpOutput::Handle(handle)) = &got {
+                live.push(*handle);
+            }
+            prop_assert_eq!(
+                cached.mtl().free_frames(), buddy.mtl().free_frames(),
+                "free-frame gauge diverged at step {} (seed {})", step, seed);
+        }
+
+        prop_assert_eq!(scrub(cached.mtl().stats()), scrub(buddy.mtl().stats()),
+            "MTL counters diverged beyond the cache's own bookkeeping (seed {})", seed);
+
+        // Flushing is conservation-neutral: the gauge already counted the
+        // cached frames, and a second flush finds nothing left.
+        let gauge = cached.mtl().free_frames();
+        cached.mtl_mut().flush_frame_cache();
+        prop_assert_eq!(cached.mtl().free_frames(), gauge,
+            "flush changed the free-frame gauge (seed {})", seed);
+        prop_assert_eq!(cached.mtl_mut().flush_frame_cache(), 0u64,
+            "a second flush must find an empty cache (seed {})", seed);
+        prop_assert_eq!(cached.mtl().free_frames(), buddy.mtl().free_frames());
+    }
+}

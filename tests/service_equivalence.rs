@@ -243,9 +243,7 @@ proptest! {
     /// The tentpole property: a random mixed op sequence over the FULL
     /// surface produces identical responses and identical MtlStats whether
     /// it runs sequentially through `System::execute` or as one
-    /// `VbiService::submit` batch on a 1-shard service — with the
-    /// epoch-validated client map both ON and OFF, so the lock-free map is
-    /// proven observably identical to the locked baseline it replaces.
+    /// `VbiService::submit` batch on a 1-shard service.
     #[test]
     fn submit_over_full_surface_matches_system(seed in any::<u64>(), len in 1usize..150) {
         let cfg = VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() };
@@ -255,40 +253,31 @@ proptest! {
         let system_responses: Vec<OpResult> =
             ops.iter().map(|op| system.execute(op.clone())).collect();
 
-        for lockfree_map in [true, false] {
-            let service = VbiService::new(
-                ServiceConfig::single(cfg.clone()).with_lockfree_client_map(lockfree_map));
-            let service_responses = service.submit(&ops);
+        let service = VbiService::new(ServiceConfig::single(cfg));
+        let service_responses = service.submit(&ops);
 
-            prop_assert_eq!(&system_responses, &service_responses,
-                "responses diverged (seed {}, lockfree_map {})", seed, lockfree_map);
-            prop_assert_eq!(system.mtl().stats(), service.stats(),
-                "MTL counters diverged (seed {}, lockfree_map {})", seed, lockfree_map);
-        }
+        prop_assert_eq!(&system_responses, &service_responses,
+            "responses diverged (seed {})", seed);
+        prop_assert_eq!(system.mtl().stats(), service.stats(),
+            "MTL counters diverged (seed {})", seed);
     }
 
     /// The same sequences, executed op-by-op through `VbiService::execute`
     /// (the queue workers' path) instead of one batch — the async front
-    /// end's execution semantics equal the synchronous adapter's too,
-    /// under both client-map implementations.
+    /// end's execution semantics equal the synchronous adapter's too.
     #[test]
     fn op_by_op_service_matches_system(seed in any::<u64>(), len in 1usize..100) {
         let cfg = VbiConfig { phys_frames: 1 << 16, ..VbiConfig::vbi_full() };
         let ops = random_mixed_ops(seed, len, &cfg);
 
         let system = System::new(cfg.clone());
-        let locked = VbiService::new(
-            ServiceConfig::single(cfg.clone()).with_lockfree_client_map(false));
-        let lockfree = VbiService::new(ServiceConfig::single(cfg));
+        let service = VbiService::new(ServiceConfig::single(cfg));
         for op in &ops {
             let want = system.execute(op.clone());
-            prop_assert_eq!(&want, &lockfree.execute(op.clone()),
-                "op {:?} diverged on the lock-free map (seed {})", op, seed);
-            prop_assert_eq!(&want, &locked.execute(op.clone()),
-                "op {:?} diverged on the locked map (seed {})", op, seed);
+            prop_assert_eq!(&want, &service.execute(op.clone()),
+                "op {:?} diverged op-by-op (seed {})", op, seed);
         }
-        prop_assert_eq!(system.mtl().stats(), lockfree.stats());
-        prop_assert_eq!(system.mtl().stats(), locked.stats());
+        prop_assert_eq!(system.mtl().stats(), service.stats());
     }
 }
 
@@ -350,18 +339,15 @@ proptest! {
         let system_responses: Vec<OpResult> =
             ops.iter().map(|op| system.execute(op.clone())).collect();
 
-        // Alternate the client-map implementation by seed: a 1-shard
-        // service must shadow System under pressure with either map (the
+        // A 1-shard service must shadow System under pressure (the
         // sibling-borrow fallback is multi-shard-only and must not fire).
-        let lockfree_map = seed.is_multiple_of(2);
-        let service = VbiService::new(
-            ServiceConfig::single(cfg).with_lockfree_client_map(lockfree_map));
+        let service = VbiService::new(ServiceConfig::single(cfg));
         let service_responses = service.submit(&ops);
 
         prop_assert_eq!(&system_responses, &service_responses,
-            "responses diverged under pressure (seed {}, lockfree_map {})", seed, lockfree_map);
+            "responses diverged under pressure (seed {})", seed);
         prop_assert_eq!(system.mtl().stats(), service.stats(),
-            "pressure counters diverged (seed {}, lockfree_map {})", seed, lockfree_map);
+            "pressure counters diverged (seed {})", seed);
         prop_assert_eq!(service.frames_borrowed(), 0u64,
             "a single-shard service must never borrow");
     }

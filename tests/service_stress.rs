@@ -1026,3 +1026,72 @@ fn async_sessions_complete_exactly_once_under_load() {
         SESSIONS
     );
 }
+
+/// Eight workers churn whole VBs (request → touch every page → release)
+/// on a machine too small for their combined footprint, so frame
+/// allocate/free traffic races eviction, sibling borrowing, and the
+/// magazine frame cache simultaneously. A per-round barrier sits
+/// between the stores and the release, so every round all eight
+/// threads simultaneously hold a fully-populated persistent + churned
+/// VB pair (8 × 64 = 512 data frames on a 448-frame machine): pages
+/// leave residency only via eviction or the post-barrier release, so
+/// eviction is forced by pigeonhole no matter how the scheduler
+/// interleaves the threads. After every VB is released the free-frame
+/// gauge must read *exactly* the machine's capacity: one stranded
+/// magazine frame, one unreturned reservation, or one leaked table
+/// frame fails the test.
+#[test]
+fn vb_churn_racing_eviction_leaks_no_frames() {
+    const PHYS_FRAMES: u64 = 448;
+    const ROUNDS: u64 = 40;
+    let svc = VbiService::new(ServiceConfig::new(
+        2,
+        VbiConfig { phys_frames: PHYS_FRAMES, ..VbiConfig::vbi_full() },
+    ));
+    let gate = Barrier::new(THREADS);
+    thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let svc = svc.clone();
+            let gate = &gate;
+            s.spawn(move || {
+                let client = svc.create_client().unwrap();
+                let persistent =
+                    client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+                for round in 0..ROUNDS {
+                    let vb =
+                        client.request_vb(128 << 10, VbProperties::NONE, Rwx::READ_WRITE).unwrap();
+                    for page in 0..32u64 {
+                        client
+                            .store_u64(vb.at(page * 4096), (t << 32) | (round << 8) | page)
+                            .unwrap();
+                    }
+                    // Keep the long-lived VB hot so eviction has to pick
+                    // between it and the churned pages.
+                    client
+                        .store_u64(persistent.at((round % 32) * 4096), (t << 16) | round)
+                        .unwrap();
+                    for page in (0..32u64).step_by(7) {
+                        assert_eq!(
+                            client.load_u64(vb.at(page * 4096)).unwrap(),
+                            (t << 32) | (round << 8) | page,
+                            "thread {t} round {round} lost a churned write"
+                        );
+                    }
+                    // All threads hold their full footprint here; only
+                    // after everyone has stored does anyone release.
+                    gate.wait();
+                    client.release_vb(vb.cvt_index).unwrap();
+                }
+                client.release_vb(persistent.cvt_index).unwrap();
+            });
+        }
+    });
+    let stats = svc.stats();
+    assert!(stats.evictions > 0, "the footprint must overrun physical memory");
+    assert!(stats.frame_cache_hits > 0, "churn must exercise the magazines");
+    assert_eq!(
+        svc.free_frames(),
+        PHYS_FRAMES,
+        "every churned frame must return to the buddy or the magazines"
+    );
+}
